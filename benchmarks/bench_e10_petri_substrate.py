@@ -1,0 +1,119 @@
+"""E10 — Sections 2.1/2.2: the Petri net substrate is sound and fast.
+
+Claim shape: firing throughput scales linearly with net size;
+reachability analysis handles the presentation-scale nets the paper
+uses (tens of nodes) instantly and caps gracefully on large state
+spaces; the OCPN constructions are always bounded with a single
+terminal marking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.petri.analysis import (
+    find_deadlocks,
+    is_bounded,
+    place_invariants,
+    reachability_graph,
+)
+from repro.petri.net import PetriNet
+from repro.temporal.compiler import compile_spec
+from repro.workload.presentations import figure1_presentation, random_presentation
+
+
+def ring_net(size: int, tokens: int = 1) -> PetriNet:
+    net = PetriNet(f"ring-{size}")
+    for index in range(size):
+        net.add_place(f"p{index}", tokens=tokens if index == 0 else 0)
+        net.add_transition(f"t{index}")
+    for index in range(size):
+        net.add_arc(f"p{index}", f"t{index}")
+        net.add_arc(f"t{index}", f"p{(index + 1) % size}")
+    return net
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_e10_firing_throughput(benchmark, size):
+    net = ring_net(size)
+
+    def run():
+        net.reset()
+        for __ in range(size):
+            for transition in net.enabled_transitions():
+                net.fire(transition)
+        return net.fire_count
+
+    fired = benchmark(run)
+    assert fired == size
+
+
+def test_e10_reachability_of_figure1(benchmark, table):
+    ocpn = figure1_presentation()
+
+    def analyse():
+        graph = reachability_graph(ocpn.net)
+        return graph
+
+    graph = benchmark(analyse)
+    deadlocks = find_deadlocks(ocpn.net)
+    table(
+        "E10: Figure 1 net analysis",
+        ["metric", "value"],
+        [
+            ("places", len(ocpn.net.places)),
+            ("transitions", len(ocpn.net.transitions)),
+            ("reachable markings", len(graph)),
+            ("bounded", is_bounded(ocpn.net)),
+            ("terminal markings", len(deadlocks)),
+        ],
+    )
+    assert graph.complete
+    assert is_bounded(ocpn.net)
+    assert len(deadlocks) == 1
+    assert deadlocks[0]["done"] == 1
+
+
+@pytest.mark.parametrize("items", [8, 32])
+def test_e10_compiled_specs_always_sound(items, table):
+    """Every compiled random spec is bounded with one clean exit."""
+    rows = []
+    for seed in range(5):
+        ocpn = compile_spec(random_presentation(items, seed=seed))
+        deadlocks = find_deadlocks(ocpn.net, max_nodes=50_000)
+        rows.append(
+            (seed, len(ocpn.net.places), is_bounded(ocpn.net, max_nodes=50_000),
+             len(deadlocks))
+        )
+    table(
+        f"E10: soundness of compiled specs ({items} media)",
+        ["seed", "places", "bounded", "terminals"],
+        rows,
+    )
+    for __, __, bounded, terminals in rows:
+        assert bounded
+        assert terminals == 1
+
+
+def test_e10_invariant_analysis(benchmark, table):
+    """P-invariants of the Figure 1 net prove token conservation."""
+    ocpn = figure1_presentation()
+    invariants = benchmark(place_invariants, ocpn.net)
+    table(
+        "E10: structural invariants",
+        ["metric", "value"],
+        [("invariant basis size", len(invariants))],
+    )
+    assert invariants  # a sequential/parallel workflow always has some
+
+
+def test_e10_budget_caps_gracefully():
+    """Exploding state spaces stop at the node budget with a flag."""
+    net = PetriNet("fork-bomb")
+    net.add_place("seed", tokens=1)
+    net.add_transition("pump")
+    net.add_arc("seed", "pump")
+    net.add_arc("pump", "seed", weight=2)
+    graph = reachability_graph(net, max_nodes=100)
+    assert not graph.complete
+    assert len(graph) == 100

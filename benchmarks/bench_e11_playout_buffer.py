@@ -1,0 +1,83 @@
+"""E11 (extension) — Section 3's bounded-delay argument, quantified.
+
+"A communication tool which be held 'Synchronous' one is because of the
+bonded delay time."  The receiver-side consequence: a playout buffer of
+at least the jitter bound guarantees gap-free rendering; anything less
+trades latency for underruns.
+
+Claim shape: underruns decrease monotonically with prebuffer and reach
+exactly zero at the jitter bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.media.buffer import PlayoutBuffer
+from repro.media.objects import video
+from repro.media.streams import frame_schedule
+from repro.net.simnet import Link, Network
+
+JITTER = 0.06
+FRAME_INTERVAL = 0.04
+CLIP_SECONDS = 4.0
+
+
+def stream_with_prebuffer(prebuffer: float, seed: int = 2) -> tuple[int, int]:
+    clock = VirtualClock()
+    network = Network(clock, rng=random.Random(seed))
+    clip = video("v", CLIP_SECONDS)
+    buffer = PlayoutBuffer("v", prebuffer=prebuffer, frame_interval=FRAME_INTERVAL)
+    network.add_host("sender", lambda s, p: None)
+    network.add_host("receiver", lambda s, p: buffer.on_arrival(p, clock.now()))
+    network.connect_both(
+        "sender", "receiver", Link(base_latency=0.02, jitter=JITTER)
+    )
+    for frame in frame_schedule(clip):
+        clock.call_at(
+            frame.timestamp, network.send, "sender", "receiver", frame,
+            frame.size_bytes,
+        )
+    clock.run_until(CLIP_SECONDS + 2.0)
+    buffer.render_due(CLIP_SECONDS + 2.0)
+    total = int(CLIP_SECONDS / FRAME_INTERVAL)
+    events = buffer.events[:total]
+    underruns = sum(1 for event in events if event.underrun)
+    return underruns, total
+
+
+def sweep():
+    rows = []
+    for prebuffer in (0.0, 0.01, 0.02, 0.04, JITTER + 0.001):
+        underruns, total = stream_with_prebuffer(prebuffer)
+        rows.append((prebuffer * 1000, underruns, total, underruns / total))
+    return rows
+
+
+def test_e11_prebuffer_sweep(benchmark, table):
+    rows = benchmark(sweep)
+    table(
+        f"E11: underruns vs prebuffer (jitter {JITTER * 1000:.0f} ms, "
+        f"25 fps, {CLIP_SECONDS:.0f} s clip)",
+        ["prebuffer ms", "underruns", "frames", "rate"],
+        rows,
+    )
+    rates = [rate for __, __, __, rate in rows]
+    # Monotone non-increasing, positive without buffering, zero at bound.
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+    assert rates[0] > 0
+    assert rates[-1] == 0.0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_e11_bound_holds_across_seeds(seed, table):
+    underruns, total = stream_with_prebuffer(JITTER + 0.001, seed=seed)
+    table(
+        f"E11: prebuffer at jitter bound, seed {seed}",
+        ["underruns", "frames"],
+        [(underruns, total)],
+    )
+    assert underruns == 0

@@ -1,0 +1,80 @@
+"""E2 — Section 2.2 / DOCPN property 2: a priority input fires a
+transition immediately, without waiting for non-priority inputs.
+
+Claim shape: interaction-to-fire latency is ~0 with priority arcs and
+equals the full remaining media duration without them (ablation A2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.petri.priority import PriorityNet, PriorityTimedExecutor
+from repro.petri.timed import TimedPlaceMap
+
+
+def build_chain(length: int, with_priority: bool):
+    """A chain of `length` media stages, each with an interaction place."""
+    net = PriorityNet(f"chain-{length}")
+    durations = {}
+    net.add_place("stage0", tokens=1)
+    durations["stage0"] = 10.0
+    for index in range(length):
+        transition = f"t{index}"
+        net.add_transition(transition)
+        net.add_arc(f"stage{index}", transition)
+        next_place = f"stage{index + 1}"
+        net.add_place(next_place)
+        if index + 1 < length:
+            durations[next_place] = 10.0
+        if with_priority:
+            ui = f"ui{index}"
+            net.add_place(ui)
+            net.add_priority_arc(ui, transition)
+    return net, TimedPlaceMap(durations)
+
+
+def interaction_latency(with_priority: bool, length: int = 10) -> float:
+    """Inject an interaction 2 s into stage 0; how long until t0 fires?"""
+    net, durations = build_chain(length, with_priority)
+    clock = VirtualClock()
+    executor = PriorityTimedExecutor(net, durations, clock)
+    executor.start()
+    clock.run_until(2.0)
+    if with_priority:
+        executor.inject_priority("ui0")
+    inject_time = clock.now()
+    clock.run_until(200.0)
+    fire_times = executor.trace.firing_times("t0")
+    return fire_times[0] - inject_time
+
+
+def test_e2_priority_fires_immediately(table):
+    with_arc = interaction_latency(True)
+    without_arc = interaction_latency(False)
+    table(
+        "E2: interaction-to-fire latency (s), 10 s media remaining 8 s",
+        ["variant", "latency (s)"],
+        [("priority arc (DOCPN)", with_arc), ("no priority arc (A2)", without_arc)],
+    )
+    assert with_arc == pytest.approx(0.0, abs=1e-9)
+    assert without_arc == pytest.approx(8.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("transitions", [10, 100, 400])
+def test_e2_forced_firing_throughput(benchmark, transitions):
+    """Engine cost of priority firings across net sizes."""
+
+    def run():
+        net, durations = build_chain(transitions, True)
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, durations, clock)
+        executor.start()
+        for index in range(transitions):
+            executor.inject_priority(f"ui{index}")
+        clock.run(max_events=transitions * 8 + 16)
+        return executor.forced_firings
+
+    forced = benchmark(run)
+    assert forced == transitions

@@ -1,0 +1,136 @@
+"""E3 — Section 3/4: the four floor modes admit the documented speaker
+sets.
+
+Claim shape:
+
+* free access: every requester is granted concurrently;
+* equal control: exactly one grant per hand-off epoch, everyone else
+  queued in FIFO order;
+* group discussion: exactly the invited subgroup speaks concurrently;
+* direct contact: exactly the pair speaks, coexisting with the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.core.floor import RequestOutcome
+from repro.core.modes import FCMMode
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.server import FloorControlServer
+from repro.workload.generator import member_names
+
+
+def make_server(members: int):
+    clock = VirtualClock()
+    server = FloorControlServer(
+        clock,
+        ResourceModel(
+            ResourceVector(network_kbps=1e6, cpu_share=64.0, memory_mb=1e5)
+        ),
+    )
+    for name in member_names(members):
+        server.join(name)
+    return server, clock
+
+
+def run_mode_census(members: int = 16) -> dict[str, int]:
+    """Grant counts per mode for a request from every member."""
+    results = {}
+    # Free access.
+    server, __ = make_server(members)
+    grants = [
+        server.request_floor(name, mode=FCMMode.FREE_ACCESS)
+        for name in member_names(members)
+    ]
+    results["free_access"] = sum(
+        g.outcome is RequestOutcome.GRANTED for g in grants
+    )
+    # Equal control.
+    server, __ = make_server(members)
+    grants = [
+        server.request_floor(name, mode=FCMMode.EQUAL_CONTROL)
+        for name in member_names(members)
+    ]
+    results["equal_control"] = sum(
+        g.outcome is RequestOutcome.GRANTED for g in grants
+    )
+    results["equal_control_queued"] = sum(
+        g.outcome is RequestOutcome.QUEUED for g in grants
+    )
+    # Group discussion: invite a third of the class.
+    server, __ = make_server(members)
+    subgroup = server.open_discussion("student0")
+    invited = member_names(members)[1 : members // 3]
+    for name in invited:
+        invitation = server.invite(subgroup, "student0", name)
+        server.respond(invitation.invitation_id, accept=True)
+    grants = [
+        server.request_floor(
+            name, mode=FCMMode.GROUP_DISCUSSION, target_group=subgroup
+        )
+        for name in member_names(members)
+    ]
+    results["group_discussion"] = sum(
+        g.outcome is RequestOutcome.GRANTED for g in grants
+    )
+    results["group_size"] = 1 + len(invited)
+    # Direct contact.
+    server, __ = make_server(members)
+    grants = [
+        server.request_floor(
+            name, mode=FCMMode.DIRECT_CONTACT, target_member="student1"
+        )
+        for name in member_names(members)
+        if name != "student1"
+    ]
+    results["direct_contact"] = sum(
+        g.outcome is RequestOutcome.GRANTED for g in grants
+    )
+    return results
+
+
+def test_e3_mode_speaker_sets(benchmark, table):
+    members = 16
+    census = benchmark(run_mode_census, members)
+    table(
+        "E3: grants per mode (16 members, request storm)",
+        ["mode", "granted", "expected"],
+        [
+            ("free access", census["free_access"], members),
+            ("equal control", census["equal_control"], 1),
+            ("  (queued)", census["equal_control_queued"], members - 1),
+            ("group discussion", census["group_discussion"], census["group_size"]),
+            ("direct contact", census["direct_contact"], members - 1),
+        ],
+    )
+    assert census["free_access"] == members
+    assert census["equal_control"] == 1
+    assert census["equal_control_queued"] == members - 1
+    # Only invited subgroup members speak.
+    assert census["group_discussion"] == census["group_size"]
+    # Every member may open a pairwise channel to student1.
+    assert census["direct_contact"] == members - 1
+
+
+@pytest.mark.parametrize("members", [8, 32, 64])
+def test_e3_token_fairness(members, table):
+    """Equal control serves waiters in FIFO order, no starvation."""
+    server, __ = make_server(members)
+    names = member_names(members)
+    for name in names:
+        server.request_floor(name, mode=FCMMode.EQUAL_CONTROL)
+    served = [names[0]]
+    while True:
+        holder = server.arbitrator.token("session").holder
+        next_holder = server.release_floor("session", holder)
+        if next_holder is None:
+            break
+        served.append(next_holder)
+    table(
+        f"E3: hand-off order ({members} members)",
+        ["position", "member"],
+        [(i, name) for i, name in enumerate(served[:5])] + [("...", "...")],
+    )
+    assert served == names  # FIFO, everyone served exactly once

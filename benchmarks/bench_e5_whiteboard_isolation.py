@@ -1,0 +1,107 @@
+"""E5 — Figure 2: under equal control only the token holder's messages
+reach the shared whiteboard; token hand-off serializes speakers.
+
+Claim shape: during a message flood from N students, the accepted
+board entries come exclusively from the serialized sequence of token
+holders, every non-holder post is rejected, and replicas converge to
+the authoritative board.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.core.modes import FCMMode
+from repro.net.simnet import Link, Network
+from repro.session.dmps import DMPSClient, DMPSServer
+
+
+def build_classroom(students: int):
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network)
+    clients = {}
+    names = ["teacher"] + [f"student{i}" for i in range(students)]
+    for name in names:
+        host = f"host-{name}"
+        clients[name] = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=0.01))
+        clients[name].join(is_chair=(name == "teacher"))
+    clock.run_until(0.5)
+    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+    clock.run_until(1.0)
+    return clock, server, clients, names
+
+
+def run_flood(students: int = 10):
+    clock, server, clients, names = build_classroom(students)
+    # Everyone floods posts every 0.5 s; the floor rotates through three
+    # holders: teacher -> student0 -> student1.
+    for name in names:
+        for tick in range(10):
+            clock.call_at(
+                1.0 + tick * 0.5,
+                clients[name].post,
+                f"{name}-says-{tick}",
+            )
+    clock.call_at(1.1, clients["teacher"].request_floor)
+    clock.call_at(2.0, clients["student0"].request_floor)
+    clock.call_at(2.5, clients["student1"].request_floor)
+    clock.call_at(3.0, clients["teacher"].release_floor)
+    clock.call_at(4.5, clients["student0"].release_floor)
+    clock.run_until(10.0)
+    return server, clients
+
+
+def test_e5_only_holders_reach_board(benchmark, table):
+    server, clients = benchmark(run_flood, 10)
+    board = server.board()
+    authors_in_order = [entry.author for entry in board.entries()]
+    # Collapse consecutive duplicates -> the serialized speaker sequence.
+    sequence = [authors_in_order[0]] if authors_in_order else []
+    for author in authors_in_order[1:]:
+        if author != sequence[-1]:
+            sequence.append(author)
+    table(
+        "E5: whiteboard under an equal-control flood (11 posters x 10 posts)",
+        ["metric", "value"],
+        [
+            ("posts sent", 11 * 10),
+            ("accepted", len(board)),
+            ("rejected", board.rejected),
+            ("speaker sequence", " -> ".join(sequence)),
+        ],
+    )
+    assert board.authors() <= {"teacher", "student0", "student1"}
+    assert sequence == ["teacher", "student0", "student1"]
+    assert len(board) + board.rejected == 11 * 10
+
+
+def test_e5_replicas_converge(table):
+    server, clients = run_flood(6)
+    converged = sum(
+        1
+        for client in clients.values()
+        if client.replicas["session"].converged_with(server.board())
+    )
+    table(
+        "E5: replica convergence",
+        ["clients", "converged"],
+        [(len(clients), converged)],
+    )
+    assert converged == len(clients)
+
+
+@pytest.mark.parametrize("students", [4, 16])
+def test_e5_rejection_scales_with_non_holders(students, table):
+    server, __ = run_flood(students)
+    board = server.board()
+    total = (students + 1) * 10
+    table(
+        f"E5: acceptance ratio with {students} students",
+        ["posts", "accepted", "rejected"],
+        [(total, len(board), board.rejected)],
+    )
+    # With only 3 holders, most of the flood must be rejected.
+    assert board.rejected > total * 0.5

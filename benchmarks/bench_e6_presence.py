@@ -1,0 +1,79 @@
+"""E6 — Figure 3: disconnections turn the presence light red within
+bounded time.
+
+Claim shape: for every disconnected client the red light appears within
+``timeout + sweep_interval`` of the disconnect; reconnects turn it
+green again; clients that stay up never flap red.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.net.simnet import Link, Network
+from repro.session.dmps import DMPSClient, DMPSServer
+from repro.session.presence import Light
+
+TIMEOUT = 1.0
+SWEEP = 0.25
+HEARTBEAT = 0.25
+
+
+def run_disconnect_schedule(clients_count: int = 12, seed: int = 3):
+    rng = random.Random(seed)
+    clock = VirtualClock()
+    network = Network(clock, rng=random.Random(seed + 1))
+    server = DMPSServer(clock, network, presence_timeout=TIMEOUT)
+    server.presence.sweep_interval = SWEEP
+    clients = []
+    for index in range(clients_count):
+        name = f"student{index}"
+        client = DMPSClient(name, f"host-{name}", network)
+        network.connect_both("server", f"host-{name}", Link(base_latency=0.02))
+        client.join()
+        client.start_heartbeats(HEARTBEAT)
+        clients.append(client)
+    clock.run_until(2.0)
+    # Half the clients drop at seeded times in [3, 8).
+    victims = clients[: clients_count // 2]
+    drop_times = {}
+    for client in victims:
+        at = rng.uniform(3.0, 8.0)
+        drop_times[client.member] = at
+        clock.call_at(at, client.disconnect)
+    clock.run_until(12.0)
+    latencies = {
+        member: server.presence.detection_latency(member, at)
+        for member, at in drop_times.items()
+    }
+    survivors_green = all(
+        server.presence.light_of(client.member) is Light.GREEN
+        for client in clients[clients_count // 2:]
+    )
+    return latencies, survivors_green, server, clients
+
+
+def test_e6_detection_latency_bounded(benchmark, table):
+    latencies, survivors_green, __, __ = benchmark(run_disconnect_schedule)
+    bound = TIMEOUT + SWEEP + HEARTBEAT
+    rows = [(member, latency) for member, latency in sorted(latencies.items())]
+    rows.append(("bound", bound))
+    table("E6: red-light detection latency (s)", ["member", "latency"], rows)
+    assert all(latency <= bound + 1e-6 for latency in latencies.values())
+    assert survivors_green
+
+
+def test_e6_reconnect_goes_green(table):
+    __, __, server, clients = run_disconnect_schedule()
+    victim = clients[0]
+    victim.reconnect(HEARTBEAT)
+    server.presence.clock.run_until(server.presence.clock.now() + 2.0)
+    table(
+        "E6: reconnect",
+        ["member", "light"],
+        [(victim.member, server.presence.light_of(victim.member).value)],
+    )
+    assert server.presence.light_of(victim.member) is Light.GREEN

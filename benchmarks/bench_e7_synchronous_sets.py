@@ -1,0 +1,69 @@
+"""E7 — Section 4 algorithm: the scheduler emits correct synchronous
+sets (media that must start together) for the Figure 1 net and for
+random specs.
+
+Claim shape: parallel media land in the same synchronous set; the
+compile -> execute -> classify round trip preserves every authored
+relation for random specs of growing size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.temporal.compiler import compile_spec
+from repro.temporal.schedule import compute_schedule
+from repro.temporal.verify import verify_against_spec
+from repro.workload.presentations import figure1_presentation, random_presentation
+
+
+def figure1_sets():
+    schedule = compute_schedule(figure1_presentation())
+    return schedule.synchronous_sets(), schedule
+
+
+def test_e7_figure1_synchronous_sets(benchmark, table):
+    sets, schedule = benchmark(figure1_sets)
+    table(
+        "E7: Figure 1 synchronous sets",
+        ["t (s)", "media starting together"],
+        [(s.time, ", ".join(s.media)) for s in sets],
+    )
+    as_dict = {s.time: set(s.media) for s in sets}
+    assert as_dict[0.0] == {"title"}
+    assert as_dict[3.0] == {"slides1", "narration1"}
+    assert as_dict[23.0] == {"demo_video"}
+    assert as_dict[38.0] == {"slides2", "narration2"}
+    assert as_dict[63.0] == {"summary"}
+    assert schedule.makespan() == pytest.approx(68.0)
+
+
+@pytest.mark.parametrize("items", [4, 16, 64])
+def test_e7_random_specs_verify(benchmark, items, table):
+    def run():
+        violations = 0
+        for seed in range(10):
+            spec = random_presentation(items, seed=seed)
+            schedule = compute_schedule(compile_spec(spec))
+            report = verify_against_spec(spec, schedule)
+            violations += len(report.violations)
+        return violations
+
+    violations = benchmark(run)
+    table(
+        f"E7: 10 random specs x {items} media",
+        ["items", "relation violations"],
+        [(items, violations)],
+    )
+    assert violations == 0
+
+
+def test_e7_schedule_cost_scales(benchmark):
+    """Scheduling cost for a large (128-media) spec stays sub-second."""
+    spec = random_presentation(128, seed=1)
+
+    def run():
+        return compute_schedule(compile_spec(spec)).makespan()
+
+    makespan = benchmark(run)
+    assert makespan > 0

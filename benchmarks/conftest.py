@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module reproduces one experiment from DESIGN.md
+(section 4).  The pytest-benchmark fixture times the run; the module
+also *asserts the claim shape* (who wins, by roughly what factor) and
+prints the series so ``pytest benchmarks/ --benchmark-only -s`` shows
+the table EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render one experiment table (captured unless -s is passed)."""
+    print(f"\n## {title}")
+    line = " | ".join(f"{h:>14}" for h in headers)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4f}")
+            else:
+                cells.append(f"{value!s:>14}")
+        print(" | ".join(cells))
+
+
+@pytest.fixture
+def table():
+    return print_table

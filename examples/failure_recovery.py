@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Failure handling: red lights, lossy links, and resource degradation.
+
+Reproduces the operational scenarios of Figure 3 and the Section 3
+Z-spec thresholds:
+
+1. a student disconnects mid-session — the teacher's presence light
+   turns red within the heartbeat timeout, then green on reconnect;
+2. the control channel crosses a 20%-loss link — the reliable transport
+   still delivers every floor message exactly once, in order;
+3. background load ramps the station into the degraded band ``[b, a)``
+   — the lowest-priority student's video is suspended so the teacher's
+   stream fits, and resumes when the load clears;
+4. load below ``b`` — arbitration aborts entirely.
+
+Run with::
+
+    python examples/failure_recovery.py
+"""
+
+import random
+
+from repro.clock import VirtualClock
+from repro.core import (
+    ActiveMedia,
+    FCMMode,
+    RequestOutcome,
+    ResourceModel,
+    ResourceVector,
+)
+from repro.net import Link, Network, ReliableChannel
+from repro.session import DMPSClient, DMPSServer, Light
+
+
+def demo_presence() -> None:
+    print("=== 1. disconnect detection (Figure 3 red light) ===")
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network, presence_timeout=1.0)
+    students = {}
+    for name in ("alice", "bob"):
+        host = f"host-{name}"
+        students[name] = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=0.02))
+        students[name].join()
+        students[name].start_heartbeats(0.25)
+    clock.run_until(3.0)
+    print(f"   t=3.0  lights: alice={server.presence.light_of('alice').value}, "
+          f"bob={server.presence.light_of('bob').value}")
+    students["alice"].disconnect()
+    disconnect_time = clock.now()
+    clock.run_until(6.0)
+    print(f"   t=6.0  alice disconnected at t=3.0 -> light "
+          f"{server.presence.light_of('alice').value}")
+    latency = server.presence.detection_latency("alice", disconnect_time)
+    print(f"   detection latency: {latency:.2f}s "
+          f"(bound: timeout 1.0 + sweep 0.25)")
+    students["alice"].reconnect()
+    clock.run_until(8.0)
+    print(f"   t=8.0  after reconnect -> light "
+          f"{server.presence.light_of('alice').value}")
+
+
+def demo_lossy_transport() -> None:
+    print("\n=== 2. reliable floor messages over a 20%-loss link ===")
+    clock = VirtualClock()
+    network = Network(clock, rng=random.Random(11))
+    received = []
+    channel_box = []
+    network.add_host("client", lambda s, p: channel_box[0].on_ack(p))
+    network.add_host("server", lambda s, p: channel_box[0].on_segment(p))
+    network.connect_both(
+        "client", "server", Link(base_latency=0.02, jitter=0.01, loss_probability=0.2)
+    )
+    channel = ReliableChannel(network, "client", "server", deliver=received.append)
+    channel_box.append(channel)
+    for index in range(50):
+        channel.send(f"floor-request-{index}")
+    clock.run_until(60.0)
+    in_order = received == [f"floor-request-{i}" for i in range(50)]
+    print(f"   sent 50 control messages, delivered {len(received)}, "
+          f"in order: {in_order}")
+    print(f"   retransmissions needed: {channel.retransmissions}")
+
+
+def demo_degradation() -> None:
+    print("\n=== 3. resource degradation: Media-Suspend between b and a ===")
+    clock = VirtualClock()
+    resources = ResourceModel(
+        ResourceVector(network_kbps=10_000.0, cpu_share=4.0, memory_mb=1024.0),
+        basic_fraction=0.3,   # a = 3000 kbps available
+        minimal_fraction=0.1,  # b = 1000 kbps available
+    )
+    from repro.core import FloorControlServer
+
+    server = FloorControlServer(clock, resources)
+    for name in ("alice", "bob"):
+        server.join(name)
+    # Students stream low-priority video (priority 1).
+    for name in ("alice", "bob"):
+        server.arbitrator.ledger.activate(
+            "session",
+            ActiveMedia(
+                member=name,
+                media_name=f"{name}-cam",
+                demand=ResourceVector(network_kbps=1500.0),
+                priority=1,
+            ),
+        )
+    print(f"   available: {resources.available_scalar():.0f} kbps "
+          f"(a=3000, b=1000) -> level {resources.level().value}")
+    # Cross traffic pushes the station into the degraded band.
+    resources.set_external_load(ResourceVector(network_kbps=5000.0))
+    print(f"   +5000 kbps cross traffic -> available "
+          f"{resources.available_scalar():.0f}, level {resources.level().value}")
+    grant = server.request_floor(
+        "teacher", demand=ResourceVector(network_kbps=1500.0)
+    )
+    print(f"   teacher requests a 1500 kbps stream: {grant.outcome.value}, "
+          f"suspended: {list(grant.suspended)}")
+    # Load clears; suspended media resumes.
+    resources.set_external_load(ResourceVector.zeros())
+    resumed = server.on_resource_recovery()
+    print(f"   load cleared -> resumed: {resumed}")
+
+    print("\n=== 4. below b: Abort-Arbitrate ===")
+    resources.set_external_load(ResourceVector(network_kbps=9800.0))
+    grant = server.request_floor("alice")
+    print(f"   available {max(resources.available_scalar(), 0):.0f} kbps < b -> "
+          f"outcome {grant.outcome.value} ({grant.reason})")
+
+
+def main() -> None:
+    demo_presence()
+    demo_lossy_transport()
+    demo_degradation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Breakout discussion groups and direct contact (paper, Section 4).
+
+A seminar with one teacher and six students:
+
+1. the class runs under equal control (token passing for questions);
+2. alice opens a *group discussion* subgroup and invites two peers —
+   inside it everyone talks concurrently on a private board;
+3. two other students open a *direct contact* private window;
+4. the main session, the subgroup, and the private pair all operate at
+   the same time without interfering — which is exactly the concurrency
+   structure the paper's four modes describe.
+
+Run with::
+
+    python examples/group_discussion.py
+"""
+
+from repro.clock import VirtualClock
+from repro.core import FCMMode
+from repro.net import Link, Network
+from repro.session import DMPSClient, DMPSServer
+
+STUDENTS = ["alice", "bob", "carol", "dave", "erin", "frank"]
+
+
+def main() -> None:
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network)
+    clients = {}
+    for name in ["teacher"] + STUDENTS:
+        host = f"host-{name}"
+        clients[name] = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=0.015))
+        clients[name].join(is_chair=(name == "teacher"))
+    clock.run_until(1.0)
+
+    # --- phase 1: equal-control Q&A --------------------------------------
+    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+    clock.run_until(1.2)
+    clients["teacher"].request_floor()
+    clock.run_until(1.5)
+    clients["teacher"].post("Today: Petri nets. Questions after each section.")
+    clock.run_until(2.0)
+    clients["teacher"].release_floor()
+    clock.run_until(2.2)
+    clients["bob"].request_floor()
+    clock.run_until(2.5)
+    clients["bob"].post("What is a marking?")
+    clock.run_until(3.0)
+    clients["bob"].release_floor()
+    clock.run_until(3.5)
+    print("[main session] board so far:")
+    for entry in server.board():
+        print(f"   {entry.author:>8}: {entry.content}")
+
+    # --- phase 2: a discussion subgroup ------------------------------------
+    # Alice creates it herself over the wire ("a user can create a new
+    # group to invite others"); carol and dave auto-accept.
+    clients["alice"].open_discussion(invitees=["carol", "dave"])
+    clock.run_until(4.0)  # open + invitations delivered and auto-accepted
+    study_group = clients["alice"].state.my_subgroups[0]
+    members = sorted(server.control.registry.group(study_group).members)
+    print(f"\n[group discussion] {study_group} members: {members}")
+    # Everyone in the subgroup talks at once - no token needed.
+    clients["alice"].post("ok so tokens move through transitions", group=study_group)
+    clients["carol"].post("and places hold them", group=study_group)
+    clients["dave"].post("what about weights?", group=study_group)
+    # Outsider erin tries to butt in.
+    clients["erin"].post("let me in!", group=study_group)
+    clock.run_until(5.0)
+    print("[group discussion] private board:")
+    for entry in server.board(study_group):
+        print(f"   {entry.author:>8}: {entry.content}")
+    print(f"[group discussion] rejected outsider posts: "
+          f"{server.board(study_group).rejected}")
+
+    # --- phase 3: direct contact -------------------------------------------
+    pair = server.open_direct_contact("erin", "frank")
+    clock.run_until(5.5)
+    clients["erin"].post("they would not let me in :(", group=pair)
+    clients["frank"].post("their loss", group=pair)
+    clock.run_until(6.0)
+    print(f"\n[direct contact] {pair}:")
+    for entry in server.board(pair):
+        print(f"   {entry.author:>8}: {entry.content}")
+
+    # --- all three scopes coexist ------------------------------------------
+    clients["teacher"].request_floor()
+    clock.run_until(6.5)
+    clients["teacher"].post("Section 2: reachability.")
+    clients["alice"].post("did you catch that?", group=study_group)
+    clients["erin"].post("section 2 already", group=pair)
+    clock.run_until(7.0)
+    print("\n[coexistence] boards after simultaneous posts:")
+    print(f"   main:       {len(server.board())} entries")
+    print(f"   discussion: {len(server.board(study_group))} entries")
+    print(f"   pair:       {len(server.board(pair))} entries")
+    replica_ok = clients["carol"].replicas[study_group].converged_with(
+        server.board(study_group)
+    )
+    print(f"   carol's subgroup replica converged: {replica_ok}")
+
+
+if __name__ == "__main__":
+    main()

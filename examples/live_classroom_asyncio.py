@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A live classroom driven by asyncio participant coroutines.
+
+Each participant is an ``async def`` scripting its behaviour in virtual
+time; the :class:`~repro.session.RealtimeBridge` paces the simulation
+against the wall clock so the session can be watched as it happens.
+
+Run at 20x speed (about 1.5 real seconds)::
+
+    python examples/live_classroom_asyncio.py
+
+Run as fast as possible::
+
+    python examples/live_classroom_asyncio.py --fast
+"""
+
+import asyncio
+import sys
+
+from repro.clock import VirtualClock
+from repro.core import FCMMode
+from repro.net import Link, Network
+from repro.session import DMPSClient, DMPSServer, RealtimeBridge
+
+
+def main() -> None:
+    speed = float("inf") if "--fast" in sys.argv else 20.0
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network)
+    bridge = RealtimeBridge(clock, speed=speed)
+
+    def connect(name: str) -> DMPSClient:
+        host = f"host-{name}"
+        client = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=0.02, jitter=0.01))
+        return client
+
+    teacher = connect("teacher")
+    alice = connect("alice")
+    bob = connect("bob")
+
+    async def teacher_script():
+        teacher.join(is_chair=True)
+        teacher.start_heartbeats()
+        await bridge.sleep(0.5)
+        server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+        teacher.request_floor()
+        await bridge.sleep(0.5)
+        teacher.post("Welcome. Petri nets 101.", kind="annotation")
+        await bridge.sleep(5.0)
+        teacher.post("Any questions?")
+        teacher.release_floor()
+
+    async def student_script(client: DMPSClient, question: str, wait: float):
+        client.join()
+        client.start_heartbeats()
+        await bridge.sleep(wait)
+        client.request_floor()
+        # Poll (in virtual time) until the floor arrives.
+        for __ in range(200):
+            if client.holds_floor():
+                break
+            await bridge.sleep(0.25)
+        if client.holds_floor():
+            client.post(question)
+            await bridge.sleep(1.0)
+            client.release_floor()
+
+    bridge.spawn(teacher_script())
+    bridge.spawn(student_script(alice, "Are timed nets deterministic?", 7.0))
+    bridge.spawn(student_script(bob, "How do priority arcs work?", 7.5))
+    asyncio.run(bridge.run(until=30.0))
+
+    print("final whiteboard:")
+    for entry in server.board():
+        marker = "*" if entry.kind == "annotation" else " "
+        print(f"  {marker} t={entry.accepted_at:5.2f} {entry.author:>8}: {entry.content}")
+    holder = server.control.arbitrator.token("session").holder
+    print(f"floor at end: {holder or 'free'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: a three-person DMPS session in under a minute.
+
+Builds the paper's star topology (server + teacher + two students),
+joins everyone, walks through the four floor control modes, and prints
+the resulting whiteboard and event log.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.clock import VirtualClock
+from repro.core import FCMMode
+from repro.net import Link, Network
+from repro.session import DMPSClient, DMPSServer, summarize
+
+
+def main() -> None:
+    # --- wiring ---------------------------------------------------------
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network)
+    clients = {}
+    for name in ("teacher", "alice", "bob"):
+        host = f"host-{name}"
+        clients[name] = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=0.02, jitter=0.005))
+    for name, client in clients.items():
+        client.join(is_chair=(name == "teacher"))
+        client.start_heartbeats()
+    clock.run_until(1.0)
+    print(f"members joined: {sorted(server.members())}")
+
+    # --- free access: everyone talks -------------------------------------
+    clients["alice"].post("hi everyone!")
+    clients["bob"].post("hello!")
+    clock.run_until(2.0)
+    print(f"\n[free access] board: {[(e.author, e.content) for e in server.board()]}")
+
+    # --- equal control: one speaker at a time ----------------------------
+    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+    clock.run_until(2.5)
+    clients["alice"].request_floor()
+    clock.run_until(2.7)  # alice's request reaches the server first
+    clients["bob"].request_floor()
+    clock.run_until(3.0)
+    clients["alice"].post("I hold the floor")
+    clients["bob"].post("(rejected - no floor)")
+    clock.run_until(3.5)
+    clients["alice"].release_floor()
+    clock.run_until(4.0)
+    clients["bob"].post("now it is my turn")
+    clock.run_until(4.5)
+    print(f"[equal control] board: {[(e.author, e.content) for e in server.board()]}")
+    print(f"[equal control] rejected posts: {server.board().rejected}")
+
+    # --- direct contact: a private side channel --------------------------
+    private = server.open_direct_contact("alice", "bob")
+    clock.run_until(5.0)
+    clients["alice"].post("psst, did you get that?", group=private)
+    clock.run_until(5.5)
+    print(f"[direct contact] private board: "
+          f"{[(e.author, e.content) for e in server.board(private)]}")
+    print(f"[direct contact] teacher sees: {clients['teacher'].board(private)}")
+
+    # --- the transcript ---------------------------------------------------
+    print("\nsession transcript (last 8 events):")
+    for event in server.control.log.tail(8):
+        print(f"  t={event.time:6.2f}  {event.kind.value:<15} "
+              f"{event.member:<8} {event.detail}")
+
+    # --- summary -----------------------------------------------------------
+    print()
+    print(summarize(server, list(clients.values())).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — reproduction of Shih et al., "Using the Floor Control
+Mechanism in Distributed Multimedia Presentation System" (ICDCS 2001).
+
+The package provides:
+
+* :mod:`repro.core` — the floor control mechanism (the paper's primary
+  contribution): four modes, the FCM-Arbitrate and Media-Suspend
+  algorithms, groups/invitations, the server-side manager;
+* :mod:`repro.petri` — the Petri net substrate: classic nets, timed
+  nets, prioritized nets (Yang et al.), OCPN, XOCPN, and DOCPN with
+  global-clock admission;
+* :mod:`repro.temporal` — Allen relations, presentation specs, the
+  spec-to-net compiler, schedule computation (synchronous sets), and
+  verification;
+* :mod:`repro.media` — typed media objects, QoS channels, streams,
+  playout skew measurement;
+* :mod:`repro.net` — the discrete-event network simulator and a
+  reliable transport;
+* :mod:`repro.clock` — virtual time, drifting clocks, Cristian sync,
+  and the global-clock admission rule;
+* :mod:`repro.session` — the DMPS server/client endpoints, whiteboard,
+  presence lights, and the asyncio real-time bridge;
+* :mod:`repro.workload` — seeded scenario generators and trace replay;
+* :mod:`repro.baselines` — FIFO floor control and free-for-all
+  baselines.
+
+Quickstart::
+
+    from repro.clock import VirtualClock
+    from repro.core import FCMMode
+    from repro.net import Link, Network
+    from repro.session import DMPSClient, DMPSServer
+
+    clock = VirtualClock()
+    network = Network(clock)
+    network.set_default_link(Link(base_latency=0.02))
+    server = DMPSServer(clock, network)
+    alice = DMPSClient("alice", "host-alice", network)
+    network.connect_both("server", "host-alice", Link(base_latency=0.02))
+    alice.join()
+    clock.run_until(1.0)
+    alice.post("hello class")
+    clock.run_until(2.0)
+    assert [e.content for e in server.board()] == ["hello class"]
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, clock, core, media, net, petri, session, temporal, workload
+from .errors import ReproError
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "baselines",
+    "clock",
+    "core",
+    "media",
+    "net",
+    "petri",
+    "session",
+    "temporal",
+    "workload",
+]

@@ -1,0 +1,15 @@
+"""Baselines the paper's mechanisms are compared against.
+
+* :class:`FIFOFloorControl` — single-queue floor control without
+  modes, priorities, or resource awareness (ablation A4).
+* :class:`FreeForAll` — no floor control at all: measures collisions
+  and overload (motivation for the mechanism).
+* OCPN-without-global-clock is exercised through
+  ``DOCPNSystem(use_global_clock=False)`` (ablation A1) rather than a
+  separate class.
+"""
+
+from .fifo_floor import FIFOFloorControl
+from .free_for_all import FreeForAll
+
+__all__ = ["FIFOFloorControl", "FreeForAll"]

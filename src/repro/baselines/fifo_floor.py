@@ -1,0 +1,74 @@
+"""FIFO floor control baseline (ablation A4).
+
+A deliberately naive arbiter: one global FIFO queue, no modes, no
+member priorities, no resource awareness.  Whoever asks first speaks;
+everyone else waits.  Comparing it against
+:class:`~repro.core.arbitrator.Arbitrator` shows what the paper's
+mode/priority/resource machinery buys:
+
+* free-access workloads serialize needlessly behind the queue;
+* the chair (teacher) waits behind students;
+* nothing is suspended under resource pressure — the station just
+  degrades for everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FloorControlError
+
+__all__ = ["FIFOFloorControl"]
+
+
+@dataclass
+class FIFOFloorControl:
+    """Single-queue exclusive floor."""
+
+    holder: str | None = None
+    queue: list[str] = field(default_factory=list)
+    grants: int = 0
+    waits: int = 0
+    #: (member, requested_at, granted_at) for latency accounting.
+    grant_log: list[tuple[str, float, float]] = field(default_factory=list)
+    _pending_since: dict[str, float] = field(default_factory=dict)
+
+    def request(self, member: str, now: float = 0.0) -> bool:
+        """Ask for the floor; returns ``True`` when granted immediately."""
+        if self.holder == member:
+            return True
+        if self.holder is None:
+            self.holder = member
+            self.grants += 1
+            self.grant_log.append((member, now, now))
+            return True
+        if member not in self.queue:
+            self.queue.append(member)
+            self._pending_since[member] = now
+            self.waits += 1
+        return False
+
+    def release(self, member: str, now: float = 0.0) -> str | None:
+        """Release the floor; the head of the queue takes over."""
+        if self.holder != member:
+            raise FloorControlError(f"{member!r} does not hold the floor")
+        if self.queue:
+            self.holder = self.queue.pop(0)
+            self.grants += 1
+            requested = self._pending_since.pop(self.holder, now)
+            self.grant_log.append((self.holder, requested, now))
+        else:
+            self.holder = None
+        return self.holder
+
+    def speakers(self) -> set[str]:
+        """The set of members currently allowed to deliver."""
+        return {self.holder} if self.holder else set()
+
+    def mean_grant_latency(self) -> float:
+        """Average request-to-grant wait over the run."""
+        if not self.grant_log:
+            return 0.0
+        return sum(granted - requested for __, requested, granted in self.grant_log) / len(
+            self.grant_log
+        )

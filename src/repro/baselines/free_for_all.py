@@ -1,0 +1,66 @@
+"""No-floor-control baseline.
+
+Every participant always speaks — the situation the paper's floor
+control exists to prevent.  The baseline measures the damage:
+
+* **collisions**: posts from different authors within a small window,
+  which on a shared whiteboard garble each other;
+* **overload**: instantaneous bandwidth demand versus the station
+  capacity when everyone streams at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FreeForAll"]
+
+
+@dataclass
+class FreeForAll:
+    """Counts the chaos of an uncontrolled session.
+
+    Parameters
+    ----------
+    collision_window:
+        Posts from distinct authors closer than this many seconds are
+        counted as colliding.
+    """
+
+    collision_window: float = 0.25
+    posts: list[tuple[float, str]] = field(default_factory=list)
+    collisions: int = 0
+
+    def post(self, author: str, now: float) -> None:
+        """Record an uncontrolled post and count collisions."""
+        for time, other in reversed(self.posts):
+            if now - time > self.collision_window:
+                break
+            if other != author:
+                self.collisions += 1
+                break
+        self.posts.append((now, author))
+
+    def speakers(self) -> set[str]:
+        """Everyone who ever posted (no floor control)."""
+        return {author for __, author in self.posts}
+
+    def collision_rate(self) -> float:
+        """Fraction of posts that collided with another author's."""
+        if not self.posts:
+            return 0.0
+        return self.collisions / len(self.posts)
+
+    def peak_demand_kbps(self, per_speaker_kbps: float, window: float = 1.0) -> float:
+        """Worst instantaneous bandwidth demand if every author posting
+        within ``window`` streamed simultaneously."""
+        best = 0
+        times = [time for time, __ in self.posts]
+        for index, start in enumerate(times):
+            concurrent = {
+                author
+                for time, author in self.posts
+                if start <= time < start + window
+            }
+            best = max(best, len(concurrent))
+        return best * per_speaker_kbps

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo classroom``
+    Run a seeded classroom session and print the whiteboard, the event
+    transcript, and the session report.
+``demo lecture``
+    Run the DOCPN lecture with and without the global clock; print the
+    skew comparison.
+``schedule``
+    Compile the Figure 1 presentation, print its schedule as a Gantt
+    chart and its synchronous sets.
+``dot``
+    Print the Figure 1 presentation net as Graphviz DOT (pipe into
+    ``dot -Tpng`` to render).
+``report``
+    Run the seeded classroom and print only the session report.
+
+All commands are deterministic; ``--seed`` varies the workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .clock.virtual import VirtualClock
+from .core.modes import FCMMode
+from .net.simnet import Link, Network
+from .petri.docpn import DOCPNSystem
+from .petri.render import gantt, to_dot
+from .session.dmps import DMPSClient, DMPSServer
+from .session.report import summarize
+from .temporal.schedule import compute_schedule
+from .workload.presentations import figure1_presentation
+
+__all__ = ["main"]
+
+
+def _run_classroom(seed: int):
+    """A small scripted classroom; returns (server, clients)."""
+    import random
+
+    rng = random.Random(seed)
+    clock = VirtualClock()
+    network = Network(clock, rng=random.Random(seed + 1))
+    server = DMPSServer(clock, network)
+    names = ["teacher", "alice", "bob", "carol"]
+    clients = {}
+    for name in names:
+        host = f"host-{name}"
+        clients[name] = DMPSClient(name, host, network)
+        network.connect_both(
+            "server", host, Link(base_latency=0.01 + rng.uniform(0, 0.02))
+        )
+        clients[name].join(is_chair=(name == "teacher"))
+        clients[name].start_heartbeats()
+        clients[name].start_clock_sync(interval=2.0)
+    clock.run_until(1.0)
+    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+    clock.run_until(1.2)
+    speakers = ["teacher", "alice", "bob", "carol"]
+    t = 1.5
+    for speaker in speakers:
+        clock.call_at(t, clients[speaker].request_floor)
+        clock.call_at(t + 1.0, clients[speaker].post, f"{speaker}'s point")
+        clock.call_at(t + 2.0, clients[speaker].release_floor)
+        t += 2.5
+    clock.run_until(t + 2.0)
+    return server, list(clients.values())
+
+
+def _cmd_demo_classroom(args: argparse.Namespace) -> int:
+    server, clients = _run_classroom(args.seed)
+    print("whiteboard:")
+    for entry in server.board():
+        print(f"  t={entry.accepted_at:6.2f}  {entry.author:>8}: {entry.content}")
+    print("\ntranscript (floor events):")
+    for event in server.control.log:
+        print(f"  t={event.time:6.2f}  {event.kind.value:<12} "
+              f"{event.member:<8} {event.detail}")
+    print()
+    print(summarize(server, clients).render())
+    return 0
+
+
+def _cmd_demo_lecture(args: argparse.Namespace) -> int:
+    offsets = [0.3, -0.25, 0.1, 0.0]
+    drifts = [0.01, -0.008, 0.002, 0.0]
+    for use_gc in (False, True):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=use_gc)
+        for index, (offset, drift) in enumerate(zip(offsets, drifts)):
+            system.add_site(
+                f"site{index}",
+                figure1_presentation(),
+                clock_offset=offset,
+                drift_rate=drift,
+            )
+        system.run(until=120.0)
+        label = "ON " if use_gc else "OFF"
+        print(f"global clock {label}: max skew "
+              f"{system.max_skew() * 1000:7.1f} ms, holds {system.total_holds()}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    ocpn = figure1_presentation()
+    schedule = compute_schedule(ocpn)
+    print(gantt(schedule.intervals, width=args.width))
+    print("\nsynchronous sets:")
+    for sync_set in schedule.synchronous_sets():
+        print(f"  t={sync_set.time:6.1f}  {', '.join(sync_set.media)}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    ocpn = figure1_presentation()
+    print(to_dot(ocpn.net, media_places=ocpn.media_of_place))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    server, clients = _run_classroom(args.seed)
+    print(summarize(server, clients).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DMPS floor control & DOCPN reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run a scripted scenario")
+    demo_sub = demo.add_subparsers(dest="scenario", required=True)
+    demo_sub.add_parser("classroom").set_defaults(handler=_cmd_demo_classroom)
+    demo_sub.add_parser("lecture").set_defaults(handler=_cmd_demo_lecture)
+
+    schedule = subparsers.add_parser("schedule", help="print the Figure 1 schedule")
+    schedule.add_argument("--width", type=int, default=48)
+    schedule.set_defaults(handler=_cmd_schedule)
+
+    dot = subparsers.add_parser("dot", help="print the Figure 1 net as DOT")
+    dot.set_defaults(handler=_cmd_dot)
+
+    report = subparsers.add_parser("report", help="session report only")
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Clock substrate: virtual time, drifting local clocks, global sync.
+
+Public API re-exports::
+
+    from repro.clock import VirtualClock, DriftingClock, GlobalClockAdmission
+"""
+
+from .discipline import SimulatedSyncDiscipline, discipline_from_sample
+from .drift import DriftingClock
+from .sync import (
+    AdmissionDecision,
+    CristianSyncClient,
+    GlobalClockAdmission,
+    SyncSample,
+)
+from .virtual import EventHandle, PeriodicHandle, VirtualClock, periodic
+
+__all__ = [
+    "AdmissionDecision",
+    "CristianSyncClient",
+    "DriftingClock",
+    "EventHandle",
+    "GlobalClockAdmission",
+    "PeriodicHandle",
+    "SimulatedSyncDiscipline",
+    "SyncSample",
+    "VirtualClock",
+    "discipline_from_sample",
+    "periodic",
+]

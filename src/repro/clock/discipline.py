@@ -1,0 +1,90 @@
+"""Periodic clock synchronization discipline.
+
+"The DMPS server build a communication group and initial a global clock
+when the client side had initialed the communication configuration"
+(Section 3).  Beyond the one-shot Cristian estimate, a real deployment
+re-syncs periodically so drift cannot accumulate.  This module provides
+that loop in two flavours:
+
+* :class:`SimulatedSyncDiscipline` — a self-contained model for
+  experiments: every ``interval`` it measures the local clock's true
+  skew with an error drawn uniformly from ±``rtt/2`` (Cristian's error
+  bound) and steps the clock by the estimate.  Used by the E1 extension
+  to show admission + periodic sync bounds skew by roughly
+  ``rtt/2 + drift x interval``.
+
+* :func:`discipline_from_sample` — the correction rule the session
+  layer applies after a real (simulated-network) sync exchange.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ClockError
+from .drift import DriftingClock
+from .sync import SyncSample
+from .virtual import PeriodicHandle, VirtualClock, periodic
+
+__all__ = ["SimulatedSyncDiscipline", "discipline_from_sample"]
+
+
+@dataclass
+class SimulatedSyncDiscipline:
+    """Periodically steps a drifting clock toward true time.
+
+    Parameters
+    ----------
+    clock:
+        True (global) time source.
+    local_clock:
+        The client clock to discipline.
+    interval:
+        Seconds of true time between corrections.
+    rtt:
+        Modeled sync round-trip; each correction leaves a residual
+        error uniform in ±``rtt/2``.
+    rng:
+        Seeded randomness for the residual error.
+    """
+
+    clock: VirtualClock
+    local_clock: DriftingClock
+    interval: float = 5.0
+    rtt: float = 0.04
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    corrections: int = 0
+    _handle: PeriodicHandle | None = None
+
+    def start(self) -> None:
+        """Begin periodic corrections (idempotent)."""
+        if self.interval <= 0:
+            raise ClockError(f"sync interval must be positive, got {self.interval!r}")
+        if self._handle is not None:
+            return
+        self._handle = periodic(self.clock, self.interval, self._correct)
+
+    def stop(self) -> None:
+        """Cancel future corrections."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _correct(self) -> None:
+        residual = self.rng.uniform(-self.rtt / 2.0, self.rtt / 2.0)
+        # Step the clock so that the remaining skew is only the
+        # measurement residual (drift keeps accumulating afterwards).
+        self.local_clock.adjust(-(self.local_clock.skew() - residual))
+        self.corrections += 1
+
+
+def discipline_from_sample(local_clock: DriftingClock, sample: SyncSample) -> float:
+    """Step ``local_clock`` using one completed sync exchange.
+
+    Applies the Cristian midpoint estimate as a clock step and returns
+    the correction that was applied (negative when the clock was fast).
+    """
+    correction = -sample.offset_estimate
+    local_clock.adjust(correction)
+    return correction

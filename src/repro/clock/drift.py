@@ -1,0 +1,78 @@
+"""Drifting local clocks over virtual time.
+
+The paper's global-clock admission control exists because client
+machines' local clocks disagree: "If the clock in client side is faster
+than global clock, the current transition will not fire until global
+clock arrives. On the other hand, if the local clock in client side is
+slower than global clock, the transition will be fire without delay."
+(Section 3.)
+
+:class:`DriftingClock` models a client clock as an affine function of
+true (virtual) time::
+
+    local(t) = offset + (1 + drift_rate) * t
+
+``offset`` is the initial skew in seconds and ``drift_rate`` the
+fractional frequency error (e.g. ``50e-6`` for a 50 ppm crystal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClockError
+from .virtual import VirtualClock
+
+__all__ = ["DriftingClock"]
+
+
+@dataclass
+class DriftingClock:
+    """A client-side clock that diverges from true virtual time.
+
+    Parameters
+    ----------
+    clock:
+        The true (simulation) time source.
+    offset:
+        Initial skew in seconds. Positive means the local clock is ahead.
+    drift_rate:
+        Fractional frequency error. Positive means the local clock runs
+        fast. ``0.0`` gives a pure constant-offset clock.
+    """
+
+    clock: VirtualClock
+    offset: float = 0.0
+    drift_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.drift_rate <= -1.0:
+            raise ClockError(
+                f"drift_rate must be > -1 (clock cannot run backwards), "
+                f"got {self.drift_rate!r}"
+            )
+
+    def now(self) -> float:
+        """Local time as seen by this client."""
+        return self.offset + (1.0 + self.drift_rate) * self.clock.now()
+
+    def skew(self) -> float:
+        """Current offset of local time from true time (positive = ahead)."""
+        return self.now() - self.clock.now()
+
+    def true_time_of(self, local_time: float) -> float:
+        """Invert the clock model: true time at which ``local_time`` shows."""
+        return (local_time - self.offset) / (1.0 + self.drift_rate)
+
+    def adjust(self, correction: float) -> None:
+        """Step the clock by ``correction`` seconds (sync discipline)."""
+        self.offset += correction
+
+    def slew_to(self, target_local_time: float) -> float:
+        """Step the clock so that it currently reads ``target_local_time``.
+
+        Returns the correction that was applied.
+        """
+        correction = target_local_time - self.now()
+        self.adjust(correction)
+        return correction

@@ -1,0 +1,231 @@
+"""Global clock synchronization and admission control.
+
+The DMPS server "builds a communication group and initials a global
+clock when the client side had initialed the communication
+configuration" (paper, Section 3).  Two cooperating pieces implement
+that here:
+
+* :class:`CristianSyncClient` — estimates the offset between a client's
+  :class:`~repro.clock.drift.DriftingClock` and the server's global
+  clock from a request/response exchange, exactly like Cristian's
+  algorithm: the client assumes the server's timestamp was taken at the
+  midpoint of the round trip.
+
+* :class:`GlobalClockAdmission` — the paper's admission rule for firing
+  transitions at a client:
+
+  - the client's clock is **faster** than the global clock → the
+    transition is **held** until global time catches up with the
+    scheduled local time;
+  - the client's clock is **slower** → the transition **fires without
+    delay**.
+
+  The admission controller converts a locally-scheduled firing time into
+  the true (virtual) time at which the firing is released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClockError
+from .drift import DriftingClock
+from .virtual import VirtualClock
+
+__all__ = [
+    "SyncSample",
+    "CristianSyncClient",
+    "AdmissionDecision",
+    "GlobalClockAdmission",
+]
+
+
+@dataclass(frozen=True)
+class SyncSample:
+    """One completed sync exchange.
+
+    Attributes
+    ----------
+    request_local:
+        Local clock reading when the request left the client.
+    server_time:
+        Global clock reading stamped by the server.
+    response_local:
+        Local clock reading when the response arrived.
+    """
+
+    request_local: float
+    server_time: float
+    response_local: float
+
+    @property
+    def round_trip(self) -> float:
+        return self.response_local - self.request_local
+
+    @property
+    def offset_estimate(self) -> float:
+        """Estimated (local - global) offset, Cristian midpoint rule."""
+        midpoint = self.request_local + self.round_trip / 2.0
+        return midpoint - self.server_time
+
+    @property
+    def error_bound(self) -> float:
+        """Half the round trip: worst-case estimate error."""
+        return self.round_trip / 2.0
+
+
+class CristianSyncClient:
+    """Cristian-style offset estimator for a drifting client clock.
+
+    The client keeps the best (lowest round-trip) recent sample; its
+    offset estimate is used by :class:`GlobalClockAdmission` and by the
+    session layer to timestamp outgoing floor requests.
+    """
+
+    def __init__(self, local_clock: DriftingClock) -> None:
+        self._local = local_clock
+        self._best: SyncSample | None = None
+        self._samples: list[SyncSample] = []
+
+    @property
+    def local_clock(self) -> DriftingClock:
+        return self._local
+
+    @property
+    def samples(self) -> list[SyncSample]:
+        """All recorded samples, oldest first (a copy)."""
+        return list(self._samples)
+
+    def record(self, sample: SyncSample) -> None:
+        """Record a completed exchange.
+
+        Raises
+        ------
+        ClockError
+            If the sample's response precedes its request.
+        """
+        if sample.round_trip < 0:
+            raise ClockError(
+                f"negative round trip in sync sample: {sample.round_trip!r}"
+            )
+        self._samples.append(sample)
+        if self._best is None or sample.round_trip < self._best.round_trip:
+            self._best = sample
+
+    def offset(self) -> float:
+        """Best-known (local - global) offset.
+
+        Raises
+        ------
+        ClockError
+            If no sample has been recorded yet.
+        """
+        if self._best is None:
+            raise ClockError("no sync sample recorded yet")
+        return self._best.offset_estimate
+
+    def error_bound(self) -> float:
+        """Worst-case error of :meth:`offset`."""
+        if self._best is None:
+            raise ClockError("no sync sample recorded yet")
+        return self._best.error_bound
+
+    def global_now(self) -> float:
+        """Current global-time estimate from the local clock."""
+        return self._local.now() - self.offset()
+
+    def synchronized(self) -> bool:
+        """Whether at least one sync sample has been recorded."""
+        return self._best is not None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of the paper's global-clock admission rule.
+
+    Attributes
+    ----------
+    held:
+        ``True`` when the local clock was ahead and the firing had to
+        wait for the global clock.
+    release_global_time:
+        Global (true) time at which the firing is released.
+    hold_duration:
+        How long the firing was held (0 for immediate release).
+    """
+
+    held: bool
+    release_global_time: float
+    hold_duration: float
+
+
+class GlobalClockAdmission:
+    """Centralized admission control for transition firings.
+
+    The server owns the global clock (a plain :class:`VirtualClock` in
+    the simulation — virtual time *is* global time).  Given a client
+    whose clock is ahead or behind, :meth:`admit` applies Section 3's
+    rule and returns when the firing is actually released.
+    """
+
+    def __init__(self, global_clock: VirtualClock) -> None:
+        self._global = global_clock
+        self._holds = 0
+        self._immediates = 0
+        self._total_hold_time = 0.0
+
+    @property
+    def global_clock(self) -> VirtualClock:
+        return self._global
+
+    def admit(self, client_clock: DriftingClock, scheduled_local_time: float) -> AdmissionDecision:
+        """Apply the admission rule to a firing scheduled at a local time.
+
+        The client believes the transition is due when its *local* clock
+        reads ``scheduled_local_time``.  The rule compares the client's
+        clock to the global clock:
+
+        * local ahead of global (fast client): hold until the global
+          clock reaches ``scheduled_local_time`` interpreted as global
+          time — i.e. wait out the skew;
+        * local behind (slow client): release immediately.
+        """
+        now_global = self._global.now()
+        # The presentation timeline is authored in global time; the
+        # client evaluates it on its local clock and contacts the
+        # server when it believes the transition is due.  The server
+        # releases the firing when the *global* clock reaches the
+        # scheduled time: a fast client (which arrives early) is held,
+        # a slow client (which arrives late) fires without delay —
+        # exactly Section 3's rule, with the skew comparison subsumed
+        # by the arrival time.
+        release = max(now_global, scheduled_local_time)
+        hold = release - now_global
+        if hold > 0:
+            self._holds += 1
+            self._total_hold_time += hold
+            return AdmissionDecision(
+                held=True, release_global_time=release, hold_duration=hold
+            )
+        self._immediates += 1
+        return AdmissionDecision(
+            held=False, release_global_time=now_global, hold_duration=0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (used by benchmarks E1/E8)
+    # ------------------------------------------------------------------
+    @property
+    def holds(self) -> int:
+        """Number of firings that went through the hold path."""
+        return self._holds
+
+    @property
+    def immediates(self) -> int:
+        """Number of firings released without delay."""
+        return self._immediates
+
+    @property
+    def total_hold_time(self) -> float:
+        """Sum of all hold durations (seconds)."""
+        return self._total_hold_time

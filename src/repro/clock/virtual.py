@@ -1,0 +1,268 @@
+"""Deterministic virtual-time event scheduler.
+
+Every simulated subsystem in this library (network links, timed Petri
+nets, playout buffers, floor arbitration) runs on a single
+:class:`VirtualClock`.  Time is a ``float`` number of seconds that only
+advances when the owner of the clock runs queued events, which makes
+whole-system runs reproducible: the same seed and the same schedule of
+events always produce the same trace.
+
+The design deliberately mirrors a minimal ``asyncio`` loop so that the
+session layer can offer the same API over real wall-clock time (see
+:mod:`repro.session.runner`).
+
+Example
+-------
+>>> clock = VirtualClock()
+>>> fired = []
+>>> handle = clock.call_at(2.5, lambda: fired.append(clock.now()))
+>>> clock.run_until(10.0)
+>>> fired
+[2.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ClockError
+
+__all__ = ["EventHandle", "PeriodicHandle", "VirtualClock", "periodic"]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry.
+
+    Ordering is (time, sequence) so that events scheduled for the same
+    instant run in FIFO order — a property several tests and the global
+    clock admission controller rely on.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`VirtualClock.call_at`."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran or was cancelled."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        """The virtual time at which the event is (was) due."""
+        return self._event.time
+
+
+class VirtualClock:
+    """A discrete-event scheduler over virtual seconds.
+
+    Parameters
+    ----------
+    start:
+        Initial virtual time (seconds). Defaults to ``0.0``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Time observation
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def next_event_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` if idle."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``.
+
+        Raises
+        ------
+        ClockError
+            If ``when`` is in the virtual past.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot schedule event at t={when:.6f}; "
+                f"clock is already at t={self._now:.6f}"
+            )
+        event = _ScheduledEvent(float(when), next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_later(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise ClockError(f"negative delay: {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single earliest event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was
+        empty.  Callbacks may schedule further events.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        event.callback(*event.args)
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Run all events due at or before ``deadline``.
+
+        The clock is left exactly at ``deadline`` (even when the last
+        event fired earlier), matching the behaviour of running a real
+        loop for a fixed duration.  Returns the number of events run.
+        """
+        if deadline < self._now:
+            raise ClockError(
+                f"deadline t={deadline:.6f} is before now t={self._now:.6f}"
+            )
+        count = 0
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap or self._heap[0].time > deadline:
+                break
+            self.step()
+            count += 1
+        self._now = deadline
+        return count
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the event queue drains (or ``max_events`` ran).
+
+        Returns the number of events run.  A ``max_events`` bound guards
+        against runaway self-rescheduling loops in tests.
+        """
+        count = 0
+        while max_events is None or count < max_events:
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def advance(self, delta: float) -> int:
+        """Convenience: ``run_until(now + delta)``."""
+        return self.run_until(self._now + delta)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f}, pending={self.pending()})"
+
+
+class PeriodicHandle:
+    """Handle for a periodic series started by :func:`periodic`.
+
+    Cancelling stops all future occurrences of the series.
+    """
+
+    __slots__ = ("_current", "_stopped")
+
+    def __init__(self) -> None:
+        self._current: EventHandle | None = None
+        self._stopped = False
+
+    def cancel(self) -> None:
+        """Stop all future occurrences of the series."""
+        self._stopped = True
+        if self._current is not None:
+            self._current.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._stopped
+
+
+def periodic(
+    clock: VirtualClock,
+    interval: float,
+    callback: Callable[[], Any],
+    *,
+    start_at: float | None = None,
+    count: int | None = None,
+) -> PeriodicHandle:
+    """Schedule ``callback`` every ``interval`` virtual seconds.
+
+    Parameters
+    ----------
+    start_at:
+        Absolute time of the first call (defaults to ``now + interval``).
+    count:
+        Total number of calls; ``None`` means unbounded.
+
+    Returns
+    -------
+    PeriodicHandle
+        Cancel it to stop the whole series.
+    """
+    if interval <= 0:
+        raise ClockError(f"periodic interval must be positive, got {interval!r}")
+    if count is not None and count < 1:
+        raise ClockError(f"periodic count must be at least 1, got {count!r}")
+
+    handle = PeriodicHandle()
+    calls_done = 0
+
+    def _tick() -> None:
+        nonlocal calls_done
+        if handle.cancelled:
+            return
+        callback()
+        calls_done += 1
+        if count is not None and calls_done >= count:
+            return
+        handle._current = clock.call_later(interval, _tick)
+
+    first = start_at if start_at is not None else clock.now() + interval
+    handle._current = clock.call_at(first, _tick)
+    return handle

@@ -1,0 +1,85 @@
+"""Floor-control event log.
+
+Every arbitration decision, token hand-off, suspension and resumption
+is appended here with its global timestamp.  The benchmarks read the
+log to compute grant latencies and fairness; the examples print it as
+the session transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+__all__ = ["EventKind", "FloorEvent", "EventLog"]
+
+
+class EventKind(Enum):
+    REQUEST = "request"
+    GRANT = "grant"
+    QUEUE = "queue"
+    DENY = "deny"
+    ABORT = "abort"
+    TOKEN_PASS = "token_pass"
+    SUSPEND = "suspend"
+    RESUME = "resume"
+    JOIN = "join"
+    LEAVE = "leave"
+    INVITE = "invite"
+    INVITE_RESPONSE = "invite_response"
+    MODE_CHANGE = "mode_change"
+    DISCONNECT = "disconnect"
+    RECONNECT = "reconnect"
+
+
+@dataclass(frozen=True)
+class FloorEvent:
+    """One timestamped entry in the session transcript."""
+
+    time: float
+    kind: EventKind
+    member: str
+    group: str
+    detail: str = ""
+
+
+class EventLog:
+    """Append-only event history with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[FloorEvent] = []
+
+    def append(
+        self, time: float, kind: EventKind, member: str, group: str, detail: str = ""
+    ) -> FloorEvent:
+        """Record one event; returns the stored entry."""
+        event = FloorEvent(time=time, kind=kind, member=member, group=group, detail=detail)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FloorEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[FloorEvent]:
+        """All events of one kind, in order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def for_member(self, member: str) -> list[FloorEvent]:
+        """All events attributed to one member."""
+        return [event for event in self._events if event.member == member]
+
+    def for_group(self, group: str) -> list[FloorEvent]:
+        """All events of one group."""
+        return [event for event in self._events if event.group == group]
+
+    def between(self, start: float, end: float) -> list[FloorEvent]:
+        """Events with ``start <= time <= end`` (inclusive)."""
+        return [event for event in self._events if start <= event.time <= end]
+
+    def tail(self, count: int = 10) -> list[FloorEvent]:
+        """The most recent ``count`` events."""
+        return self._events[-count:]

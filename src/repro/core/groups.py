@@ -1,0 +1,273 @@
+"""Groups, members, and invitations.
+
+The paper's Z terminology::
+
+    Member-Set == P Member
+    Group-Set  == P Group
+    Group      ⊆ Member-Set
+    Priority   == INTEGER
+
+Group discussion (Section 4): "a user can create a new group to invite
+others.  For example, user A wants user B receiving his invitation, he
+can send an inviting message.  User B can makes a decision to accept or
+not.  If yes, user B will be chosen as listen group of user A, and the
+user A will be the session chair in his small group."
+
+Direct contact "is similar to the third mode" with exactly two people.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import FloorControlError, NotInGroupError
+
+__all__ = [
+    "Role",
+    "Member",
+    "Group",
+    "Invitation",
+    "InvitationState",
+    "GroupRegistry",
+]
+
+
+class Role(Enum):
+    """Session roles; chairs carry elevated base priority."""
+
+    CHAIR = "chair"           # the teacher / session chair
+    PARTICIPANT = "participant"  # a student
+
+
+@dataclass
+class Member:
+    """One user of the DMPS session.
+
+    ``priority`` is the Z spec's ``Priority == INTEGER``; participants
+    default to 1 and chairs to 3, so chairs pass the ``Priority >= 2``
+    guard of the controlled modes without holding a token.
+    ``host`` is the station (``Host-Station`` in the Z spec) the member
+    is connected from.
+    """
+
+    name: str
+    role: Role = Role.PARTICIPANT
+    priority: int = 0
+    host: str = ""
+
+    def __post_init__(self) -> None:
+        if self.priority == 0:
+            self.priority = 3 if self.role is Role.CHAIR else 1
+        if self.priority < 0:
+            raise FloorControlError(f"member {self.name!r}: negative priority")
+        if not self.host:
+            self.host = f"host-{self.name}"
+
+
+@dataclass
+class Group:
+    """A communication group (``Group ⊆ Member-Set``).
+
+    The main session group has ``parent=None``; subgroups created for
+    group discussion / direct contact point at their parent.
+    """
+
+    group_id: str
+    chair: str
+    members: set[str] = field(default_factory=set)
+    parent: str | None = None
+
+    def __post_init__(self) -> None:
+        self.members.add(self.chair)
+
+    def __contains__(self, member_name: str) -> bool:
+        return member_name in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class InvitationState(Enum):
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    DECLINED = "declined"
+
+
+@dataclass
+class Invitation:
+    """A pending invitation into a subgroup."""
+
+    invitation_id: int
+    group_id: str
+    inviter: str
+    invitee: str
+    state: InvitationState = InvitationState.PENDING
+
+
+class GroupRegistry:
+    """Membership bookkeeping for one DMPS session.
+
+    The registry is the server-side source of truth the arbitrator
+    consults for the Z spec's ``Joined-Groups(G, X)`` test.
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[str, Member] = {}
+        self._groups: dict[str, Group] = {}
+        self._invitations: dict[int, Invitation] = {}
+        self._invitation_ids = itertools.count()
+        self._subgroup_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Members
+    # ------------------------------------------------------------------
+    def register_member(self, member: Member) -> Member:
+        """Add a member to the session roster."""
+        if member.name in self._members:
+            raise FloorControlError(f"member {member.name!r} already registered")
+        self._members[member.name] = member
+        return member
+
+    def member(self, name: str) -> Member:
+        """Look up a member by name (raises on unknown names)."""
+        if name not in self._members:
+            raise FloorControlError(f"unknown member {name!r}")
+        return self._members[name]
+
+    def members(self) -> list[Member]:
+        """All registered members."""
+        return list(self._members.values())
+
+    # ------------------------------------------------------------------
+    # Groups
+    # ------------------------------------------------------------------
+    def create_group(
+        self, group_id: str, chair: str, parent: str | None = None
+    ) -> Group:
+        """Create a group chaired by ``chair``."""
+        if group_id in self._groups:
+            raise FloorControlError(f"group {group_id!r} already exists")
+        self.member(chair)  # must be registered
+        if parent is not None and parent not in self._groups:
+            raise FloorControlError(f"unknown parent group {parent!r}")
+        group = Group(group_id=group_id, chair=chair, parent=parent)
+        self._groups[group_id] = group
+        return group
+
+    def group(self, group_id: str) -> Group:
+        """Look up a group by id (raises on unknown ids)."""
+        if group_id not in self._groups:
+            raise FloorControlError(f"unknown group {group_id!r}")
+        return self._groups[group_id]
+
+    def groups(self) -> list[Group]:
+        """All groups, main session and subgroups."""
+        return list(self._groups.values())
+
+    def join(self, group_id: str, member_name: str) -> None:
+        """Add a registered member to a group."""
+        self.member(member_name)
+        self.group(group_id).members.add(member_name)
+
+    def leave(self, group_id: str, member_name: str) -> None:
+        """Remove a member from a group (chairs cannot leave)."""
+        group = self.group(group_id)
+        if member_name == group.chair:
+            raise FloorControlError(
+                f"chair {member_name!r} cannot leave group {group_id!r}; "
+                f"dissolve it instead"
+            )
+        group.members.discard(member_name)
+
+    def dissolve(self, group_id: str) -> None:
+        """Remove a subgroup (and any of its pending invitations)."""
+        group = self.group(group_id)
+        if group.parent is None:
+            raise FloorControlError("cannot dissolve the main session group")
+        del self._groups[group_id]
+        stale = [
+            invitation_id
+            for invitation_id, invitation in self._invitations.items()
+            if invitation.group_id == group_id
+        ]
+        for invitation_id in stale:
+            del self._invitations[invitation_id]
+
+    def joined_groups(self, member_name: str) -> list[Group]:
+        """The Z spec's ``Joined-Groups``: groups containing the member."""
+        self.member(member_name)
+        return [group for group in self._groups.values() if member_name in group]
+
+    def require_membership(self, group_id: str, member_name: str) -> None:
+        """Raise :class:`NotInGroupError` unless the member joined the
+        group — the guard ``G ∈ Joined-Groups(G, X)``."""
+        if member_name not in self.group(group_id):
+            raise NotInGroupError(
+                f"member {member_name!r} has not joined group {group_id!r}"
+            )
+
+    def subgroups_of(self, parent_id: str) -> list[Group]:
+        """Subgroups whose parent is ``parent_id``."""
+        return [g for g in self._groups.values() if g.parent == parent_id]
+
+    # ------------------------------------------------------------------
+    # Invitations (group discussion / direct contact setup)
+    # ------------------------------------------------------------------
+    def create_subgroup(self, parent_id: str, creator: str) -> Group:
+        """Start a discussion subgroup; the creator becomes its chair
+        ("the user A will be the session chair in his small group")."""
+        self.require_membership(parent_id, creator)
+        group_id = f"{parent_id}/sub{next(self._subgroup_ids)}"
+        return self.create_group(group_id, chair=creator, parent=parent_id)
+
+    def invite(self, group_id: str, inviter: str, invitee: str) -> Invitation:
+        """Send an invitation; only subgroup members may invite."""
+        group = self.group(group_id)
+        if group.parent is None:
+            raise FloorControlError("invitations apply to subgroups only")
+        self.require_membership(group_id, inviter)
+        self.member(invitee)
+        if invitee in group:
+            raise FloorControlError(
+                f"member {invitee!r} is already in group {group_id!r}"
+            )
+        parent = self.group(group.parent)
+        if invitee not in parent:
+            raise NotInGroupError(
+                f"invitee {invitee!r} is not in the parent session {parent.group_id!r}"
+            )
+        invitation = Invitation(
+            invitation_id=next(self._invitation_ids),
+            group_id=group_id,
+            inviter=inviter,
+            invitee=invitee,
+        )
+        self._invitations[invitation.invitation_id] = invitation
+        return invitation
+
+    def respond(self, invitation_id: int, accept: bool) -> Invitation:
+        """The invitee "makes a decision to accept or not"."""
+        invitation = self._invitations.get(invitation_id)
+        if invitation is None:
+            raise FloorControlError(f"unknown invitation {invitation_id!r}")
+        if invitation.state is not InvitationState.PENDING:
+            raise FloorControlError(
+                f"invitation {invitation_id} already {invitation.state.value}"
+            )
+        if accept:
+            invitation.state = InvitationState.ACCEPTED
+            self.join(invitation.group_id, invitation.invitee)
+        else:
+            invitation.state = InvitationState.DECLINED
+        return invitation
+
+    def pending_invitations_for(self, member_name: str) -> list[Invitation]:
+        """Invitations awaiting this member's decision."""
+        return [
+            invitation
+            for invitation in self._invitations.values()
+            if invitation.invitee == member_name
+            and invitation.state is InvitationState.PENDING
+        ]

@@ -1,0 +1,62 @@
+"""Floor control modes and policy factors (paper, Section 3).
+
+The paper's Z terminology::
+
+    FCM-Mode       := Free-Access | Equal-Control |
+                      Group-Discussion | Direct-Contact
+    Policy-Factors := NETWORK-BOUND | CPU-BOUND | MEMORY-BOUND
+
+Mode semantics (prose of Section 4):
+
+* **Free Access** — "everyone (ex: including session chair and
+  participant) can send the message to the message-window or
+  whiteboard ... like general discussion with no privacy and priority."
+* **Equal Control** — "there is only one (session chair or participant)
+  can deliver at the same time until the floor control token passed by
+  the holder."
+* **Group Discussion** — "a user can create a new group to invite
+  others ... all participants in the same group can send message
+  together, we regard it as private communication group."
+* **Direct Contact** — "two people can communicate directly in a
+  private window and communicate with others via free access, equal
+  control, and direct contact at the same time."
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["FCMMode", "PolicyFactor", "MIN_CONTROLLED_PRIORITY"]
+
+
+class FCMMode(Enum):
+    """The four floor control modes."""
+
+    FREE_ACCESS = "free_access"
+    EQUAL_CONTROL = "equal_control"
+    GROUP_DISCUSSION = "group_discussion"
+    DIRECT_CONTACT = "direct_contact"
+
+    @property
+    def is_exclusive(self) -> bool:
+        """Whether at most one member may hold the floor at a time."""
+        return self is FCMMode.EQUAL_CONTROL
+
+    @property
+    def needs_subgroup(self) -> bool:
+        """Whether the mode operates on an invited subgroup."""
+        return self in (FCMMode.GROUP_DISCUSSION, FCMMode.DIRECT_CONTACT)
+
+
+class PolicyFactor(Enum):
+    """Which resource dimension currently binds admission decisions."""
+
+    NETWORK_BOUND = "network_bound"
+    CPU_BOUND = "cpu_bound"
+    MEMORY_BOUND = "memory_bound"
+
+
+#: The Z spec grants media in the controlled modes only to members with
+#: ``Priority >= 2``.  Ordinary participants have base priority 1 and
+#: reach 2 by holding the floor token (or by being a session chair).
+MIN_CONTROLLED_PRIORITY = 2

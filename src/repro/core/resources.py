@@ -1,0 +1,211 @@
+"""The paper's resource model: ``Resource == Network x CPU x Memory``.
+
+Section 3 defines two global thresholds::
+
+    a : REAL    -- "the basic system resource available"
+    b : REAL    -- "the minimal system resource available"
+    a > b       -- "so that different levels of treatment are used when
+                    the source is not sufficient"
+
+``Resource-Available(...) >= a`` means full service; a value in
+``[b, a)`` triggers ``Media-Suspend`` of the lowest-priority member's
+media; below ``b`` the arbitration aborts (``Abort-Arbitrate``).
+
+:class:`ResourceVector` is the measurable triple; :class:`ResourceModel`
+holds capacities and thresholds and classifies the current load into a
+:class:`ResourceLevel`.  The *policy factor* selects which dimension is
+the binding one when the paper's scalar comparison is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import FloorControlError
+from .modes import PolicyFactor
+
+__all__ = ["ResourceVector", "ResourceLevel", "ResourceModel"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A point in ``Network x CPU x Memory`` space.
+
+    Units: network in kbit/s, cpu as a share in [0, n_cores], memory in
+    MB.  Semantics (capacity vs demand vs availability) come from
+    context.
+    """
+
+    network_kbps: float = 0.0
+    cpu_share: float = 0.0
+    memory_mb: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.network_kbps + other.network_kbps,
+            self.cpu_share + other.cpu_share,
+            self.memory_mb + other.memory_mb,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.network_kbps - other.network_kbps,
+            self.cpu_share - other.cpu_share,
+            self.memory_mb - other.memory_mb,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """A copy with every dimension multiplied by ``factor``."""
+        return ResourceVector(
+            self.network_kbps * factor,
+            self.cpu_share * factor,
+            self.memory_mb * factor,
+        )
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """Component-wise >= (enough of every dimension)."""
+        return (
+            self.network_kbps >= other.network_kbps
+            and self.cpu_share >= other.cpu_share
+            and self.memory_mb >= other.memory_mb
+        )
+
+    def component(self, factor: PolicyFactor) -> float:
+        """The dimension selected by a policy factor."""
+        if factor is PolicyFactor.NETWORK_BOUND:
+            return self.network_kbps
+        if factor is PolicyFactor.CPU_BOUND:
+            return self.cpu_share
+        return self.memory_mb
+
+    @staticmethod
+    def zeros() -> "ResourceVector":
+        return ResourceVector(0.0, 0.0, 0.0)
+
+
+class ResourceLevel(Enum):
+    """Classification of current availability against ``a`` and ``b``."""
+
+    SUFFICIENT = "sufficient"  # available >= a : full service
+    DEGRADED = "degraded"      # b <= available < a : Media-Suspend
+    EXHAUSTED = "exhausted"    # available < b : Abort-Arbitrate
+
+    @property
+    def admits_new_media(self) -> bool:
+        return self is not ResourceLevel.EXHAUSTED
+
+
+class ResourceModel:
+    """Capacity, usage accounting, and the a/b classification.
+
+    Parameters
+    ----------
+    capacity:
+        Total host/station resources.
+    basic_fraction:
+        The ``a`` threshold as a fraction of capacity: full service
+        requires at least this fraction *available*.
+    minimal_fraction:
+        The ``b`` threshold as a fraction of capacity.  Must be strictly
+        below ``basic_fraction`` (the paper requires ``a > b``).
+    policy_factor:
+        Which dimension the scalar a/b comparison applies to.
+    """
+
+    def __init__(
+        self,
+        capacity: ResourceVector,
+        basic_fraction: float = 0.3,
+        minimal_fraction: float = 0.1,
+        policy_factor: PolicyFactor = PolicyFactor.NETWORK_BOUND,
+    ) -> None:
+        if not 0.0 <= minimal_fraction < basic_fraction <= 1.0:
+            raise FloorControlError(
+                f"thresholds must satisfy 0 <= b < a <= 1, got "
+                f"a={basic_fraction!r}, b={minimal_fraction!r}"
+            )
+        self.capacity = capacity
+        self.basic_fraction = basic_fraction
+        self.minimal_fraction = minimal_fraction
+        self.policy_factor = policy_factor
+        self._in_use = ResourceVector.zeros()
+        #: External background load (e.g. cross traffic) the experiments ramp.
+        self._external_load = ResourceVector.zeros()
+
+    # ------------------------------------------------------------------
+    # Thresholds
+    # ------------------------------------------------------------------
+    @property
+    def basic_threshold(self) -> float:
+        """``a`` in absolute units of the policy dimension."""
+        return self.capacity.component(self.policy_factor) * self.basic_fraction
+
+    @property
+    def minimal_threshold(self) -> float:
+        """``b`` in absolute units of the policy dimension."""
+        return self.capacity.component(self.policy_factor) * self.minimal_fraction
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def acquire(self, demand: ResourceVector) -> None:
+        """Reserve ``demand``; does not check levels (arbitration does)."""
+        self._in_use = self._in_use + demand
+
+    def release(self, demand: ResourceVector) -> None:
+        """Return previously acquired resources to the pool."""
+        released = self._in_use - demand
+        if (
+            released.network_kbps < -1e-9
+            or released.cpu_share < -1e-9
+            or released.memory_mb < -1e-9
+        ):
+            raise FloorControlError("released more resources than acquired")
+        self._in_use = released
+
+    def set_external_load(self, load: ResourceVector) -> None:
+        """Background load ramped by the degradation experiments."""
+        self._external_load = load
+
+    def in_use(self) -> ResourceVector:
+        """Resources currently reserved by active media."""
+        return self._in_use
+
+    def available(self) -> ResourceVector:
+        """Capacity minus usage minus external load."""
+        return self.capacity - self._in_use - self._external_load
+
+    def available_scalar(self) -> float:
+        """Availability in the policy dimension (the Z spec's scalar)."""
+        return self.available().component(self.policy_factor)
+
+    # ------------------------------------------------------------------
+    # Classification — the heart of the a/b logic
+    # ------------------------------------------------------------------
+    def level(self, extra_demand: ResourceVector | None = None) -> ResourceLevel:
+        """Classify availability, optionally after adding a demand.
+
+        This is the paper's ``Resource-Available(G, F, X, DG, DM)``
+        evaluation: compare the post-admission availability with the
+        two thresholds.
+        """
+        available = self.available_scalar()
+        if extra_demand is not None:
+            available -= extra_demand.component(self.policy_factor)
+        if available >= self.basic_threshold:
+            return ResourceLevel.SUFFICIENT
+        if available >= self.minimal_threshold:
+            return ResourceLevel.DEGRADED
+        return ResourceLevel.EXHAUSTED
+
+    def headroom_above_minimal(self, extra_demand: ResourceVector | None = None) -> float:
+        """How far above ``b`` availability would sit after admission.
+
+        Negative values mean the admission would exhaust the station;
+        the suspension planner frees media until this is non-negative.
+        """
+        available = self.available_scalar()
+        if extra_demand is not None:
+            available -= extra_demand.component(self.policy_factor)
+        return available - self.minimal_threshold

@@ -1,0 +1,116 @@
+"""Per-station arbitration — the ``X : Host-Station`` parameter.
+
+The Z spec evaluates ``Resource-Available(G, F, X, DG, DM)`` per
+*host station*: a student on a congested dorm link can be in the
+degraded band while the lab station is fine.  :class:`StationArbiter`
+keeps one :class:`~repro.core.arbitrator.Arbitrator` per station over a
+shared :class:`~repro.core.groups.GroupRegistry`, and routes each
+request to the arbiter of its originating host.
+
+Stations unknown at request time fall back to a default station, so a
+deployment can start homogeneous and add per-station models as they
+are measured.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import FloorControlError
+from .arbitrator import Arbitrator
+from .floor import FloorGrant, FloorRequest
+from .groups import GroupRegistry
+from .resources import ResourceModel, ResourceVector
+
+__all__ = ["StationArbiter"]
+
+
+class StationArbiter:
+    """Routes floor requests to per-station arbitrators.
+
+    Parameters
+    ----------
+    registry:
+        Shared group/member state (the session has one membership,
+        whatever station a member connects from).
+    default_model_factory:
+        Zero-argument callable producing the :class:`ResourceModel`
+        for stations that were never explicitly configured.
+    """
+
+    def __init__(
+        self,
+        registry: GroupRegistry,
+        default_model_factory: Callable[[], ResourceModel],
+    ) -> None:
+        self.registry = registry
+        self._default_factory = default_model_factory
+        self._arbiters: dict[str, Arbitrator] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure_station(self, host: str, model: ResourceModel) -> Arbitrator:
+        """Install a resource model for ``host``; returns its arbiter.
+
+        Raises
+        ------
+        FloorControlError
+            If the station was already configured (resources are
+            stateful; silently replacing one would corrupt the
+            accounting of its active media).
+        """
+        if host in self._arbiters:
+            raise FloorControlError(f"station {host!r} already configured")
+        arbiter = Arbitrator(self.registry, model)
+        self._arbiters[host] = arbiter
+        return arbiter
+
+    def arbiter_for(self, host: str) -> Arbitrator:
+        """The station's arbiter (created from the default factory on
+        first use)."""
+        if host not in self._arbiters:
+            self._arbiters[host] = Arbitrator(self.registry, self._default_factory())
+        return self._arbiters[host]
+
+    def stations(self) -> list[str]:
+        """Hosts with an instantiated arbiter."""
+        return list(self._arbiters)
+
+    # ------------------------------------------------------------------
+    # Request routing
+    # ------------------------------------------------------------------
+    def arbitrate(
+        self,
+        request: FloorRequest,
+        demand: ResourceVector | None = None,
+        now: float = 0.0,
+    ) -> FloorGrant:
+        """Arbitrate on the requester's station.
+
+        The request's ``host`` field selects the station; an empty host
+        routes to the member's registered host.
+        """
+        host = request.host
+        if not host:
+            host = self.registry.member(request.member).host
+        return self.arbiter_for(host).arbitrate(request, demand=demand, now=now)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_decisions(self) -> int:
+        """Decisions summed over every station."""
+        return sum(arbiter.stats.decisions for arbiter in self._arbiters.values())
+
+    def total_aborted(self) -> int:
+        """Abort-Arbitrate outcomes summed over every station."""
+        return sum(arbiter.stats.aborted for arbiter in self._arbiters.values())
+
+    def recover_all(self, group_id: str) -> dict[str, list[str]]:
+        """Run resource recovery on every station; returns resumed
+        members per station."""
+        return {
+            host: arbiter.recover_resources(group_id)
+            for host, arbiter in self._arbiters.items()
+        }

@@ -1,0 +1,173 @@
+"""The ``Media-Suspend`` algorithm (paper, Section 3).
+
+The Z spec picks the member set to suspend by priority::
+
+    Media-Suspend(G, M, X, DG, DM) ≙
+        ∃ MS : Member-Set •
+            (∀ M' : Member • M' ∈ MS ∧ M'.Priority < M.Priority)
+            ⇒ Media-Suspend(G, M', X)
+
+i.e. when resources fall into the degraded band ``[b, a)``, the media of
+members with priority *lower than the requester's* is suspended, lowest
+priority first, until the station has headroom again.  Below ``b``
+nothing is suspended — arbitration aborts instead.
+
+:class:`MediaLedger` tracks which member holds which active media (and
+its resource demand); :func:`plan_suspension` computes the minimal
+victim set; :class:`SuspensionManager` applies and later resumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FloorControlError
+from .resources import ResourceModel, ResourceVector
+
+__all__ = ["ActiveMedia", "MediaLedger", "plan_suspension", "SuspensionManager"]
+
+
+@dataclass(frozen=True)
+class ActiveMedia:
+    """One media stream a member currently has open."""
+
+    member: str
+    media_name: str
+    demand: ResourceVector
+    priority: int
+
+
+class MediaLedger:
+    """Active media per group, with resource accounting hooks."""
+
+    def __init__(self, resources: ResourceModel) -> None:
+        self._resources = resources
+        # group -> list of ActiveMedia
+        self._active: dict[str, list[ActiveMedia]] = {}
+        self._suspended: dict[str, list[ActiveMedia]] = {}
+
+    # ------------------------------------------------------------------
+    # Activation / teardown
+    # ------------------------------------------------------------------
+    def activate(self, group: str, media: ActiveMedia) -> None:
+        """Open a media stream, reserving its resources."""
+        self._resources.acquire(media.demand)
+        self._active.setdefault(group, []).append(media)
+
+    def deactivate(self, group: str, member: str, media_name: str) -> ActiveMedia:
+        """Close a stream (also searches the suspended set)."""
+        for pool in (self._active, self._suspended):
+            entries = pool.get(group, [])
+            for media in entries:
+                if media.member == member and media.media_name == media_name:
+                    entries.remove(media)
+                    if pool is self._active:
+                        self._resources.release(media.demand)
+                    return media
+        raise FloorControlError(
+            f"no active media {media_name!r} for member {member!r} in {group!r}"
+        )
+
+    def active(self, group: str) -> list[ActiveMedia]:
+        """Active media of a group (a copy)."""
+        return list(self._active.get(group, []))
+
+    def suspended(self, group: str) -> list[ActiveMedia]:
+        """Suspended media of a group (a copy)."""
+        return list(self._suspended.get(group, []))
+
+    def active_for(self, group: str, member: str) -> list[ActiveMedia]:
+        """Active media one member holds in a group."""
+        return [m for m in self._active.get(group, []) if m.member == member]
+
+    # ------------------------------------------------------------------
+    # Suspension mechanics (used by SuspensionManager)
+    # ------------------------------------------------------------------
+    def _suspend(self, group: str, media: ActiveMedia) -> None:
+        entries = self._active.get(group, [])
+        if media not in entries:
+            raise FloorControlError(
+                f"media {media.media_name!r} of {media.member!r} is not active"
+            )
+        entries.remove(media)
+        self._resources.release(media.demand)
+        self._suspended.setdefault(group, []).append(media)
+
+    def _resume(self, group: str, media: ActiveMedia) -> None:
+        entries = self._suspended.get(group, [])
+        if media not in entries:
+            raise FloorControlError(
+                f"media {media.media_name!r} of {media.member!r} is not suspended"
+            )
+        entries.remove(media)
+        self._resources.acquire(media.demand)
+        self._active.setdefault(group, []).append(media)
+
+
+def plan_suspension(
+    candidates: list[ActiveMedia],
+    requester_priority: int,
+    shortfall: float,
+    component: float | None = None,
+) -> list[ActiveMedia]:
+    """Choose which media to suspend to recover ``shortfall`` resources.
+
+    Implements the Z spec's victim rule: only media of members with
+    ``priority < requester_priority`` are eligible, and they are taken
+    lowest-priority-first (ties broken by larger demand first, so fewer
+    streams are interrupted).  ``shortfall`` and the returned demands
+    are measured in the policy dimension passed via each candidate's
+    ``demand`` — the caller supplies a key through ``component`` (a
+    pre-extracted scalar per candidate is not needed; we read the
+    network dimension by default).
+
+    Returns the victim list (possibly shorter than needed when not
+    enough low-priority media exists — the caller then aborts).
+    """
+    if shortfall <= 0:
+        return []
+    eligible = [m for m in candidates if m.priority < requester_priority]
+    eligible.sort(key=lambda m: (m.priority, -m.demand.network_kbps))
+    victims: list[ActiveMedia] = []
+    recovered = 0.0
+    for media in eligible:
+        if recovered >= shortfall:
+            break
+        victims.append(media)
+        recovered += (
+            media.demand.network_kbps if component is None else component
+        )
+    return victims
+
+
+@dataclass
+class SuspensionManager:
+    """Applies and reverses suspension plans; keeps statistics."""
+
+    ledger: MediaLedger
+    suspensions: int = 0
+    resumptions: int = 0
+    history: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def suspend(self, group: str, victims: list[ActiveMedia]) -> list[str]:
+        """Suspend each victim; returns the affected member names."""
+        for media in victims:
+            self.ledger._suspend(group, media)
+            self.suspensions += 1
+            self.history.append(("suspend", media.member, media.media_name))
+        return [media.member for media in victims]
+
+    def resume_where_possible(self, group: str, resources: ResourceModel) -> list[str]:
+        """Resume suspended media (highest priority first) while the
+        station stays at least DEGRADED-level after each resume."""
+        resumed = []
+        for media in sorted(
+            self.ledger.suspended(group), key=lambda m: -m.priority
+        ):
+            if resources.headroom_above_minimal(media.demand) < 0:
+                continue
+            self.ledger._resume(group, media)
+            self.resumptions += 1
+            self.history.append(("resume", media.member, media.media_name))
+            resumed.append(media.member)
+        return resumed

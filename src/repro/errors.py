@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PetriNetError(ReproError):
+    """Structural or semantic error in a Petri net."""
+
+
+class DuplicateNodeError(PetriNetError):
+    """A place or transition with the same name already exists."""
+
+
+class UnknownNodeError(PetriNetError):
+    """A referenced place or transition does not exist in the net."""
+
+
+class NotEnabledError(PetriNetError):
+    """Attempted to fire a transition that is not enabled."""
+
+
+class TemporalError(ReproError):
+    """Error in a temporal specification or schedule."""
+
+
+class InconsistentSpecError(TemporalError):
+    """A presentation specification has contradictory constraints."""
+
+
+class ScheduleError(TemporalError):
+    """A schedule could not be computed or verified."""
+
+
+class MediaError(ReproError):
+    """Error in the media-object substrate."""
+
+
+class ChannelError(MediaError):
+    """A QoS channel could not be established or was violated."""
+
+
+class NetworkError(ReproError):
+    """Error in the simulated network substrate."""
+
+class UnknownHostError(NetworkError):
+    """A referenced host does not exist in the network."""
+
+
+class ClockError(ReproError):
+    """Error in the clock substrate."""
+
+
+class SessionError(ReproError):
+    """Error in the DMPS session layer."""
+
+
+class FloorControlError(ReproError):
+    """Error in the floor control mechanism."""
+
+
+class NotInGroupError(FloorControlError):
+    """The member (or host) has not joined the group it addressed."""
+
+
+class ArbitrationAborted(FloorControlError):
+    """Arbitration aborted because resources fell below the minimal
+    threshold ``b`` (paper, Section 3: ``Abort-Arbitrate``)."""
+
+
+class FloorDeniedError(FloorControlError):
+    """A floor request was denied by the arbiter."""

@@ -1,0 +1,36 @@
+"""Media substrate: typed objects, streams, channels, playout."""
+
+from .buffer import PlayoutBuffer, RenderEvent
+from .channels import Channel, ChannelManager
+from .objects import (
+    MediaObject,
+    MediaType,
+    annotation,
+    audio,
+    default_demand,
+    image,
+    text,
+    video,
+)
+from .playout import PlayoutLog, SkewReport
+from .streams import Frame, frame_schedule, packetize
+
+__all__ = [
+    "Channel",
+    "ChannelManager",
+    "Frame",
+    "MediaObject",
+    "MediaType",
+    "PlayoutBuffer",
+    "PlayoutLog",
+    "RenderEvent",
+    "SkewReport",
+    "annotation",
+    "audio",
+    "default_demand",
+    "frame_schedule",
+    "image",
+    "packetize",
+    "text",
+    "video",
+]

@@ -1,0 +1,140 @@
+"""Playout buffering for continuous media over a jittery network.
+
+Frames leave the sender on their presentation timestamps, cross a
+network with jitter, and must be rendered at a steady rate on the
+receiver.  A :class:`PlayoutBuffer` absorbs the jitter by delaying the
+first render by ``prebuffer`` seconds; too small a prebuffer causes
+*underruns* (the renderer reaches a frame's slot before the frame
+arrived), too large a prebuffer adds latency.
+
+The buffer is the receiver-side half of the "bonded delay time" that
+Section 3 says keeps a communication tool synchronous: given a delay
+bound ``D`` and jitter bound ``J``, ``prebuffer >= J`` guarantees zero
+underruns.  Benchmark E1's network variant and the streaming tests
+exercise exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MediaError
+from .streams import Frame
+
+__all__ = ["RenderEvent", "PlayoutBuffer"]
+
+
+@dataclass(frozen=True)
+class RenderEvent:
+    """One frame's fate at the renderer."""
+
+    frame_index: int
+    due_at: float
+    rendered_at: float | None  # None = underrun (frame missed its slot)
+
+    @property
+    def underrun(self) -> bool:
+        return self.rendered_at is None
+
+
+class PlayoutBuffer:
+    """Receiver-side jitter buffer for one media stream.
+
+    Parameters
+    ----------
+    media:
+        Media name (for error messages).
+    prebuffer:
+        Seconds of buffering before the first frame renders.
+    frame_interval:
+        Seconds between consecutive frame slots (1 / frame rate).
+
+    Usage: feed arrivals with :meth:`on_arrival`; when playback is
+    driven by a clock, call :meth:`render_due` at (or after) each slot
+    time.  The first arrival anchors the playout timeline at
+    ``arrival_time + prebuffer``.
+    """
+
+    def __init__(self, media: str, prebuffer: float, frame_interval: float) -> None:
+        if prebuffer < 0:
+            raise MediaError(f"negative prebuffer: {prebuffer!r}")
+        if frame_interval <= 0:
+            raise MediaError(f"frame interval must be positive: {frame_interval!r}")
+        self.media = media
+        self.prebuffer = prebuffer
+        self.frame_interval = frame_interval
+        self._arrived: dict[int, float] = {}
+        self._playout_start: float | None = None
+        self._next_slot = 0
+        self.events: list[RenderEvent] = []
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def on_arrival(self, frame: Frame, now: float) -> None:
+        """A frame arrived from the network at time ``now``."""
+        if frame.index in self._arrived:
+            return  # duplicate delivery
+        self._arrived[frame.index] = now
+        if self._playout_start is None:
+            self._playout_start = now + self.prebuffer
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def slot_time(self, index: int) -> float:
+        """When frame ``index`` is due at the renderer.
+
+        Raises
+        ------
+        MediaError
+            Before the timeline is anchored by the first arrival.
+        """
+        if self._playout_start is None:
+            raise MediaError(f"stream {self.media!r} has no arrivals yet")
+        return self._playout_start + index * self.frame_interval
+
+    def render_due(self, now: float) -> list[RenderEvent]:
+        """Render every frame whose slot has passed; returns new events.
+
+        Frames that have not arrived by their slot are recorded as
+        underruns and their slot is forfeited (the renderer shows the
+        previous frame; a late arrival is discarded).
+        """
+        if self._playout_start is None:
+            return []
+        produced = []
+        while self.slot_time(self._next_slot) <= now:
+            index = self._next_slot
+            due = self.slot_time(index)
+            arrival = self._arrived.get(index)
+            if arrival is not None and arrival <= due:
+                event = RenderEvent(index, due, rendered_at=due)
+            else:
+                event = RenderEvent(index, due, rendered_at=None)
+            self.events.append(event)
+            produced.append(event)
+            self._next_slot += 1
+        return produced
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def underruns(self) -> int:
+        """Number of slots that missed their frame."""
+        return sum(1 for event in self.events if event.underrun)
+
+    def rendered(self) -> int:
+        """Number of slots rendered on time."""
+        return sum(1 for event in self.events if not event.underrun)
+
+    def underrun_rate(self) -> float:
+        """Fraction of slots that underran (0.0 when idle)."""
+        if not self.events:
+            return 0.0
+        return self.underruns() / len(self.events)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency added by the buffer (= prebuffer)."""
+        return self.prebuffer

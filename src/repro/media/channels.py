@@ -1,0 +1,111 @@
+"""QoS channels for XOCPN.
+
+XOCPN extends OCPN "to set up channels according to the required QoS of
+the data" (paper, Section 1).  A :class:`ChannelManager` owns a pool of
+link bandwidth and admits or rejects channel requests; an admitted
+:class:`Channel` reserves its bandwidth until released.
+
+Channel setup is not free: the manager charges a setup latency that the
+XOCPN construction materializes as a delay place in front of each media
+place — that is the observable difference between OCPN and XOCPN
+playout schedules (benchmark E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ChannelError
+from .objects import MediaObject
+
+__all__ = ["Channel", "ChannelManager"]
+
+
+@dataclass
+class Channel:
+    """A granted bandwidth reservation for one media object."""
+
+    channel_id: int
+    media: str
+    bandwidth_kbps: float
+    setup_latency: float
+    released: bool = False
+
+
+class ChannelManager:
+    """Admission-controlled bandwidth pool.
+
+    Parameters
+    ----------
+    capacity_kbps:
+        Total link bandwidth available to the presentation.
+    setup_latency:
+        Seconds needed to establish a channel (signalling round trip).
+    """
+
+    def __init__(self, capacity_kbps: float, setup_latency: float = 0.05) -> None:
+        if capacity_kbps <= 0:
+            raise ChannelError(f"capacity must be positive, got {capacity_kbps!r}")
+        if setup_latency < 0:
+            raise ChannelError(f"negative setup latency: {setup_latency!r}")
+        self.capacity_kbps = capacity_kbps
+        self.setup_latency = setup_latency
+        self._next_id = 0
+        self._channels: dict[int, Channel] = {}
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def reserved_kbps(self) -> float:
+        """Bandwidth currently reserved by open channels."""
+        return sum(
+            channel.bandwidth_kbps
+            for channel in self._channels.values()
+            if not channel.released
+        )
+
+    def available_kbps(self) -> float:
+        """Unreserved bandwidth remaining in the pool."""
+        return self.capacity_kbps - self.reserved_kbps()
+
+    def can_admit(self, media: MediaObject) -> bool:
+        """Whether the remaining bandwidth can carry ``media``."""
+        return media.bandwidth_kbps <= self.available_kbps()
+
+    def open(self, media: MediaObject) -> Channel:
+        """Reserve a channel for ``media``.
+
+        Raises
+        ------
+        ChannelError
+            If the remaining bandwidth cannot carry the media.
+        """
+        if not self.can_admit(media):
+            self.rejections += 1
+            raise ChannelError(
+                f"channel for {media.name!r} needs {media.bandwidth_kbps} kbps, "
+                f"only {self.available_kbps():.1f} available"
+            )
+        channel = Channel(
+            channel_id=self._next_id,
+            media=media.name,
+            bandwidth_kbps=media.bandwidth_kbps,
+            setup_latency=self.setup_latency,
+        )
+        self._next_id += 1
+        self._channels[channel.channel_id] = channel
+        return channel
+
+    def release(self, channel: Channel) -> None:
+        """Release a channel; releasing twice is an error."""
+        stored = self._channels.get(channel.channel_id)
+        if stored is None or stored.released:
+            raise ChannelError(
+                f"channel {channel.channel_id} is not open"
+            )
+        stored.released = True
+
+    def open_channels(self) -> list[Channel]:
+        """Channels currently holding a reservation."""
+        return [c for c in self._channels.values() if not c.released]

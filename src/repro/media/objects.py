@@ -1,0 +1,134 @@
+"""Typed multimedia objects.
+
+The paper's DMPS presents "different multimedia objects" — video,
+audio, images, text, and the whiteboard annotations of Figures 2–3.
+A :class:`MediaObject` carries the attributes the rest of the system
+needs: playout duration, bandwidth demand (for XOCPN channel setup and
+the floor-control resource model) and CPU/memory demand (for the
+``Resource = Network × CPU × Memory`` policy of Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import MediaError
+
+__all__ = ["MediaType", "MediaObject", "default_demand"]
+
+
+class MediaType(Enum):
+    """The media kinds DMPS presents."""
+
+    VIDEO = "video"
+    AUDIO = "audio"
+    IMAGE = "image"
+    TEXT = "text"
+    ANNOTATION = "annotation"
+
+    @property
+    def is_continuous(self) -> bool:
+        """Continuous media need an isochronous channel; discrete media
+        are one-shot transfers."""
+        return self in (MediaType.VIDEO, MediaType.AUDIO)
+
+
+#: Default per-type resource demand: (bandwidth kbit/s, cpu share, memory MB).
+_DEFAULT_DEMAND: dict[MediaType, tuple[float, float, float]] = {
+    MediaType.VIDEO: (1500.0, 0.30, 16.0),
+    MediaType.AUDIO: (128.0, 0.05, 2.0),
+    MediaType.IMAGE: (300.0, 0.02, 4.0),
+    MediaType.TEXT: (8.0, 0.01, 0.5),
+    MediaType.ANNOTATION: (16.0, 0.01, 0.5),
+}
+
+
+def default_demand(media_type: MediaType) -> tuple[float, float, float]:
+    """The default ``(bandwidth, cpu, memory)`` demand for a media type.
+
+    These are calibration constants for the simulation (1990s-era
+    codec figures); experiments vary them explicitly where it matters.
+    """
+    return _DEFAULT_DEMAND[media_type]
+
+
+@dataclass(frozen=True)
+class MediaObject:
+    """An immutable description of one presentable media object.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a presentation.
+    media_type:
+        One of :class:`MediaType`.
+    duration:
+        Playout duration in seconds (discrete media use their display
+        dwell time).
+    bandwidth_kbps, cpu_share, memory_mb:
+        Resource demand while the object is active; defaults derive
+        from the media type.
+    """
+
+    name: str
+    media_type: MediaType
+    duration: float
+    bandwidth_kbps: float = field(default=-1.0)
+    cpu_share: float = field(default=-1.0)
+    memory_mb: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise MediaError(f"media {self.name!r}: negative duration")
+        bandwidth, cpu, memory = default_demand(self.media_type)
+        if self.bandwidth_kbps < 0:
+            object.__setattr__(self, "bandwidth_kbps", bandwidth)
+        if self.cpu_share < 0:
+            object.__setattr__(self, "cpu_share", cpu)
+        if self.memory_mb < 0:
+            object.__setattr__(self, "memory_mb", memory)
+
+    @property
+    def total_bits(self) -> float:
+        """Approximate object size in bits (bandwidth x duration)."""
+        return self.bandwidth_kbps * 1000.0 * max(self.duration, 1e-3)
+
+    def scaled(self, factor: float) -> "MediaObject":
+        """A copy with resource demand scaled by ``factor`` (used by
+        the degradation experiments)."""
+        if factor <= 0:
+            raise MediaError(f"scale factor must be positive, got {factor!r}")
+        return MediaObject(
+            name=self.name,
+            media_type=self.media_type,
+            duration=self.duration,
+            bandwidth_kbps=self.bandwidth_kbps * factor,
+            cpu_share=self.cpu_share * factor,
+            memory_mb=self.memory_mb * factor,
+        )
+
+
+def video(name: str, duration: float, **overrides) -> MediaObject:
+    """Convenience constructor for a video object."""
+    return MediaObject(name, MediaType.VIDEO, duration, **overrides)
+
+
+def audio(name: str, duration: float, **overrides) -> MediaObject:
+    """Convenience constructor for an audio object."""
+    return MediaObject(name, MediaType.AUDIO, duration, **overrides)
+
+
+def image(name: str, duration: float, **overrides) -> MediaObject:
+    """Convenience constructor for a still image object."""
+    return MediaObject(name, MediaType.IMAGE, duration, **overrides)
+
+
+def text(name: str, duration: float, **overrides) -> MediaObject:
+    """Convenience constructor for a text object."""
+    return MediaObject(name, MediaType.TEXT, duration, **overrides)
+
+
+def annotation(name: str, duration: float, **overrides) -> MediaObject:
+    """Convenience constructor for a whiteboard annotation object."""
+    return MediaObject(name, MediaType.ANNOTATION, duration, **overrides)

@@ -1,0 +1,125 @@
+"""Playout measurement: inter-site and inter-media synchronization skew.
+
+Experiment E1 measures how far apart the *same* media object starts on
+different client sites; OCPN-style intra-site synchronization is checked
+by comparing media intervals to the authored specification.  This module
+provides the bookkeeping for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from ..errors import MediaError
+
+__all__ = ["PlayoutLog", "SkewReport"]
+
+
+@dataclass(frozen=True)
+class SkewReport:
+    """Inter-site skew statistics for one media object.
+
+    ``spread`` is the difference between the earliest and latest site
+    start time — the paper's notion of (a)synchrony across platforms.
+    """
+
+    media: str
+    earliest: float
+    latest: float
+    mean_start: float
+
+    @property
+    def spread(self) -> float:
+        return self.latest - self.earliest
+
+
+class PlayoutLog:
+    """Records media start/end events per site and computes skew.
+
+    Parameters
+    ----------
+    allow_restarts:
+        When ``True``, a duplicate start for a media/site pair is
+        counted in :attr:`restarts` and otherwise ignored (the first
+        start stands).  DOCPN skip interactions can re-fire a section
+        boundary when the preempted branch later completes — a real
+        player ignores the redundant start command, and so does the
+        log in this mode.  When ``False`` (default) duplicates raise.
+    """
+
+    def __init__(self, allow_restarts: bool = False) -> None:
+        # media -> site -> (start, end | None)
+        self._events: dict[str, dict[str, tuple[float, float | None]]] = {}
+        self.allow_restarts = allow_restarts
+        self.restarts = 0
+
+    def record_start(self, site: str, media: str, time: float) -> None:
+        """A site started rendering a media object."""
+        per_site = self._events.setdefault(media, {})
+        if site in per_site:
+            if self.allow_restarts:
+                self.restarts += 1
+                return
+            raise MediaError(f"site {site!r} already started media {media!r}")
+        per_site[site] = (time, None)
+
+    def record_end(self, site: str, media: str, time: float) -> None:
+        """A site finished rendering a media object."""
+        per_site = self._events.setdefault(media, {})
+        if site not in per_site:
+            raise MediaError(f"site {site!r} never started media {media!r}")
+        start, end = per_site[site]
+        if end is not None:
+            raise MediaError(f"site {site!r} already ended media {media!r}")
+        if time < start:
+            raise MediaError(
+                f"media {media!r} on {site!r}: end {time!r} before start {start!r}"
+            )
+        per_site[site] = (start, time)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def media_names(self) -> list[str]:
+        """All media with recorded playout, sorted."""
+        return sorted(self._events)
+
+    def sites_for(self, media: str) -> list[str]:
+        """Sites that started a given media, sorted."""
+        return sorted(self._events.get(media, {}))
+
+    def start_times(self, media: str) -> dict[str, float]:
+        """Per-site start time for ``media``."""
+        return {site: start for site, (start, __) in self._events.get(media, {}).items()}
+
+    def skew(self, media: str) -> SkewReport:
+        """Inter-site skew report for one media object.
+
+        Raises
+        ------
+        MediaError
+            If no site has started the media.
+        """
+        starts = self.start_times(media)
+        if not starts:
+            raise MediaError(f"no playout recorded for media {media!r}")
+        values = list(starts.values())
+        return SkewReport(
+            media=media,
+            earliest=min(values),
+            latest=max(values),
+            mean_start=mean(values),
+        )
+
+    def max_skew(self) -> float:
+        """The worst spread over all media (0.0 when nothing recorded)."""
+        spreads = [self.skew(media).spread for media in self._events]
+        return max(spreads, default=0.0)
+
+    def mean_skew(self) -> float:
+        """Average spread over all media (0.0 when nothing recorded)."""
+        spreads = [self.skew(media).spread for media in self._events]
+        if not spreads:
+            return 0.0
+        return mean(spreads)

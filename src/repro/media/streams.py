@@ -1,0 +1,102 @@
+"""Frame streams: turning media objects into timed network traffic.
+
+Continuous media (video/audio) are carried as periodic frames; discrete
+media as a single burst of packets.  The session layer feeds these
+through the simulated network to exercise realistic load, and the
+floor-control resource monitor derives its NETWORK_BOUND readings from
+the same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import MediaError
+from .objects import MediaObject, MediaType
+
+__all__ = ["Frame", "frame_schedule", "packetize"]
+
+#: Default frame rate for continuous media (frames per second).
+_FRAME_RATE: dict[MediaType, float] = {
+    MediaType.VIDEO: 25.0,
+    MediaType.AUDIO: 50.0,
+}
+
+#: Maximum transfer unit for packetization (bytes).
+MTU_BYTES = 1400
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One media frame.
+
+    Attributes
+    ----------
+    media:
+        Name of the owning media object.
+    index:
+        Frame sequence number, from 0.
+    timestamp:
+        Presentation time relative to media start (seconds).
+    size_bytes:
+        Payload size.
+    """
+
+    media: str
+    index: int
+    timestamp: float
+    size_bytes: int
+
+
+def frame_schedule(media: MediaObject, frame_rate: float | None = None) -> Iterator[Frame]:
+    """Yield the frame sequence of ``media``.
+
+    Continuous media produce ``duration * frame_rate`` evenly-spaced
+    frames sized to meet the object's bitrate; discrete media produce a
+    single frame carrying the whole object at timestamp 0.
+
+    Raises
+    ------
+    MediaError
+        If ``frame_rate`` is given but not positive.
+    """
+    if frame_rate is not None and frame_rate <= 0:
+        raise MediaError(f"frame rate must be positive, got {frame_rate!r}")
+    if not media.media_type.is_continuous:
+        yield Frame(
+            media=media.name,
+            index=0,
+            timestamp=0.0,
+            size_bytes=max(1, int(media.total_bits / 8)),
+        )
+        return
+    rate = frame_rate if frame_rate is not None else _FRAME_RATE[media.media_type]
+    count = max(1, int(media.duration * rate))
+    bytes_per_frame = max(1, int(media.total_bits / 8 / count))
+    for index in range(count):
+        yield Frame(
+            media=media.name,
+            index=index,
+            timestamp=index / rate,
+            size_bytes=bytes_per_frame,
+        )
+
+
+def packetize(frame: Frame, mtu: int = MTU_BYTES) -> list[int]:
+    """Split a frame into packet sizes no larger than ``mtu`` bytes.
+
+    Returns the list of packet payload sizes (the simulator only needs
+    sizes, not contents).
+    """
+    if mtu <= 0:
+        raise MediaError(f"mtu must be positive, got {mtu!r}")
+    remaining = frame.size_bytes
+    packets = []
+    while remaining > 0:
+        take = min(mtu, remaining)
+        packets.append(take)
+        remaining -= take
+    if not packets:
+        packets.append(0)
+    return packets

@@ -1,0 +1,15 @@
+"""Network simulation substrate: links, hosts, transport, topologies."""
+
+from .simnet import DeliveryStats, Host, Link, Network
+from .topology import StarTopology, build_star
+from .transport import ReliableChannel
+
+__all__ = [
+    "DeliveryStats",
+    "Host",
+    "Link",
+    "Network",
+    "ReliableChannel",
+    "StarTopology",
+    "build_star",
+]

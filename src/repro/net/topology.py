@@ -1,0 +1,74 @@
+"""Topology builders for DMPS experiments.
+
+The DMPS architecture is a star: one server, many clients (Figure 1).
+:func:`build_star` wires it with per-client link parameters drawn from a
+seeded RNG so experiments can sweep latency distributions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..clock.virtual import VirtualClock
+from .simnet import Link, Network
+
+__all__ = ["StarTopology", "build_star"]
+
+
+@dataclass
+class StarTopology:
+    """A built star network.
+
+    Attributes
+    ----------
+    network:
+        The simulator with all hosts and links configured.
+    server:
+        The server host name.
+    clients:
+        Client host names in creation order.
+    """
+
+    network: Network
+    server: str
+    clients: list[str]
+
+
+def build_star(
+    clock: VirtualClock,
+    client_count: int,
+    handler_factory: Callable[[str], Callable],
+    server_handler: Callable,
+    base_latency: float = 0.02,
+    jitter: float = 0.005,
+    loss_probability: float = 0.0,
+    seed: int = 0,
+    server_name: str = "server",
+) -> StarTopology:
+    """Build a server + N client star.
+
+    ``handler_factory(name)`` returns the message handler for each
+    client host.  Per-client latency varies uniformly within +/-50% of
+    ``base_latency`` (seeded), modelling clients at different distances.
+    """
+    rng = random.Random(seed)
+    network = Network(clock, rng=random.Random(seed + 1))
+    network.add_host(server_name, server_handler)
+    clients = []
+    for index in range(client_count):
+        name = f"client{index}"
+        network.add_host(name, handler_factory(name))
+        latency = base_latency * rng.uniform(0.5, 1.5)
+        network.connect_both(
+            server_name,
+            name,
+            Link(
+                base_latency=latency,
+                jitter=jitter,
+                loss_probability=loss_probability,
+            ),
+        )
+        clients.append(name)
+    return StarTopology(network=network, server=server_name, clients=clients)

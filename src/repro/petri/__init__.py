@@ -1,0 +1,65 @@
+"""Petri net substrate: classic nets through DOCPN.
+
+Public API::
+
+    from repro.petri import (
+        PetriNet, TimedExecutor, PriorityNet, OCPN, XOCPN, DOCPNSystem,
+    )
+"""
+
+from .analysis import (
+    ReachabilityGraph,
+    bound_of,
+    conservative_weights,
+    dead_transitions,
+    find_deadlocks,
+    incidence_matrix,
+    is_bounded,
+    is_live,
+    place_invariants,
+    reachability_graph,
+    transition_invariants,
+)
+from .docpn import DOCPNSite, DOCPNSystem, ideal_schedule, replicate_ocpn_with_interaction
+from .net import Marking, PetriNet, Place, Transition
+from .ocpn import OCPN, Block
+from .priority import PriorityNet, PriorityTimedExecutor
+from .render import gantt, marking_summary, to_dot, trace_timeline
+from .timed import FiringRecord, FiringTrace, TimedExecutor, TimedPlaceMap
+from .xocpn import XOCPN, ChannelBinding
+
+__all__ = [
+    "Block",
+    "ChannelBinding",
+    "DOCPNSite",
+    "DOCPNSystem",
+    "FiringRecord",
+    "FiringTrace",
+    "Marking",
+    "OCPN",
+    "PetriNet",
+    "Place",
+    "PriorityNet",
+    "PriorityTimedExecutor",
+    "ReachabilityGraph",
+    "TimedExecutor",
+    "TimedPlaceMap",
+    "Transition",
+    "XOCPN",
+    "bound_of",
+    "gantt",
+    "marking_summary",
+    "to_dot",
+    "trace_timeline",
+    "conservative_weights",
+    "dead_transitions",
+    "find_deadlocks",
+    "ideal_schedule",
+    "incidence_matrix",
+    "is_bounded",
+    "is_live",
+    "place_invariants",
+    "reachability_graph",
+    "transition_invariants",
+    "replicate_ocpn_with_interaction",
+]

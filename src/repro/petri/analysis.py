@@ -1,0 +1,364 @@
+"""Analysis of place/transition nets.
+
+The paper uses Petri nets both as a specification notation and as a
+verifiable model ("users can dynamically modify and verify different
+kinds of conditions during the presentation").  This module provides the
+verification side:
+
+* :func:`reachability_graph` — explicit-state exploration with a node
+  budget;
+* :func:`is_bounded` / :func:`bound_of` — coverability-based
+  unboundedness detection (Karp–Miller style cut-off);
+* :func:`find_deadlocks` — reachable dead markings;
+* :func:`is_live` — whether every transition can always fire again
+  (checked over the explored graph);
+* :func:`incidence_matrix`, :func:`place_invariants` — structural
+  analysis via the incidence matrix over the rationals.
+
+All functions leave the net's own marking untouched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+from ..errors import PetriNetError
+from .net import Marking, PetriNet
+
+__all__ = [
+    "ReachabilityGraph",
+    "reachability_graph",
+    "is_bounded",
+    "bound_of",
+    "find_deadlocks",
+    "is_live",
+    "dead_transitions",
+    "incidence_matrix",
+    "place_invariants",
+    "transition_invariants",
+    "conservative_weights",
+]
+
+_MarkingKey = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class ReachabilityGraph:
+    """Explicit reachability graph of a net from its current marking.
+
+    Attributes
+    ----------
+    nodes:
+        All discovered markings in discovery (BFS) order.
+    edges:
+        ``(source_index, transition, target_index)`` triples.
+    complete:
+        ``False`` when exploration stopped at ``max_nodes`` and states
+        may be missing.
+    """
+
+    nodes: list[Marking] = field(default_factory=list)
+    edges: list[tuple[int, str, int]] = field(default_factory=list)
+    complete: bool = True
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def successors(self, index: int) -> Iterator[tuple[str, int]]:
+        """Yield ``(transition, target_index)`` pairs for a node."""
+        for source, transition, target in self.edges:
+            if source == index:
+                yield transition, target
+
+    def deadlock_indices(self) -> list[int]:
+        """Indices of nodes with no outgoing edge."""
+        have_out = {source for source, __, __ in self.edges}
+        return [i for i in range(len(self.nodes)) if i not in have_out]
+
+    def transitions_seen(self) -> set[str]:
+        """All transitions that label at least one edge."""
+        return {transition for __, transition, __ in self.edges}
+
+
+def reachability_graph(net: PetriNet, max_nodes: int = 10_000) -> ReachabilityGraph:
+    """Explore the state space of ``net`` from its current marking.
+
+    Exploration is breadth-first and stops after ``max_nodes`` distinct
+    markings, setting ``complete=False`` on the result.
+    """
+    if max_nodes < 1:
+        raise PetriNetError(f"max_nodes must be >= 1, got {max_nodes!r}")
+    graph = ReachabilityGraph()
+    start = net.marking()
+    index_of: dict[_MarkingKey, int] = {start.frozen(): 0}
+    graph.nodes.append(start)
+    queue: deque[int] = deque([0])
+    while queue:
+        current_index = queue.popleft()
+        current = graph.nodes[current_index]
+        for transition in net.enabled_transitions(current):
+            successor = net.successor_marking(current, transition)
+            key = successor.frozen()
+            if key in index_of:
+                target = index_of[key]
+            else:
+                if len(graph.nodes) >= max_nodes:
+                    graph.complete = False
+                    continue
+                target = len(graph.nodes)
+                index_of[key] = target
+                graph.nodes.append(successor)
+                queue.append(target)
+            graph.edges.append((current_index, transition, target))
+    return graph
+
+
+def is_bounded(net: PetriNet, max_nodes: int = 10_000) -> bool:
+    """Coverability-based boundedness check.
+
+    Walks the reachability tree keeping each branch's ancestor chain; if
+    a marking strictly covers one of its ancestors the net is unbounded
+    (a pumpable firing sequence exists).  A net whose exploration drains
+    within ``max_nodes`` without such a cover is bounded; exceeding the
+    budget without a verdict raises.
+
+    Raises
+    ------
+    PetriNetError
+        If the budget is exhausted before a verdict.
+    """
+    start = net.marking()
+    # Depth-first with explicit ancestor chains.
+    stack: list[tuple[Marking, tuple[Marking, ...]]] = [(start, ())]
+    seen: set[_MarkingKey] = set()
+    visited = 0
+    while stack:
+        marking, ancestors = stack.pop()
+        key = marking.frozen()
+        if key in seen:
+            continue
+        seen.add(key)
+        visited += 1
+        if visited > max_nodes:
+            raise PetriNetError(
+                f"boundedness undecided within {max_nodes} nodes"
+            )
+        for ancestor in ancestors:
+            if marking.strictly_covers(ancestor):
+                return False
+        chain = ancestors + (marking,)
+        for transition in net.enabled_transitions(marking):
+            successor = net.successor_marking(marking, transition)
+            stack.append((successor, chain))
+    return True
+
+
+def bound_of(net: PetriNet, place: str, max_nodes: int = 10_000) -> int:
+    """Maximum token count ``place`` reaches over the explored graph.
+
+    Only meaningful on bounded nets (check :func:`is_bounded` first);
+    on incomplete exploration this is a lower bound.
+    """
+    graph = reachability_graph(net, max_nodes=max_nodes)
+    return max(marking.get(place, 0) for marking in graph.nodes)
+
+
+def find_deadlocks(net: PetriNet, max_nodes: int = 10_000) -> list[Marking]:
+    """All reachable dead markings (no transition enabled)."""
+    graph = reachability_graph(net, max_nodes=max_nodes)
+    return [graph.nodes[i] for i in graph.deadlock_indices()]
+
+
+def dead_transitions(net: PetriNet, max_nodes: int = 10_000) -> set[str]:
+    """Transitions that never fire anywhere in the explored graph (L0-dead)."""
+    graph = reachability_graph(net, max_nodes=max_nodes)
+    return set(net.transitions) - graph.transitions_seen()
+
+
+def is_live(net: PetriNet, max_nodes: int = 10_000) -> bool:
+    """Liveness over the explored graph (L4 in Murata's hierarchy).
+
+    Every transition must be fireable again from every reachable
+    marking, i.e. from each node some path reaches an edge labelled with
+    each transition.  Checked by fixpoint on the finite graph; only
+    meaningful when the graph is complete.
+    """
+    graph = reachability_graph(net, max_nodes=max_nodes)
+    if not graph.complete:
+        raise PetriNetError("liveness undecided: state space exceeded budget")
+    transitions = set(net.transitions)
+    if not transitions:
+        return True
+    # For each transition: the set of nodes from which it is eventually
+    # fireable is the backward closure of the sources of its edges.
+    predecessors: dict[int, list[int]] = {i: [] for i in range(len(graph.nodes))}
+    for source, __, target in graph.edges:
+        predecessors[target].append(source)
+    for transition in transitions:
+        can_fire = {s for s, label, __ in graph.edges if label == transition}
+        if not can_fire:
+            return False
+        frontier = deque(can_fire)
+        while frontier:
+            node = frontier.popleft()
+            for predecessor in predecessors[node]:
+                if predecessor not in can_fire:
+                    can_fire.add(predecessor)
+                    frontier.append(predecessor)
+        if len(can_fire) != len(graph.nodes):
+            return False
+    return True
+
+
+def incidence_matrix(net: PetriNet) -> tuple[list[str], list[str], list[list[int]]]:
+    """The incidence matrix ``C[p][t] = O(t)(p) - I(t)(p)``.
+
+    Returns ``(place_names, transition_names, matrix)`` with rows indexed
+    by place and columns by transition, both in insertion order.
+    """
+    place_names = list(net.places)
+    transition_names = list(net.transitions)
+    matrix = []
+    for place in place_names:
+        row = []
+        for transition in transition_names:
+            produced = net.outputs(transition).get(place, 0)
+            consumed = net.inputs(transition).get(place, 0)
+            row.append(produced - consumed)
+        matrix.append(row)
+    return place_names, transition_names, matrix
+
+
+def place_invariants(net: PetriNet) -> list[dict[str, Fraction]]:
+    """A basis of place invariants (left null space of the incidence
+    matrix) over the rationals.
+
+    Each invariant is a weighting ``y`` of places with
+    ``y · C = 0``; for any reachable marking ``m``,
+    ``y · m == y · m0``.  Used to prove token conservation of the
+    OCPN constructions.
+    """
+    place_names, transition_names, matrix = incidence_matrix(net)
+    n_places = len(place_names)
+    n_transitions = len(transition_names)
+    if n_places == 0:
+        return []
+    # Solve y^T C = 0  <=>  C^T y = 0. Build C^T as rows of Fractions.
+    rows = [
+        [Fraction(matrix[p][t]) for p in range(n_places)]
+        for t in range(n_transitions)
+    ]
+    # Gauss-Jordan elimination on C^T.
+    pivot_cols: list[int] = []
+    rank = 0
+    for col in range(n_places):
+        pivot_row = None
+        for r in range(rank, len(rows)):
+            if rows[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot_value = rows[rank][col]
+        rows[rank] = [value / pivot_value for value in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [
+                    value - factor * pivot
+                    for value, pivot in zip(rows[r], rows[rank])
+                ]
+        pivot_cols.append(col)
+        rank += 1
+    free_cols = [c for c in range(n_places) if c not in pivot_cols]
+    invariants = []
+    for free in free_cols:
+        vector = [Fraction(0)] * n_places
+        vector[free] = Fraction(1)
+        for r, pivot_col in enumerate(pivot_cols):
+            vector[pivot_col] = -rows[r][free]
+        invariants.append(
+            {place_names[i]: vector[i] for i in range(n_places) if vector[i] != 0}
+        )
+    return invariants
+
+
+def transition_invariants(net: PetriNet) -> list[dict[str, Fraction]]:
+    """A basis of transition invariants (right null space of the
+    incidence matrix) over the rationals.
+
+    A T-invariant ``x`` satisfies ``C · x = 0``: firing each transition
+    ``t`` exactly ``x[t]`` times (in some realizable order) reproduces
+    the starting marking.  Cyclic presentation structures (loops, token
+    round-trips) show up here; a one-shot OCPN typically has none.
+    """
+    place_names, transition_names, matrix = incidence_matrix(net)
+    n_places = len(place_names)
+    n_transitions = len(transition_names)
+    if n_transitions == 0:
+        return []
+    rows = [
+        [Fraction(matrix[p][t]) for t in range(n_transitions)]
+        for p in range(n_places)
+    ]
+    pivot_cols: list[int] = []
+    rank = 0
+    for col in range(n_transitions):
+        pivot_row = None
+        for r in range(rank, len(rows)):
+            if rows[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot_value = rows[rank][col]
+        rows[rank] = [value / pivot_value for value in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [
+                    value - factor * pivot
+                    for value, pivot in zip(rows[r], rows[rank])
+                ]
+        pivot_cols.append(col)
+        rank += 1
+    free_cols = [c for c in range(n_transitions) if c not in pivot_cols]
+    invariants = []
+    for free in free_cols:
+        vector = [Fraction(0)] * n_transitions
+        vector[free] = Fraction(1)
+        for r, pivot_col in enumerate(pivot_cols):
+            vector[pivot_col] = -rows[r][free]
+        invariants.append(
+            {
+                transition_names[i]: vector[i]
+                for i in range(n_transitions)
+                if vector[i] != 0
+            }
+        )
+    return invariants
+
+
+def conservative_weights(net: PetriNet) -> dict[str, Fraction] | None:
+    """A strictly positive place invariant, if one exists.
+
+    A net with such a weighting is *conservative*: the weighted token
+    count is constant under any firing.  Returns ``None`` when no
+    strictly positive combination of the invariant basis is found by the
+    simple summation heuristic.
+    """
+    basis = place_invariants(net)
+    if not basis:
+        return None
+    combined: dict[str, Fraction] = {}
+    for invariant in basis:
+        for place, weight in invariant.items():
+            combined[place] = combined.get(place, Fraction(0)) + weight
+    if len(combined) == len(net.places) and all(w > 0 for w in combined.values()):
+        return combined
+    return None

@@ -1,0 +1,451 @@
+"""Distributed Object Composition Petri Nets (DOCPN).
+
+DOCPN is the paper's model (Sections 2.2 and 3).  Its five properties:
+
+1. transitions wait for all input signals, then fire concurrently;
+2. a priority input fires a transition without waiting for the
+   non-priority inputs;
+3. OCPN/XOCPN synchronization applies among inter-media objects;
+4. asynchrony across platforms is handled with a **global clock**;
+5. user interaction is a synchronization factor (a priority input).
+
+Execution model
+---------------
+Every client site replicates the same presentation net (tele-teaching:
+all clients render the lecture).  Each site has a drifting local clock
+and evaluates the presentation timeline on it: the site starts the
+presentation when *its* clock reads the announced start time, and each
+place duration elapses in local seconds.  A site whose clock is ahead
+therefore reaches every transition early in true time; a slow site
+reaches it late.
+
+With global-clock admission enabled, each firing passes Section 3's
+rule: a **fast** client's transition "will not fire until global clock
+arrives" at the transition's authored schedule time; a **slow** client's
+transition "will be fire without delay".  The authored schedule time of
+each transition is computed once from an ideal (drift-free) rehearsal
+run of the same net.
+
+User interactions (the floor-controlled events of Section 3) are
+injected as priority tokens and carry "the same highest priority" as
+the global clock — they are never held by admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..clock.drift import DriftingClock
+from ..clock.sync import GlobalClockAdmission
+from ..clock.virtual import VirtualClock
+from ..errors import PetriNetError
+from ..media.playout import PlayoutLog
+from .net import PetriNet
+from .ocpn import OCPN
+from .priority import PriorityNet, PriorityTimedExecutor
+from .timed import TimedExecutor, TimedPlaceMap
+
+__all__ = [
+    "DOCPNSite",
+    "DOCPNSystem",
+    "ideal_schedule",
+    "replicate_ocpn_with_interaction",
+]
+
+
+def ideal_schedule(ocpn: OCPN) -> dict[str, float]:
+    """The authored firing time of every transition of ``ocpn``.
+
+    Obtained from a drift-free rehearsal run on a scratch clock; this is
+    the timeline the DMPS server distributes with the presentation.
+    Transitions that fire more than once keep their first firing time.
+    """
+    rehearsal = _copy_net(ocpn.net)
+    executor = TimedExecutor(rehearsal, ocpn.durations, VirtualClock())
+    trace = executor.run_to_completion()
+    schedule: dict[str, float] = {}
+    for record in trace.firings:
+        schedule.setdefault(record.transition, record.time)
+    return schedule
+
+
+def _copy_net(source: PetriNet) -> PetriNet:
+    copy = PetriNet(source.name + "-rehearsal")
+    for name, place in source.places.items():
+        copy.add_place(name, tokens=source.tokens(name), label=place.label)
+    for name, transition in source.transitions.items():
+        copy.add_transition(name, label=transition.label)
+    for transition in source.transitions:
+        for place, weight in source.inputs(transition).items():
+            copy.add_arc(place, transition, weight)
+        for place, weight in source.outputs(transition).items():
+            copy.add_arc(transition, place, weight)
+    return copy
+
+
+def replicate_ocpn_with_interaction(
+    ocpn: OCPN,
+    interaction_transitions: list[str] | None = None,
+) -> tuple[PriorityNet, TimedPlaceMap, dict[str, str]]:
+    """Convert an OCPN into a priority net with interaction places.
+
+    For each transition named in ``interaction_transitions`` a fresh
+    priority place ``ui_<transition>`` is attached, so injecting a token
+    there force-fires the transition (skip / advance interactions,
+    DOCPN property 5).
+
+    Returns ``(priority_net, durations, interaction_place_of)``.
+    """
+    source = ocpn.net
+    net = PriorityNet(source.name + "-docpn")
+    for name, place in source.places.items():
+        net.add_place(name, tokens=source.tokens(name), label=place.label)
+    for name, transition in source.transitions.items():
+        net.add_transition(name, label=transition.label)
+    for transition in source.transitions:
+        for place, weight in source.inputs(transition).items():
+            net.add_arc(place, transition, weight)
+        for place, weight in source.outputs(transition).items():
+            net.add_arc(transition, place, weight)
+    interaction_place_of: dict[str, str] = {}
+    for transition in interaction_transitions or []:
+        if transition not in source.transitions:
+            raise PetriNetError(f"unknown transition {transition!r}")
+        place = f"ui_{transition}"
+        net.add_place(place, label="interaction")
+        net.add_priority_arc(place, transition)
+        interaction_place_of[transition] = place
+    return net, ocpn.durations, interaction_place_of
+
+
+class _GatedExecutor(PriorityTimedExecutor):
+    """A :class:`PriorityTimedExecutor` whose plain firings pass the
+    global-clock admission gate.
+
+    Plain firings of transitions with an authored schedule time are
+    held until the global clock reaches that time (fast sites wait,
+    slow sites pass straight through).  Forced (priority) firings
+    bypass the gate — the paper gives granted interactions "the same
+    highest priority" as the global clock — and *shift* the authored
+    schedule of everything downstream: after a skip fires 3 s early,
+    the remaining timeline is expected 3 s early too.
+
+    Deferred firings re-check readiness when they come due;
+    presentation nets are marked graphs (conflict-free), so deferral
+    cannot steal tokens from rival transitions.
+    """
+
+    def __init__(
+        self,
+        *args,
+        admission: GlobalClockAdmission | None = None,
+        local_clock: DriftingClock | None = None,
+        schedule: dict[str, float] | None = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self._admission = admission
+        self._local_clock = local_clock
+        self._schedule = schedule or {}
+        self._held: set[str] = set()
+        self.schedule_shift = 0.0
+        self.holds = 0
+        self.total_hold = 0.0
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def _effective_schedule(self, transition: str) -> float | None:
+        authored = self._schedule.get(transition)
+        if authored is None:
+            return None
+        return authored + self.schedule_shift
+
+    def _fire(self, transition: str, forced: bool) -> None:
+        now = self.clock.now()
+        if forced:
+            scheduled = self._effective_schedule(transition)
+            if scheduled is not None and now < scheduled:
+                # The interaction moved the timeline earlier; everything
+                # downstream is now expected earlier by the same amount.
+                self.schedule_shift += now - scheduled
+            super()._fire(transition, forced)
+            return
+        if self._admission is None or self._local_clock is None:
+            super()._fire(transition, forced)
+            return
+        scheduled = self._effective_schedule(transition)
+        if scheduled is None:
+            scheduled = self._local_clock.now()
+        decision = self._admission.admit(self._local_clock, scheduled)
+        release = decision.release_global_time
+        if release <= now:
+            super()._fire(transition, forced)
+            return
+        self.holds += 1
+        self.total_hold += release - now
+        self._held.add(transition)
+        self.clock.call_at(release, self._fire_held, transition)
+
+    def _fire_held(self, transition: str) -> None:
+        self._held.discard(transition)
+        priority_ok = self._priority_ready(transition)
+        plain_ok = self._plain_ready(transition)
+        if priority_ok or plain_ok:
+            super()._fire(transition, forced=priority_ok and not plain_ok)
+        self._fire_enabled()
+
+    def _priority_ready(self, transition: str) -> bool:
+        if transition in self._held:
+            return False
+        return super()._priority_ready(transition)
+
+    def _plain_ready(self, transition: str) -> bool:
+        if transition in self._held:
+            return False
+        return super()._plain_ready(transition)
+
+
+@dataclass
+class DOCPNSite:
+    """One client site executing the replicated presentation net."""
+
+    name: str
+    local_clock: DriftingClock
+    executor: _GatedExecutor
+    interaction_place_of: dict[str, str] = field(default_factory=dict)
+
+    def inject_interaction(self, transition: str) -> None:
+        """Deliver a user interaction targeting ``transition``."""
+        place = self.interaction_place_of.get(transition)
+        if place is None:
+            raise PetriNetError(
+                f"transition {transition!r} has no interaction place on "
+                f"site {self.name!r}"
+            )
+        self.executor.inject_priority(place)
+
+    @property
+    def holds(self) -> int:
+        return self.executor.holds
+
+    @property
+    def forced_firings(self) -> int:
+        return self.executor.forced_firings
+
+
+class DOCPNSystem:
+    """A server global clock plus N replicated client sites.
+
+    Parameters
+    ----------
+    clock:
+        The true/virtual clock; it *is* the server's global clock.
+    use_global_clock:
+        Toggle for the E1/E8 ablation: when ``False``, sites free-run on
+        their local clocks (the OCPN baseline behaviour).
+    start_time:
+        Authored global time at which the presentation begins.  Must be
+        large enough that no site's local start maps to the virtual
+        past (i.e. ``start_time >= max positive clock offset``).
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        use_global_clock: bool = True,
+        start_time: float = 5.0,
+    ) -> None:
+        self.clock = clock
+        self.use_global_clock = use_global_clock
+        self.start_time = start_time
+        self.admission = GlobalClockAdmission(clock)
+        self.sites: list[DOCPNSite] = []
+        # Skip interactions can re-fire a section boundary when the
+        # preempted branch completes; the log keeps the first start.
+        self.playout = PlayoutLog(allow_restarts=True)
+        self._schedules: dict[int, dict[str, float]] = {}
+
+    def add_site(
+        self,
+        name: str,
+        ocpn: OCPN,
+        clock_offset: float = 0.0,
+        drift_rate: float = 0.0,
+        interaction_transitions: list[str] | None = None,
+    ) -> DOCPNSite:
+        """Create a site replicating ``ocpn`` with its own local clock."""
+        local_clock = DriftingClock(
+            self.clock, offset=clock_offset, drift_rate=drift_rate
+        )
+        net, durations, interaction_place_of = replicate_ocpn_with_interaction(
+            ocpn, interaction_transitions
+        )
+        schedule = self._schedules.get(id(ocpn))
+        if schedule is None:
+            schedule = {
+                transition: self.start_time + time
+                for transition, time in ideal_schedule(ocpn).items()
+            }
+            self._schedules[id(ocpn)] = schedule
+        # Durations are authored in presentation seconds but elapse on
+        # the local clock: convert to true seconds.
+        local_durations = TimedPlaceMap(
+            {place: duration / (1.0 + drift_rate) for place, duration in durations.items()}
+        )
+
+        site_holder: list[DOCPNSite] = []
+
+        def on_fire(transition: str, at: float, forced: bool) -> None:
+            site = site_holder[0]
+            for place in net.base.outputs(transition):
+                media = ocpn.media_of_place.get(place)
+                if media is not None and media[1] == 0:
+                    self.playout.record_start(site.name, media[0], at)
+
+        executor = _GatedExecutor(
+            net,
+            local_durations,
+            self.clock,
+            on_fire=on_fire,
+            admission=self.admission if self.use_global_clock else None,
+            local_clock=local_clock,
+            schedule=schedule,
+        )
+        site = DOCPNSite(
+            name=name,
+            local_clock=local_clock,
+            executor=executor,
+            interaction_place_of=interaction_place_of,
+        )
+        site_holder.append(site)
+        self.sites.append(site)
+        return site
+
+    def add_late_site(
+        self,
+        name: str,
+        ocpn: OCPN,
+        clock_offset: float = 0.0,
+        drift_rate: float = 0.0,
+        interaction_transitions: list[str] | None = None,
+    ) -> DOCPNSite:
+        """Join a site *after* the presentation started and catch it up.
+
+        A student connecting mid-lecture should land at the live
+        position, not replay from the top.  The site replays the net
+        with adjusted durations: media whose authored interval already
+        ended get duration 0 (instant skip), the in-flight media gets
+        its remaining duration, and future media keep their authored
+        durations — the admission gate then holds the future transitions
+        to the authored schedule as usual, so the late site is in sync
+        from its first live media onward.
+        """
+        now = self.clock.now()
+        if now <= self.start_time:
+            return self.add_site(
+                name,
+                ocpn,
+                clock_offset=clock_offset,
+                drift_rate=drift_rate,
+                interaction_transitions=interaction_transitions,
+            )
+        elapsed = now - self.start_time
+        site = self.add_site(
+            name,
+            ocpn,
+            clock_offset=clock_offset,
+            drift_rate=drift_rate,
+            interaction_transitions=interaction_transitions,
+        )
+        # Rebuild the site's durations from the rehearsal intervals.
+        rehearsal = _copy_net(ocpn.net)
+        executor = TimedExecutor(rehearsal, ocpn.durations, VirtualClock())
+        trace = executor.run_to_completion()
+        remaining = TimedPlaceMap()
+        for place, duration in ocpn.durations.items():
+            spans = trace.intervals.get(place, [])
+            if not spans:
+                remaining.set(place, duration / (1.0 + drift_rate))
+                continue
+            start, end = spans[0]
+            if end <= elapsed:
+                remaining.set(place, 0.0)
+            elif start >= elapsed:
+                remaining.set(place, duration / (1.0 + drift_rate))
+            else:
+                remaining.set(place, (end - elapsed) / (1.0 + drift_rate))
+        site.executor.durations = remaining
+        # The site starts right now, regardless of its local reading.
+        self.clock.call_at(now, site.executor.start)
+        return site
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule every site's local start.
+
+        Each site begins when *its* clock reads :attr:`start_time`.
+        The anchor is re-evaluated when it fires, so a clock-sync
+        correction applied before the start moves the anchor with it
+        (a slow client whose clock was stepped forward starts on time
+        instead of late).
+        """
+        for site in self.sites:
+            if site.executor.started:
+                continue
+            self._attempt_start(site)
+
+    def _attempt_start(self, site: "DOCPNSite") -> None:
+        if site.executor.started:
+            return
+        now = self.clock.now()
+        if site.local_clock.now() >= self.start_time - 1e-9:
+            site.executor.start()
+            return
+        # local.now() < start_time implies the local anchor is in the
+        # future (the clock is monotonic in true time).
+        local_anchor = site.local_clock.true_time_of(self.start_time)
+        candidates = [local_anchor]
+        if self.start_time > now:
+            # Also check at the true start time: a clock-sync correction
+            # before then would make the site ready exactly on time.
+            candidates.append(self.start_time)
+        when = max(now + 1e-9, min(candidates))
+        self.clock.call_at(when, self._attempt_start, site)
+
+    def run(self, until: float) -> None:
+        """Start all sites (if needed) and run to virtual time ``until``."""
+        self.start()
+        self.clock.run_until(until)
+
+    def broadcast_interaction(
+        self, transition: str, network_latency: float = 0.0
+    ) -> None:
+        """Inject a user interaction on every site, optionally after a
+        network delay (the floor-granted event of Section 3)."""
+        for site in self.sites:
+            if network_latency > 0:
+                self.clock.call_later(
+                    network_latency, site.inject_interaction, transition
+                )
+            else:
+                site.inject_interaction(transition)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def max_skew(self) -> float:
+        """Worst inter-site start spread over all media."""
+        return self.playout.max_skew()
+
+    def mean_skew(self) -> float:
+        """Average inter-site start spread over all media."""
+        return self.playout.mean_skew()
+
+    def total_holds(self) -> int:
+        """Admission holds summed over every site."""
+        return sum(site.holds for site in self.sites)

@@ -1,0 +1,426 @@
+"""Prioritized Petri nets (Yang, Yu & Guan 1998; paper Section 2.2).
+
+A prioritized net is a five-tuple ``C = (P, T, I, Ip, O)`` where ``I``
+maps transitions to bags of *non-priority* input places and ``Ip`` to
+bags of *priority* input places — the two input functions are disjoint.
+The fire rules from the paper:
+
+1. A transition with only non-priority inputs fires when **all** of
+   them are complete and ready (plain AND rule).
+2. A transition with a priority input fires on the arrival of the
+   priority input **without waiting** for the non-priority inputs.
+   (Non-priority tokens that happen to be present are consumed; missing
+   ones are forgiven — this is what lets a user interaction or an
+   expired time schedule preempt a stalled media arrival.)
+3. Several priority inputs concurring at one transition follow the AND
+   rule among themselves.
+4. A marked place enabling several transitions resolves the conflict in
+   favour of a transition reached by a **priority arc** from that place.
+
+A transition whose *only* inputs are priority inputs is driven solely by
+them (it does not fire spontaneously).
+
+:class:`PriorityNet` holds the structure and the untimed semantics;
+:class:`PriorityTimedExecutor` adds OCPN-style place durations over a
+virtual clock (the engine DOCPN builds on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..clock.virtual import VirtualClock
+from ..errors import NotEnabledError, PetriNetError, UnknownNodeError
+from .net import Marking, PetriNet
+from .timed import FiringTrace, TimedPlaceMap
+
+__all__ = ["PriorityNet", "PriorityTimedExecutor"]
+
+
+class PriorityNet:
+    """A Petri net with a disjoint priority input function ``Ip``.
+
+    Construction mirrors :class:`~repro.petri.net.PetriNet`; ordinary
+    arcs go through :meth:`add_arc`, priority input arcs through
+    :meth:`add_priority_arc`.  The plain structure (without priority
+    arcs) is available as :attr:`base`; :meth:`to_plain_net` materializes
+    *all* arcs into a fresh net for structural analysis.
+    """
+
+    def __init__(self, name: str = "priority-net") -> None:
+        self.base = PetriNet(name)
+        # transition -> {place -> weight} for the priority input bag Ip.
+        self._priority_inputs: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    def add_place(self, name: str, tokens: int = 0, label: str | None = None):
+        """Add a place (delegates to the base net)."""
+        return self.base.add_place(name, tokens=tokens, label=label)
+
+    def add_transition(self, name: str, label: str | None = None):
+        """Add a transition and its empty priority bag."""
+        transition = self.base.add_transition(name, label=label)
+        self._priority_inputs[name] = {}
+        return transition
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> None:
+        """Add an ordinary arc (delegates to the base net)."""
+        self.base.add_arc(source, target, weight)
+
+    def add_priority_arc(self, place: str, transition: str, weight: int = 1) -> None:
+        """Add a priority input arc from ``place`` to ``transition``.
+
+        The arc lives only in ``Ip`` — it is *not* an ordinary input.
+        """
+        if transition not in self.base.transitions:
+            raise UnknownNodeError(f"unknown transition {transition!r}")
+        if place not in self.base.places:
+            raise UnknownNodeError(f"unknown place {place!r}")
+        if weight < 1:
+            raise PetriNetError(f"arc weight must be >= 1, got {weight!r}")
+        arcs = self._priority_inputs[transition]
+        arcs[place] = arcs.get(place, 0) + weight
+
+    def to_plain_net(self) -> PetriNet:
+        """A fresh :class:`PetriNet` with priority arcs materialized as
+        ordinary input arcs (for reachability / invariant analysis)."""
+        plain = PetriNet(self.base.name + "-flattened")
+        for name, place in self.base.places.items():
+            plain.add_place(name, tokens=self.base.tokens(name), label=place.label)
+        for name, transition in self.base.transitions.items():
+            plain.add_transition(name, label=transition.label)
+        for transition in self.base.transitions:
+            for place, weight in self.base.inputs(transition).items():
+                plain.add_arc(place, transition, weight)
+            for place, weight in self.base.outputs(transition).items():
+                plain.add_arc(transition, place, weight)
+            for place, weight in self._priority_inputs[transition].items():
+                plain.add_arc(place, transition, weight)
+        return plain
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def priority_inputs(self, transition: str) -> dict[str, int]:
+        """The priority bag ``Ip(t)``."""
+        if transition not in self._priority_inputs:
+            raise UnknownNodeError(f"unknown transition {transition!r}")
+        return dict(self._priority_inputs[transition])
+
+    def nonpriority_inputs(self, transition: str) -> dict[str, int]:
+        """The ordinary bag ``I(t)``."""
+        return self.base.inputs(transition)
+
+    def has_priority_input(self, transition: str) -> bool:
+        """Whether ``Ip(t)`` is non-empty."""
+        return bool(self._priority_inputs.get(transition))
+
+    def marking(self) -> Marking:
+        """A copy of the current marking."""
+        return self.base.marking()
+
+    def put_token(self, place: str, count: int = 1) -> None:
+        """Inject tokens into a place (external event)."""
+        self.base.put_token(place, count)
+
+    # ------------------------------------------------------------------
+    # Prioritized semantics
+    # ------------------------------------------------------------------
+    def is_priority_enabled(
+        self, transition: str, marking: Mapping[str, int] | None = None
+    ) -> bool:
+        """Rule 2/3: all *priority* inputs present (AND among them)."""
+        if transition not in self.base.transitions:
+            raise UnknownNodeError(f"unknown transition {transition!r}")
+        priority = self._priority_inputs.get(transition)
+        if not priority:
+            return False
+        current = self.base.marking() if marking is None else marking
+        return all(
+            current.get(place, 0) >= weight for place, weight in priority.items()
+        )
+
+    def is_plain_enabled(
+        self, transition: str, marking: Mapping[str, int] | None = None
+    ) -> bool:
+        """Rule 1: all non-priority inputs present.
+
+        A transition whose only inputs are priority arcs is *not* plain
+        enabled — it fires only when its priority inputs arrive.
+        """
+        if transition not in self.base.transitions:
+            raise UnknownNodeError(f"unknown transition {transition!r}")
+        if not self.base.inputs(transition) and self._priority_inputs.get(transition):
+            return False
+        return self.base.is_enabled(transition, marking)
+
+    def is_enabled(self, transition: str, marking: Mapping[str, int] | None = None) -> bool:
+        """Prioritized enabling: plain AND rule, or priority rule."""
+        if self.is_priority_enabled(transition, marking):
+            return True
+        return self.is_plain_enabled(transition, marking)
+
+    def enabled_transitions(self, marking: Mapping[str, int] | None = None) -> list[str]:
+        """Names of all transitions enabled under the prioritized rules."""
+        return [t for t in self.base.transitions if self.is_enabled(t, marking)]
+
+    def resolve_conflict(self, candidates: list[str]) -> str:
+        """Rule 4: prefer a transition with a satisfied priority input.
+
+        Among ``candidates`` (all enabled), returns the first that is
+        priority-enabled; falls back to the first candidate.
+        """
+        if not candidates:
+            raise NotEnabledError("no candidate transitions to resolve")
+        for transition in candidates:
+            if self.is_priority_enabled(transition):
+                return transition
+        return candidates[0]
+
+    def fire(self, transition: str) -> Marking:
+        """Fire under prioritized semantics.
+
+        * priority-forced firing: priority inputs are consumed in full,
+          non-priority tokens *as available* (missing ones forgiven);
+        * plain firing: non-priority inputs consumed in full, priority
+          tokens as available.
+        """
+        priority_ok = self.is_priority_enabled(transition)
+        plain_ok = self.is_plain_enabled(transition)
+        if not priority_ok and not plain_ok:
+            raise NotEnabledError(f"transition {transition!r} is not enabled")
+        marking = self.base.marking()
+        for place, weight in self._priority_inputs[transition].items():
+            if priority_ok:
+                self.base.take_token(place, weight)
+            else:
+                available = min(weight, marking.get(place, 0))
+                if available:
+                    self.base.take_token(place, available)
+        for place, weight in self.base.inputs(transition).items():
+            if plain_ok:
+                self.base.take_token(place, weight)
+            else:
+                current = self.base.tokens(place)
+                take = min(weight, current)
+                if take:
+                    self.base.take_token(place, take)
+        for place, weight in self.base.outputs(transition).items():
+            self.base.put_token(place, weight)
+        self.base._fire_count += 1
+        return self.base.marking()
+
+    def step(self) -> str | None:
+        """Fire one transition chosen by the conflict rule, or ``None``
+        when the net is dead."""
+        candidates = self.enabled_transitions()
+        if not candidates:
+            return None
+        chosen = self.resolve_conflict(candidates)
+        self.fire(chosen)
+        return chosen
+
+
+class PriorityTimedExecutor:
+    """Timed execution of a :class:`PriorityNet` (the DOCPN engine core).
+
+    Combines OCPN place durations with the prioritized fire rules:
+
+    * plain transitions wait for all non-priority input tokens to finish
+      their place durations (DOCPN property 1);
+    * the arrival of a token in a priority place fires its transition
+      immediately, preempting unfinished non-priority inputs
+      (property 2) — preempted places have their activity interval
+      truncated at the firing time;
+    * :meth:`inject_priority` models the user-interaction / global-clock
+      events of Section 3.
+    """
+
+    def __init__(
+        self,
+        net: PriorityNet,
+        durations: TimedPlaceMap,
+        clock: VirtualClock,
+        on_fire: Callable[[str, float, bool], None] | None = None,
+    ) -> None:
+        self.net = net
+        self.durations = durations
+        self.clock = clock
+        self.trace = FiringTrace()
+        self._available: dict[str, int] = {}
+        self._locked: dict[str, list[float]] = {}  # place -> release times
+        self._on_fire = on_fire
+        self._started = False
+        self.forced_firings = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Deposit the initial marking at the current clock time."""
+        if self._started:
+            raise PetriNetError("executor already started")
+        self._started = True
+        now = self.clock.now()
+        self._available = {name: 0 for name in self.net.base.places}
+        self._locked = {name: [] for name in self.net.base.places}
+        for place, count in self.net.marking().items():
+            for __ in range(count):
+                self._deposit(place, now, pre_marked=True)
+        self.clock.call_at(now, self._fire_enabled)
+
+    def run_to_completion(self, max_time: float = 1e9) -> FiringTrace:
+        """Run until the net quiesces; returns the trace."""
+        if not self._started:
+            self.start()
+        while True:
+            upcoming = self.clock.next_event_time()
+            if upcoming is None or upcoming > max_time:
+                break
+            self.clock.step()
+        return self.trace
+
+    def inject_priority(self, place: str, count: int = 1) -> None:
+        """Deposit tokens into a priority place *now* (user interaction).
+
+        The token is immediately available regardless of the place's
+        duration — interactions are instantaneous events.
+        """
+        if place not in self.net.base.places:
+            raise UnknownNodeError(f"unknown place {place!r}")
+        self.net.put_token(place, count)
+        self._available[place] = self._available.get(place, 0) + count
+        self.clock.call_at(self.clock.now(), self._fire_enabled)
+
+    def inject_token(self, place: str, count: int = 1) -> None:
+        """Deposit ordinary tokens (honouring the place duration)."""
+        if place not in self.net.base.places:
+            raise UnknownNodeError(f"unknown place {place!r}")
+        now = self.clock.now()
+        for __ in range(count):
+            self.net.put_token(place)
+            self._deposit(place, now, pre_marked=True)
+        self.clock.call_at(now, self._fire_enabled)
+
+    def available_tokens(self, place: str) -> int:
+        """Tokens in ``place`` that finished their duration lock."""
+        return self._available.get(place, 0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deposit(self, place: str, now: float, pre_marked: bool = False) -> None:
+        if not pre_marked:
+            self.net.put_token(place)
+        duration = self.durations.get(place)
+        release = now + duration
+        self.trace.record_interval(place, now, release)
+        if duration == 0:
+            self._available[place] = self._available.get(place, 0) + 1
+        else:
+            self._locked.setdefault(place, []).append(release)
+            self.clock.call_at(release, self._release, place, release)
+
+    def _release(self, place: str, release: float) -> None:
+        locked = self._locked.get(place, [])
+        if release in locked:
+            locked.remove(release)
+            self._available[place] = self._available.get(place, 0) + 1
+            self._fire_enabled()
+
+    def _fire_enabled(self) -> None:
+        fired = True
+        while fired:
+            fired = False
+            # Priority-enabled transitions first (rule 4 at engine level).
+            for transition in self.net.base.transitions:
+                if self._priority_ready(transition):
+                    self._fire(transition, forced=not self._plain_ready(transition))
+                    fired = True
+                    break
+            if fired:
+                continue
+            for transition in self.net.base.transitions:
+                if self._plain_ready(transition):
+                    self._fire(transition, forced=False)
+                    fired = True
+                    break
+
+    def _priority_ready(self, transition: str) -> bool:
+        priority = self.net.priority_inputs(transition)
+        if not priority:
+            return False
+        return all(
+            self._available.get(place, 0) >= weight
+            for place, weight in priority.items()
+        )
+
+    def _plain_ready(self, transition: str) -> bool:
+        ordinary = self.net.base.inputs(transition)
+        if not ordinary and self.net.has_priority_input(transition):
+            return False
+        return all(
+            self._available.get(place, 0) >= weight
+            for place, weight in ordinary.items()
+        )
+
+    def _fire(self, transition: str, forced: bool) -> None:
+        now = self.clock.now()
+        # Consume priority inputs: fully when priority-ready, else as
+        # available (same-instant AND rule among equal priorities).
+        for place, weight in self.net.priority_inputs(transition).items():
+            take = min(weight, self._available.get(place, 0))
+            self._consume_available(place, take)
+        for place, weight in self.net.base.inputs(transition).items():
+            if forced:
+                available = self._available.get(place, 0)
+                take_available = min(weight, available)
+                self._consume_available(place, take_available)
+                shortfall = weight - take_available
+                preempted = 0
+                locked = self._locked.get(place, [])
+                while shortfall > 0 and locked:
+                    locked.pop(0)
+                    preempted += 1
+                    shortfall -= 1
+                if preempted:
+                    self._truncate_intervals(place, now, preempted)
+                    in_marking = self.net.base.tokens(place)
+                    self.net.base.take_token(place, min(preempted, in_marking))
+            else:
+                self._consume_available(place, weight)
+        started = tuple(self.net.base.outputs(transition))
+        for place, weight in self.net.base.outputs(transition).items():
+            for __ in range(weight):
+                self._deposit(place, now)
+        self.trace.record_firing(now, transition, started)
+        self.net.base._fire_count += 1
+        if forced:
+            self.forced_firings += 1
+        if self._on_fire is not None:
+            self._on_fire(transition, now, forced)
+
+    def _consume_available(self, place: str, count: int) -> None:
+        if count <= 0:
+            return
+        self._available[place] = self._available.get(place, 0) - count
+        in_marking = self.net.base.tokens(place)
+        self.net.base.take_token(place, min(count, in_marking))
+
+    def _truncate_intervals(self, place: str, now: float, count: int) -> None:
+        """Truncate the last ``count`` open intervals of ``place`` at ``now``."""
+        spans = self.trace.intervals.get(place, [])
+        truncated = 0
+        for index in range(len(spans) - 1, -1, -1):
+            if truncated >= count:
+                break
+            start, end = spans[index]
+            if end > now:
+                spans[index] = (start, now)
+                truncated += 1

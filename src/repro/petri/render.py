@@ -1,0 +1,150 @@
+"""Rendering: DOT export and text timelines.
+
+The paper presents its model as diagrams (Figure 1).  This module
+exports any :class:`~repro.petri.net.PetriNet` to Graphviz DOT (media
+places shaded, priority arcs dashed) and renders a
+:class:`~repro.petri.timed.FiringTrace` as a text Gantt chart, so a
+schedule can be inspected without a GUI::
+
+    title      |##                                  | 0.0-3.0
+    slides1    |   ####################             | 3.0-23.0
+    narration1 |   ####################             | 3.0-23.0
+"""
+
+from __future__ import annotations
+
+from ..errors import PetriNetError
+from .net import PetriNet
+from .priority import PriorityNet
+from .timed import FiringTrace
+
+__all__ = ["to_dot", "gantt", "marking_summary"]
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    net: PetriNet | PriorityNet,
+    name: str | None = None,
+    media_places: dict[str, tuple[str, int]] | None = None,
+) -> str:
+    """Render a net as Graphviz DOT.
+
+    Places are circles (media places shaded, with their token count),
+    transitions are boxes, priority arcs (when the net is a
+    :class:`~repro.petri.priority.PriorityNet`) are dashed and
+    labelled ``P``.
+
+    Parameters
+    ----------
+    media_places:
+        Optional ``place -> (media, segment)`` map (an OCPN's
+        ``media_of_place``) used for shading and labels.
+    """
+    priority_net = net if isinstance(net, PriorityNet) else None
+    base = net.base if priority_net is not None else net
+    media_places = media_places or {}
+    lines = [f"digraph {(name or base.name).replace('-', '_')} {{"]
+    lines.append("  rankdir=LR;")
+    for place_name in base.places:
+        tokens = base.tokens(place_name)
+        label = place_name
+        if place_name in media_places:
+            media, segment = media_places[place_name]
+            label = f"{media}[{segment}]"
+        if tokens:
+            label = f"{label}\\n({tokens})"
+        style = (
+            ' style=filled fillcolor="lightblue"'
+            if place_name in media_places
+            else ""
+        )
+        lines.append(
+            f"  {_quote(place_name)} [shape=circle label={_quote(label)}{style}];"
+        )
+    for transition_name in base.transitions:
+        lines.append(
+            f"  {_quote(transition_name)} "
+            f"[shape=box height=0.2 label={_quote(transition_name)}];"
+        )
+    for transition_name in base.transitions:
+        for place_name, weight in base.inputs(transition_name).items():
+            attrs = f' [label="{weight}"]' if weight > 1 else ""
+            lines.append(
+                f"  {_quote(place_name)} -> {_quote(transition_name)}{attrs};"
+            )
+        for place_name, weight in base.outputs(transition_name).items():
+            attrs = f' [label="{weight}"]' if weight > 1 else ""
+            lines.append(
+                f"  {_quote(transition_name)} -> {_quote(place_name)}{attrs};"
+            )
+        if priority_net is not None:
+            for place_name, weight in priority_net.priority_inputs(
+                transition_name
+            ).items():
+                label = f"P{weight}" if weight > 1 else "P"
+                lines.append(
+                    f"  {_quote(place_name)} -> {_quote(transition_name)} "
+                    f'[style=dashed label="{label}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def gantt(
+    intervals: dict[str, tuple[float, float]],
+    width: int = 48,
+) -> str:
+    """Text Gantt chart of media intervals.
+
+    ``intervals`` maps media name to ``(start, end)`` — the output of
+    :meth:`~repro.petri.ocpn.OCPN.media_intervals` or a
+    :class:`~repro.temporal.schedule.Schedule`'s ``intervals``.
+
+    Raises
+    ------
+    PetriNetError
+        If ``width`` is not positive or ``intervals`` is empty.
+    """
+    if width <= 0:
+        raise PetriNetError(f"width must be positive, got {width!r}")
+    if not intervals:
+        raise PetriNetError("nothing to render: intervals are empty")
+    end_max = max(end for __, end in intervals.values())
+    scale = width / end_max if end_max > 0 else 1.0
+    name_width = max(len(name) for name in intervals)
+    lines = []
+    for name in sorted(intervals, key=lambda n: intervals[n]):
+        start, end = intervals[name]
+        lead = int(round(start * scale))
+        body = max(1, int(round((end - start) * scale)))
+        bar = " " * lead + "#" * body
+        bar = bar[:width].ljust(width)
+        lines.append(f"{name.ljust(name_width)} |{bar}| {start:.1f}-{end:.1f}")
+    return "\n".join(lines)
+
+
+def marking_summary(net: PetriNet | PriorityNet) -> str:
+    """One-line-per-marked-place summary of the current marking."""
+    base = net.base if isinstance(net, PriorityNet) else net
+    marked = [
+        f"{place}={count}" for place, count in sorted(base.marking().items()) if count
+    ]
+    if not marked:
+        return f"{base.name}: (empty marking)"
+    return f"{base.name}: " + ", ".join(marked)
+
+
+def trace_timeline(trace: FiringTrace, width: int = 48) -> str:
+    """Gantt of a trace's per-place activity (merges nothing; raw)."""
+    merged: dict[str, tuple[float, float]] = {}
+    for place, spans in trace.intervals.items():
+        if not spans:
+            continue
+        starts = [start for start, __ in spans]
+        ends = [end for __, end in spans]
+        merged[place] = (min(starts), max(ends))
+    return gantt(merged, width=width)

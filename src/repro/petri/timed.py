@@ -1,0 +1,243 @@
+"""Timed Petri nets with durations attached to places.
+
+OCPN-style timing (Little & Ghafoor): a token arriving in a place with
+duration *d* is *locked* for *d* seconds — the place is "executing" its
+media object — and only after the duration elapses does the token become
+available to the place's output transitions.  Transitions themselves
+fire instantaneously once all their input tokens are available, which is
+exactly the paper's "waiting at a transition until all input signals
+arrived, and then firing concurrently" (DOCPN property 1).
+
+:class:`TimedExecutor` runs a :class:`~repro.petri.net.PetriNet` whose
+places carry durations over a :class:`~repro.clock.virtual.VirtualClock`
+and records a :class:`FiringTrace` that the scheduler
+(:mod:`repro.temporal.schedule`) and benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..clock.virtual import VirtualClock
+from ..errors import PetriNetError, UnknownNodeError
+from .net import PetriNet
+
+__all__ = ["TimedPlaceMap", "FiringRecord", "FiringTrace", "TimedExecutor"]
+
+
+class TimedPlaceMap:
+    """Durations for the places of a net.
+
+    Places absent from the map are instantaneous (duration 0), which is
+    how OCPN models control places (the small synchronization points
+    between media places).
+    """
+
+    def __init__(self, durations: Mapping[str, float] | None = None) -> None:
+        self._durations: dict[str, float] = {}
+        if durations:
+            for place, duration in durations.items():
+                self.set(place, duration)
+
+    def set(self, place: str, duration: float) -> None:
+        """Assign a duration to a place (must be >= 0)."""
+        if duration < 0:
+            raise PetriNetError(
+                f"duration for place {place!r} must be >= 0, got {duration!r}"
+            )
+        self._durations[place] = float(duration)
+
+    def get(self, place: str) -> float:
+        """The duration of a place (0.0 when unset)."""
+        return self._durations.get(place, 0.0)
+
+    def items(self):
+        """Iterate ``(place, duration)`` pairs."""
+        return self._durations.items()
+
+    def __contains__(self, place: str) -> bool:
+        return place in self._durations
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One transition firing in a timed run."""
+
+    time: float
+    transition: str
+    started_places: tuple[str, ...]
+
+
+@dataclass
+class FiringTrace:
+    """Chronological record of a timed execution.
+
+    ``intervals`` maps each place to the list of ``(start, end)``
+    activity intervals its tokens spent locked (i.e. the media object's
+    playout intervals).
+    """
+
+    firings: list[FiringRecord] = field(default_factory=list)
+    intervals: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def record_firing(self, time: float, transition: str, started: tuple[str, ...]) -> None:
+        """Append one firing record."""
+        self.firings.append(FiringRecord(time, transition, started))
+
+    def record_interval(self, place: str, start: float, end: float) -> None:
+        """Append one activity interval for a place."""
+        self.intervals.setdefault(place, []).append((start, end))
+
+    def firing_times(self, transition: str) -> list[float]:
+        """All times a transition fired, in order."""
+        return [record.time for record in self.firings if record.transition == transition]
+
+    def start_times(self, place: str) -> list[float]:
+        """Start times of a place's activity intervals."""
+        return [start for start, __ in self.intervals.get(place, [])]
+
+    def end_time(self) -> float:
+        """Latest interval end or firing time in the trace."""
+        latest = 0.0
+        for record in self.firings:
+            latest = max(latest, record.time)
+        for spans in self.intervals.values():
+            for __, end in spans:
+                latest = max(latest, end)
+        return latest
+
+
+class TimedExecutor:
+    """Earliest-firing-time execution of a duration-annotated net.
+
+    Semantics
+    ---------
+    * A token deposited into place *p* at time *t* becomes *available*
+      at ``t + duration(p)``; the interval ``[t, t + duration(p)]`` is
+      recorded as activity of *p*.
+    * A transition fires as soon as every input place has enough
+      available tokens (weights honoured).
+    * Among simultaneously-enabled transitions, firing order follows
+      the net's transition insertion order (deterministic).
+
+    The executor drives itself from clock callbacks: each token's
+    availability is a scheduled event, after which enabled transitions
+    fire exhaustively at that instant.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        durations: TimedPlaceMap,
+        clock: VirtualClock,
+        on_fire: Callable[[str, float], None] | None = None,
+    ) -> None:
+        self.net = net
+        self.durations = durations
+        self.clock = clock
+        self.trace = FiringTrace()
+        self._available: dict[str, int] = {}
+        self._on_fire = on_fire
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Deposit the net's initial marking at the current clock time."""
+        if self._started:
+            raise PetriNetError("executor already started")
+        self._started = True
+        now = self.clock.now()
+        self._available = {name: 0 for name in self.net.places}
+        for place, count in self.net.marking().items():
+            for __ in range(count):
+                self._deposit(place, now, pre_marked=True)
+        # Tokens with zero duration may enable transitions immediately.
+        self.clock.call_at(now, self._fire_enabled)
+
+    def run_to_completion(self, max_time: float = 1e9) -> FiringTrace:
+        """Start (if needed) and run until the net quiesces.
+
+        Returns the trace.  ``max_time`` bounds runaway cyclic nets.
+        """
+        if not self._started:
+            self.start()
+        while True:
+            upcoming = self.clock.next_event_time()
+            if upcoming is None or upcoming > max_time:
+                break
+            self.clock.step()
+        return self.trace
+
+    def inject_token(self, place: str, count: int = 1) -> None:
+        """External event: put tokens into a place at the current time.
+
+        Used by the DOCPN engine for user-interaction places.
+        """
+        if place not in self.net.places:
+            raise UnknownNodeError(f"unknown place {place!r}")
+        now = self.clock.now()
+        for __ in range(count):
+            self.net.put_token(place)
+            self._deposit(place, now, pre_marked=True)
+        self.clock.call_at(now, self._fire_enabled)
+
+    def available_tokens(self, place: str) -> int:
+        """Tokens in ``place`` that are past their duration lock."""
+        return self._available.get(place, 0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deposit(self, place: str, now: float, pre_marked: bool = False) -> None:
+        """A token enters ``place`` at ``now``; schedule its availability.
+
+        ``pre_marked`` distinguishes tokens already counted in the net's
+        marking (initial marking / injections) from tokens produced by a
+        firing, which must also be added to the marking.
+        """
+        if not pre_marked:
+            self.net.put_token(place)
+        duration = self.durations.get(place)
+        release = now + duration
+        self.trace.record_interval(place, now, release)
+        if duration == 0:
+            self._available[place] = self._available.get(place, 0) + 1
+        else:
+            self.clock.call_at(release, self._release, place)
+
+    def _release(self, place: str) -> None:
+        self._available[place] = self._available.get(place, 0) + 1
+        self._fire_enabled()
+
+    def _fire_enabled(self) -> None:
+        """Fire transitions exhaustively at the current instant."""
+        fired = True
+        while fired:
+            fired = False
+            for transition in self.net.transitions:
+                if self._timed_enabled(transition):
+                    self._fire(transition)
+                    fired = True
+
+    def _timed_enabled(self, transition: str) -> bool:
+        for place, weight in self.net.inputs(transition).items():
+            if self._available.get(place, 0) < weight:
+                return False
+        return True
+
+    def _fire(self, transition: str) -> None:
+        now = self.clock.now()
+        for place, weight in self.net.inputs(transition).items():
+            self._available[place] -= weight
+            self.net.take_token(place, weight)
+        started = tuple(self.net.outputs(transition))
+        for place, weight in self.net.outputs(transition).items():
+            for __ in range(weight):
+                self._deposit(place, now)
+        self.trace.record_firing(now, transition, started)
+        self.net._fire_count += 1
+        if self._on_fire is not None:
+            self._on_fire(transition, now)

@@ -1,0 +1,180 @@
+"""Extended Object Composition Petri Nets (XOCPN).
+
+XOCPN "can specify temporal relationships for the presentation of
+pre-orchestrated multimedia data, and ... set up channels according to
+the required QoS of the data" (paper, Section 1, citing Woo, Qazi &
+Ghafoor 1994).
+
+The construction here wraps each media block with a *channel setup*
+place in front (duration = the channel manager's setup latency) and a
+*channel release* transition hook behind.  Channel admission happens at
+execution time through :class:`ChannelBinding`, which opens the channel
+when the setup place is entered and releases it when the media place
+completes — so an over-committed link manifests as a
+:class:`~repro.errors.ChannelError` during the run, exactly the failure
+XOCPN's QoS negotiation is meant to surface before playout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ChannelError
+from ..media.channels import Channel, ChannelManager
+from ..media.objects import MediaObject
+from .ocpn import OCPN, Block
+
+__all__ = ["XOCPN", "ChannelBinding"]
+
+
+@dataclass
+class ChannelBinding:
+    """Runtime channel state for one XOCPN execution.
+
+    Tracks which media have an open channel and enforces admission.
+    ``strict`` mode raises on admission failure; non-strict mode records
+    the failure and lets playout continue unreserved (degraded service,
+    the paper's "downgraded service ... without some pre-specified
+    resources").
+    """
+
+    manager: ChannelManager
+    strict: bool = True
+    open_by_media: dict[str, Channel] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+
+    def on_setup(self, media: MediaObject) -> None:
+        """Open the channel as its setup place activates."""
+        try:
+            self.open_by_media[media.name] = self.manager.open(media)
+        except ChannelError:
+            self.failures.append(media.name)
+            if self.strict:
+                raise
+
+    def on_complete(self, media_name: str) -> None:
+        """Release the channel when the media finishes."""
+        channel = self.open_by_media.pop(media_name, None)
+        if channel is not None:
+            self.manager.release(channel)
+
+
+class XOCPN(OCPN):
+    """An OCPN whose media blocks carry channel setup/teardown.
+
+    Use exactly like :class:`~repro.petri.ocpn.OCPN`; media blocks must
+    be created through :meth:`channelled_media_block` (or
+    :meth:`relate_media`, the :class:`MediaObject`-aware variant of
+    ``relate``).
+    """
+
+    def __init__(self, manager: ChannelManager, name: str = "xocpn") -> None:
+        super().__init__(name)
+        self.manager = manager
+        #: place name -> MediaObject for channel setup places.
+        self.setup_place_media: dict[str, MediaObject] = {}
+        #: media place name -> media name for release bookkeeping.
+        self._media_objects: dict[str, MediaObject] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def channelled_media_block(self, media: MediaObject) -> Block:
+        """``setup(latency) -> media(duration)`` with channel hooks."""
+        self._media_objects[media.name] = media
+        setup = self.delay_block(self.manager.setup_latency)
+        # Remember the setup place so the runtime can open the channel
+        # when it becomes active (it is the only place in the block).
+        setup_place = self._place_between(setup)
+        self.setup_place_media[setup_place] = media
+        body = self.media_block(media.name, media.duration)
+        return self.seq(setup, body)
+
+    def relate_media(
+        self,
+        media_a: MediaObject,
+        media_b: MediaObject,
+        relation,
+        offset: float = 0.0,
+    ) -> Block:
+        """Channel-aware sibling of :meth:`OCPN.relate`.
+
+        Channel setup is hoisted *before* the temporal construction so
+        the QoS negotiation of both objects happens up front (XOCPN's
+        pre-orchestration), then the plain OCPN relation plays out.
+        """
+        setup_a = self.delay_block(self.manager.setup_latency)
+        setup_b = self.delay_block(self.manager.setup_latency)
+        self.setup_place_media[self._place_between(setup_a)] = media_a
+        self.setup_place_media[self._place_between(setup_b)] = media_b
+        self._media_objects[media_a.name] = media_a
+        self._media_objects[media_b.name] = media_b
+        body = self.relate(
+            media_a.name,
+            media_a.duration,
+            media_b.name,
+            media_b.duration,
+            relation,
+            offset=offset,
+        )
+        return self.seq(self.par(setup_a, setup_b), body)
+
+    def media_object(self, media_name: str) -> MediaObject:
+        """The registered MediaObject for a media name."""
+        if media_name not in self._media_objects:
+            raise ChannelError(f"unknown media object {media_name!r}")
+        return self._media_objects[media_name]
+
+    # ------------------------------------------------------------------
+    # Runtime wiring
+    # ------------------------------------------------------------------
+    def make_binding(self, strict: bool = True) -> ChannelBinding:
+        """Create a runtime channel binding for one execution."""
+        return ChannelBinding(manager=self.manager, strict=strict)
+
+    def attach_binding(self, executor, binding: ChannelBinding) -> None:
+        """Wire channel open/close to an executor's trace callbacks.
+
+        Works with :class:`~repro.petri.timed.TimedExecutor`-compatible
+        engines: wraps the executor's ``_deposit`` so entering a setup
+        place opens the channel and completing the final segment of a
+        media object releases it.
+        """
+        original_deposit = executor._deposit
+        last_segment = self._last_segment_index()
+
+        def deposit(place: str, now: float, pre_marked: bool = False) -> None:
+            media = self.setup_place_media.get(place)
+            if media is not None:
+                binding.on_setup(media)
+            # Schedule the channel release *before* the deposit schedules
+            # the token's availability, so at the media's end instant the
+            # bandwidth is back in the pool before downstream transitions
+            # fire (same-timestamp events run FIFO).
+            tagged = self.media_of_place.get(place)
+            if tagged is not None:
+                media_name, segment = tagged
+                if segment == last_segment.get(media_name):
+                    duration = self.durations.get(place)
+                    executor.clock.call_at(
+                        now + duration, binding.on_complete, media_name
+                    )
+            original_deposit(place, now, pre_marked=pre_marked)
+
+        executor._deposit = deposit
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _place_between(self, block: Block) -> str:
+        """The single place between a delay block's entry and exit."""
+        outputs = self.net.outputs(block.entry)
+        if len(outputs) != 1:
+            raise ChannelError("expected a single-place block")
+        return next(iter(outputs))
+
+    def _last_segment_index(self) -> dict[str, int]:
+        last: dict[str, int] = {}
+        for media_name, segment in self.media_of_place.values():
+            last[media_name] = max(last.get(media_name, 0), segment)
+        return last

@@ -1,0 +1,56 @@
+"""DMPS session layer: server/client endpoints, whiteboard, presence.
+
+Public API::
+
+    from repro.session import DMPSServer, DMPSClient, RealtimeBridge
+"""
+
+from .dmps import DMPSClient, DMPSServer
+from .messages import (
+    FloorDecisionMsg,
+    FloorRequestMsg,
+    Heartbeat,
+    Hello,
+    InviteMsg,
+    InviteResponseMsg,
+    ModeChangeMsg,
+    Post,
+    ReleaseFloorMsg,
+    SyncRequestMsg,
+    SyncResponseMsg,
+    TokenNotifyMsg,
+    Welcome,
+    WhiteboardUpdate,
+)
+from .presence import Light, LightTransition, PresenceMonitor
+from .report import SessionReport, summarize
+from .runner import RealtimeBridge
+from .whiteboard import BoardEntry, Whiteboard, WhiteboardReplica
+
+__all__ = [
+    "BoardEntry",
+    "DMPSClient",
+    "DMPSServer",
+    "FloorDecisionMsg",
+    "FloorRequestMsg",
+    "Heartbeat",
+    "Hello",
+    "InviteMsg",
+    "InviteResponseMsg",
+    "Light",
+    "LightTransition",
+    "ModeChangeMsg",
+    "Post",
+    "PresenceMonitor",
+    "RealtimeBridge",
+    "SessionReport",
+    "ReleaseFloorMsg",
+    "SyncRequestMsg",
+    "SyncResponseMsg",
+    "TokenNotifyMsg",
+    "Welcome",
+    "Whiteboard",
+    "summarize",
+    "WhiteboardReplica",
+    "WhiteboardUpdate",
+]

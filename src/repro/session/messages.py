@@ -1,0 +1,213 @@
+"""Wire messages of the DMPS session protocol.
+
+Everything the clients and the server exchange is one of these frozen
+dataclasses.  They carry plain data only (names, ids, timestamps) so a
+message can be logged, replayed, and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.modes import FCMMode
+
+__all__ = [
+    "Hello",
+    "Welcome",
+    "FloorRequestMsg",
+    "FloorDecisionMsg",
+    "ReleaseFloorMsg",
+    "TokenNotifyMsg",
+    "Post",
+    "WhiteboardUpdate",
+    "SyncRequestMsg",
+    "SyncResponseMsg",
+    "Heartbeat",
+    "InviteMsg",
+    "InviteResponseMsg",
+    "ModeChangeMsg",
+    "OpenSubgroupMsg",
+    "SubgroupOpenedMsg",
+    "SessionMessage",
+]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client joining the session."""
+
+    member: str
+    is_chair: bool = False
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Server acknowledging a join; announces the session group."""
+
+    member: str
+    session_group: str
+    mode: FCMMode
+
+
+@dataclass(frozen=True)
+class FloorRequestMsg:
+    """Client-side floor request (becomes a core FloorRequest at the
+    server)."""
+
+    member: str
+    mode: FCMMode | None = None
+    group: str | None = None
+    target_member: str | None = None
+    target_group: str | None = None
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class FloorDecisionMsg:
+    """Server answer to a floor request."""
+
+    member: str
+    outcome: str
+    group: str
+    reason: str = ""
+    decided_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReleaseFloorMsg:
+    """Holder passes the equal-control token."""
+
+    member: str
+    group: str | None = None
+    successor: str | None = None
+
+
+@dataclass(frozen=True)
+class TokenNotifyMsg:
+    """Server broadcast: the floor changed hands."""
+
+    group: str
+    holder: str | None
+
+
+@dataclass(frozen=True)
+class Post:
+    """A message-window or whiteboard contribution.
+
+    ``kind`` is ``"message"`` (chat line) or ``"annotation"`` (teacher's
+    drawing, Figure 3).
+    """
+
+    author: str
+    content: str
+    kind: str = "message"
+    group: str | None = None
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class WhiteboardUpdate:
+    """Server broadcast of an accepted post."""
+
+    author: str
+    content: str
+    kind: str
+    group: str
+    sequence: int
+    accepted_at: float
+
+
+@dataclass(frozen=True)
+class SyncRequestMsg:
+    """Cristian sync probe."""
+
+    member: str
+    sent_local: float
+
+
+@dataclass(frozen=True)
+class SyncResponseMsg:
+    """Server's global timestamp for a sync probe."""
+
+    member: str
+    sent_local: float
+    server_time: float
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Client liveness beacon for the presence lights."""
+
+    member: str
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class InviteMsg:
+    """Forwarded invitation (group discussion / direct contact)."""
+
+    invitation_id: int
+    group: str
+    inviter: str
+    invitee: str
+
+
+@dataclass(frozen=True)
+class InviteResponseMsg:
+    """Invitee's decision."""
+
+    invitation_id: int
+    invitee: str
+    accept: bool
+
+
+@dataclass(frozen=True)
+class ModeChangeMsg:
+    """Server broadcast: the chair changed the floor mode."""
+
+    group: str
+    mode: FCMMode
+
+
+@dataclass(frozen=True)
+class OpenSubgroupMsg:
+    """Client asks to open a discussion subgroup or direct contact.
+
+    ``kind`` is ``"discussion"`` or ``"direct"``; for direct contact
+    ``peer`` names the other member.
+    """
+
+    creator: str
+    kind: str = "discussion"
+    peer: str | None = None
+    invitees: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SubgroupOpenedMsg:
+    """Server reply: the subgroup exists (invitations are in flight)."""
+
+    creator: str
+    group: str
+    kind: str
+
+
+#: Union alias used in handler signatures.
+SessionMessage = (
+    Hello
+    | Welcome
+    | FloorRequestMsg
+    | FloorDecisionMsg
+    | ReleaseFloorMsg
+    | TokenNotifyMsg
+    | Post
+    | WhiteboardUpdate
+    | SyncRequestMsg
+    | SyncResponseMsg
+    | Heartbeat
+    | InviteMsg
+    | InviteResponseMsg
+    | ModeChangeMsg
+    | OpenSubgroupMsg
+    | SubgroupOpenedMsg
+)

@@ -1,0 +1,155 @@
+"""Connection lights (Figure 3).
+
+"If some of the client side disconnected, the light will be red;
+teacher can move the mouse to this red light to check the problem."
+
+The server expects a heartbeat from every client; a client whose last
+heartbeat is older than ``timeout`` shows a red light.  The monitor
+records every colour transition so experiment E6 can measure detection
+latency (disconnect instant → light turning red).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..clock.virtual import VirtualClock
+from ..errors import SessionError
+
+__all__ = ["Light", "LightTransition", "PresenceMonitor"]
+
+
+class Light(Enum):
+    GREEN = "green"
+    RED = "red"
+
+
+@dataclass(frozen=True)
+class LightTransition:
+    """One recorded colour change."""
+
+    member: str
+    time: float
+    light: Light
+
+
+class PresenceMonitor:
+    """Server-side heartbeat watcher.
+
+    Parameters
+    ----------
+    clock:
+        Global clock used both for timestamps and for scheduling the
+        periodic sweep.
+    timeout:
+        Seconds of heartbeat silence before a light turns red.
+    sweep_interval:
+        How often the monitor re-evaluates all lights.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        timeout: float = 1.0,
+        sweep_interval: float = 0.25,
+    ) -> None:
+        if timeout <= 0:
+            raise SessionError(f"timeout must be positive, got {timeout!r}")
+        if sweep_interval <= 0:
+            raise SessionError(
+                f"sweep interval must be positive, got {sweep_interval!r}"
+            )
+        self.clock = clock
+        self.timeout = timeout
+        self.sweep_interval = sweep_interval
+        self._last_heard: dict[str, float] = {}
+        self._lights: dict[str, Light] = {}
+        self.transitions: list[LightTransition] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Registration and heartbeats
+    # ------------------------------------------------------------------
+    def watch(self, member: str) -> None:
+        """Start watching a member; the light starts green."""
+        if member in self._lights:
+            raise SessionError(f"already watching {member!r}")
+        now = self.clock.now()
+        self._last_heard[member] = now
+        self._lights[member] = Light.GREEN
+        self.transitions.append(LightTransition(member, now, Light.GREEN))
+
+    def unwatch(self, member: str) -> None:
+        """Stop watching a member (no-op when unknown)."""
+        self._lights.pop(member, None)
+        self._last_heard.pop(member, None)
+
+    def heartbeat(self, member: str) -> None:
+        """Record a heartbeat; may flip a red light back to green."""
+        if member not in self._lights:
+            raise SessionError(f"heartbeat from unwatched member {member!r}")
+        now = self.clock.now()
+        self._last_heard[member] = now
+        if self._lights[member] is Light.RED:
+            self._set_light(member, Light.GREEN, now)
+
+    # ------------------------------------------------------------------
+    # Sweeping
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic sweep (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.clock.call_later(self.sweep_interval, self._sweep)
+
+    def stop(self) -> None:
+        """Halt the periodic sweep."""
+        self._running = False
+
+    def _sweep(self) -> None:
+        if not self._running:
+            return
+        now = self.clock.now()
+        for member, last in self._last_heard.items():
+            silent = now - last
+            if silent > self.timeout and self._lights[member] is Light.GREEN:
+                self._set_light(member, Light.RED, now)
+        self.clock.call_later(self.sweep_interval, self._sweep)
+
+    def _set_light(self, member: str, light: Light, now: float) -> None:
+        self._lights[member] = light
+        self.transitions.append(LightTransition(member, now, light))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def light_of(self, member: str) -> Light:
+        """The member's current light colour."""
+        if member not in self._lights:
+            raise SessionError(f"not watching {member!r}")
+        return self._lights[member]
+
+    def red_members(self) -> list[str]:
+        """Members whose light is currently red."""
+        return [m for m, light in self._lights.items() if light is Light.RED]
+
+    def detection_latency(self, member: str, disconnect_time: float) -> float:
+        """Time from a known disconnect until the light turned red.
+
+        Raises
+        ------
+        SessionError
+            If the light never turned red after ``disconnect_time``.
+        """
+        for transition in self.transitions:
+            if (
+                transition.member == member
+                and transition.light is Light.RED
+                and transition.time >= disconnect_time
+            ):
+                return transition.time - disconnect_time
+        raise SessionError(
+            f"light of {member!r} never turned red after t={disconnect_time}"
+        )

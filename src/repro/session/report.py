@@ -1,0 +1,123 @@
+"""Session reporting: one summary object per classroom run.
+
+The paper's stated future work is "focus[ing] on the performance of
+the system".  :func:`summarize` aggregates every layer's counters into
+a :class:`SessionReport` — grant latencies, post acceptance, presence
+uptime, clock-sync quality, network statistics — and renders it as the
+text block the examples print at the end of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, median
+
+from ..core.events import EventKind
+from .dmps import DMPSClient, DMPSServer
+
+__all__ = ["SessionReport", "summarize"]
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Aggregated statistics of one DMPS session."""
+
+    duration: float
+    members: int
+    # Floor control
+    requests: int
+    granted: int
+    queued: int
+    denied: int
+    aborted: int
+    token_passes: int
+    suspensions: int
+    resumptions: int
+    # Whiteboard
+    posts_accepted: int
+    posts_rejected: int
+    boards: int
+    # Presence
+    red_transitions: int
+    currently_red: int
+    # Network
+    messages_sent: int
+    messages_delivered: int
+    loss_rate: float
+    mean_latency: float
+    # Clock sync
+    synced_clients: int
+    max_residual_skew: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        total = self.posts_accepted + self.posts_rejected
+        if total == 0:
+            return 1.0
+        return self.posts_accepted / total
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"session report ({self.duration:.1f}s, {self.members} members)",
+            f"  floor:    {self.requests} requests -> {self.granted} granted, "
+            f"{self.queued} queued, {self.denied} denied, {self.aborted} aborted; "
+            f"{self.token_passes} token passes",
+            f"  media:    {self.suspensions} suspensions, "
+            f"{self.resumptions} resumptions",
+            f"  boards:   {self.boards} boards, {self.posts_accepted} accepted / "
+            f"{self.posts_rejected} rejected "
+            f"({self.acceptance_rate * 100:.0f}% acceptance)",
+            f"  presence: {self.red_transitions} red-light events, "
+            f"{self.currently_red} currently red",
+            f"  network:  {self.messages_sent} sent, "
+            f"{self.messages_delivered} delivered, "
+            f"loss {self.loss_rate * 100:.1f}%, "
+            f"mean latency {self.mean_latency * 1000:.1f} ms",
+            f"  clocks:   {self.synced_clients} synced, "
+            f"max residual skew {self.max_residual_skew * 1000:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(
+    server: DMPSServer,
+    clients: list[DMPSClient] | None = None,
+) -> SessionReport:
+    """Build a :class:`SessionReport` from a server (and its clients)."""
+    clients = clients or []
+    log = server.control.log
+    stats = server.control.arbitrator.stats
+    boards = server._boards
+    accepted = sum(len(board) for board in boards.values())
+    rejected = sum(board.rejected for board in boards.values())
+    red_events = [
+        transition
+        for transition in server.presence.transitions
+        if transition.light.value == "red"
+    ]
+    synced = [client for client in clients if client.sync.synchronized()]
+    residuals = [abs(client.local_clock.skew()) for client in synced]
+    return SessionReport(
+        duration=server.clock.now(),
+        members=len(server.members()),
+        requests=len(log.of_kind(EventKind.REQUEST)),
+        granted=stats.granted,
+        queued=stats.queued,
+        denied=stats.denied,
+        aborted=stats.aborted,
+        token_passes=len(log.of_kind(EventKind.TOKEN_PASS)),
+        suspensions=server.control.arbitrator.suspension.suspensions,
+        resumptions=server.control.arbitrator.suspension.resumptions,
+        posts_accepted=accepted,
+        posts_rejected=rejected,
+        boards=len(boards),
+        red_transitions=len(red_events),
+        currently_red=len(server.presence.red_members()),
+        messages_sent=server.network.stats.sent,
+        messages_delivered=server.network.stats.delivered,
+        loss_rate=server.network.stats.loss_rate,
+        mean_latency=server.network.stats.mean_latency,
+        synced_clients=len(synced),
+        max_residual_skew=max(residuals, default=0.0),
+    )

@@ -1,0 +1,121 @@
+"""Asyncio bridge: run a virtual-time session in (scaled) real time.
+
+Tests and benchmarks drive the :class:`~repro.clock.virtual.VirtualClock`
+directly — fastest and fully deterministic.  The examples, however, want
+to *watch* a classroom session unfold, and participant behaviour is most
+naturally written as coroutines.  :class:`RealtimeBridge` provides both:
+
+* :meth:`RealtimeBridge.run` paces virtual events against the wall
+  clock (``speed`` virtual seconds per real second);
+* :meth:`RealtimeBridge.sleep` lets an ``async`` participant coroutine
+  wait in *virtual* time, waking exactly when the simulation reaches
+  that instant;
+* :meth:`RealtimeBridge.spawn` registers participant coroutines.
+
+Example
+-------
+::
+
+    bridge = RealtimeBridge(clock, speed=50.0)
+
+    async def student(client):
+        await bridge.sleep(1.0)
+        client.request_floor()
+
+    bridge.spawn(student(alice))
+    asyncio.run(bridge.run(until=30.0))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Coroutine
+
+from ..clock.virtual import VirtualClock
+from ..errors import SessionError
+
+__all__ = ["RealtimeBridge"]
+
+
+class RealtimeBridge:
+    """Paces a virtual clock against asyncio wall time.
+
+    Parameters
+    ----------
+    clock:
+        The simulation clock shared by every component.
+    speed:
+        Virtual seconds per real second (``float('inf')`` runs as fast
+        as possible — useful to smoke-test example scripts).
+    """
+
+    def __init__(self, clock: VirtualClock, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise SessionError(f"speed must be positive, got {speed!r}")
+        self.clock = clock
+        self.speed = speed
+        self._tasks: list[Coroutine] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Participant API
+    # ------------------------------------------------------------------
+    def spawn(self, coroutine: Coroutine) -> None:
+        """Register a participant coroutine started when :meth:`run`
+        begins."""
+        self._tasks.append(coroutine)
+
+    def sleep(self, virtual_delay: float) -> Awaitable[None]:
+        """Await this to pause a participant for ``virtual_delay``
+        simulated seconds."""
+        event = asyncio.Event()
+        self.clock.call_later(virtual_delay, event.set)
+        return event.wait()
+
+    async def until_time(self, virtual_time: float) -> None:
+        """Pause until the simulation clock reaches ``virtual_time``."""
+        if virtual_time <= self.clock.now():
+            return
+        event = asyncio.Event()
+        self.clock.call_at(virtual_time, event.set)
+        await event.wait()
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    async def run(self, until: float) -> None:
+        """Run the simulation to virtual time ``until``, paced by
+        ``speed``, with participant coroutines interleaved."""
+        if self._running:
+            raise SessionError("bridge is already running")
+        self._running = True
+        started = [asyncio.ensure_future(task) for task in self._tasks]
+        self._tasks = []
+        try:
+            while self.clock.now() < until:
+                # Give participant tasks a chance to schedule new events.
+                await asyncio.sleep(0)
+                next_time = self.clock.next_event_time()
+                if next_time is None or next_time > until:
+                    await self._pace(until - self.clock.now())
+                    self.clock.run_until(until)
+                    break
+                await self._pace(next_time - self.clock.now())
+                self.clock.step()
+            # Let any tasks woken by the final events finish their step.
+            await asyncio.sleep(0)
+        finally:
+            self._running = False
+            for task in started:
+                if not task.done():
+                    task.cancel()
+            for task in started:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+
+    async def _pace(self, virtual_delta: float) -> None:
+        if virtual_delta <= 0 or self.speed == float("inf"):
+            return
+        await asyncio.sleep(virtual_delta / self.speed)

@@ -1,0 +1,113 @@
+"""The shared whiteboard / message window (Figure 2).
+
+The DMPS communication window has a message area and a whiteboard that
+all session members see.  The server owns the authoritative copy:
+a post is *accepted* only when floor control allows the author to
+deliver at that moment, then broadcast to every client replica.
+
+:class:`Whiteboard` is that authoritative, ordered state;
+:class:`WhiteboardReplica` is the per-client copy that applies
+broadcast updates (possibly out of order) and converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SessionError
+
+__all__ = ["BoardEntry", "Whiteboard", "WhiteboardReplica"]
+
+
+@dataclass(frozen=True)
+class BoardEntry:
+    """One accepted contribution."""
+
+    sequence: int
+    author: str
+    content: str
+    kind: str  # "message" | "annotation"
+    accepted_at: float
+
+
+class Whiteboard:
+    """The server's authoritative board for one group."""
+
+    def __init__(self, group: str) -> None:
+        self.group = group
+        self._entries: list[BoardEntry] = []
+        self.rejected = 0
+
+    def accept(self, author: str, content: str, kind: str, now: float) -> BoardEntry:
+        """Append an allowed post; caller has already checked the floor."""
+        if kind not in ("message", "annotation"):
+            raise SessionError(f"unknown post kind {kind!r}")
+        entry = BoardEntry(
+            sequence=len(self._entries),
+            author=author,
+            content=content,
+            kind=kind,
+            accepted_at=now,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def reject(self) -> None:
+        """Count a post refused by floor control."""
+        self.rejected += 1
+
+    def entries(self) -> list[BoardEntry]:
+        """All accepted entries in order (a copy)."""
+        return list(self._entries)
+
+    def entries_by(self, author: str) -> list[BoardEntry]:
+        """Accepted entries of one author."""
+        return [entry for entry in self._entries if entry.author == author]
+
+    def authors(self) -> set[str]:
+        """Authors with at least one accepted entry."""
+        return {entry.author for entry in self._entries}
+
+    def annotations(self) -> list[BoardEntry]:
+        """Accepted entries of kind 'annotation'."""
+        return [entry for entry in self._entries if entry.kind == "annotation"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+class WhiteboardReplica:
+    """A client's convergent copy of the board.
+
+    Updates may arrive out of order (different link latencies); the
+    replica buffers gaps and exposes only the in-order prefix, so what a
+    student *sees* is always a prefix of the authoritative board.
+    """
+
+    def __init__(self, group: str) -> None:
+        self.group = group
+        self._applied: list[BoardEntry] = []
+        self._pending: dict[int, BoardEntry] = {}
+
+    def apply(self, entry: BoardEntry) -> None:
+        """Apply one broadcast update (idempotent)."""
+        if entry.sequence < len(self._applied):
+            return  # duplicate
+        self._pending[entry.sequence] = entry
+        while len(self._applied) in self._pending:
+            self._applied.append(self._pending.pop(len(self._applied)))
+
+    def visible(self) -> list[BoardEntry]:
+        """The in-order prefix this client currently sees."""
+        return list(self._applied)
+
+    def missing(self) -> int:
+        """Updates buffered but not yet visible (gap size indicator)."""
+        return len(self._pending)
+
+    def converged_with(self, board: Whiteboard) -> bool:
+        """Replica shows exactly the authoritative contents."""
+        return self._applied == board.entries()

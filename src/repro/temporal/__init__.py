@@ -1,0 +1,49 @@
+"""Temporal model: Allen relations, specs, compilation, scheduling.
+
+Public API::
+
+    from repro.temporal import (
+        Relation, PresentationSpec, compile_spec,
+        compute_schedule, verify_against_spec,
+    )
+"""
+
+from .compiler import compile_spec
+from .composition import (
+    check_spec_consistency,
+    compose,
+    composition_table,
+    path_consistent,
+)
+from .intervals import BASE_RELATIONS, Relation, relation_between, satisfies
+from .schedule import Schedule, SynchronousSet, compute_schedule
+from .spec import Constraint, PresentationSpec
+from .verify import (
+    VerificationReport,
+    Violation,
+    reverify_after_edit,
+    verify_against_spec,
+    verify_resources,
+)
+
+__all__ = [
+    "BASE_RELATIONS",
+    "Constraint",
+    "PresentationSpec",
+    "Relation",
+    "Schedule",
+    "SynchronousSet",
+    "VerificationReport",
+    "Violation",
+    "check_spec_consistency",
+    "compile_spec",
+    "compose",
+    "composition_table",
+    "path_consistent",
+    "compute_schedule",
+    "relation_between",
+    "reverify_after_edit",
+    "satisfies",
+    "verify_against_spec",
+    "verify_resources",
+]

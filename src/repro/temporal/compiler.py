@@ -1,0 +1,140 @@
+"""Compile a :class:`~repro.temporal.spec.PresentationSpec` into an OCPN.
+
+The compiler supports the spec's constraint forest:
+
+* a component consisting of one constraint compiles through
+  :meth:`~repro.petri.ocpn.OCPN.relate` (any Allen relation);
+* a *chain* of purely sequential relations (``MEETS`` / ``BEFORE``)
+  compiles as a ``seq`` of media and delay blocks of any length;
+* richer shapes (a chain mixing parallel relations) are rejected with a
+  :class:`~repro.errors.TemporalError` pointing the author at the
+  fully-general :class:`~repro.petri.ocpn.OCPN` block API.
+
+Components (and unconstrained media) are arranged sequentially in
+authoring order by default, or all in parallel with
+``arrangement="parallel"``.
+"""
+
+from __future__ import annotations
+
+from ..errors import TemporalError
+from ..petri.ocpn import OCPN, Block
+from .intervals import Relation
+from .spec import Constraint, PresentationSpec
+
+__all__ = ["compile_spec"]
+
+_SEQUENTIAL = {Relation.MEETS, Relation.BEFORE, Relation.MET_BY, Relation.AFTER}
+
+
+def compile_spec(
+    spec: PresentationSpec, arrangement: str = "sequential"
+) -> OCPN:
+    """Compile ``spec`` into a rooted OCPN ready for execution.
+
+    Raises
+    ------
+    TemporalError
+        On unsupported constraint shapes or an unknown arrangement.
+    """
+    if arrangement not in ("sequential", "parallel"):
+        raise TemporalError(f"unknown arrangement {arrangement!r}")
+    ocpn = OCPN(spec.name)
+    blocks: list[Block] = []
+    for component in _components(spec):
+        blocks.append(_compile_component(ocpn, spec, component))
+    for name in spec.unconstrained_names():
+        media = spec.media_object(name)
+        blocks.append(ocpn.media_block(media.name, media.duration))
+    if not blocks:
+        raise TemporalError(f"spec {spec.name!r} has no media")
+    if arrangement == "sequential":
+        root = ocpn.seq(*blocks) if len(blocks) > 1 else blocks[0]
+    else:
+        root = ocpn.par(*blocks) if len(blocks) > 1 else blocks[0]
+    ocpn.set_root(root)
+    return ocpn
+
+
+def _components(spec: PresentationSpec) -> list[list[Constraint]]:
+    """Group constraints into connected components, preserving order."""
+    remaining = spec.constraints()
+    components: list[list[Constraint]] = []
+    while remaining:
+        component = [remaining.pop(0)]
+        names = {component[0].first, component[0].second}
+        grew = True
+        while grew:
+            grew = False
+            for constraint in list(remaining):
+                if constraint.first in names or constraint.second in names:
+                    component.append(constraint)
+                    names.add(constraint.first)
+                    names.add(constraint.second)
+                    remaining.remove(constraint)
+                    grew = True
+        components.append(component)
+    return components
+
+
+def _compile_component(
+    ocpn: OCPN, spec: PresentationSpec, component: list[Constraint]
+) -> Block:
+    if len(component) == 1:
+        constraint = component[0]
+        first = spec.media_object(constraint.first)
+        second = spec.media_object(constraint.second)
+        return ocpn.relate(
+            first.name,
+            first.duration,
+            second.name,
+            second.duration,
+            constraint.relation,
+            offset=constraint.offset,
+        )
+    if all(c.relation in _SEQUENTIAL for c in component):
+        return _compile_chain(ocpn, spec, component)
+    raise TemporalError(
+        "constraint component mixes parallel relations across more than "
+        "one constraint; compose it directly with the OCPN block API"
+    )
+
+
+def _compile_chain(
+    ocpn: OCPN, spec: PresentationSpec, component: list[Constraint]
+) -> Block:
+    """A pure MEETS/BEFORE chain compiles to one long seq."""
+    # Normalize inverses so every link reads left-to-right.
+    links: list[Constraint] = []
+    for constraint in component:
+        if constraint.relation in (Relation.MET_BY, Relation.AFTER):
+            links.append(
+                Constraint(
+                    first=constraint.second,
+                    second=constraint.first,
+                    relation=constraint.relation.inverse(),
+                    offset=constraint.offset,
+                )
+            )
+        else:
+            links.append(constraint)
+    successor = {link.first: link for link in links}
+    seconds = {link.second for link in links}
+    heads = [link.first for link in links if link.first not in seconds]
+    if len(heads) != 1:
+        raise TemporalError("sequential chain must have exactly one head")
+    order: list[str] = [heads[0]]
+    gaps: list[float] = []
+    while order[-1] in successor:
+        link = successor[order[-1]]
+        gaps.append(link.offset if link.relation is Relation.BEFORE else 0.0)
+        order.append(link.second)
+    if len(order) != len(links) + 1:
+        raise TemporalError("sequential chain is not connected")
+    blocks: list[Block] = []
+    for index, name in enumerate(order):
+        media = spec.media_object(name)
+        blocks.append(ocpn.media_block(media.name, media.duration))
+        if index < len(gaps) and gaps[index] > 0:
+            blocks.append(ocpn.delay_block(gaps[index]))
+    return ocpn.seq(*blocks)

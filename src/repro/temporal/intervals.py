@@ -1,0 +1,158 @@
+"""Allen's interval algebra for multimedia temporal relations.
+
+OCPN (Little & Ghafoor 1990) represents the temporal composition of
+multimedia objects with the thirteen Allen interval relations — seven
+base relations and six inverses.  This module provides:
+
+* :class:`Relation` — the thirteen relations;
+* :func:`relation_between` — classify two concrete ``(start, end)``
+  intervals;
+* :meth:`Relation.inverse` — the converse relation;
+* :func:`satisfies` — check a concrete pair against a required relation
+  with a tolerance (used by the schedule verifier and the property
+  tests: *compile then execute then classify* must round-trip).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import TemporalError
+
+__all__ = ["Relation", "relation_between", "satisfies", "BASE_RELATIONS"]
+
+
+class Relation(Enum):
+    """The thirteen Allen interval relations.
+
+    Naming reads left-to-right: ``A BEFORE B`` means interval A ends
+    before interval B starts.
+    """
+
+    BEFORE = "before"
+    MEETS = "meets"
+    OVERLAPS = "overlaps"
+    STARTS = "starts"
+    DURING = "during"
+    FINISHES = "finishes"
+    EQUALS = "equals"
+    AFTER = "after"
+    MET_BY = "met_by"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTED_BY = "started_by"
+    CONTAINS = "contains"
+    FINISHED_BY = "finished_by"
+
+    def inverse(self) -> "Relation":
+        """The converse relation: ``A rel B`` iff ``B rel.inverse() A``."""
+        return _INVERSES[self]
+
+    @property
+    def is_base(self) -> bool:
+        """One of the seven canonical relations OCPN builds directly
+        (the inverses are handled by swapping operands)."""
+        return self in BASE_RELATIONS
+
+    def normalized(self) -> tuple["Relation", bool]:
+        """Return ``(base_relation, swapped)``.
+
+        ``swapped`` is ``True`` when the operands must be exchanged to
+        express this relation with a base relation.
+        """
+        if self.is_base:
+            return self, False
+        return self.inverse(), True
+
+
+_INVERSES = {
+    Relation.BEFORE: Relation.AFTER,
+    Relation.AFTER: Relation.BEFORE,
+    Relation.MEETS: Relation.MET_BY,
+    Relation.MET_BY: Relation.MEETS,
+    Relation.OVERLAPS: Relation.OVERLAPPED_BY,
+    Relation.OVERLAPPED_BY: Relation.OVERLAPS,
+    Relation.STARTS: Relation.STARTED_BY,
+    Relation.STARTED_BY: Relation.STARTS,
+    Relation.DURING: Relation.CONTAINS,
+    Relation.CONTAINS: Relation.DURING,
+    Relation.FINISHES: Relation.FINISHED_BY,
+    Relation.FINISHED_BY: Relation.FINISHES,
+    Relation.EQUALS: Relation.EQUALS,
+}
+
+#: The seven relations with direct OCPN constructions.
+BASE_RELATIONS = frozenset(
+    {
+        Relation.BEFORE,
+        Relation.MEETS,
+        Relation.OVERLAPS,
+        Relation.STARTS,
+        Relation.DURING,
+        Relation.FINISHES,
+        Relation.EQUALS,
+    }
+)
+
+
+def _check_interval(start: float, end: float, name: str) -> None:
+    if end < start:
+        raise TemporalError(f"interval {name} has end {end!r} before start {start!r}")
+
+
+def relation_between(
+    a: tuple[float, float],
+    b: tuple[float, float],
+    tolerance: float = 1e-9,
+) -> Relation:
+    """Classify the Allen relation of concrete intervals ``a`` and ``b``.
+
+    Endpoint comparisons within ``tolerance`` count as equal, which is
+    what makes classification stable on floating-point schedules.
+
+    Raises
+    ------
+    TemporalError
+        If either interval is degenerate (end before start).
+    """
+    a_start, a_end = a
+    b_start, b_end = b
+    _check_interval(a_start, a_end, "a")
+    _check_interval(b_start, b_end, "b")
+
+    def eq(x: float, y: float) -> bool:
+        return abs(x - y) <= tolerance
+
+    def lt(x: float, y: float) -> bool:
+        return x < y - tolerance
+
+    if eq(a_start, b_start) and eq(a_end, b_end):
+        return Relation.EQUALS
+    if eq(a_start, b_start):
+        return Relation.STARTS if lt(a_end, b_end) else Relation.STARTED_BY
+    if eq(a_end, b_end):
+        return Relation.FINISHES if lt(b_start, a_start) else Relation.FINISHED_BY
+    if eq(a_end, b_start):
+        return Relation.MEETS
+    if eq(b_end, a_start):
+        return Relation.MET_BY
+    if lt(a_end, b_start):
+        return Relation.BEFORE
+    if lt(b_end, a_start):
+        return Relation.AFTER
+    if lt(a_start, b_start) and lt(b_start, a_end) and lt(a_end, b_end):
+        return Relation.OVERLAPS
+    if lt(b_start, a_start) and lt(a_start, b_end) and lt(b_end, a_end):
+        return Relation.OVERLAPPED_BY
+    if lt(b_start, a_start) and lt(a_end, b_end):
+        return Relation.DURING
+    return Relation.CONTAINS
+
+
+def satisfies(
+    a: tuple[float, float],
+    b: tuple[float, float],
+    relation: Relation,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether concrete intervals ``a``/``b`` realize ``relation``."""
+    return relation_between(a, b, tolerance=tolerance) is relation

@@ -1,0 +1,141 @@
+"""Schedule computation — the Section 4 algorithm.
+
+"We implement an algorithm using the Petri net diagram, analyzing the
+model by time schedule of multimedia objects, and produce a
+**synchronous set** of multimedia objects with respect to time
+duration."
+
+:func:`compute_schedule` executes the compiled OCPN on a rehearsal
+clock and extracts each media object's playout interval;
+:meth:`Schedule.synchronous_sets` groups media that start together —
+the sets a distributed presentation must release simultaneously (and
+the unit the DMPS server's global clock gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock.virtual import VirtualClock
+from ..errors import ScheduleError
+from ..petri.ocpn import OCPN
+from ..petri.timed import TimedExecutor
+
+__all__ = ["Schedule", "SynchronousSet", "compute_schedule"]
+
+
+@dataclass(frozen=True)
+class SynchronousSet:
+    """Media objects that start at the same instant."""
+
+    time: float
+    media: tuple[str, ...]
+
+
+@dataclass
+class Schedule:
+    """Per-media playout intervals of one presentation run."""
+
+    intervals: dict[str, tuple[float, float]]
+
+    def start_of(self, media: str) -> float:
+        """Start time of a media object."""
+        self._check(media)
+        return self.intervals[media][0]
+
+    def end_of(self, media: str) -> float:
+        """End time of a media object."""
+        self._check(media)
+        return self.intervals[media][1]
+
+    def duration_of(self, media: str) -> float:
+        """Realized duration of a media object."""
+        start, end = self.intervals[self._check(media)]
+        return end - start
+
+    def makespan(self) -> float:
+        """Total presentation length (latest end time)."""
+        if not self.intervals:
+            return 0.0
+        return max(end for __, end in self.intervals.values())
+
+    def media_names(self) -> list[str]:
+        """All scheduled media, sorted."""
+        return sorted(self.intervals)
+
+    def active_at(self, time: float) -> list[str]:
+        """Media playing at a given instant (inclusive start, exclusive
+        end, so MEETS neighbours do not double-count)."""
+        return sorted(
+            media
+            for media, (start, end) in self.intervals.items()
+            if start <= time < end
+        )
+
+    def peak_concurrency(self) -> int:
+        """Maximum number of simultaneously playing media objects."""
+        best = 0
+        for media, (start, __) in self.intervals.items():
+            best = max(best, len(self.active_at(start)))
+        return best
+
+    def synchronous_sets(self, tolerance: float = 1e-6) -> list[SynchronousSet]:
+        """Group media by start time (the Section 4 output).
+
+        Media whose starts differ by at most ``tolerance`` belong to the
+        same set; sets are returned in chronological order.
+        """
+        starts = sorted(
+            (start, media) for media, (start, __) in self.intervals.items()
+        )
+        sets: list[SynchronousSet] = []
+        group: list[str] = []
+        group_time = 0.0
+        for start, media in starts:
+            if not group:
+                group = [media]
+                group_time = start
+            elif start - group_time <= tolerance:
+                group.append(media)
+            else:
+                sets.append(SynchronousSet(time=group_time, media=tuple(sorted(group))))
+                group = [media]
+                group_time = start
+        if group:
+            sets.append(SynchronousSet(time=group_time, media=tuple(sorted(group))))
+        return sets
+
+    def _check(self, media: str) -> str:
+        if media not in self.intervals:
+            raise ScheduleError(f"media {media!r} not in schedule")
+        return media
+
+
+def compute_schedule(ocpn: OCPN, max_time: float = 1e7) -> Schedule:
+    """Rehearse ``ocpn`` on a scratch clock and extract the schedule.
+
+    The OCPN must be rooted (see :meth:`~repro.petri.ocpn.OCPN.set_root`).
+
+    Raises
+    ------
+    ScheduleError
+        If the net never quiesces within ``max_time`` or produced no
+        media intervals.
+    """
+    if "start" not in ocpn.net.places:
+        raise ScheduleError("OCPN has no root; call set_root() first")
+    # Rehearse on a copy so the caller's net keeps its initial marking.
+    from ..petri.docpn import _copy_net  # local import to avoid a cycle
+
+    rehearsal = _copy_net(ocpn.net)
+    executor = TimedExecutor(rehearsal, ocpn.durations, VirtualClock())
+    trace = executor.run_to_completion(max_time=max_time)
+    if rehearsal.tokens("done") != 1:
+        raise ScheduleError(
+            f"presentation did not complete within t={max_time} "
+            f"(tokens in 'done': {rehearsal.tokens('done')})"
+        )
+    intervals = ocpn.media_intervals(trace.intervals)
+    if not intervals:
+        raise ScheduleError("presentation contains no media")
+    return Schedule(intervals=intervals)

@@ -1,0 +1,157 @@
+"""Schedule verification.
+
+The paper stresses that "users can dynamically modify and verify
+different kinds of conditions during the presentation".  This module
+provides the verification half:
+
+* :func:`verify_against_spec` — every authored constraint must hold in
+  the computed schedule (compile → execute → classify round trip);
+* :func:`verify_resources` — at no instant may concurrently playing
+  media exceed a bandwidth budget (the XOCPN QoS pre-check);
+* :func:`reverify_after_edit` — the dynamic-modification workflow:
+  swap a media item's duration, recompile, and re-verify in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ScheduleError
+from ..media.objects import MediaObject
+from .compiler import compile_spec
+from .intervals import satisfies
+from .schedule import Schedule, compute_schedule
+from .spec import PresentationSpec
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "verify_against_spec",
+    "verify_resources",
+    "reverify_after_edit",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed check."""
+
+    kind: str  # "relation" | "bandwidth"
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification pass."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, detail: str) -> None:
+        """Record one violation."""
+        self.violations.append(Violation(kind=kind, detail=detail))
+
+    def merged_with(self, other: "VerificationReport") -> "VerificationReport":
+        """A new report holding both reports' violations."""
+        return VerificationReport(violations=self.violations + other.violations)
+
+
+def verify_against_spec(
+    spec: PresentationSpec, schedule: Schedule, tolerance: float = 1e-6
+) -> VerificationReport:
+    """Check every authored constraint against the realized intervals."""
+    report = VerificationReport()
+    for constraint in spec.constraints():
+        try:
+            a = schedule.intervals[constraint.first]
+            b = schedule.intervals[constraint.second]
+        except KeyError as missing:
+            report.add("relation", f"media {missing} absent from schedule")
+            continue
+        if not satisfies(a, b, constraint.relation, tolerance=tolerance):
+            report.add(
+                "relation",
+                f"{constraint.first!r} {constraint.relation.value} "
+                f"{constraint.second!r} violated: intervals {a} vs {b}",
+            )
+    return report
+
+
+def verify_resources(
+    spec: PresentationSpec,
+    schedule: Schedule,
+    bandwidth_budget_kbps: float,
+) -> VerificationReport:
+    """No instant may demand more bandwidth than the budget.
+
+    Demand is checked at every media start (piecewise-constant demand
+    only changes at starts/ends, and checking starts covers the maxima).
+    """
+    if bandwidth_budget_kbps <= 0:
+        raise ScheduleError(
+            f"bandwidth budget must be positive, got {bandwidth_budget_kbps!r}"
+        )
+    report = VerificationReport()
+    media_by_name = spec.media()
+    for media_name in schedule.media_names():
+        start = schedule.start_of(media_name)
+        active = schedule.active_at(start)
+        demand = sum(
+            media_by_name[name].bandwidth_kbps
+            for name in active
+            if name in media_by_name
+        )
+        if demand > bandwidth_budget_kbps + 1e-9:
+            report.add(
+                "bandwidth",
+                f"at t={start:.3f} media {active} demand {demand:.0f} kbps "
+                f"> budget {bandwidth_budget_kbps:.0f} kbps",
+            )
+    return report
+
+
+def reverify_after_edit(
+    spec: PresentationSpec,
+    media_name: str,
+    new_duration: float,
+    bandwidth_budget_kbps: float | None = None,
+    arrangement: str = "sequential",
+) -> tuple[PresentationSpec, Schedule, VerificationReport]:
+    """The dynamic-edit workflow: change a duration, recompile, verify.
+
+    Returns the *edited copy* of the spec, its schedule, and the merged
+    report.  The original spec is untouched, so a failing edit can be
+    abandoned.
+
+    Raises
+    ------
+    ScheduleError / TemporalError
+        When the edited spec cannot be compiled at all (e.g. the new
+        duration makes a relation infeasible) — that is itself the
+        verification outcome the author needs.
+    """
+    edited = PresentationSpec(spec.name)
+    for media in spec.media().values():
+        if media.name == media_name:
+            media = replace_duration(media, new_duration)
+        edited.add(media)
+    for constraint in spec.constraints():
+        edited.relate(
+            constraint.first, constraint.second, constraint.relation, constraint.offset
+        )
+    ocpn = compile_spec(edited, arrangement=arrangement)
+    schedule = compute_schedule(ocpn)
+    report = verify_against_spec(edited, schedule)
+    if bandwidth_budget_kbps is not None:
+        report = report.merged_with(
+            verify_resources(edited, schedule, bandwidth_budget_kbps)
+        )
+    return edited, schedule, report
+
+
+def replace_duration(media: MediaObject, new_duration: float) -> MediaObject:
+    """A copy of ``media`` with a different duration."""
+    return replace(media, duration=new_duration)

@@ -1,0 +1,18 @@
+"""Workload generation: scenarios, synthetic presentations, traces."""
+
+from .generator import RequestEvent, WorkloadConfig, generate, member_names
+from .presentations import figure1_presentation, lecture_ocpn, random_presentation
+from .traces import TraceRecorder, drive, replay
+
+__all__ = [
+    "RequestEvent",
+    "TraceRecorder",
+    "WorkloadConfig",
+    "drive",
+    "figure1_presentation",
+    "generate",
+    "lecture_ocpn",
+    "member_names",
+    "random_presentation",
+    "replay",
+]

@@ -1,0 +1,93 @@
+"""Synthetic presentation builders for scheduling/synchronization
+experiments (E1, E7, E8).
+
+:func:`figure1_presentation` rebuilds the shape of the paper's Figure 1
+net (fork/join of media with a narration track).
+:func:`random_presentation` generates seeded specs of arbitrary size
+for sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..media.objects import audio, image, text, video
+from ..petri.ocpn import OCPN
+from ..temporal.intervals import Relation
+from ..temporal.spec import PresentationSpec
+
+__all__ = ["figure1_presentation", "random_presentation", "lecture_ocpn"]
+
+
+def figure1_presentation() -> OCPN:
+    """The Figure 1 lecture: title, then narrated slide sections with
+    concurrent audio, closing with a summary image.
+
+    Built directly with the OCPN block algebra because it mixes
+    parallel and sequential structure.
+    """
+    ocpn = OCPN("figure1")
+    title = ocpn.media_block("title", 3.0)
+    section1 = ocpn.par(
+        ocpn.media_block("slides1", 20.0),
+        ocpn.media_block("narration1", 20.0),
+    )
+    interlude = ocpn.media_block("demo_video", 15.0)
+    section2 = ocpn.par(
+        ocpn.media_block("slides2", 25.0),
+        ocpn.media_block("narration2", 25.0),
+    )
+    summary = ocpn.media_block("summary", 5.0)
+    ocpn.set_root(ocpn.seq(title, section1, interlude, section2, summary))
+    return ocpn
+
+
+def lecture_ocpn(segments: int = 3, segment_duration: float = 20.0) -> OCPN:
+    """A parameterized lecture: N narrated sections in sequence."""
+    ocpn = OCPN(f"lecture-{segments}")
+    blocks = [ocpn.media_block("title", 3.0)]
+    for index in range(segments):
+        blocks.append(
+            ocpn.par(
+                ocpn.media_block(f"slides{index}", segment_duration),
+                ocpn.media_block(f"narration{index}", segment_duration),
+            )
+        )
+    blocks.append(ocpn.media_block("summary", 5.0))
+    ocpn.set_root(ocpn.seq(*blocks))
+    return ocpn
+
+
+def random_presentation(items: int, seed: int = 0) -> PresentationSpec:
+    """A seeded random spec of ``items`` media objects.
+
+    Pairs of consecutive items are constrained with a feasible random
+    relation; a trailing odd item stays unconstrained.  Every generated
+    spec compiles and schedules (the generator only picks relations its
+    durations can realize).
+    """
+    rng = random.Random(seed)
+    spec = PresentationSpec(f"random-{items}-{seed}")
+    makers = [video, audio, image, text]
+    durations = [rng.uniform(2.0, 30.0) for __ in range(items)]
+    for index in range(items):
+        maker = makers[rng.randrange(len(makers))]
+        spec.add(maker(f"m{index}", durations[index]))
+    for left in range(0, items - 1, 2):
+        right = left + 1
+        da, db = durations[left], durations[right]
+        choices = [Relation.MEETS, Relation.BEFORE]
+        if da < db:
+            choices += [Relation.STARTS, Relation.FINISHES]
+        if db - da > 0.5:
+            choices.append(Relation.DURING)
+        relation = choices[rng.randrange(len(choices))]
+        if relation is Relation.BEFORE:
+            offset = rng.uniform(0.5, 5.0)
+        elif relation is Relation.DURING:
+            # Strictly inside (0, db - da) so offset + da < db holds.
+            offset = (db - da) * rng.uniform(0.1, 0.9)
+        else:
+            offset = 0.0
+        spec.relate(f"m{left}", f"m{right}", relation, offset=offset)
+    return spec

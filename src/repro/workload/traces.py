@@ -1,0 +1,86 @@
+"""Trace recording and replay.
+
+A :class:`TraceRecorder` captures the floor-control event log of a live
+run as plain tuples; :func:`replay` drives a fresh server through the
+same request sequence.  Replay is how the benchmarks compare two
+arbitration policies on *identical* input (ablation A4), and how a
+failing classroom session can be reproduced deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clock.virtual import VirtualClock
+from ..core.floor import FloorGrant
+from ..core.modes import FCMMode
+from ..core.server import FloorControlServer
+from .generator import RequestEvent
+
+__all__ = ["TraceRecorder", "drive", "replay"]
+
+
+@dataclass
+class TraceRecorder:
+    """Collects the actions actually applied to a server."""
+
+    events: list[RequestEvent] = field(default_factory=list)
+
+    def record(self, event: RequestEvent) -> None:
+        """Append one applied event."""
+        self.events.append(event)
+
+    def as_workload(self) -> list[RequestEvent]:
+        """The recorded events sorted by time."""
+        return sorted(self.events, key=lambda event: event.time)
+
+
+def drive(
+    server: FloorControlServer,
+    clock: VirtualClock,
+    events: list[RequestEvent],
+    recorder: TraceRecorder | None = None,
+) -> list[FloorGrant]:
+    """Apply a workload to a server over virtual time.
+
+    Each event is scheduled at its timestamp; requests are arbitrated
+    the instant they arrive (the network layer, when present, adds its
+    latency before this point).  Returns all grants in arrival order.
+    """
+    grants: list[FloorGrant] = []
+
+    def apply(event: RequestEvent) -> None:
+        if recorder is not None:
+            recorder.record(event)
+        if event.action == "request":
+            grants.append(
+                server.request_floor(event.member, mode=event.mode)
+            )
+        elif event.action == "release":
+            holder = server.arbitrator.token(server.session_group).holder
+            if holder == event.member:
+                server.release_floor(server.session_group, event.member)
+        elif event.action == "post":
+            # Posts are floor-checked at the session layer; at this level
+            # they only matter as activity markers for the log.
+            pass
+
+    for event in events:
+        clock.call_at(event.time, apply, event)
+    clock.run(max_events=len(events) * 4 + 16)
+    return grants
+
+
+def replay(
+    events: list[RequestEvent],
+    server_factory,
+) -> list[FloorGrant]:
+    """Run a recorded workload against a freshly built server.
+
+    ``server_factory(clock)`` must return a configured
+    :class:`~repro.core.server.FloorControlServer` with every member of
+    the trace already joined.
+    """
+    clock = VirtualClock()
+    server = server_factory(clock)
+    return drive(server, clock, events)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestCommands:
+    def test_demo_classroom(self, capsys):
+        assert main(["demo", "classroom"]) == 0
+        out = capsys.readouterr().out
+        assert "whiteboard:" in out
+        assert "session report" in out
+        assert "teacher's point" in out
+
+    def test_demo_lecture(self, capsys):
+        assert main(["demo", "lecture"]) == 0
+        out = capsys.readouterr().out
+        assert "global clock OFF" in out
+        assert "global clock ON" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "synchronous sets:" in out
+        assert "demo_video" in out
+
+    def test_dot(self, capsys):
+        assert main(["dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "title[0]" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "session report" in out
+        assert "100% acceptance" in out
+
+    def test_seed_changes_run(self, capsys):
+        main(["--seed", "1", "report"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "report"])
+        second = capsys.readouterr().out
+        # Latencies differ with the seeded topology.
+        assert first != second
+
+    def test_seed_is_deterministic(self, capsys):
+        main(["--seed", "7", "report"])
+        first = capsys.readouterr().out
+        main(["--seed", "7", "report"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,204 @@
+"""Tests for drifting clocks, Cristian sync, and global-clock admission."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock.drift import DriftingClock
+from repro.clock.sync import (
+    CristianSyncClient,
+    GlobalClockAdmission,
+    SyncSample,
+)
+from repro.clock.virtual import VirtualClock
+from repro.errors import ClockError
+
+
+class TestDriftingClock:
+    def test_zero_offset_zero_drift_tracks_truth(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock)
+        clock.run_until(10.0)
+        assert local.now() == pytest.approx(10.0)
+
+    def test_positive_offset_is_ahead(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=2.0)
+        assert local.now() == pytest.approx(2.0)
+        assert local.skew() == pytest.approx(2.0)
+
+    def test_drift_accumulates_with_time(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, drift_rate=0.01)
+        clock.run_until(100.0)
+        assert local.now() == pytest.approx(101.0)
+        assert local.skew() == pytest.approx(1.0)
+
+    def test_negative_drift_falls_behind(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, drift_rate=-0.05)
+        clock.run_until(100.0)
+        assert local.skew() == pytest.approx(-5.0)
+
+    def test_drift_rate_below_minus_one_rejected(self):
+        with pytest.raises(ClockError):
+            DriftingClock(VirtualClock(), drift_rate=-1.5)
+
+    def test_true_time_of_inverts_now(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=3.0, drift_rate=0.02)
+        clock.run_until(50.0)
+        assert local.true_time_of(local.now()) == pytest.approx(50.0)
+
+    def test_adjust_steps_offset(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=5.0)
+        local.adjust(-5.0)
+        assert local.now() == pytest.approx(0.0)
+
+    def test_slew_to_reads_target(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=7.0)
+        clock.run_until(10.0)
+        correction = local.slew_to(10.0)
+        assert local.now() == pytest.approx(10.0)
+        assert correction == pytest.approx(-7.0)
+
+    @given(
+        offset=st.floats(min_value=-10, max_value=10),
+        drift=st.floats(min_value=-0.1, max_value=0.1),
+        t=st.floats(min_value=0, max_value=1e4),
+    )
+    def test_property_inversion_roundtrip(self, offset, drift, t):
+        clock = VirtualClock(start=t)
+        local = DriftingClock(clock, offset=offset, drift_rate=drift)
+        assert local.true_time_of(local.now()) == pytest.approx(t, abs=1e-6)
+
+
+class TestSyncSample:
+    def test_round_trip(self):
+        s = SyncSample(request_local=10.0, server_time=10.05, response_local=10.2)
+        assert s.round_trip == pytest.approx(0.2)
+
+    def test_offset_estimate_midpoint_rule(self):
+        # Client sends at local 10.0, server stamps global 9.0, reply at local 10.2.
+        # Midpoint local = 10.1, so estimated offset local-global = 1.1.
+        s = SyncSample(request_local=10.0, server_time=9.0, response_local=10.2)
+        assert s.offset_estimate == pytest.approx(1.1)
+
+    def test_error_bound_is_half_rtt(self):
+        s = SyncSample(request_local=0.0, server_time=0.0, response_local=0.3)
+        assert s.error_bound == pytest.approx(0.15)
+
+
+class TestCristianSyncClient:
+    def _make(self, offset=1.0):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=offset)
+        return clock, local, CristianSyncClient(local)
+
+    def test_unsynchronized_offset_raises(self):
+        __, __, sync = self._make()
+        with pytest.raises(ClockError):
+            sync.offset()
+
+    def test_unsynchronized_flag(self):
+        __, __, sync = self._make()
+        assert not sync.synchronized()
+
+    def test_symmetric_exchange_recovers_offset_exactly(self):
+        clock, local, sync = self._make(offset=1.0)
+        # Symmetric 0.1 s one-way delay: request at local t0, server stamps
+        # true time t0-offset+0.1, response at local t0+0.2.
+        t0 = local.now()
+        sync.record(
+            SyncSample(
+                request_local=t0,
+                server_time=clock.now() + 0.1,
+                response_local=t0 + 0.2,
+            )
+        )
+        assert sync.offset() == pytest.approx(1.0)
+        assert sync.synchronized()
+
+    def test_keeps_lowest_rtt_sample(self):
+        clock, local, sync = self._make(offset=2.0)
+        noisy = SyncSample(request_local=0.0, server_time=-1.0, response_local=4.0)
+        clean = SyncSample(request_local=10.0, server_time=8.1, response_local=10.2)
+        sync.record(noisy)
+        sync.record(clean)
+        assert sync.error_bound() == pytest.approx(0.1)
+        assert sync.offset() == pytest.approx(2.0)
+
+    def test_negative_rtt_rejected(self):
+        __, __, sync = self._make()
+        with pytest.raises(ClockError):
+            sync.record(SyncSample(request_local=5.0, server_time=5.0, response_local=4.0))
+
+    def test_global_now_corrects_local_reading(self):
+        clock, local, sync = self._make(offset=3.0)
+        sync.record(SyncSample(request_local=3.0, server_time=0.0, response_local=3.0))
+        clock.run_until(10.0)
+        assert sync.global_now() == pytest.approx(10.0)
+
+    def test_samples_returns_copy(self):
+        __, __, sync = self._make()
+        sync.record(SyncSample(0.0, 0.0, 0.1))
+        samples = sync.samples
+        samples.clear()
+        assert len(sync.samples) == 1
+
+
+class TestGlobalClockAdmission:
+    def test_fast_client_is_held(self):
+        clock = VirtualClock(start=9.5)
+        fast = DriftingClock(clock, offset=0.5)  # local reads 10.0
+        admission = GlobalClockAdmission(clock)
+        decision = admission.admit(fast, scheduled_local_time=10.0)
+        assert decision.held
+        assert decision.release_global_time == pytest.approx(10.0)
+        assert decision.hold_duration == pytest.approx(0.5)
+
+    def test_slow_client_fires_immediately(self):
+        clock = VirtualClock(start=10.5)
+        slow = DriftingClock(clock, offset=-0.5)  # local reads 10.0
+        admission = GlobalClockAdmission(clock)
+        decision = admission.admit(slow, scheduled_local_time=10.0)
+        assert not decision.held
+        assert decision.release_global_time == pytest.approx(10.5)
+        assert decision.hold_duration == 0.0
+
+    def test_exactly_synchronized_client_not_held(self):
+        clock = VirtualClock(start=10.0)
+        exact = DriftingClock(clock)  # no skew
+        admission = GlobalClockAdmission(clock)
+        decision = admission.admit(exact, scheduled_local_time=10.0)
+        assert not decision.held
+        assert decision.hold_duration == 0.0
+
+    def test_statistics_accumulate(self):
+        clock = VirtualClock(start=5.0)
+        fast = DriftingClock(clock, offset=1.0)
+        slow = DriftingClock(clock, offset=-1.0)
+        admission = GlobalClockAdmission(clock)
+        admission.admit(fast, scheduled_local_time=6.0)
+        admission.admit(slow, scheduled_local_time=4.0)
+        assert admission.holds == 1
+        assert admission.immediates == 1
+        assert admission.total_hold_time == pytest.approx(1.0)
+
+    @given(skew=st.floats(min_value=-5.0, max_value=5.0))
+    def test_property_release_never_before_global_now(self, skew):
+        clock = VirtualClock(start=100.0)
+        client = DriftingClock(clock, offset=skew)
+        admission = GlobalClockAdmission(clock)
+        decision = admission.admit(client, scheduled_local_time=client.now())
+        assert decision.release_global_time >= clock.now()
+
+    @given(skew=st.floats(min_value=0.001, max_value=5.0))
+    def test_property_fast_clients_release_at_scheduled_global_time(self, skew):
+        # A fast client that schedules "now" (local) is held by exactly its skew.
+        clock = VirtualClock(start=100.0)
+        client = DriftingClock(clock, offset=skew)
+        admission = GlobalClockAdmission(clock)
+        decision = admission.admit(client, scheduled_local_time=client.now())
+        assert decision.hold_duration == pytest.approx(skew, abs=1e-9)

@@ -1,0 +1,254 @@
+"""Tests for the virtual-time event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock.virtual import VirtualClock, periodic
+from repro.errors import ClockError
+
+
+class TestVirtualClockBasics:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(start=42.5).now() == 42.5
+
+    def test_now_does_not_advance_on_its_own(self):
+        clock = VirtualClock()
+        for _ in range(10):
+            assert clock.now() == 0.0
+
+    def test_pending_counts_scheduled_events(self):
+        clock = VirtualClock()
+        clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        assert clock.pending() == 2
+
+    def test_next_event_time_none_when_idle(self):
+        assert VirtualClock().next_event_time() is None
+
+    def test_next_event_time_reports_earliest(self):
+        clock = VirtualClock()
+        clock.call_at(5.0, lambda: None)
+        clock.call_at(3.0, lambda: None)
+        assert clock.next_event_time() == 3.0
+
+
+class TestScheduling:
+    def test_call_at_runs_at_scheduled_time(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(2.5, lambda: seen.append(clock.now()))
+        clock.run_until(10.0)
+        assert seen == [2.5]
+
+    def test_call_later_is_relative(self):
+        clock = VirtualClock(start=100.0)
+        seen = []
+        clock.call_later(3.0, lambda: seen.append(clock.now()))
+        clock.run_until(200.0)
+        assert seen == [103.0]
+
+    def test_call_at_passes_args(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(1.0, seen.append, "payload")
+        clock.run(max_events=10)
+        assert seen == ["payload"]
+
+    def test_scheduling_in_the_past_raises(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.call_at(9.9, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ClockError):
+            VirtualClock().call_later(-0.1, lambda: None)
+
+    def test_same_time_events_run_fifo(self):
+        clock = VirtualClock()
+        order = []
+        clock.call_at(1.0, order.append, "first")
+        clock.call_at(1.0, order.append, "second")
+        clock.call_at(1.0, order.append, "third")
+        clock.run()
+        assert order == ["first", "second", "third"]
+
+    def test_callback_can_schedule_more_events(self):
+        clock = VirtualClock()
+        seen = []
+
+        def chain():
+            seen.append(clock.now())
+            if clock.now() < 3.0:
+                clock.call_later(1.0, chain)
+
+        clock.call_at(1.0, chain)
+        clock.run_until(10.0)
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        clock = VirtualClock()
+        seen = []
+        handle = clock.call_at(1.0, seen.append, "x")
+        handle.cancel()
+        clock.run_until(5.0)
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        clock = VirtualClock()
+        handle = clock.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancelled_events_not_in_pending(self):
+        clock = VirtualClock()
+        handle = clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert clock.pending() == 1
+
+    def test_handle_reports_when(self):
+        clock = VirtualClock()
+        handle = clock.call_at(7.25, lambda: None)
+        assert handle.when == 7.25
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self):
+        assert VirtualClock().step() is False
+
+    def test_step_runs_exactly_one_event(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(1.0, seen.append, 1)
+        clock.call_at(2.0, seen.append, 2)
+        assert clock.step() is True
+        assert seen == [1]
+        assert clock.now() == 1.0
+
+    def test_run_until_leaves_clock_at_deadline(self):
+        clock = VirtualClock()
+        clock.call_at(1.0, lambda: None)
+        clock.run_until(5.0)
+        assert clock.now() == 5.0
+
+    def test_run_until_excludes_later_events(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(1.0, seen.append, "early")
+        clock.call_at(9.0, seen.append, "late")
+        clock.run_until(5.0)
+        assert seen == ["early"]
+
+    def test_run_until_includes_events_at_deadline(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(5.0, seen.append, "at-deadline")
+        clock.run_until(5.0)
+        assert seen == ["at-deadline"]
+
+    def test_run_until_past_deadline_raises(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.run_until(9.0)
+
+    def test_run_returns_event_count(self):
+        clock = VirtualClock()
+        for i in range(5):
+            clock.call_at(float(i + 1), lambda: None)
+        assert clock.run() == 5
+
+    def test_run_max_events_bounds_execution(self):
+        clock = VirtualClock()
+
+        def reschedule():
+            clock.call_later(1.0, reschedule)
+
+        clock.call_at(1.0, reschedule)
+        assert clock.run(max_events=17) == 17
+
+    def test_advance_is_relative_run_until(self):
+        clock = VirtualClock(start=10.0)
+        seen = []
+        clock.call_at(12.0, seen.append, "hit")
+        clock.advance(5.0)
+        assert clock.now() == 15.0
+        assert seen == ["hit"]
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_interval(self):
+        clock = VirtualClock()
+        times = []
+        periodic(clock, 2.0, lambda: times.append(clock.now()), count=3)
+        clock.run_until(20.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_periodic_start_at_overrides_first_time(self):
+        clock = VirtualClock()
+        times = []
+        periodic(clock, 2.0, lambda: times.append(clock.now()), start_at=0.5, count=2)
+        clock.run_until(20.0)
+        assert times == [0.5, 2.5]
+
+    def test_periodic_cancel_stops_series(self):
+        clock = VirtualClock()
+        times = []
+        handle = periodic(clock, 1.0, lambda: times.append(clock.now()))
+        clock.run_until(3.0)
+        handle.cancel()
+        clock.run_until(10.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_periodic_unbounded_keeps_going(self):
+        clock = VirtualClock()
+        count = [0]
+        periodic(clock, 1.0, lambda: count.__setitem__(0, count[0] + 1))
+        clock.run_until(100.0)
+        assert count[0] == 100
+
+    def test_periodic_rejects_bad_interval(self):
+        with pytest.raises(ClockError):
+            periodic(VirtualClock(), 0.0, lambda: None)
+
+    def test_periodic_rejects_zero_count(self):
+        with pytest.raises(ClockError):
+            periodic(VirtualClock(), 1.0, lambda: None, count=0)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_always_run_in_time_order(self, times):
+        clock = VirtualClock()
+        seen = []
+        for t in times:
+            clock.call_at(t, seen.append, t)
+        clock.run()
+        assert seen == sorted(seen)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=30),
+        st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_run_until_runs_exactly_due_events(self, times, deadline):
+        clock = VirtualClock()
+        ran = []
+        for t in times:
+            clock.call_at(t, ran.append, t)
+        clock.run_until(deadline)
+        assert sorted(ran) == sorted(t for t in times if t <= deadline)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_clock_is_monotonic_across_steps(self, times):
+        clock = VirtualClock()
+        observed = []
+        for t in times:
+            clock.call_at(t, lambda: observed.append(clock.now()))
+        while clock.step():
+            pass
+        assert all(a <= b for a, b in zip(observed, observed[1:]))

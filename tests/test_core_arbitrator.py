@@ -1,0 +1,344 @@
+"""Tests for FCM-Arbitrate: mode admission rules, resource thresholds,
+and Media-Suspend."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.arbitrator import Arbitrator
+from repro.core.floor import RequestOutcome, _RequestFactory
+from repro.core.groups import GroupRegistry, Member, Role
+from repro.core.modes import FCMMode
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.suspension import ActiveMedia
+
+
+def make_arbitrator(capacity=10_000.0, a=0.3, b=0.1):
+    registry = GroupRegistry()
+    registry.register_member(Member("teacher", role=Role.CHAIR))
+    registry.create_group("session", chair="teacher")
+    for name in ("alice", "bob", "carol"):
+        registry.register_member(Member(name))
+        registry.join("session", name)
+    resources = ResourceModel(
+        ResourceVector(network_kbps=capacity, cpu_share=4.0, memory_mb=1024.0),
+        basic_fraction=a,
+        minimal_fraction=b,
+    )
+    return Arbitrator(registry, resources), registry, resources
+
+
+def request(factory, member, mode, **kwargs):
+    return factory.make(member=member, group="session", mode=mode, **kwargs)
+
+
+class TestMembershipGuard:
+    def test_non_member_denied(self):
+        arbitrator, registry, __ = make_arbitrator()
+        registry.register_member(Member("outsider"))
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(request(factory, "outsider", FCMMode.FREE_ACCESS))
+        assert grant.outcome is RequestOutcome.DENIED
+        assert "not joined" in grant.reason
+
+    def test_unknown_member_denied_not_crashed(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(request(factory, "ghost", FCMMode.FREE_ACCESS))
+        assert grant.outcome is RequestOutcome.DENIED
+
+
+class TestFreeAccess:
+    def test_every_member_granted(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        for name in ("teacher", "alice", "bob", "carol"):
+            grant = arbitrator.arbitrate(request(factory, name, FCMMode.FREE_ACCESS))
+            assert grant.outcome is RequestOutcome.GRANTED
+            assert grant.media_enabled == (name,)
+        assert arbitrator.stats.granted == 4
+
+    def test_grants_are_concurrent_no_queueing(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        outcomes = [
+            arbitrator.arbitrate(request(factory, n, FCMMode.FREE_ACCESS)).outcome
+            for n in ("alice", "bob", "carol")
+        ]
+        assert outcomes == [RequestOutcome.GRANTED] * 3
+
+
+class TestEqualControl:
+    def test_first_requester_takes_floor(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(request(factory, "alice", FCMMode.EQUAL_CONTROL))
+        assert grant.outcome is RequestOutcome.GRANTED
+        assert arbitrator.token("session").holder == "alice"
+
+    def test_second_requester_queued(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        arbitrator.arbitrate(request(factory, "alice", FCMMode.EQUAL_CONTROL))
+        grant = arbitrator.arbitrate(request(factory, "bob", FCMMode.EQUAL_CONTROL))
+        assert grant.outcome is RequestOutcome.QUEUED
+        assert "alice" in grant.reason
+
+    def test_exactly_one_holder_under_storm(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        outcomes = [
+            arbitrator.arbitrate(request(factory, n, FCMMode.EQUAL_CONTROL)).outcome
+            for n in ("alice", "bob", "carol", "teacher")
+        ]
+        assert outcomes.count(RequestOutcome.GRANTED) == 1
+        assert outcomes.count(RequestOutcome.QUEUED) == 3
+
+    def test_release_passes_to_next_waiter(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        arbitrator.arbitrate(request(factory, "alice", FCMMode.EQUAL_CONTROL))
+        arbitrator.arbitrate(request(factory, "bob", FCMMode.EQUAL_CONTROL))
+        new_holder = arbitrator.release_floor("session", "alice")
+        assert new_holder == "bob"
+
+    def test_holder_effective_priority_elevated(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        assert arbitrator.effective_priority("alice", "session") == 1
+        arbitrator.arbitrate(request(factory, "alice", FCMMode.EQUAL_CONTROL))
+        assert arbitrator.effective_priority("alice", "session") >= 2
+
+    def test_chair_effective_priority_always_elevated(self):
+        arbitrator, __, __ = make_arbitrator()
+        assert arbitrator.effective_priority("teacher", "session") >= 2
+
+
+class TestGroupDiscussion:
+    def _with_subgroup(self):
+        arbitrator, registry, resources = make_arbitrator()
+        subgroup = registry.create_subgroup("session", "alice")
+        invitation = registry.invite(subgroup.group_id, "alice", "bob")
+        registry.respond(invitation.invitation_id, accept=True)
+        return arbitrator, registry, subgroup
+
+    def test_subgroup_member_granted(self):
+        arbitrator, __, subgroup = self._with_subgroup()
+        factory = _RequestFactory()
+        for name in ("alice", "bob"):
+            grant = arbitrator.arbitrate(
+                request(factory, name, FCMMode.GROUP_DISCUSSION,
+                        target_group=subgroup.group_id)
+            )
+            assert grant.outcome is RequestOutcome.GRANTED
+
+    def test_non_subgroup_member_denied(self):
+        arbitrator, __, subgroup = self._with_subgroup()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "carol", FCMMode.GROUP_DISCUSSION,
+                    target_group=subgroup.group_id)
+        )
+        assert grant.outcome is RequestOutcome.DENIED
+
+    def test_missing_target_group_denied(self):
+        arbitrator, __, __ = self._with_subgroup()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.GROUP_DISCUSSION)
+        )
+        assert grant.outcome is RequestOutcome.DENIED
+
+    def test_foreign_subgroup_denied(self):
+        arbitrator, registry, __ = self._with_subgroup()
+        other = registry.create_group("other", chair="teacher")
+        sub_other = registry.create_subgroup("session", "carol")
+        # Forge a request claiming sub_other belongs to "other".
+        factory = _RequestFactory()
+        fake = factory.make(
+            member="carol", group="other", mode=FCMMode.GROUP_DISCUSSION,
+            target_group=sub_other.group_id,
+        )
+        registry.join("other", "carol")
+        grant = arbitrator.arbitrate(fake)
+        assert grant.outcome is RequestOutcome.DENIED
+        assert "does not belong" in grant.reason
+
+
+class TestDirectContact:
+    def test_pair_granted_both_endpoints(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.DIRECT_CONTACT, target_member="bob")
+        )
+        assert grant.outcome is RequestOutcome.GRANTED
+        assert set(grant.media_enabled) == {"alice", "bob"}
+
+    def test_missing_peer_denied(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.DIRECT_CONTACT)
+        )
+        assert grant.outcome is RequestOutcome.DENIED
+
+    def test_self_contact_denied(self):
+        arbitrator, __, __ = make_arbitrator()
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.DIRECT_CONTACT, target_member="alice")
+        )
+        assert grant.outcome is RequestOutcome.DENIED
+
+    def test_peer_outside_group_denied(self):
+        arbitrator, registry, __ = make_arbitrator()
+        registry.register_member(Member("outsider"))
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.DIRECT_CONTACT, target_member="outsider")
+        )
+        assert grant.outcome is RequestOutcome.DENIED
+
+
+class TestResourceThresholds:
+    def test_exhausted_aborts(self):
+        arbitrator, __, resources = make_arbitrator()
+        resources.set_external_load(ResourceVector(network_kbps=9500.0))
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(request(factory, "alice", FCMMode.FREE_ACCESS))
+        assert grant.outcome is RequestOutcome.ABORTED
+        assert arbitrator.stats.aborted == 1
+
+    def test_demand_pushing_below_b_aborts(self):
+        arbitrator, __, resources = make_arbitrator()
+        resources.set_external_load(ResourceVector(network_kbps=7500.0))
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.FREE_ACCESS),
+            demand=ResourceVector(network_kbps=2000.0),
+        )
+        assert grant.outcome is RequestOutcome.ABORTED
+
+    def test_degraded_suspends_lower_priority_media(self):
+        arbitrator, registry, resources = make_arbitrator()
+        # teacher has priority 3; alice priority 1 holds a 2000 kbps stream.
+        arbitrator.ledger.activate(
+            "session",
+            ActiveMedia(
+                member="alice",
+                media_name="alice-video",
+                demand=ResourceVector(network_kbps=2000.0),
+                priority=1,
+            ),
+        )
+        resources.set_external_load(ResourceVector(network_kbps=6200.0))
+        # Available = 10000-2000-6200 = 1800 (degraded, b=1000, a=3000).
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "teacher", FCMMode.FREE_ACCESS),
+            demand=ResourceVector(network_kbps=1500.0),
+        )
+        assert grant.outcome is RequestOutcome.GRANTED
+        assert grant.suspended == ("alice",)
+        assert arbitrator.ledger.suspended("session")[0].media_name == "alice-video"
+        assert arbitrator.stats.degraded_grants == 1
+
+    def test_degraded_without_victims_aborts(self):
+        arbitrator, __, resources = make_arbitrator()
+        resources.set_external_load(ResourceVector(network_kbps=8500.0))
+        # Available 1500 (degraded); demand 1000 would leave 500 < b=1000.
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.FREE_ACCESS),
+            demand=ResourceVector(network_kbps=1000.0),
+        )
+        assert grant.outcome is RequestOutcome.ABORTED
+        assert "no suspendable" in grant.reason
+
+    def test_equal_priority_media_not_suspended(self):
+        arbitrator, __, resources = make_arbitrator()
+        arbitrator.ledger.activate(
+            "session",
+            ActiveMedia(
+                member="bob",
+                media_name="bob-video",
+                demand=ResourceVector(network_kbps=2000.0),
+                priority=1,
+            ),
+        )
+        resources.set_external_load(ResourceVector(network_kbps=6500.0))
+        factory = _RequestFactory()
+        # alice also has priority 1: bob's media is not a legal victim.
+        grant = arbitrator.arbitrate(
+            request(factory, "alice", FCMMode.FREE_ACCESS),
+            demand=ResourceVector(network_kbps=1000.0),
+        )
+        assert grant.outcome is RequestOutcome.ABORTED
+        assert arbitrator.ledger.suspended("session") == []
+
+    def test_recovery_resumes_suspended_media(self):
+        arbitrator, __, resources = make_arbitrator()
+        arbitrator.ledger.activate(
+            "session",
+            ActiveMedia(
+                member="alice",
+                media_name="alice-video",
+                demand=ResourceVector(network_kbps=2000.0),
+                priority=1,
+            ),
+        )
+        resources.set_external_load(ResourceVector(network_kbps=6200.0))
+        factory = _RequestFactory()
+        arbitrator.arbitrate(
+            request(factory, "teacher", FCMMode.FREE_ACCESS),
+            demand=ResourceVector(network_kbps=1500.0),
+        )
+        assert arbitrator.ledger.suspended("session") != []
+        resources.set_external_load(ResourceVector.zeros())
+        resumed = arbitrator.recover_resources("session")
+        assert resumed == ["alice"]
+        assert arbitrator.ledger.suspended("session") == []
+        assert arbitrator.suspension.resumptions == 1
+
+
+class TestArbitrationProperties:
+    @given(
+        storm=st.lists(
+            st.tuples(
+                st.sampled_from(["teacher", "alice", "bob", "carol"]),
+                st.sampled_from(list(FCMMode)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_equal_control_never_two_holders(self, storm):
+        arbitrator, registry, __ = make_arbitrator()
+        subgroup = registry.create_subgroup("session", "alice")
+        factory = _RequestFactory()
+        granted_equal = set()
+        for member, mode in storm:
+            kwargs = {}
+            if mode is FCMMode.DIRECT_CONTACT:
+                kwargs["target_member"] = "teacher" if member != "teacher" else "alice"
+            if mode is FCMMode.GROUP_DISCUSSION:
+                kwargs["target_group"] = subgroup.group_id
+            grant = arbitrator.arbitrate(request(factory, member, mode, **kwargs))
+            if mode is FCMMode.EQUAL_CONTROL and grant.outcome is RequestOutcome.GRANTED:
+                granted_equal.add(member)
+            holder = arbitrator.token("session").holder
+            queue = arbitrator.token("session").waiting()
+            assert holder not in queue
+        # Only the very first equal-control requester can have been granted.
+        assert len(granted_equal) <= 1
+
+    @given(load=st.floats(min_value=0.0, max_value=10_000.0))
+    def test_property_outcome_matches_resource_level(self, load):
+        arbitrator, __, resources = make_arbitrator()
+        resources.set_external_load(ResourceVector(network_kbps=load))
+        factory = _RequestFactory()
+        grant = arbitrator.arbitrate(request(factory, "alice", FCMMode.FREE_ACCESS))
+        available = resources.available_scalar()
+        if available < resources.minimal_threshold:
+            assert grant.outcome is RequestOutcome.ABORTED
+        else:
+            assert grant.outcome is RequestOutcome.GRANTED

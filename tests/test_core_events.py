@@ -1,0 +1,61 @@
+"""Tests for the floor-control event log."""
+
+from repro.core.events import EventKind, EventLog
+
+
+def seeded_log():
+    log = EventLog()
+    log.append(1.0, EventKind.JOIN, "alice", "session")
+    log.append(2.0, EventKind.REQUEST, "alice", "session", "equal_control")
+    log.append(2.0, EventKind.GRANT, "alice", "session")
+    log.append(3.0, EventKind.REQUEST, "bob", "session", "equal_control")
+    log.append(3.0, EventKind.QUEUE, "bob", "session")
+    log.append(5.0, EventKind.TOKEN_PASS, "alice", "session", "bob")
+    log.append(6.0, EventKind.SUSPEND, "carol", "side")
+    return log
+
+
+class TestEventLog:
+    def test_append_returns_event(self):
+        log = EventLog()
+        event = log.append(1.0, EventKind.JOIN, "x", "g", "note")
+        assert event.time == 1.0
+        assert event.detail == "note"
+
+    def test_len_and_iter(self):
+        log = seeded_log()
+        assert len(log) == 7
+        assert len(list(log)) == 7
+
+    def test_of_kind(self):
+        log = seeded_log()
+        assert len(log.of_kind(EventKind.REQUEST)) == 2
+        assert log.of_kind(EventKind.DENY) == []
+
+    def test_for_member(self):
+        log = seeded_log()
+        assert {e.kind for e in log.for_member("bob")} == {
+            EventKind.REQUEST,
+            EventKind.QUEUE,
+        }
+
+    def test_for_group(self):
+        log = seeded_log()
+        assert [e.member for e in log.for_group("side")] == ["carol"]
+
+    def test_between_is_inclusive(self):
+        log = seeded_log()
+        window = log.between(2.0, 3.0)
+        assert len(window) == 4
+
+    def test_tail(self):
+        log = seeded_log()
+        assert [e.kind for e in log.tail(2)] == [
+            EventKind.TOKEN_PASS,
+            EventKind.SUSPEND,
+        ]
+
+    def test_tail_larger_than_log(self):
+        log = EventLog()
+        log.append(1.0, EventKind.JOIN, "x", "g")
+        assert len(log.tail(10)) == 1

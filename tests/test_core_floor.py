@@ -1,0 +1,122 @@
+"""Tests for floor tokens, requests, and grants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.floor import FloorGrant, FloorRequest, FloorToken, RequestOutcome
+from repro.core.modes import FCMMode
+from repro.errors import FloorControlError
+
+
+class TestFloorToken:
+    def test_first_request_takes_token(self):
+        token = FloorToken(group="g")
+        assert token.request("alice") is True
+        assert token.holder == "alice"
+
+    def test_second_request_queues(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        assert token.request("bob") is False
+        assert token.waiting() == ["bob"]
+
+    def test_holder_rerequest_is_idempotent(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        assert token.request("alice") is True
+        assert token.waiting() == []
+
+    def test_queued_rerequest_is_idempotent(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        token.request("bob")
+        token.request("bob")
+        assert token.waiting() == ["bob"]
+
+    def test_pass_to_head_of_queue(self):
+        token = FloorToken(group="g")
+        for name in ("alice", "bob", "carol"):
+            token.request(name)
+        assert token.pass_to("alice") == "bob"
+        assert token.waiting() == ["carol"]
+
+    def test_pass_to_named_successor(self):
+        token = FloorToken(group="g")
+        for name in ("alice", "bob", "carol"):
+            token.request(name)
+        assert token.pass_to("alice", successor="carol") == "carol"
+        assert token.waiting() == ["bob"]
+
+    def test_pass_without_waiters_frees_token(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        assert token.pass_to("alice") is None
+        assert token.holder is None
+
+    def test_non_holder_cannot_pass(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        with pytest.raises(FloorControlError):
+            token.pass_to("bob")
+
+    def test_unknown_successor_rejected(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        with pytest.raises(FloorControlError):
+            token.pass_to("alice", successor="ghost")
+
+    def test_withdraw_removes_from_queue(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        token.request("bob")
+        token.withdraw("bob")
+        assert token.waiting() == []
+
+    def test_hand_offs_counted(self):
+        token = FloorToken(group="g")
+        token.request("alice")
+        token.request("bob")
+        token.pass_to("alice")
+        assert token.hand_offs == 1
+
+    @given(st.lists(st.sampled_from(["m0", "m1", "m2", "m3", "m4"]), min_size=1, max_size=40))
+    def test_property_fifo_order_preserved(self, requesters):
+        """Whatever the request pattern, hand-offs follow FIFO among
+        distinct waiters."""
+        token = FloorToken(group="g")
+        arrival_order = []
+        for member in requesters:
+            took = token.request(member)
+            if not took and member not in arrival_order:
+                arrival_order.append(member)
+        served = []
+        while token.holder is not None:
+            holder = token.holder
+            next_holder = token.pass_to(holder)
+            if next_holder is not None:
+                served.append(next_holder)
+        assert served == arrival_order
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=30))
+    def test_property_at_most_one_holder(self, requesters):
+        token = FloorToken(group="g")
+        for member in requesters:
+            token.request(member)
+            holders = [token.holder] if token.holder else []
+            assert len(holders) <= 1
+            assert token.holder not in token.waiting()
+
+
+class TestGrantLatency:
+    def test_latency_is_decision_minus_request(self):
+        request = FloorRequest(
+            request_id=0,
+            member="alice",
+            group="g",
+            mode=FCMMode.FREE_ACCESS,
+            requested_at=10.0,
+        )
+        grant = FloorGrant(
+            request=request, outcome=RequestOutcome.GRANTED, granted_at=10.25
+        )
+        assert grant.latency == pytest.approx(0.25)

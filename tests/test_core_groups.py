@@ -1,0 +1,180 @@
+"""Tests for groups, members, and invitations."""
+
+import pytest
+
+from repro.core.groups import (
+    GroupRegistry,
+    InvitationState,
+    Member,
+    Role,
+)
+from repro.errors import FloorControlError, NotInGroupError
+
+
+def session_registry():
+    registry = GroupRegistry()
+    registry.register_member(Member("teacher", role=Role.CHAIR))
+    registry.create_group("session", chair="teacher")
+    for name in ("alice", "bob", "carol"):
+        registry.register_member(Member(name))
+        registry.join("session", name)
+    return registry
+
+
+class TestMember:
+    def test_participant_default_priority_is_one(self):
+        assert Member("alice").priority == 1
+
+    def test_chair_default_priority_is_three(self):
+        assert Member("t", role=Role.CHAIR).priority == 3
+
+    def test_explicit_priority_kept(self):
+        assert Member("x", priority=7).priority == 7
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(FloorControlError):
+            Member("x", priority=-1)
+
+    def test_default_host_derived_from_name(self):
+        assert Member("alice").host == "host-alice"
+
+
+class TestGroups:
+    def test_chair_is_automatically_member(self):
+        registry = session_registry()
+        assert "teacher" in registry.group("session")
+
+    def test_duplicate_member_rejected(self):
+        registry = session_registry()
+        with pytest.raises(FloorControlError):
+            registry.register_member(Member("alice"))
+
+    def test_duplicate_group_rejected(self):
+        registry = session_registry()
+        with pytest.raises(FloorControlError):
+            registry.create_group("session", chair="teacher")
+
+    def test_unknown_member_lookup_raises(self):
+        with pytest.raises(FloorControlError):
+            session_registry().member("ghost")
+
+    def test_unknown_group_lookup_raises(self):
+        with pytest.raises(FloorControlError):
+            session_registry().group("ghost")
+
+    def test_join_and_leave(self):
+        registry = session_registry()
+        registry.leave("session", "alice")
+        assert "alice" not in registry.group("session")
+        registry.join("session", "alice")
+        assert "alice" in registry.group("session")
+
+    def test_chair_cannot_leave(self):
+        registry = session_registry()
+        with pytest.raises(FloorControlError):
+            registry.leave("session", "teacher")
+
+    def test_joined_groups(self):
+        registry = session_registry()
+        assert [g.group_id for g in registry.joined_groups("alice")] == ["session"]
+
+    def test_require_membership_guard(self):
+        registry = session_registry()
+        registry.register_member(Member("outsider"))
+        with pytest.raises(NotInGroupError):
+            registry.require_membership("session", "outsider")
+
+    def test_group_len_counts_members(self):
+        registry = session_registry()
+        assert len(registry.group("session")) == 4
+
+
+class TestSubgroupsAndInvitations:
+    def test_create_subgroup_creator_is_chair(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        assert subgroup.chair == "alice"
+        assert subgroup.parent == "session"
+        assert "alice" in subgroup
+
+    def test_subgroup_creator_must_be_in_parent(self):
+        registry = session_registry()
+        registry.register_member(Member("outsider"))
+        with pytest.raises(NotInGroupError):
+            registry.create_subgroup("session", "outsider")
+
+    def test_invite_accept_joins_group(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        invitation = registry.invite(subgroup.group_id, "alice", "bob")
+        registry.respond(invitation.invitation_id, accept=True)
+        assert "bob" in registry.group(subgroup.group_id)
+        assert invitation.state is InvitationState.ACCEPTED
+
+    def test_invite_decline_does_not_join(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        invitation = registry.invite(subgroup.group_id, "alice", "bob")
+        registry.respond(invitation.invitation_id, accept=False)
+        assert "bob" not in registry.group(subgroup.group_id)
+        assert invitation.state is InvitationState.DECLINED
+
+    def test_double_response_rejected(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        invitation = registry.invite(subgroup.group_id, "alice", "bob")
+        registry.respond(invitation.invitation_id, accept=True)
+        with pytest.raises(FloorControlError):
+            registry.respond(invitation.invitation_id, accept=True)
+
+    def test_invite_to_main_group_rejected(self):
+        registry = session_registry()
+        with pytest.raises(FloorControlError):
+            registry.invite("session", "teacher", "alice")
+
+    def test_invitee_must_be_in_parent_session(self):
+        registry = session_registry()
+        registry.register_member(Member("outsider"))
+        subgroup = registry.create_subgroup("session", "alice")
+        with pytest.raises(NotInGroupError):
+            registry.invite(subgroup.group_id, "alice", "outsider")
+
+    def test_already_member_invite_rejected(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        invitation = registry.invite(subgroup.group_id, "alice", "bob")
+        registry.respond(invitation.invitation_id, accept=True)
+        with pytest.raises(FloorControlError):
+            registry.invite(subgroup.group_id, "alice", "bob")
+
+    def test_pending_invitations_for(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        registry.invite(subgroup.group_id, "alice", "bob")
+        pending = registry.pending_invitations_for("bob")
+        assert len(pending) == 1
+        assert pending[0].inviter == "alice"
+
+    def test_unknown_invitation_rejected(self):
+        with pytest.raises(FloorControlError):
+            session_registry().respond(999, accept=True)
+
+    def test_dissolve_removes_subgroup_and_invitations(self):
+        registry = session_registry()
+        subgroup = registry.create_subgroup("session", "alice")
+        registry.invite(subgroup.group_id, "alice", "bob")
+        registry.dissolve(subgroup.group_id)
+        with pytest.raises(FloorControlError):
+            registry.group(subgroup.group_id)
+        assert registry.pending_invitations_for("bob") == []
+
+    def test_dissolving_main_group_rejected(self):
+        with pytest.raises(FloorControlError):
+            session_registry().dissolve("session")
+
+    def test_subgroups_of(self):
+        registry = session_registry()
+        first = registry.create_subgroup("session", "alice")
+        second = registry.create_subgroup("session", "bob")
+        ids = {g.group_id for g in registry.subgroups_of("session")}
+        assert ids == {first.group_id, second.group_id}

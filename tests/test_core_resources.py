@@ -1,0 +1,136 @@
+"""Tests for the resource model and the a/b threshold classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.modes import PolicyFactor
+from repro.core.resources import ResourceLevel, ResourceModel, ResourceVector
+from repro.errors import FloorControlError
+
+
+def model(capacity=10_000.0, a=0.3, b=0.1, factor=PolicyFactor.NETWORK_BOUND):
+    return ResourceModel(
+        ResourceVector(network_kbps=capacity, cpu_share=4.0, memory_mb=1024.0),
+        basic_fraction=a,
+        minimal_fraction=b,
+        policy_factor=factor,
+    )
+
+
+class TestResourceVector:
+    def test_addition_and_subtraction(self):
+        a = ResourceVector(100.0, 1.0, 10.0)
+        b = ResourceVector(50.0, 0.5, 5.0)
+        assert (a + b).network_kbps == 150.0
+        assert (a - b).memory_mb == 5.0
+
+    def test_scaled(self):
+        v = ResourceVector(100.0, 1.0, 10.0).scaled(0.5)
+        assert v.cpu_share == 0.5
+
+    def test_dominates(self):
+        big = ResourceVector(100.0, 1.0, 10.0)
+        small = ResourceVector(50.0, 1.0, 10.0)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_component_by_policy_factor(self):
+        v = ResourceVector(100.0, 2.0, 30.0)
+        assert v.component(PolicyFactor.NETWORK_BOUND) == 100.0
+        assert v.component(PolicyFactor.CPU_BOUND) == 2.0
+        assert v.component(PolicyFactor.MEMORY_BOUND) == 30.0
+
+
+class TestThresholds:
+    def test_a_must_exceed_b(self):
+        with pytest.raises(FloorControlError):
+            model(a=0.1, b=0.3)
+
+    def test_equal_thresholds_rejected(self):
+        with pytest.raises(FloorControlError):
+            model(a=0.2, b=0.2)
+
+    def test_absolute_thresholds(self):
+        m = model(capacity=10_000.0, a=0.3, b=0.1)
+        assert m.basic_threshold == pytest.approx(3000.0)
+        assert m.minimal_threshold == pytest.approx(1000.0)
+
+
+class TestAccounting:
+    def test_acquire_release_roundtrip(self):
+        m = model()
+        demand = ResourceVector(network_kbps=2000.0)
+        m.acquire(demand)
+        assert m.available_scalar() == pytest.approx(8000.0)
+        m.release(demand)
+        assert m.available_scalar() == pytest.approx(10_000.0)
+
+    def test_over_release_rejected(self):
+        m = model()
+        with pytest.raises(FloorControlError):
+            m.release(ResourceVector(network_kbps=1.0))
+
+    def test_external_load_reduces_availability(self):
+        m = model()
+        m.set_external_load(ResourceVector(network_kbps=9000.0))
+        assert m.available_scalar() == pytest.approx(1000.0)
+
+
+class TestClassification:
+    def test_sufficient_when_above_a(self):
+        assert model().level() is ResourceLevel.SUFFICIENT
+
+    def test_degraded_between_b_and_a(self):
+        m = model()
+        m.set_external_load(ResourceVector(network_kbps=8000.0))  # 2000 left
+        assert m.level() is ResourceLevel.DEGRADED
+
+    def test_exhausted_below_b(self):
+        m = model()
+        m.set_external_load(ResourceVector(network_kbps=9500.0))  # 500 left
+        assert m.level() is ResourceLevel.EXHAUSTED
+
+    def test_boundary_at_a_is_sufficient(self):
+        m = model()
+        m.set_external_load(ResourceVector(network_kbps=7000.0))  # exactly 3000
+        assert m.level() is ResourceLevel.SUFFICIENT
+
+    def test_boundary_at_b_is_degraded(self):
+        m = model()
+        m.set_external_load(ResourceVector(network_kbps=9000.0))  # exactly 1000
+        assert m.level() is ResourceLevel.DEGRADED
+
+    def test_extra_demand_shifts_classification(self):
+        m = model()
+        assert m.level(ResourceVector(network_kbps=8000.0)) is ResourceLevel.DEGRADED
+        assert m.level(ResourceVector(network_kbps=9500.0)) is ResourceLevel.EXHAUSTED
+
+    def test_admits_new_media_property(self):
+        assert ResourceLevel.SUFFICIENT.admits_new_media
+        assert ResourceLevel.DEGRADED.admits_new_media
+        assert not ResourceLevel.EXHAUSTED.admits_new_media
+
+    def test_cpu_bound_policy_uses_cpu_dimension(self):
+        m = model(factor=PolicyFactor.CPU_BOUND)
+        m.set_external_load(ResourceVector(cpu_share=3.8))  # 0.2 of 4 left
+        assert m.level() is ResourceLevel.EXHAUSTED
+
+    def test_headroom_above_minimal(self):
+        m = model()
+        assert m.headroom_above_minimal() == pytest.approx(9000.0)
+        assert m.headroom_above_minimal(
+            ResourceVector(network_kbps=9500.0)
+        ) == pytest.approx(-500.0)
+
+    @given(load=st.floats(min_value=0.0, max_value=10_000.0))
+    def test_property_levels_are_monotone_in_load(self, load):
+        m = model()
+        m.set_external_load(ResourceVector(network_kbps=load))
+        level = m.level()
+        available = m.available_scalar()
+        if available >= m.basic_threshold:
+            assert level is ResourceLevel.SUFFICIENT
+        elif available >= m.minimal_threshold:
+            assert level is ResourceLevel.DEGRADED
+        else:
+            assert level is ResourceLevel.EXHAUSTED

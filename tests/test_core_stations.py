@@ -1,0 +1,141 @@
+"""Tests for per-station arbitration (the Z spec's Host-Station X)."""
+
+import pytest
+
+from repro.core.floor import RequestOutcome, _RequestFactory
+from repro.core.groups import GroupRegistry, Member, Role
+from repro.core.modes import FCMMode
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.stations import StationArbiter
+from repro.core.suspension import ActiveMedia
+from repro.errors import FloorControlError
+
+
+def make_setup():
+    registry = GroupRegistry()
+    registry.register_member(Member("teacher", role=Role.CHAIR, host="lab"))
+    registry.create_group("session", chair="teacher")
+    registry.register_member(Member("alice", host="dorm"))
+    registry.register_member(Member("bob", host="lab"))
+    registry.join("session", "alice")
+    registry.join("session", "bob")
+
+    def factory():
+        return ResourceModel(
+            ResourceVector(network_kbps=10_000.0, cpu_share=4.0, memory_mb=1024.0)
+        )
+
+    return registry, StationArbiter(registry, factory)
+
+
+def request(factory, member, host=""):
+    return factory.make(
+        member=member, group="session", mode=FCMMode.FREE_ACCESS, host=host
+    )
+
+
+class TestRouting:
+    def test_request_routes_to_its_host_station(self):
+        __, arbiter = make_setup()
+        factory = _RequestFactory()
+        arbiter.arbitrate(request(factory, "alice", host="dorm"))
+        arbiter.arbitrate(request(factory, "bob", host="lab"))
+        assert set(arbiter.stations()) == {"dorm", "lab"}
+        assert arbiter.arbiter_for("dorm").stats.decisions == 1
+        assert arbiter.arbiter_for("lab").stats.decisions == 1
+
+    def test_empty_host_falls_back_to_member_host(self):
+        __, arbiter = make_setup()
+        factory = _RequestFactory()
+        arbiter.arbitrate(request(factory, "alice"))  # no host on the wire
+        assert arbiter.stations() == ["dorm"]
+
+    def test_total_decisions_aggregates(self):
+        __, arbiter = make_setup()
+        factory = _RequestFactory()
+        for member, host in (("alice", "dorm"), ("bob", "lab"), ("teacher", "lab")):
+            arbiter.arbitrate(request(factory, member, host=host))
+        assert arbiter.total_decisions() == 3
+
+
+class TestPerStationResources:
+    def test_congested_station_aborts_while_other_grants(self):
+        __, arbiter = make_setup()
+        factory = _RequestFactory()
+        # Congest only the dorm.
+        dorm = arbiter.arbiter_for("dorm")
+        dorm.resources.set_external_load(ResourceVector(network_kbps=9500.0))
+        dorm_grant = arbiter.arbitrate(request(factory, "alice", host="dorm"))
+        lab_grant = arbiter.arbitrate(request(factory, "bob", host="lab"))
+        assert dorm_grant.outcome is RequestOutcome.ABORTED
+        assert lab_grant.outcome is RequestOutcome.GRANTED
+        assert arbiter.total_aborted() == 1
+
+    def test_configured_station_uses_given_model(self):
+        registry, arbiter = make_setup()
+        small = ResourceModel(
+            ResourceVector(network_kbps=100.0, cpu_share=1.0, memory_mb=64.0)
+        )
+        arbiter.configure_station("dorm", small)
+        factory = _RequestFactory()
+        grant = arbiter.arbitrate(
+            request(factory, "alice", host="dorm"),
+            demand=ResourceVector(network_kbps=95.0),
+        )
+        # A 95-kbps demand would push the 100-kbps station below its
+        # minimal threshold b (10 kbps) with nothing to suspend.
+        assert grant.outcome is RequestOutcome.ABORTED
+
+    def test_double_configure_rejected(self):
+        __, arbiter = make_setup()
+        model = ResourceModel(ResourceVector(network_kbps=100.0))
+        arbiter.configure_station("dorm", model)
+        with pytest.raises(FloorControlError):
+            arbiter.configure_station(
+                "dorm", ResourceModel(ResourceVector(network_kbps=200.0))
+            )
+
+    def test_suspension_is_station_local(self):
+        __, arbiter = make_setup()
+        factory = _RequestFactory()
+        dorm = arbiter.arbiter_for("dorm")
+        lab = arbiter.arbiter_for("lab")
+        dorm.ledger.activate(
+            "session",
+            ActiveMedia(
+                member="alice",
+                media_name="alice-cam",
+                demand=ResourceVector(network_kbps=2000.0),
+                priority=1,
+            ),
+        )
+        dorm.resources.set_external_load(ResourceVector(network_kbps=6200.0))
+        grant = arbiter.arbitrate(
+            request(factory, "teacher", host="dorm"),
+            demand=ResourceVector(network_kbps=1500.0),
+        )
+        assert grant.suspended == ("alice",)
+        # The lab station saw nothing.
+        assert lab.ledger.suspended("session") == []
+
+    def test_recover_all_reports_per_station(self):
+        __, arbiter = make_setup()
+        factory = _RequestFactory()
+        dorm = arbiter.arbiter_for("dorm")
+        dorm.ledger.activate(
+            "session",
+            ActiveMedia(
+                member="alice",
+                media_name="alice-cam",
+                demand=ResourceVector(network_kbps=2000.0),
+                priority=1,
+            ),
+        )
+        dorm.resources.set_external_load(ResourceVector(network_kbps=6200.0))
+        arbiter.arbitrate(
+            request(factory, "teacher", host="dorm"),
+            demand=ResourceVector(network_kbps=1500.0),
+        )
+        dorm.resources.set_external_load(ResourceVector.zeros())
+        resumed = arbiter.recover_all("session")
+        assert resumed["dorm"] == ["alice"]

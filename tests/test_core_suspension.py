@@ -1,0 +1,192 @@
+"""Tests for the Media-Suspend planner and ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.modes import PolicyFactor
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.suspension import (
+    ActiveMedia,
+    MediaLedger,
+    SuspensionManager,
+    plan_suspension,
+)
+from repro.errors import FloorControlError
+
+
+def resources(capacity=10_000.0):
+    return ResourceModel(
+        ResourceVector(network_kbps=capacity, cpu_share=4.0, memory_mb=1024.0),
+        basic_fraction=0.3,
+        minimal_fraction=0.1,
+        policy_factor=PolicyFactor.NETWORK_BOUND,
+    )
+
+
+def media(member, name, kbps, priority):
+    return ActiveMedia(
+        member=member,
+        media_name=name,
+        demand=ResourceVector(network_kbps=kbps),
+        priority=priority,
+    )
+
+
+class TestMediaLedger:
+    def test_activate_acquires_resources(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        ledger.activate("g", media("alice", "v", 2000.0, 1))
+        assert model.available_scalar() == pytest.approx(8000.0)
+
+    def test_deactivate_releases_resources(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        ledger.activate("g", media("alice", "v", 2000.0, 1))
+        ledger.deactivate("g", "alice", "v")
+        assert model.available_scalar() == pytest.approx(10_000.0)
+        assert ledger.active("g") == []
+
+    def test_deactivate_unknown_raises(self):
+        ledger = MediaLedger(resources())
+        with pytest.raises(FloorControlError):
+            ledger.deactivate("g", "alice", "ghost")
+
+    def test_active_for_member(self):
+        ledger = MediaLedger(resources())
+        ledger.activate("g", media("alice", "v", 100.0, 1))
+        ledger.activate("g", media("bob", "w", 100.0, 1))
+        assert [m.media_name for m in ledger.active_for("g", "alice")] == ["v"]
+
+    def test_deactivate_suspended_media(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        manager = SuspensionManager(ledger)
+        item = media("alice", "v", 2000.0, 1)
+        ledger.activate("g", item)
+        manager.suspend("g", [item])
+        ledger.deactivate("g", "alice", "v")
+        assert ledger.suspended("g") == []
+        assert model.available_scalar() == pytest.approx(10_000.0)
+
+
+class TestPlanSuspension:
+    def test_no_shortfall_no_victims(self):
+        assert plan_suspension([media("a", "v", 100.0, 1)], 3, 0.0) == []
+
+    def test_only_lower_priority_eligible(self):
+        pool = [media("a", "v", 1000.0, 2), media("b", "w", 1000.0, 3)]
+        victims = plan_suspension(pool, 3, 500.0)
+        assert [v.member for v in victims] == ["a"]
+
+    def test_lowest_priority_first(self):
+        pool = [
+            media("high", "v", 1000.0, 2),
+            media("low", "w", 1000.0, 1),
+        ]
+        victims = plan_suspension(pool, 3, 500.0)
+        assert victims[0].member == "low"
+
+    def test_ties_broken_by_larger_demand(self):
+        pool = [
+            media("small", "v", 100.0, 1),
+            media("big", "w", 5000.0, 1),
+        ]
+        victims = plan_suspension(pool, 3, 500.0)
+        assert victims[0].member == "big"
+        assert len(victims) == 1
+
+    def test_accumulates_until_shortfall_met(self):
+        pool = [media(f"m{i}", f"v{i}", 400.0, 1) for i in range(5)]
+        victims = plan_suspension(pool, 3, 1000.0)
+        assert len(victims) == 3  # 3 x 400 >= 1000
+
+    def test_insufficient_victims_returns_all_eligible(self):
+        pool = [media("a", "v", 100.0, 1)]
+        victims = plan_suspension(pool, 3, 10_000.0)
+        assert len(victims) == 1
+
+    @given(
+        priorities=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=10),
+        requester=st.integers(min_value=1, max_value=6),
+        shortfall=st.floats(min_value=0.0, max_value=5000.0),
+    )
+    def test_property_victims_all_below_requester_priority(
+        self, priorities, requester, shortfall
+    ):
+        pool = [media(f"m{i}", f"v{i}", 500.0, p) for i, p in enumerate(priorities)]
+        victims = plan_suspension(pool, requester, shortfall)
+        assert all(v.priority < requester for v in victims)
+
+    @given(
+        count=st.integers(min_value=0, max_value=10),
+        shortfall=st.floats(min_value=0.1, max_value=5000.0),
+    )
+    def test_property_minimal_victim_set(self, count, shortfall):
+        """Removing the last victim must leave the shortfall uncovered."""
+        pool = [media(f"m{i}", f"v{i}", 600.0, 1) for i in range(count)]
+        victims = plan_suspension(pool, 2, shortfall)
+        recovered = sum(v.demand.network_kbps for v in victims)
+        if victims and recovered >= shortfall:
+            without_last = recovered - victims[-1].demand.network_kbps
+            assert without_last < shortfall
+
+
+class TestSuspensionManager:
+    def test_suspend_moves_to_suspended_set(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        manager = SuspensionManager(ledger)
+        item = media("alice", "v", 2000.0, 1)
+        ledger.activate("g", item)
+        affected = manager.suspend("g", [item])
+        assert affected == ["alice"]
+        assert ledger.active("g") == []
+        assert ledger.suspended("g") == [item]
+        assert model.available_scalar() == pytest.approx(10_000.0)
+
+    def test_suspend_inactive_media_raises(self):
+        ledger = MediaLedger(resources())
+        manager = SuspensionManager(ledger)
+        with pytest.raises(FloorControlError):
+            manager.suspend("g", [media("a", "v", 100.0, 1)])
+
+    def test_resume_highest_priority_first(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        manager = SuspensionManager(ledger)
+        low = media("low", "v", 200.0, 1)
+        high = media("high", "w", 200.0, 2)
+        ledger.activate("g", low)
+        ledger.activate("g", high)
+        manager.suspend("g", [low, high])
+        resumed = manager.resume_where_possible("g", model)
+        assert resumed[0] == "high"
+
+    def test_resume_respects_headroom(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        manager = SuspensionManager(ledger)
+        item = media("alice", "v", 2000.0, 1)
+        ledger.activate("g", item)
+        manager.suspend("g", [item])
+        model.set_external_load(ResourceVector(network_kbps=8500.0))
+        # Resuming 2000 would leave 10000-8500-2000 = -500 < b: refused.
+        assert manager.resume_where_possible("g", model) == []
+        model.set_external_load(ResourceVector(network_kbps=1000.0))
+        assert manager.resume_where_possible("g", model) == ["alice"]
+
+    def test_history_records_actions(self):
+        model = resources()
+        ledger = MediaLedger(model)
+        manager = SuspensionManager(ledger)
+        item = media("alice", "v", 200.0, 1)
+        ledger.activate("g", item)
+        manager.suspend("g", [item])
+        manager.resume_where_possible("g", model)
+        assert manager.history == [
+            ("suspend", "alice", "v"),
+            ("resume", "alice", "v"),
+        ]
+        assert manager.suspensions == 1
+        assert manager.resumptions == 1

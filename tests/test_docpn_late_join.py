@@ -1,0 +1,86 @@
+"""Tests for late-joining DOCPN sites (mid-lecture catch-up)."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.petri.docpn import DOCPNSystem
+from repro.workload.presentations import lecture_ocpn
+
+
+def lecture():
+    # title(3) -> [slides0 || narration0](20) -> [slides1 || narration1](20)
+    # -> summary(5); starts at t=5 (system default).
+    return lecture_ocpn(segments=2)
+
+
+class TestLateJoin:
+    def test_late_site_skips_past_media_instantly(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        system.add_site("on_time", lecture())
+        system.start()
+        clock.run_until(15.0)  # 10 s into the lecture: inside section 0
+        late = system.add_late_site("late", lecture())
+        clock.run_until(80.0)
+        starts = system.playout.start_times("title")
+        # The late site "started" the already-past title at join time.
+        assert starts["late"] == pytest.approx(15.0)
+
+    def test_late_site_aligns_on_future_media(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        system.add_site("on_time", lecture())
+        system.start()
+        clock.run_until(15.0)
+        system.add_late_site("late", lecture())
+        clock.run_until(80.0)
+        # Section 1 (slides1) is authored at 3+20=23 in, i.e. t=28.
+        starts = system.playout.start_times("slides1")
+        assert starts["late"] == pytest.approx(starts["on_time"], abs=1e-6)
+        assert starts["on_time"] == pytest.approx(28.0)
+
+    def test_in_flight_media_plays_remaining_duration(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        system.add_site("on_time", lecture())
+        system.start()
+        clock.run_until(15.0)  # section 0 runs 8..28; 13 s remain
+        late = system.add_late_site("late", lecture())
+        clock.run_until(80.0)
+        starts = system.playout.start_times("slides0")
+        assert starts["late"] == pytest.approx(15.0)
+        # Completion aligns: the join transition into section 1 fires at 28.
+        section1 = system.playout.start_times("slides1")
+        assert section1["late"] == pytest.approx(28.0)
+
+    def test_join_before_start_is_normal_site(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        system.add_site("on_time", lecture())
+        early = system.add_late_site("early", lecture())
+        system.run(until=80.0)
+        starts = system.playout.start_times("title")
+        assert starts["early"] == pytest.approx(starts["on_time"])
+
+    def test_late_site_with_skewed_clock_still_aligns(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        system.add_site("on_time", lecture())
+        system.start()
+        clock.run_until(15.0)
+        system.add_late_site("late", lecture(), clock_offset=0.4)
+        clock.run_until(80.0)
+        starts = system.playout.start_times("slides1")
+        # Admission clamps the fast late site to the authored time.
+        assert starts["late"] == pytest.approx(28.0)
+
+    def test_very_late_site_joins_at_summary(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        system.add_site("on_time", lecture())
+        system.start()
+        clock.run_until(50.0)  # summary runs 48..53
+        system.add_late_site("late", lecture())
+        clock.run_until(80.0)
+        starts = system.playout.start_times("summary")
+        assert starts["late"] == pytest.approx(50.0)

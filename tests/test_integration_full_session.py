@@ -1,0 +1,188 @@
+"""End-to-end integration: a full DMPS tele-teaching session.
+
+One scenario exercising every layer together, as the paper's system
+would run it:
+
+* a server with floor control, presence, whiteboard and resources;
+* five clients with skewed/drifting clocks over jittery links;
+* clock sync discipline on every client;
+* a DOCPN lecture presentation playing out on every site, gated by the
+  global clock;
+* equal-control Q&A with token passing, a discussion subgroup, a
+  direct-contact pair;
+* a mid-session disconnect (red light) and reconnect;
+* resource pressure triggering Media-Suspend and later resumption.
+
+Assertions check the *joint* invariants that unit tests cannot:
+boards consistent everywhere, presentation skew bounded, transcript
+coherent.
+"""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.core import ActiveMedia, FCMMode, ResourceModel, ResourceVector
+from repro.net.simnet import Link, Network
+from repro.petri.docpn import DOCPNSystem
+from repro.session.dmps import DMPSClient, DMPSServer
+from repro.session.presence import Light
+from repro.workload.presentations import lecture_ocpn
+
+CLIENT_SPECS = [
+    # name, clock offset, drift
+    ("teacher", 0.00, 0.000),
+    ("alice", 0.25, 0.004),
+    ("bob", -0.20, -0.003),
+    ("carol", 0.10, 0.002),
+    ("dave", -0.05, -0.001),
+]
+
+
+@pytest.fixture(scope="module")
+def full_session():
+    clock = VirtualClock()
+    network = Network(clock)
+    resources = ResourceModel(
+        ResourceVector(network_kbps=10_000.0, cpu_share=8.0, memory_mb=4096.0),
+        basic_fraction=0.3,
+        minimal_fraction=0.1,
+    )
+    server = DMPSServer(clock, network, resources=resources, presence_timeout=1.0)
+    clients = {}
+    # DOCPN playout runs alongside the session on the same virtual clock.
+    docpn = DOCPNSystem(clock, use_global_clock=True, start_time=5.0)
+
+    for name, offset, drift in CLIENT_SPECS:
+        host = f"host-{name}"
+        client = DMPSClient(
+            name, host, network, clock_offset=offset, drift_rate=drift
+        )
+        network.connect_both(
+            "server", host, Link(base_latency=0.02, jitter=0.005)
+        )
+        client.join(is_chair=(name == "teacher"))
+        client.start_heartbeats(0.25)
+        client.start_clock_sync(interval=2.0, discipline=True)
+        clients[name] = client
+        docpn.add_site(name, lecture_ocpn(segments=2), clock_offset=offset,
+                       drift_rate=drift)
+    clock.run_until(1.0)
+
+    # --- scripted session -------------------------------------------------
+    timeline = []
+
+    def at(time, action, *args):
+        clock.call_at(time, action, *args)
+
+    # Phase 1: lecture starts (DOCPN) + equal control Q&A.
+    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+    docpn.start()
+    at(6.0, clients["teacher"].request_floor)
+    at(7.0, clients["teacher"].post, "welcome to the lecture")
+    at(8.0, clients["alice"].request_floor)
+    at(9.0, clients["teacher"].release_floor)
+    at(10.0, clients["alice"].post, "question about slide 1")
+    at(11.0, clients["alice"].release_floor)
+    # Phase 2: breakout discussion while the lecture continues.
+    at(12.0, lambda: _open_breakout(server, timeline))
+    at(14.0, lambda: clients["carol"].post(
+        "breakout idea", group=timeline[0]) if timeline else None)
+    # Phase 3: bob drops and comes back.
+    at(15.0, clients["bob"].disconnect)
+    at(19.0, clients["bob"].reconnect)
+    # Phase 4: resource pressure (cross traffic) + teacher media demand.
+    at(20.0, server.control.resources.set_external_load,
+       ResourceVector(network_kbps=6500.0))
+    at(20.5, lambda: server.control.arbitrator.ledger.activate(
+        "session",
+        ActiveMedia(member="dave", media_name="dave-cam",
+                    demand=ResourceVector(network_kbps=1500.0), priority=1),
+    ))
+    at(21.0, lambda: timeline.append(
+        ("teacher-grant", server.control.request_floor(
+            "teacher", demand=ResourceVector(network_kbps=1500.0)))
+    ))
+    at(25.0, server.control.resources.set_external_load, ResourceVector.zeros())
+    at(25.5, lambda: timeline.append(
+        ("resumed", server.control.on_resource_recovery())
+    ))
+    clock.run_until(80.0)
+    return {
+        "clock": clock,
+        "server": server,
+        "clients": clients,
+        "docpn": docpn,
+        "timeline": timeline,
+    }
+
+
+def _open_breakout(server, timeline):
+    group_id = server.open_discussion("carol")
+    timeline.insert(0, group_id)
+    server.invite(group_id, "carol", "dave")
+
+
+class TestFullSession:
+    def test_whiteboard_reflects_token_order(self, full_session):
+        board = full_session["server"].board()
+        assert [e.author for e in board.entries()] == ["teacher", "alice"]
+
+    def test_all_connected_replicas_converge(self, full_session):
+        server = full_session["server"]
+        for name, client in full_session["clients"].items():
+            replica = client.replicas["session"]
+            assert replica.converged_with(server.board()), name
+
+    def test_breakout_board_private(self, full_session):
+        server = full_session["server"]
+        group_id = full_session["timeline"][0]
+        assert isinstance(group_id, str)
+        board = server.board(group_id)
+        assert [e.author for e in board.entries()] == ["carol"]
+        # Teacher never saw it.
+        assert full_session["clients"]["teacher"].board(group_id) == []
+
+    def test_presence_tracked_disconnect_and_reconnect(self, full_session):
+        server = full_session["server"]
+        latency = server.presence.detection_latency("bob", 15.0)
+        assert latency <= 1.5
+        assert server.presence.light_of("bob") is Light.GREEN  # reconnected
+
+    def test_clock_sync_disciplined_all_clients(self, full_session):
+        for name, client in full_session["clients"].items():
+            assert abs(client.local_clock.skew()) < 0.1, name
+
+    def test_resource_pressure_suspended_then_resumed(self, full_session):
+        entries = dict(
+            item for item in full_session["timeline"] if isinstance(item, tuple)
+        )
+        grant = entries["teacher-grant"]
+        assert grant.outcome.value == "granted"
+        assert grant.suspended == ("dave",)
+        assert entries["resumed"] == ["dave"]
+
+    def test_docpn_playout_synchronized(self, full_session):
+        docpn = full_session["docpn"]
+        # All 5 sites played every media; skew bounded by slow-side
+        # lateness (offsets <= 0.2 s + drift).
+        for media in docpn.playout.media_names():
+            assert len(docpn.playout.start_times(media)) == 5
+        assert docpn.max_skew() < 0.5
+        assert docpn.total_holds() > 0
+
+    def test_transcript_is_chronological(self, full_session):
+        log = full_session["server"].control.log
+        times = [event.time for event in log]
+        assert times == sorted(times)
+        assert len(log) > 10
+
+    def test_late_joiner_catches_up(self, full_session):
+        clock = full_session["clock"]
+        network = full_session["server"].network
+        late = DMPSClient("eve", "host-eve", network)
+        network.connect_both("server", "host-eve", Link(base_latency=0.02))
+        late.join()
+        clock.run_until(clock.now() + 2.0)
+        assert late.replicas["session"].converged_with(
+            full_session["server"].board()
+        )

@@ -1,0 +1,225 @@
+"""Tests for media objects, streams, channels and playout logging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ChannelError, MediaError
+from repro.media.channels import ChannelManager
+from repro.media.objects import (
+    MediaObject,
+    MediaType,
+    annotation,
+    audio,
+    default_demand,
+    image,
+    text,
+    video,
+)
+from repro.media.playout import PlayoutLog
+from repro.media.streams import frame_schedule, packetize
+
+
+class TestMediaObject:
+    def test_defaults_come_from_type(self):
+        clip = video("v", 10.0)
+        bandwidth, cpu, memory = default_demand(MediaType.VIDEO)
+        assert clip.bandwidth_kbps == bandwidth
+        assert clip.cpu_share == cpu
+        assert clip.memory_mb == memory
+
+    def test_overrides_kept(self):
+        clip = video("v", 10.0, bandwidth_kbps=500.0)
+        assert clip.bandwidth_kbps == 500.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(MediaError):
+            MediaObject("x", MediaType.TEXT, -1.0)
+
+    def test_continuous_types(self):
+        assert MediaType.VIDEO.is_continuous
+        assert MediaType.AUDIO.is_continuous
+        assert not MediaType.IMAGE.is_continuous
+        assert not MediaType.TEXT.is_continuous
+        assert not MediaType.ANNOTATION.is_continuous
+
+    def test_total_bits(self):
+        clip = audio("a", 10.0, bandwidth_kbps=128.0)
+        assert clip.total_bits == pytest.approx(1_280_000)
+
+    def test_scaled_multiplies_demand(self):
+        clip = video("v", 10.0).scaled(2.0)
+        assert clip.bandwidth_kbps == pytest.approx(3000.0)
+        assert clip.duration == 10.0
+
+    def test_scaled_zero_rejected(self):
+        with pytest.raises(MediaError):
+            video("v", 10.0).scaled(0.0)
+
+    def test_convenience_constructors(self):
+        assert image("i", 1.0).media_type is MediaType.IMAGE
+        assert text("t", 1.0).media_type is MediaType.TEXT
+        assert annotation("n", 1.0).media_type is MediaType.ANNOTATION
+
+
+class TestFrameSchedule:
+    def test_discrete_media_single_frame(self):
+        frames = list(frame_schedule(image("img", 5.0)))
+        assert len(frames) == 1
+        assert frames[0].timestamp == 0.0
+
+    def test_video_frame_count_matches_rate(self):
+        frames = list(frame_schedule(video("v", 2.0), frame_rate=25.0))
+        assert len(frames) == 50
+
+    def test_frame_timestamps_evenly_spaced(self):
+        frames = list(frame_schedule(audio("a", 1.0), frame_rate=10.0))
+        gaps = [b.timestamp - a.timestamp for a, b in zip(frames, frames[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_frame_sizes_meet_bitrate(self):
+        clip = video("v", 4.0, bandwidth_kbps=1000.0)
+        frames = list(frame_schedule(clip, frame_rate=25.0))
+        total_bytes = sum(frame.size_bytes for frame in frames)
+        assert total_bytes == pytest.approx(clip.total_bits / 8, rel=0.01)
+
+    def test_bad_frame_rate_rejected(self):
+        with pytest.raises(MediaError):
+            list(frame_schedule(video("v", 1.0), frame_rate=0.0))
+
+    @given(duration=st.floats(min_value=0.1, max_value=30.0))
+    def test_property_frame_indexes_sequential(self, duration):
+        frames = list(frame_schedule(video("v", duration)))
+        assert [frame.index for frame in frames] == list(range(len(frames)))
+
+
+class TestPacketize:
+    def test_small_frame_single_packet(self):
+        frames = list(frame_schedule(text("t", 1.0)))
+        packets = packetize(frames[0])
+        assert len(packets) == 1
+
+    def test_large_frame_split_at_mtu(self):
+        frames = list(frame_schedule(image("i", 1.0)))
+        packets = packetize(frames[0], mtu=1000)
+        assert all(size <= 1000 for size in packets)
+        assert sum(packets) == frames[0].size_bytes
+
+    def test_bad_mtu_rejected(self):
+        frames = list(frame_schedule(text("t", 1.0)))
+        with pytest.raises(MediaError):
+            packetize(frames[0], mtu=0)
+
+
+class TestChannelManager:
+    def test_open_reserves_bandwidth(self):
+        manager = ChannelManager(capacity_kbps=2000.0)
+        manager.open(video("v", 10.0))  # 1500 kbps
+        assert manager.reserved_kbps() == pytest.approx(1500.0)
+        assert manager.available_kbps() == pytest.approx(500.0)
+
+    def test_over_capacity_rejected(self):
+        manager = ChannelManager(capacity_kbps=1000.0)
+        with pytest.raises(ChannelError):
+            manager.open(video("v", 10.0))
+        assert manager.rejections == 1
+
+    def test_release_returns_bandwidth(self):
+        manager = ChannelManager(capacity_kbps=2000.0)
+        channel = manager.open(video("v", 10.0))
+        manager.release(channel)
+        assert manager.available_kbps() == pytest.approx(2000.0)
+
+    def test_double_release_rejected(self):
+        manager = ChannelManager(capacity_kbps=2000.0)
+        channel = manager.open(video("v", 10.0))
+        manager.release(channel)
+        with pytest.raises(ChannelError):
+            manager.release(channel)
+
+    def test_can_admit(self):
+        manager = ChannelManager(capacity_kbps=200.0)
+        assert manager.can_admit(audio("a", 5.0))
+        assert not manager.can_admit(video("v", 5.0))
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ChannelError):
+            ChannelManager(capacity_kbps=0.0)
+
+    def test_open_channels_listing(self):
+        manager = ChannelManager(capacity_kbps=5000.0)
+        manager.open(video("v", 1.0))
+        channel = manager.open(audio("a", 1.0))
+        manager.release(channel)
+        assert [c.media for c in manager.open_channels()] == ["v"]
+
+    @given(st.lists(st.sampled_from(["video", "audio", "image"]), max_size=8))
+    def test_property_reservations_never_exceed_capacity(self, kinds):
+        manager = ChannelManager(capacity_kbps=3000.0)
+        makers = {"video": video, "audio": audio, "image": image}
+        for index, kind in enumerate(kinds):
+            media = makers[kind](f"m{index}", 5.0)
+            if manager.can_admit(media):
+                manager.open(media)
+            else:
+                with pytest.raises(ChannelError):
+                    manager.open(media)
+            assert manager.reserved_kbps() <= manager.capacity_kbps + 1e-9
+
+
+class TestPlayoutLog:
+    def test_skew_single_media(self):
+        log = PlayoutLog()
+        log.record_start("site1", "v", 10.0)
+        log.record_start("site2", "v", 10.3)
+        report = log.skew("v")
+        assert report.spread == pytest.approx(0.3)
+        assert report.earliest == 10.0
+        assert report.latest == 10.3
+
+    def test_double_start_rejected(self):
+        log = PlayoutLog()
+        log.record_start("s", "v", 1.0)
+        with pytest.raises(MediaError):
+            log.record_start("s", "v", 2.0)
+
+    def test_end_before_start_rejected(self):
+        log = PlayoutLog()
+        log.record_start("s", "v", 5.0)
+        with pytest.raises(MediaError):
+            log.record_end("s", "v", 4.0)
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(MediaError):
+            PlayoutLog().record_end("s", "v", 4.0)
+
+    def test_double_end_rejected(self):
+        log = PlayoutLog()
+        log.record_start("s", "v", 1.0)
+        log.record_end("s", "v", 2.0)
+        with pytest.raises(MediaError):
+            log.record_end("s", "v", 3.0)
+
+    def test_skew_of_unknown_media_raises(self):
+        with pytest.raises(MediaError):
+            PlayoutLog().skew("ghost")
+
+    def test_max_and_mean_skew(self):
+        log = PlayoutLog()
+        log.record_start("s1", "a", 0.0)
+        log.record_start("s2", "a", 0.2)
+        log.record_start("s1", "b", 5.0)
+        log.record_start("s2", "b", 5.6)
+        assert log.max_skew() == pytest.approx(0.6)
+        assert log.mean_skew() == pytest.approx(0.4)
+
+    def test_empty_log_skews_are_zero(self):
+        log = PlayoutLog()
+        assert log.max_skew() == 0.0
+        assert log.mean_skew() == 0.0
+
+    def test_media_names_and_sites(self):
+        log = PlayoutLog()
+        log.record_start("s2", "v", 1.0)
+        log.record_start("s1", "v", 1.0)
+        assert log.media_names() == ["v"]
+        assert log.sites_for("v") == ["s1", "s2"]

@@ -1,0 +1,118 @@
+"""Tests for the jitter-absorbing playout buffer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import MediaError
+from repro.media.buffer import PlayoutBuffer
+from repro.media.objects import video
+from repro.media.streams import Frame, frame_schedule
+from repro.net.simnet import Link, Network
+
+
+def frame(index, timestamp=0.0):
+    return Frame(media="v", index=index, timestamp=timestamp, size_bytes=100)
+
+
+class TestBufferBasics:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(MediaError):
+            PlayoutBuffer("v", prebuffer=-0.1, frame_interval=0.04)
+        with pytest.raises(MediaError):
+            PlayoutBuffer("v", prebuffer=0.1, frame_interval=0.0)
+
+    def test_slot_time_before_anchor_raises(self):
+        buffer = PlayoutBuffer("v", prebuffer=0.1, frame_interval=0.04)
+        with pytest.raises(MediaError):
+            buffer.slot_time(0)
+
+    def test_first_arrival_anchors_timeline(self):
+        buffer = PlayoutBuffer("v", prebuffer=0.5, frame_interval=0.04)
+        buffer.on_arrival(frame(0), now=2.0)
+        assert buffer.slot_time(0) == pytest.approx(2.5)
+        assert buffer.slot_time(10) == pytest.approx(2.9)
+
+    def test_render_before_any_arrival_is_empty(self):
+        buffer = PlayoutBuffer("v", prebuffer=0.5, frame_interval=0.04)
+        assert buffer.render_due(100.0) == []
+
+    def test_in_time_frames_render(self):
+        buffer = PlayoutBuffer("v", prebuffer=0.2, frame_interval=0.1)
+        for index in range(5):
+            buffer.on_arrival(frame(index), now=index * 0.1)
+        events = buffer.render_due(1.0)
+        assert len(events) == 9  # slots 0.2, 0.3, ... 1.0
+        assert buffer.underruns() == 4  # slots 5..8 have no frames
+        assert all(not event.underrun for event in events[:5])
+
+    def test_duplicate_arrival_ignored(self):
+        buffer = PlayoutBuffer("v", prebuffer=0.2, frame_interval=0.1)
+        buffer.on_arrival(frame(0), now=0.0)
+        buffer.on_arrival(frame(0), now=5.0)
+        events = buffer.render_due(0.2)
+        assert events[0].rendered_at == pytest.approx(0.2)
+
+    def test_late_frame_is_underrun(self):
+        buffer = PlayoutBuffer("v", prebuffer=0.1, frame_interval=0.1)
+        buffer.on_arrival(frame(0), now=0.0)   # slot 0 at 0.1
+        buffer.on_arrival(frame(1), now=0.5)   # slot 1 at 0.2: late
+        events = buffer.render_due(0.3)
+        assert not events[0].underrun
+        assert events[1].underrun
+        assert buffer.underrun_rate() == pytest.approx(0.5)
+
+    def test_latency_equals_prebuffer(self):
+        assert PlayoutBuffer("v", 0.25, 0.04).latency == 0.25
+
+
+class TestBufferOverNetwork:
+    def _stream(self, jitter, prebuffer, seed=0):
+        """Stream a 2 s / 25 fps clip over a jittery link."""
+        clock = VirtualClock()
+        network = Network(clock, rng=random.Random(seed))
+        clip = video("v", 2.0)
+        buffer = PlayoutBuffer("v", prebuffer=prebuffer, frame_interval=0.04)
+        network.add_host("sender", lambda s, p: None)
+        network.add_host(
+            "receiver", lambda s, p: buffer.on_arrival(p, clock.now())
+        )
+        network.connect_both(
+            "sender", "receiver", Link(base_latency=0.02, jitter=jitter)
+        )
+        for item in frame_schedule(clip):
+            clock.call_at(
+                item.timestamp, network.send, "sender", "receiver", item,
+                item.size_bytes,
+            )
+        clock.run_until(5.0)
+        buffer.render_due(5.0)
+        # Only count slots that had a corresponding sent frame.
+        total = int(2.0 * 25)
+        events = buffer.events[:total]
+        underruns = sum(1 for event in events if event.underrun)
+        return underruns, total
+
+    def test_sufficient_prebuffer_zero_underruns(self):
+        underruns, __ = self._stream(jitter=0.05, prebuffer=0.08)
+        assert underruns == 0
+
+    def test_insufficient_prebuffer_causes_underruns(self):
+        underruns, total = self._stream(jitter=0.08, prebuffer=0.0)
+        assert underruns > 0
+        assert underruns < total  # some frames still make it
+
+    def test_more_prebuffer_never_more_underruns(self):
+        worse, __ = self._stream(jitter=0.06, prebuffer=0.01, seed=4)
+        better, __ = self._stream(jitter=0.06, prebuffer=0.06, seed=4)
+        assert better <= worse
+
+    @settings(max_examples=10, deadline=None)
+    @given(jitter=st.floats(min_value=0.0, max_value=0.08))
+    def test_property_prebuffer_at_jitter_bound_is_safe(self, jitter):
+        """prebuffer >= jitter guarantees zero underruns (bounded-delay
+        argument of Section 3)."""
+        underruns, __ = self._stream(jitter=jitter, prebuffer=jitter + 0.001)
+        assert underruns == 0

@@ -1,0 +1,307 @@
+"""Tests for the network simulator, transport, and topology builders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import NetworkError, UnknownHostError
+from repro.net.simnet import Link, Network
+from repro.net.topology import build_star
+from repro.net.transport import ReliableChannel
+
+
+def make_pair(clock=None, link=None, seed=0):
+    clock = clock if clock is not None else VirtualClock()
+    network = Network(clock, rng=random.Random(seed))
+    inbox_a, inbox_b = [], []
+    network.add_host("a", lambda s, p: inbox_a.append((s, p)))
+    network.add_host("b", lambda s, p: inbox_b.append((s, p)))
+    network.connect_both("a", "b", link if link is not None else Link(base_latency=0.05))
+    return clock, network, inbox_a, inbox_b
+
+
+class TestLinkValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(NetworkError):
+            Link(base_latency=-0.1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(NetworkError):
+            Link(jitter=-0.1)
+
+    def test_loss_probability_out_of_range_rejected(self):
+        with pytest.raises(NetworkError):
+            Link(loss_probability=1.5)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(NetworkError):
+            Link(bandwidth_kbps=0.0)
+
+
+class TestBasicDelivery:
+    def test_message_arrives_after_latency(self):
+        clock, network, __, inbox_b = make_pair()
+        network.send("a", "b", "hello")
+        clock.run_until(0.049)
+        assert inbox_b == []
+        clock.run_until(0.051)
+        assert inbox_b == [("a", "hello")]
+
+    def test_duplicate_host_rejected(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        network.add_host("x", lambda s, p: None)
+        with pytest.raises(NetworkError):
+            network.add_host("x", lambda s, p: None)
+
+    def test_unknown_host_rejected(self):
+        clock, network, __, __ = make_pair()
+        with pytest.raises(UnknownHostError):
+            network.send("a", "ghost", "x")
+
+    def test_no_link_rejected(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        network.add_host("a", lambda s, p: None)
+        network.add_host("b", lambda s, p: None)
+        with pytest.raises(NetworkError):
+            network.send("a", "b", "x")
+
+    def test_default_link_fallback(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        inbox = []
+        network.add_host("a", lambda s, p: None)
+        network.add_host("b", lambda s, p: inbox.append(p))
+        network.set_default_link(Link(base_latency=0.01))
+        assert network.send("a", "b", "x")
+        clock.run_until(1.0)
+        assert inbox == ["x"]
+
+    def test_negative_size_rejected(self):
+        clock, network, __, __ = make_pair()
+        with pytest.raises(NetworkError):
+            network.send("a", "b", "x", size_bytes=-1)
+
+    def test_fifo_on_single_link_without_jitter(self):
+        clock, network, __, inbox_b = make_pair()
+        for i in range(10):
+            network.send("a", "b", i)
+        clock.run_until(1.0)
+        assert [p for __, p in inbox_b] == list(range(10))
+
+
+class TestLossAndDowntime:
+    def test_full_loss_drops_everything(self):
+        clock, network, __, inbox_b = make_pair(link=Link(loss_probability=1.0))
+        assert not network.send("a", "b", "x")
+        clock.run_until(1.0)
+        assert inbox_b == []
+        assert network.stats.dropped == 1
+
+    def test_down_host_counts_separately(self):
+        clock, network, __, inbox_b = make_pair()
+        network.set_host_up("b", False)
+        assert not network.send("a", "b", "x")
+        assert network.stats.to_down_host == 1
+
+    def test_host_down_mid_flight_loses_message(self):
+        clock, network, __, inbox_b = make_pair()
+        network.send("a", "b", "x")
+        network.set_host_up("b", False)
+        clock.run_until(1.0)
+        assert inbox_b == []
+        assert network.stats.to_down_host == 1
+
+    def test_host_back_up_receives_again(self):
+        clock, network, __, inbox_b = make_pair()
+        network.set_host_up("b", False)
+        network.send("a", "b", "lost")
+        network.set_host_up("b", True)
+        network.send("a", "b", "found")
+        clock.run_until(1.0)
+        assert [p for __, p in inbox_b] == ["found"]
+
+    def test_loss_rate_statistic(self):
+        clock, network, __, __ = make_pair(link=Link(loss_probability=0.5), seed=42)
+        for i in range(200):
+            network.send("a", "b", i)
+        clock.run_until(10.0)
+        assert 0.3 < network.stats.loss_rate < 0.7
+
+
+class TestJitterAndBandwidth:
+    def test_jitter_varies_latency(self):
+        clock, network, __, inbox_b = make_pair(link=Link(base_latency=0.01, jitter=0.05))
+        times = []
+        network.host("b").handler = lambda s, p: times.append(clock.now())
+        for i in range(20):
+            network.send("a", "b", i)
+        clock.run_until(1.0)
+        assert len(set(times)) > 1
+        assert all(0.01 <= t <= 0.06 + 1e-9 for t in times)
+
+    def test_bandwidth_serializes_messages(self):
+        # 8 kbit/s link, 1000-byte messages: 1 s each on the wire.
+        clock, network, __, __ = make_pair(link=Link(base_latency=0.0, bandwidth_kbps=8.0))
+        times = []
+        network.host("b").handler = lambda s, p: times.append(clock.now())
+        network.send("a", "b", "m1", size_bytes=1000)
+        network.send("a", "b", "m2", size_bytes=1000)
+        clock.run_until(10.0)
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(2.0)
+
+    def test_broadcast_reaches_everyone_but_sender(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        seen = {}
+        for name in ("a", "b", "c"):
+            seen[name] = []
+            network.add_host(name, (lambda n: lambda s, p: seen[n].append(p))(name))
+        network.set_default_link(Link(base_latency=0.01))
+        count = network.broadcast("a", "hi")
+        clock.run_until(1.0)
+        assert count == 2
+        assert seen["a"] == []
+        assert seen["b"] == ["hi"]
+        assert seen["c"] == ["hi"]
+
+    def test_mean_latency_statistic(self):
+        clock, network, __, __ = make_pair(link=Link(base_latency=0.1))
+        network.send("a", "b", "x")
+        clock.run_until(1.0)
+        assert network.stats.mean_latency == pytest.approx(0.1)
+
+
+class TestReliableChannel:
+    def _wired_channel(self, link, seed=0, **kwargs):
+        clock = VirtualClock()
+        network = Network(clock, rng=random.Random(seed))
+        received = []
+        channel_box = []
+
+        def b_handler(sender, payload):
+            channel_box[0].on_segment(payload)
+
+        def a_handler(sender, payload):
+            channel_box[0].on_ack(payload)
+
+        network.add_host("a", a_handler)
+        network.add_host("b", b_handler)
+        network.connect_both("a", "b", link)
+        channel = ReliableChannel(
+            network, "a", "b", deliver=received.append, **kwargs
+        )
+        channel_box.append(channel)
+        return clock, network, channel, received
+
+    def test_delivers_in_order_over_lossless_link(self):
+        clock, __, channel, received = self._wired_channel(Link(base_latency=0.01))
+        for i in range(10):
+            channel.send(i)
+        clock.run_until(5.0)
+        assert received == list(range(10))
+        assert channel.pending() == 0
+
+    def test_recovers_from_heavy_loss(self):
+        clock, __, channel, received = self._wired_channel(
+            Link(base_latency=0.01, loss_probability=0.4), seed=7
+        )
+        for i in range(20):
+            channel.send(i)
+        clock.run_until(60.0)
+        assert received == list(range(20))
+        assert channel.retransmissions > 0
+
+    def test_in_order_despite_jitter_reordering(self):
+        clock, __, channel, received = self._wired_channel(
+            Link(base_latency=0.001, jitter=0.1), seed=3
+        )
+        for i in range(30):
+            channel.send(i)
+        clock.run_until(60.0)
+        assert received == list(range(30))
+
+    def test_breaks_after_max_retries_to_dead_host(self):
+        clock, network, channel, received = self._wired_channel(
+            Link(base_latency=0.01), max_retries=3
+        )
+        network.set_host_up("b", False)
+        channel.send("x")
+        clock.run_until(60.0)
+        assert channel.broken
+        assert received == []
+
+    def test_send_on_broken_channel_raises(self):
+        clock, network, channel, __ = self._wired_channel(
+            Link(base_latency=0.01), max_retries=1
+        )
+        network.set_host_up("b", False)
+        channel.send("x")
+        clock.run_until(60.0)
+        with pytest.raises(NetworkError):
+            channel.send("y")
+
+    def test_bad_timeout_rejected(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        network.add_host("a", lambda s, p: None)
+        network.add_host("b", lambda s, p: None)
+        with pytest.raises(NetworkError):
+            ReliableChannel(network, "a", "b", deliver=lambda p: None, retransmit_timeout=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        loss=st.floats(min_value=0.0, max_value=0.6),
+        count=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_exactly_once_in_order(self, loss, count, seed):
+        clock, __, channel, received = self._wired_channel(
+            Link(base_latency=0.005, jitter=0.02, loss_probability=loss), seed=seed
+        )
+        for i in range(count):
+            channel.send(i)
+        clock.run_until(120.0)
+        assert received == list(range(count))
+
+
+class TestStarTopology:
+    def test_build_star_connects_all_clients(self):
+        clock = VirtualClock()
+        inboxes = {"server": []}
+
+        def factory(name):
+            inboxes[name] = []
+            return lambda s, p: inboxes[name].append(p)
+
+        star = build_star(
+            clock, 5, factory, lambda s, p: inboxes["server"].append(p), seed=1
+        )
+        assert len(star.clients) == 5
+        for client in star.clients:
+            star.network.send(star.server, client, "ping")
+            star.network.send(client, star.server, "pong")
+        clock.run_until(1.0)
+        assert len(inboxes["server"]) == 5
+        assert all(inboxes[c] == ["ping"] for c in star.clients)
+
+    def test_star_latencies_vary_per_client(self):
+        clock = VirtualClock()
+        star = build_star(
+            clock, 8, lambda n: (lambda s, p: None), lambda s, p: None,
+            jitter=0.0, seed=5,
+        )
+        arrival_times = {}
+
+        def tracker(name):
+            return lambda s, p: arrival_times.__setitem__(name, clock.now())
+
+        for client in star.clients:
+            star.network.host(client).handler = tracker(client)
+            star.network.send(star.server, client, "ping")
+        clock.run_until(1.0)
+        assert len(set(arrival_times.values())) > 1

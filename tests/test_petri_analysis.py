@@ -1,0 +1,243 @@
+"""Tests for Petri net analysis: reachability, boundedness, liveness,
+invariants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PetriNetError
+from repro.petri.analysis import (
+    bound_of,
+    conservative_weights,
+    dead_transitions,
+    find_deadlocks,
+    incidence_matrix,
+    is_bounded,
+    is_live,
+    place_invariants,
+    reachability_graph,
+)
+from repro.petri.net import PetriNet
+
+
+def cycle_net(tokens=1):
+    """p1 -> t1 -> p2 -> t2 -> p1."""
+    net = PetriNet("cycle")
+    net.add_place("p1", tokens=tokens)
+    net.add_place("p2")
+    net.add_transition("t1")
+    net.add_transition("t2")
+    net.add_arc("p1", "t1")
+    net.add_arc("t1", "p2")
+    net.add_arc("p2", "t2")
+    net.add_arc("t2", "p1")
+    return net
+
+
+def linear_net():
+    """p1 -> t -> p2, one shot."""
+    net = PetriNet("linear")
+    net.add_place("p1", tokens=1)
+    net.add_place("p2")
+    net.add_transition("t")
+    net.add_arc("p1", "t")
+    net.add_arc("t", "p2")
+    return net
+
+
+def unbounded_net():
+    """t is a source into p (fed by a self-loop seed): unbounded."""
+    net = PetriNet("unbounded")
+    net.add_place("seed", tokens=1)
+    net.add_place("sink")
+    net.add_transition("pump")
+    net.add_arc("seed", "pump")
+    net.add_arc("pump", "seed")
+    net.add_arc("pump", "sink")
+    return net
+
+
+class TestReachabilityGraph:
+    def test_linear_net_two_states(self):
+        graph = reachability_graph(linear_net())
+        assert len(graph) == 2
+        assert graph.complete
+
+    def test_cycle_net_two_states_with_back_edge(self):
+        graph = reachability_graph(cycle_net())
+        assert len(graph) == 2
+        assert len(graph.edges) == 2
+
+    def test_initial_marking_is_first_node(self):
+        net = linear_net()
+        graph = reachability_graph(net)
+        assert graph.nodes[0] == net.marking()
+
+    def test_budget_truncates_and_flags(self):
+        graph = reachability_graph(unbounded_net(), max_nodes=5)
+        assert not graph.complete
+        assert len(graph) == 5
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(PetriNetError):
+            reachability_graph(linear_net(), max_nodes=0)
+
+    def test_successors(self):
+        graph = reachability_graph(linear_net())
+        assert list(graph.successors(0)) == [("t", 1)]
+        assert list(graph.successors(1)) == []
+
+    def test_deadlock_indices(self):
+        graph = reachability_graph(linear_net())
+        assert graph.deadlock_indices() == [1]
+
+    def test_exploration_does_not_mutate_net(self):
+        net = cycle_net()
+        before = net.marking()
+        reachability_graph(net)
+        assert net.marking() == before
+
+    def test_concurrent_tokens_enumerate_interleavings(self):
+        # Two independent one-shot branches: 4 reachable markings.
+        net = PetriNet()
+        for branch in ("a", "b"):
+            net.add_place(f"{branch}_in", tokens=1)
+            net.add_place(f"{branch}_out")
+            net.add_transition(f"t_{branch}")
+            net.add_arc(f"{branch}_in", f"t_{branch}")
+            net.add_arc(f"t_{branch}", f"{branch}_out")
+        graph = reachability_graph(net)
+        assert len(graph) == 4
+
+
+class TestBoundedness:
+    def test_cycle_is_bounded(self):
+        assert is_bounded(cycle_net())
+
+    def test_linear_is_bounded(self):
+        assert is_bounded(linear_net())
+
+    def test_pump_is_unbounded(self):
+        assert not is_bounded(unbounded_net())
+
+    def test_bound_of_place(self):
+        net = cycle_net(tokens=3)
+        assert bound_of(net, "p2") == 3
+
+    def test_bound_of_never_marked_place_is_zero(self):
+        net = PetriNet()
+        net.add_place("empty")
+        net.add_transition("t")
+        net.add_arc("empty", "t")
+        assert bound_of(net, "empty") == 0
+
+
+class TestDeadlockAndLiveness:
+    def test_linear_net_has_deadlock(self):
+        deadlocks = find_deadlocks(linear_net())
+        assert deadlocks == [{"p1": 0, "p2": 1}]
+
+    def test_cycle_net_has_no_deadlock(self):
+        assert find_deadlocks(cycle_net()) == []
+
+    def test_cycle_net_is_live(self):
+        assert is_live(cycle_net())
+
+    def test_linear_net_is_not_live(self):
+        assert not is_live(linear_net())
+
+    def test_net_with_unfireable_transition_not_live(self):
+        net = cycle_net()
+        net.add_place("never", tokens=0)
+        net.add_transition("stuck")
+        net.add_arc("never", "stuck")
+        assert not is_live(net)
+        assert dead_transitions(net) == {"stuck"}
+
+    def test_dead_transitions_empty_for_live_net(self):
+        assert dead_transitions(cycle_net()) == set()
+
+
+class TestIncidenceAndInvariants:
+    def test_incidence_matrix_shape_and_values(self):
+        places, transitions, matrix = incidence_matrix(cycle_net())
+        assert places == ["p1", "p2"]
+        assert transitions == ["t1", "t2"]
+        # t1 moves p1->p2, t2 moves p2->p1.
+        assert matrix == [[-1, 1], [1, -1]]
+
+    def test_cycle_has_token_conservation_invariant(self):
+        invariants = place_invariants(cycle_net())
+        assert len(invariants) == 1
+        weights = invariants[0]
+        assert weights["p1"] == weights["p2"]
+
+    def test_invariant_holds_along_execution(self):
+        net = cycle_net(tokens=2)
+        invariants = place_invariants(net)
+        weights = invariants[0]
+
+        def weighted(marking):
+            return sum(weights.get(p, Fraction(0)) * n for p, n in marking.items())
+
+        initial = weighted(net.marking())
+        net.fire("t1")
+        assert weighted(net.marking()) == initial
+        net.fire("t2")
+        assert weighted(net.marking()) == initial
+
+    def test_conservative_weights_for_cycle(self):
+        weights = conservative_weights(cycle_net())
+        assert weights is not None
+        assert all(w > 0 for w in weights.values())
+
+    def test_pump_net_is_not_conservative(self):
+        assert conservative_weights(unbounded_net()) is None
+
+    def test_empty_net_has_no_invariants(self):
+        assert place_invariants(PetriNet()) == []
+
+
+class TestTransitionInvariants:
+    def test_cycle_has_t_invariant(self):
+        from repro.petri.analysis import transition_invariants
+
+        invariants = transition_invariants(cycle_net())
+        assert len(invariants) == 1
+        weights = invariants[0]
+        # Firing t1 and t2 equally often reproduces the marking.
+        assert weights["t1"] == weights["t2"]
+
+    def test_linear_net_has_no_t_invariant(self):
+        from repro.petri.analysis import transition_invariants
+
+        assert transition_invariants(linear_net()) == []
+
+    def test_t_invariant_reproduces_marking(self):
+        from repro.petri.analysis import transition_invariants
+
+        net = cycle_net(tokens=2)
+        invariants = transition_invariants(net)
+        weights = invariants[0]
+        start = net.marking()
+        # Fire each transition `weights[t]` times (scaled to integers).
+        scale = 1
+        for value in weights.values():
+            scale = max(scale, value.denominator)
+        for __ in range(scale):
+            for transition, count in weights.items():
+                for __ in range(int(count * scale) // scale):
+                    net.fire(transition)
+        assert net.marking() == start
+
+    def test_one_shot_presentation_has_no_t_invariants(self):
+        from repro.petri.analysis import transition_invariants
+        from repro.workload.presentations import figure1_presentation
+
+        assert transition_invariants(figure1_presentation().net) == []
+
+    def test_empty_net(self):
+        from repro.petri.analysis import transition_invariants
+        from repro.petri.net import PetriNet
+
+        assert transition_invariants(PetriNet()) == []

@@ -1,0 +1,160 @@
+"""Tests for DOCPN: global clock admission across distributed sites,
+user-interaction priority firing, and the ideal schedule."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import PetriNetError
+from repro.petri.docpn import (
+    DOCPNSystem,
+    ideal_schedule,
+    replicate_ocpn_with_interaction,
+)
+from repro.petri.ocpn import OCPN
+from repro.temporal.intervals import Relation
+
+
+def lecture_ocpn():
+    """intro(5) then video||slides (10) — the Figure 1 shape."""
+    ocpn = OCPN()
+    block = ocpn.seq(
+        ocpn.media_block("intro", 5.0),
+        ocpn.relate("video", 10.0, "slides", 10.0, Relation.EQUALS),
+    )
+    ocpn.set_root(block)
+    return ocpn
+
+
+class TestIdealSchedule:
+    def test_schedule_matches_authored_times(self):
+        ocpn = lecture_ocpn()
+        schedule = ideal_schedule(ocpn)
+        times = sorted(set(schedule.values()))
+        assert times == [0.0, 5.0, 15.0]
+
+    def test_schedule_does_not_consume_the_ocpn(self):
+        ocpn = lecture_ocpn()
+        ideal_schedule(ocpn)
+        # Initial token still present: the rehearsal ran on a copy.
+        assert ocpn.net.tokens("start") == 1
+
+
+class TestReplication:
+    def test_replicated_net_preserves_structure(self):
+        ocpn = lecture_ocpn()
+        net, durations, __ = replicate_ocpn_with_interaction(ocpn)
+        assert set(net.base.places) == set(ocpn.net.places)
+        assert set(net.base.transitions) == set(ocpn.net.transitions)
+
+    def test_interaction_place_added_with_priority_arc(self):
+        ocpn = lecture_ocpn()
+        target = next(iter(ocpn.net.transitions))
+        net, __, mapping = replicate_ocpn_with_interaction(ocpn, [target])
+        assert mapping == {target: f"ui_{target}"}
+        assert net.priority_inputs(target) == {f"ui_{target}": 1}
+
+    def test_unknown_interaction_transition_rejected(self):
+        ocpn = lecture_ocpn()
+        with pytest.raises(PetriNetError):
+            replicate_ocpn_with_interaction(ocpn, ["ghost"])
+
+
+class TestGlobalClockAdmission:
+    def _run(self, use_global_clock, offsets, drifts=None, until=60.0):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=use_global_clock)
+        drifts = drifts or [0.0] * len(offsets)
+        for index, (offset, drift) in enumerate(zip(offsets, drifts)):
+            system.add_site(
+                f"site{index}", lecture_ocpn(), clock_offset=offset, drift_rate=drift
+            )
+        system.run(until)
+        return system
+
+    def test_identical_clocks_have_zero_skew(self):
+        system = self._run(True, [0.0, 0.0, 0.0])
+        assert system.max_skew() == pytest.approx(0.0)
+
+    def test_skew_without_global_clock_is_full_offset_spread(self):
+        system = self._run(False, [0.4, -0.4, 0.0])
+        assert system.max_skew() == pytest.approx(0.8)
+        assert system.total_holds() == 0
+
+    def test_global_clock_holds_fast_sites(self):
+        system = self._run(True, [0.4, -0.4, 0.0])
+        # Fast site clamped to schedule; only the slow site's lateness remains.
+        assert system.max_skew() == pytest.approx(0.4)
+        assert system.total_holds() >= 1
+
+    def test_fast_site_starts_exactly_on_schedule(self):
+        system = self._run(True, [0.4, 0.0])
+        starts = system.playout.start_times("intro")
+        assert starts["site0"] == pytest.approx(starts["site1"])
+        assert starts["site0"] == pytest.approx(system.start_time)
+
+    def test_slow_site_fires_without_delay(self):
+        system = self._run(True, [-0.3, 0.0])
+        starts = system.playout.start_times("intro")
+        assert starts["site0"] == pytest.approx(system.start_time + 0.3)
+
+    def test_drifting_fast_site_held_repeatedly(self):
+        system = self._run(True, [0.0, 0.0], drifts=[0.02, 0.0])
+        # With 2% fast drift the site is early at every transition.
+        assert system.sites[0].holds >= 2
+        assert system.max_skew() < 0.05
+
+    def test_admission_reduces_skew_under_drift(self):
+        gated = self._run(True, [0.2, -0.2], drifts=[0.01, -0.01])
+        free = self._run(False, [0.2, -0.2], drifts=[0.01, -0.01])
+        assert gated.max_skew() < free.max_skew()
+
+    def test_all_media_eventually_play_everywhere(self):
+        system = self._run(True, [0.5, -0.5, 0.1, -0.1])
+        for media in ("intro", "video", "slides"):
+            assert len(system.playout.start_times(media)) == 4
+
+
+class TestUserInteraction:
+    def test_broadcast_interaction_skips_media(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        ocpn = lecture_ocpn()
+        # The transition that ends "intro" is the one consuming its place.
+        intro_place = next(
+            place for place, media in ocpn.media_of_place.items() if media[0] == "intro"
+        )
+        skip_target = ocpn.net.postset_of_place(intro_place)[0]
+        system.add_site(
+            "s0", ocpn, interaction_transitions=[skip_target]
+        )
+        system.start()
+        clock.run_until(system.start_time + 2.0)
+        system.broadcast_interaction(skip_target)
+        clock.run_until(60.0)
+        starts = system.playout.start_times("video")
+        # Video started right after the interaction, not at 5 s in.
+        assert starts["s0"] == pytest.approx(system.start_time + 2.0)
+        assert system.sites[0].forced_firings == 1
+
+    def test_interaction_with_network_latency(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock, use_global_clock=True)
+        ocpn = lecture_ocpn()
+        intro_place = next(
+            place for place, media in ocpn.media_of_place.items() if media[0] == "intro"
+        )
+        skip_target = ocpn.net.postset_of_place(intro_place)[0]
+        system.add_site("s0", ocpn, interaction_transitions=[skip_target])
+        system.start()
+        clock.run_until(system.start_time + 1.0)
+        system.broadcast_interaction(skip_target, network_latency=0.25)
+        clock.run_until(60.0)
+        starts = system.playout.start_times("video")
+        assert starts["s0"] == pytest.approx(system.start_time + 1.25)
+
+    def test_interaction_on_unknown_transition_raises(self):
+        clock = VirtualClock()
+        system = DOCPNSystem(clock)
+        site = system.add_site("s0", lecture_ocpn())
+        with pytest.raises(PetriNetError):
+            site.inject_interaction("ghost")

@@ -1,0 +1,209 @@
+"""Tests for OCPN construction: the compile -> execute -> classify
+round trip for all seven base Allen relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import PetriNetError, TemporalError
+from repro.petri.analysis import find_deadlocks, is_bounded
+from repro.petri.ocpn import OCPN
+from repro.petri.timed import TimedExecutor
+from repro.temporal.intervals import Relation, relation_between
+
+
+def run_root(ocpn):
+    """Execute an OCPN whose root is set; return merged media intervals."""
+    executor = TimedExecutor(ocpn.net, ocpn.durations, VirtualClock())
+    trace = executor.run_to_completion()
+    return ocpn.media_intervals(trace.intervals), trace
+
+
+class TestPrimitiveBlocks:
+    def test_media_block_plays_for_duration(self):
+        ocpn = OCPN()
+        block = ocpn.media_block("video", 5.0)
+        ocpn.set_root(block)
+        intervals, __ = run_root(ocpn)
+        assert intervals["video"] == (0.0, 5.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TemporalError):
+            OCPN().media_block("video", -1.0)
+
+    def test_delay_block_shifts_following_media(self):
+        ocpn = OCPN()
+        block = ocpn.seq(ocpn.delay_block(3.0), ocpn.media_block("img", 2.0))
+        ocpn.set_root(block)
+        intervals, __ = run_root(ocpn)
+        assert intervals["img"] == (3.0, 5.0)
+
+    def test_seq_orders_blocks(self):
+        ocpn = OCPN()
+        block = ocpn.seq(ocpn.media_block("a", 2.0), ocpn.media_block("b", 3.0))
+        ocpn.set_root(block)
+        intervals, __ = run_root(ocpn)
+        assert intervals["a"] == (0.0, 2.0)
+        assert intervals["b"] == (2.0, 5.0)
+
+    def test_par_starts_together_joins_at_max(self):
+        ocpn = OCPN()
+        block = ocpn.par(ocpn.media_block("a", 2.0), ocpn.media_block("b", 7.0))
+        ocpn.set_root(block)
+        intervals, trace = run_root(ocpn)
+        assert intervals["a"][0] == intervals["b"][0]
+        assert trace.end_time() == 7.0
+
+    def test_par_single_block_is_identity(self):
+        ocpn = OCPN()
+        inner = ocpn.media_block("a", 1.0)
+        assert ocpn.par(inner) is inner
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(PetriNetError):
+            OCPN().seq()
+
+    def test_empty_par_rejected(self):
+        with pytest.raises(PetriNetError):
+            OCPN().par()
+
+    def test_set_root_twice_rejected(self):
+        ocpn = OCPN()
+        block = ocpn.media_block("a", 1.0)
+        ocpn.set_root(block)
+        with pytest.raises(PetriNetError):
+            ocpn.set_root(block)
+
+
+class TestRelationConstructions:
+    """Each construction must execute to intervals realizing the relation."""
+
+    def _relate_and_run(self, relation, da, db, offset=0.0):
+        ocpn = OCPN()
+        block = ocpn.relate("A", da, "B", db, relation, offset=offset)
+        ocpn.set_root(block)
+        intervals, __ = run_root(ocpn)
+        return intervals["A"], intervals["B"]
+
+    def test_before(self):
+        a, b = self._relate_and_run(Relation.BEFORE, 2.0, 3.0, offset=1.5)
+        assert relation_between(a, b) is Relation.BEFORE
+        assert b[0] - a[1] == pytest.approx(1.5)
+
+    def test_meets(self):
+        a, b = self._relate_and_run(Relation.MEETS, 2.0, 3.0)
+        assert relation_between(a, b) is Relation.MEETS
+
+    def test_equals(self):
+        a, b = self._relate_and_run(Relation.EQUALS, 4.0, 4.0)
+        assert relation_between(a, b) is Relation.EQUALS
+
+    def test_equals_unequal_durations_rejected(self):
+        with pytest.raises(TemporalError):
+            self._relate_and_run(Relation.EQUALS, 4.0, 5.0)
+
+    def test_starts(self):
+        a, b = self._relate_and_run(Relation.STARTS, 2.0, 5.0)
+        assert relation_between(a, b) is Relation.STARTS
+
+    def test_starts_requires_shorter_a(self):
+        with pytest.raises(TemporalError):
+            self._relate_and_run(Relation.STARTS, 5.0, 2.0)
+
+    def test_finishes(self):
+        a, b = self._relate_and_run(Relation.FINISHES, 2.0, 5.0)
+        assert relation_between(a, b) is Relation.FINISHES
+        assert a[1] == pytest.approx(b[1])
+
+    def test_during(self):
+        a, b = self._relate_and_run(Relation.DURING, 2.0, 6.0, offset=1.0)
+        assert relation_between(a, b) is Relation.DURING
+        assert a[0] == pytest.approx(1.0)
+
+    def test_during_offset_too_large_rejected(self):
+        with pytest.raises(TemporalError):
+            self._relate_and_run(Relation.DURING, 2.0, 6.0, offset=5.0)
+
+    def test_overlaps(self):
+        a, b = self._relate_and_run(Relation.OVERLAPS, 4.0, 5.0, offset=1.0)
+        assert relation_between(a, b) is Relation.OVERLAPS
+        assert a == (0.0, 4.0)
+        assert b == (1.0, 6.0)
+
+    def test_overlaps_bad_offset_rejected(self):
+        with pytest.raises(TemporalError):
+            self._relate_and_run(Relation.OVERLAPS, 4.0, 5.0, offset=4.0)
+
+    def test_overlaps_b_too_short_rejected(self):
+        with pytest.raises(TemporalError):
+            self._relate_and_run(Relation.OVERLAPS, 4.0, 1.0, offset=1.0)
+
+    def test_inverse_relation_swaps_operands(self):
+        a, b = self._relate_and_run(Relation.AFTER, 2.0, 3.0, offset=1.0)
+        assert relation_between(a, b) is Relation.AFTER
+
+    def test_contains_via_inverse(self):
+        a, b = self._relate_and_run(Relation.CONTAINS, 6.0, 2.0, offset=1.0)
+        assert relation_between(a, b) is Relation.CONTAINS
+
+
+class TestStructuralProperties:
+    def _full_example(self):
+        """A three-media presentation: (A overlaps B) then C."""
+        ocpn = OCPN()
+        ab = ocpn.relate("A", 4.0, "B", 5.0, Relation.OVERLAPS, offset=1.0)
+        c = ocpn.media_block("C", 2.0)
+        ocpn.set_root(ocpn.seq(ab, c))
+        return ocpn
+
+    def test_ocpn_is_bounded(self):
+        assert is_bounded(self._full_example().net)
+
+    def test_ocpn_single_terminal_marking(self):
+        ocpn = self._full_example()
+        deadlocks = find_deadlocks(ocpn.net)
+        assert len(deadlocks) == 1
+        final = deadlocks[0]
+        assert final["done"] == 1
+        assert sum(final.values()) == 1
+
+    def test_overlap_segments_share_media_label(self):
+        ocpn = OCPN()
+        ocpn.relate("A", 4.0, "B", 5.0, Relation.OVERLAPS, offset=1.0)
+        media_names = {media for media, __ in ocpn.media_of_place.values()}
+        assert media_names == {"A", "B"}
+        a_segments = [m for m in ocpn.media_of_place.values() if m[0] == "A"]
+        assert len(a_segments) == 2
+
+    def test_gap_between_segments_raises(self):
+        ocpn = OCPN()
+        ocpn.media_of_place["p1"] = ("A", 0)
+        ocpn.media_of_place["p2"] = ("A", 1)
+        with pytest.raises(TemporalError):
+            ocpn.media_intervals({"p1": [(0.0, 1.0)], "p2": [(2.0, 3.0)]})
+
+
+class TestRoundTripProperty:
+    @given(
+        da=st.floats(min_value=0.5, max_value=50),
+        db=st.floats(min_value=0.5, max_value=50),
+        gap=st.floats(min_value=0.1, max_value=10),
+    )
+    def test_before_roundtrip(self, da, db, gap):
+        ocpn = OCPN()
+        ocpn.set_root(ocpn.relate("A", da, "B", db, Relation.BEFORE, offset=gap))
+        intervals, __ = run_root(ocpn)
+        assert relation_between(intervals["A"], intervals["B"], tolerance=1e-6) is Relation.BEFORE
+
+    @given(
+        da=st.floats(min_value=1.0, max_value=50),
+        frac=st.floats(min_value=0.1, max_value=0.9),
+        extra=st.floats(min_value=0.5, max_value=20),
+    )
+    def test_overlaps_roundtrip(self, da, frac, extra):
+        offset = da * frac
+        db = (da - offset) + extra  # guarantees the tail is positive
+        ocpn = OCPN()
+        ocpn.set_root(ocpn.relate("A", da, "B", db, Relation.OVERLAPS, offset=offset))
+        intervals, __ = run_root(ocpn)
+        assert relation_between(intervals["A"], intervals["B"], tolerance=1e-6) is Relation.OVERLAPS

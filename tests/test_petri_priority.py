@@ -1,0 +1,270 @@
+"""Tests for prioritized Petri nets (Yang et al. fire rules, Section 2.2)."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import NotEnabledError, UnknownNodeError
+from repro.petri.net import PetriNet
+from repro.petri.priority import PriorityNet, PriorityTimedExecutor
+from repro.petri.timed import TimedPlaceMap
+
+
+def waiting_net():
+    """A transition with one ordinary input (empty) and one priority
+    input (empty): fires when either the AND rule or the priority rule
+    is satisfied."""
+    net = PriorityNet()
+    net.add_place("slow_media")
+    net.add_place("interaction")
+    net.add_place("out")
+    net.add_transition("advance")
+    net.add_arc("slow_media", "advance")
+    net.add_priority_arc("interaction", "advance")
+    net.add_arc("advance", "out")
+    return net
+
+
+class TestPriorityNetStructure:
+    def test_priority_arc_registered(self):
+        net = waiting_net()
+        assert net.priority_inputs("advance") == {"interaction": 1}
+
+    def test_priority_arc_disjoint_from_ordinary_inputs(self):
+        net = waiting_net()
+        assert net.base.inputs("advance") == {"slow_media": 1}
+
+    def test_nonpriority_inputs_excludes_priority(self):
+        net = waiting_net()
+        assert net.nonpriority_inputs("advance") == {"slow_media": 1}
+
+    def test_to_plain_net_materializes_priority_arcs(self):
+        net = waiting_net()
+        plain = net.to_plain_net()
+        assert plain.inputs("advance") == {"slow_media": 1, "interaction": 1}
+
+    def test_priority_arc_unknown_nodes_raise(self):
+        net = PriorityNet()
+        net.add_place("p")
+        net.add_transition("t")
+        with pytest.raises(UnknownNodeError):
+            net.add_priority_arc("ghost", "t")
+        with pytest.raises(UnknownNodeError):
+            net.add_priority_arc("p", "ghost")
+
+    def test_has_priority_input(self):
+        net = waiting_net()
+        assert net.has_priority_input("advance")
+        net.add_transition("plain")
+        assert not net.has_priority_input("plain")
+
+
+class TestPrioritizedEnabling:
+    def test_rule1_plain_and_rule(self):
+        """All non-priority inputs present -> enabled."""
+        net = waiting_net()
+        net.put_token("slow_media")
+        net.put_token("interaction")
+        assert net.is_enabled("advance")
+
+    def test_not_enabled_when_everything_empty(self):
+        assert not waiting_net().is_enabled("advance")
+
+    def test_rule2_priority_forces_enabling(self):
+        """Priority token alone enables, without the ordinary input."""
+        net = waiting_net()
+        net.put_token("interaction")
+        assert net.is_priority_enabled("advance")
+        assert net.is_enabled("advance")
+
+    def test_ordinary_token_alone_enables_plain_rule(self):
+        """The priority arc does not gate the plain AND rule: media
+        completion alone advances the presentation."""
+        net = waiting_net()
+        net.put_token("slow_media")
+        assert net.is_plain_enabled("advance")
+        assert net.is_enabled("advance")
+        assert not net.is_priority_enabled("advance")
+
+    def test_priority_only_transition_needs_priority_token(self):
+        net = PriorityNet()
+        net.add_place("button")
+        net.add_place("out")
+        net.add_transition("react")
+        net.add_priority_arc("button", "react")
+        net.add_arc("react", "out")
+        assert not net.is_enabled("react")
+        net.put_token("button")
+        assert net.is_enabled("react")
+
+    def test_rule3_and_among_priority_inputs(self):
+        net = PriorityNet()
+        net.add_place("e1")
+        net.add_place("e2")
+        net.add_place("out")
+        net.add_transition("t")
+        net.add_priority_arc("e1", "t")
+        net.add_priority_arc("e2", "t")
+        net.add_arc("t", "out")
+        net.put_token("e1")
+        assert not net.is_priority_enabled("t")
+        net.put_token("e2")
+        assert net.is_priority_enabled("t")
+
+
+class TestPrioritizedFiring:
+    def test_forced_fire_forgives_missing_ordinary_input(self):
+        net = waiting_net()
+        net.put_token("interaction")
+        net.fire("advance")
+        assert net.marking()["out"] == 1
+        assert net.marking()["slow_media"] == 0
+
+    def test_forced_fire_consumes_present_ordinary_tokens(self):
+        net = waiting_net()
+        net.put_token("interaction")
+        net.put_token("slow_media")
+        net.fire("advance")
+        assert net.marking()["slow_media"] == 0
+        assert net.marking()["interaction"] == 0
+
+    def test_fire_not_enabled_raises(self):
+        with pytest.raises(NotEnabledError):
+            waiting_net().fire("advance")
+
+    def test_rule4_conflict_prefers_priority_arc(self):
+        net = PriorityNet()
+        net.add_place("shared", tokens=1)
+        net.add_place("out_a")
+        net.add_place("out_b")
+        net.add_transition("plain")
+        net.add_transition("urgent")
+        net.add_arc("shared", "plain")
+        net.add_priority_arc("shared", "urgent")
+        net.add_arc("plain", "out_a")
+        net.add_arc("urgent", "out_b")
+        fired = net.step()
+        assert fired == "urgent"
+        assert net.marking()["out_b"] == 1
+
+    def test_step_returns_none_when_dead(self):
+        assert waiting_net().step() is None
+
+    def test_resolve_conflict_empty_raises(self):
+        with pytest.raises(NotEnabledError):
+            waiting_net().resolve_conflict([])
+
+    def test_resolve_conflict_falls_back_to_first(self):
+        net = PriorityNet()
+        net.add_place("p", tokens=2)
+        net.add_transition("a")
+        net.add_transition("b")
+        net.add_arc("p", "a")
+        net.add_arc("p", "b")
+        assert net.resolve_conflict(["b", "a"]) == "b"
+
+
+class TestPriorityTimedExecutor:
+    def _docpn_fragment(self):
+        """media(10s) and interaction priority both feed `advance`."""
+        net = PriorityNet()
+        net.add_place("media", tokens=1)
+        net.add_place("interaction")
+        net.add_place("next")
+        net.add_transition("advance")
+        net.add_arc("media", "advance")
+        net.add_priority_arc("interaction", "advance")
+        net.add_arc("advance", "next")
+        return net
+
+    def test_without_interaction_waits_full_duration(self):
+        net = self._docpn_fragment()
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap({"media": 10.0}), clock)
+        trace = executor.run_to_completion()
+        assert trace.firing_times("advance") == [10.0]
+        assert executor.forced_firings == 0
+
+    def test_interaction_preempts_media_duration(self):
+        """A user interaction at t=3 fires the transition immediately
+        instead of waiting for the 10-second media (DOCPN property 2)."""
+        net = self._docpn_fragment()
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap({"media": 10.0}), clock)
+        executor.start()
+        clock.run_until(3.0)
+        executor.inject_priority("interaction")
+        clock.run_until(20.0)
+        assert executor.trace.firing_times("advance") == [3.0]
+        assert executor.forced_firings == 1
+
+    def test_preempted_interval_is_truncated(self):
+        net = self._docpn_fragment()
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap({"media": 10.0}), clock)
+        executor.start()
+        clock.run_until(3.0)
+        executor.inject_priority("interaction")
+        clock.run_until(20.0)
+        assert executor.trace.intervals["media"] == [(0.0, 3.0)]
+
+    def test_media_completion_plain_fires_without_interaction(self):
+        net = self._docpn_fragment()
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap({"media": 2.0}), clock)
+        executor.start()
+        clock.run_until(5.0)
+        assert executor.trace.firing_times("advance") == [2.0]
+        assert executor.forced_firings == 0
+
+    def test_late_interaction_has_no_effect_after_fire(self):
+        net = self._docpn_fragment()
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap({"media": 2.0}), clock)
+        executor.start()
+        clock.run_until(5.0)
+        executor.inject_priority("interaction")
+        clock.run_until(20.0)
+        # The transition already fired at t=2; the late interaction still
+        # force-fires it (rule 2 forgives the missing media token).
+        assert executor.trace.firing_times("advance") == [2.0, 5.0]
+        assert executor.forced_firings == 1
+
+    def test_priority_fire_beats_plain_fire_same_instant(self):
+        net = PriorityNet()
+        net.add_place("shared", tokens=1)
+        net.add_place("a_out")
+        net.add_place("b_out")
+        net.add_transition("plain")
+        net.add_transition("urgent")
+        net.add_arc("shared", "plain")
+        net.add_priority_arc("shared", "urgent")
+        net.add_arc("plain", "a_out")
+        net.add_arc("urgent", "b_out")
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap(), clock)
+        executor.run_to_completion()
+        assert net.marking()["b_out"] == 1
+        assert net.marking()["a_out"] == 0
+
+    def test_on_fire_reports_forced_flag(self):
+        seen = []
+        net = self._docpn_fragment()
+        clock = VirtualClock()
+        executor = PriorityTimedExecutor(
+            net,
+            TimedPlaceMap({"media": 10.0}),
+            clock,
+            on_fire=lambda t, at, forced: seen.append((t, at, forced)),
+        )
+        executor.start()
+        clock.run_until(1.0)
+        executor.inject_priority("interaction")
+        clock.run_until(20.0)
+        assert seen == [("advance", 1.0, True)]
+
+    def test_inject_unknown_place_raises(self):
+        net = self._docpn_fragment()
+        executor = PriorityTimedExecutor(net, TimedPlaceMap(), VirtualClock())
+        executor.start()
+        with pytest.raises(UnknownNodeError):
+            executor.inject_priority("ghost")

@@ -1,0 +1,174 @@
+"""Tests for the timed execution engine."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import PetriNetError, UnknownNodeError
+from repro.petri.net import PetriNet
+from repro.petri.timed import FiringTrace, TimedExecutor, TimedPlaceMap
+
+
+def chain_net():
+    """start(1) -> t1 -> media(5s) -> t2 -> done."""
+    net = PetriNet("chain")
+    net.add_place("start", tokens=1)
+    net.add_place("media")
+    net.add_place("done")
+    net.add_transition("t1")
+    net.add_transition("t2")
+    net.add_arc("start", "t1")
+    net.add_arc("t1", "media")
+    net.add_arc("media", "t2")
+    net.add_arc("t2", "done")
+    return net
+
+
+class TestTimedPlaceMap:
+    def test_default_duration_is_zero(self):
+        assert TimedPlaceMap().get("anything") == 0.0
+
+    def test_set_and_get(self):
+        durations = TimedPlaceMap({"video": 30.0})
+        assert durations.get("video") == 30.0
+        assert "video" in durations
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PetriNetError):
+            TimedPlaceMap({"p": -1.0})
+
+
+class TestTimedExecutor:
+    def test_zero_duration_net_fires_at_time_zero(self):
+        net = chain_net()
+        executor = TimedExecutor(net, TimedPlaceMap(), VirtualClock())
+        trace = executor.run_to_completion()
+        assert trace.firing_times("t1") == [0.0]
+        assert trace.firing_times("t2") == [0.0]
+
+    def test_duration_delays_downstream_transition(self):
+        net = chain_net()
+        durations = TimedPlaceMap({"media": 5.0})
+        executor = TimedExecutor(net, durations, VirtualClock())
+        trace = executor.run_to_completion()
+        assert trace.firing_times("t1") == [0.0]
+        assert trace.firing_times("t2") == [5.0]
+
+    def test_trace_records_media_interval(self):
+        net = chain_net()
+        durations = TimedPlaceMap({"media": 5.0})
+        executor = TimedExecutor(net, durations, VirtualClock())
+        trace = executor.run_to_completion()
+        assert trace.intervals["media"] == [(0.0, 5.0)]
+
+    def test_parallel_branches_synchronize_at_join(self):
+        """Two media of different durations joined by one transition:
+        the join fires at the max duration (OCPN synchronization)."""
+        net = PetriNet()
+        net.add_place("start", tokens=1)
+        net.add_place("audio")
+        net.add_place("video")
+        net.add_place("done")
+        net.add_transition("fork")
+        net.add_transition("join")
+        net.add_arc("start", "fork")
+        net.add_arc("fork", "audio")
+        net.add_arc("fork", "video")
+        net.add_arc("audio", "join")
+        net.add_arc("video", "join")
+        net.add_arc("join", "done")
+        durations = TimedPlaceMap({"audio": 3.0, "video": 7.0})
+        executor = TimedExecutor(net, durations, VirtualClock())
+        trace = executor.run_to_completion()
+        assert trace.firing_times("join") == [7.0]
+
+    def test_final_marking_reaches_done(self):
+        net = chain_net()
+        executor = TimedExecutor(net, TimedPlaceMap({"media": 2.0}), VirtualClock())
+        executor.run_to_completion()
+        assert net.tokens("done") == 1
+        assert net.tokens("start") == 0
+
+    def test_double_start_rejected(self):
+        executor = TimedExecutor(chain_net(), TimedPlaceMap(), VirtualClock())
+        executor.start()
+        with pytest.raises(PetriNetError):
+            executor.start()
+
+    def test_inject_token_drives_waiting_transition(self):
+        net = PetriNet()
+        net.add_place("wait")
+        net.add_place("out")
+        net.add_transition("go")
+        net.add_arc("wait", "go")
+        net.add_arc("go", "out")
+        clock = VirtualClock()
+        executor = TimedExecutor(net, TimedPlaceMap(), clock)
+        executor.start()
+        clock.run_until(4.0)
+        assert net.tokens("out") == 0
+        executor.inject_token("wait")
+        clock.run_until(4.0)
+        assert net.tokens("out") == 1
+
+    def test_inject_unknown_place_raises(self):
+        executor = TimedExecutor(chain_net(), TimedPlaceMap(), VirtualClock())
+        executor.start()
+        with pytest.raises(UnknownNodeError):
+            executor.inject_token("ghost")
+
+    def test_on_fire_callback_invoked(self):
+        seen = []
+        net = chain_net()
+        executor = TimedExecutor(
+            net,
+            TimedPlaceMap({"media": 1.5}),
+            VirtualClock(),
+            on_fire=lambda t, at: seen.append((t, at)),
+        )
+        executor.run_to_completion()
+        assert seen == [("t1", 0.0), ("t2", 1.5)]
+
+    def test_weighted_join_waits_for_all_tokens(self):
+        net = PetriNet()
+        net.add_place("pool", tokens=0)
+        net.add_place("out")
+        net.add_transition("need2")
+        net.add_arc("pool", "need2", weight=2)
+        net.add_arc("need2", "out")
+        clock = VirtualClock()
+        executor = TimedExecutor(net, TimedPlaceMap(), clock)
+        executor.start()
+        executor.inject_token("pool")
+        clock.run(max_events=100)
+        assert net.tokens("out") == 0
+        executor.inject_token("pool")
+        clock.run(max_events=100)
+        assert net.tokens("out") == 1
+
+    def test_max_time_bounds_cyclic_net(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("loop")
+        net.add_arc("p", "loop")
+        net.add_arc("loop", "p")
+        durations = TimedPlaceMap({"p": 1.0})
+        executor = TimedExecutor(net, durations, VirtualClock())
+        trace = executor.run_to_completion(max_time=10.0)
+        assert len(trace.firing_times("loop")) == 10
+
+
+class TestFiringTrace:
+    def test_end_time_of_empty_trace_is_zero(self):
+        assert FiringTrace().end_time() == 0.0
+
+    def test_end_time_covers_intervals(self):
+        trace = FiringTrace()
+        trace.record_interval("p", 2.0, 9.0)
+        trace.record_firing(3.0, "t", ())
+        assert trace.end_time() == 9.0
+
+    def test_start_times(self):
+        trace = FiringTrace()
+        trace.record_interval("p", 1.0, 2.0)
+        trace.record_interval("p", 5.0, 6.0)
+        assert trace.start_times("p") == [1.0, 5.0]

@@ -1,0 +1,114 @@
+"""Tests for XOCPN: channel setup latency and QoS admission."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import ChannelError
+from repro.media.channels import ChannelManager
+from repro.media.objects import audio, video
+from repro.petri.timed import TimedExecutor
+from repro.petri.xocpn import XOCPN
+from repro.temporal.intervals import Relation
+
+
+def run_xocpn(xocpn, strict=True):
+    binding = xocpn.make_binding(strict=strict)
+    executor = TimedExecutor(xocpn.net, xocpn.durations, VirtualClock())
+    xocpn.attach_binding(executor, binding)
+    trace = executor.run_to_completion()
+    return trace, binding
+
+
+class TestChannelledBlocks:
+    def test_setup_latency_delays_media(self):
+        manager = ChannelManager(capacity_kbps=5000.0, setup_latency=0.5)
+        xocpn = XOCPN(manager)
+        xocpn.set_root(xocpn.channelled_media_block(video("v", 10.0)))
+        trace, __ = run_xocpn(xocpn)
+        intervals = xocpn.media_intervals(trace.intervals)
+        assert intervals["v"][0] == pytest.approx(0.5)
+
+    def test_channel_opened_then_released(self):
+        manager = ChannelManager(capacity_kbps=5000.0, setup_latency=0.1)
+        xocpn = XOCPN(manager)
+        xocpn.set_root(xocpn.channelled_media_block(video("v", 2.0)))
+        __, binding = run_xocpn(xocpn)
+        assert binding.open_by_media == {}
+        assert manager.open_channels() == []
+        assert manager.available_kbps() == pytest.approx(5000.0)
+
+    def test_media_object_lookup(self):
+        manager = ChannelManager(capacity_kbps=5000.0)
+        xocpn = XOCPN(manager)
+        clip = video("v", 2.0)
+        xocpn.channelled_media_block(clip)
+        assert xocpn.media_object("v") is clip
+        with pytest.raises(ChannelError):
+            xocpn.media_object("ghost")
+
+    def test_strict_over_capacity_raises_at_setup(self):
+        manager = ChannelManager(capacity_kbps=100.0, setup_latency=0.1)
+        xocpn = XOCPN(manager)
+        xocpn.set_root(xocpn.channelled_media_block(video("v", 2.0)))
+        with pytest.raises(ChannelError):
+            run_xocpn(xocpn, strict=True)
+
+    def test_nonstrict_over_capacity_records_failure(self):
+        manager = ChannelManager(capacity_kbps=100.0, setup_latency=0.1)
+        xocpn = XOCPN(manager)
+        xocpn.set_root(xocpn.channelled_media_block(video("v", 2.0)))
+        trace, binding = run_xocpn(xocpn, strict=False)
+        assert binding.failures == ["v"]
+        # Playout continued (degraded service).
+        intervals = xocpn.media_intervals(trace.intervals)
+        assert intervals["v"][1] > intervals["v"][0]
+
+
+class TestRelateMedia:
+    def test_parallel_setup_before_relation(self):
+        manager = ChannelManager(capacity_kbps=5000.0, setup_latency=0.25)
+        xocpn = XOCPN(manager)
+        block = xocpn.relate_media(
+            video("v", 4.0), audio("a", 4.0), Relation.EQUALS
+        )
+        xocpn.set_root(block)
+        trace, __ = run_xocpn(xocpn)
+        intervals = xocpn.media_intervals(trace.intervals)
+        # Both setups run in parallel: media start after one setup latency.
+        assert intervals["v"][0] == pytest.approx(0.25)
+        assert intervals["a"][0] == pytest.approx(0.25)
+
+    def test_sequential_media_channels_reused_bandwidth(self):
+        """Two videos that each need most of the link, played MEETS:
+        the first channel is released before the second opens."""
+        manager = ChannelManager(capacity_kbps=2000.0, setup_latency=0.1)
+        xocpn = XOCPN(manager)
+        block = xocpn.relate_media(
+            video("v1", 3.0), video("v2", 3.0), Relation.MEETS
+        )
+        xocpn.set_root(block)
+        # Both setups are hoisted up front in relate_media, so both
+        # channels must fit simultaneously - 2x1500 > 2000 fails.
+        with pytest.raises(ChannelError):
+            run_xocpn(xocpn)
+
+    def test_sequential_blocks_release_between(self):
+        manager = ChannelManager(capacity_kbps=2000.0, setup_latency=0.1)
+        xocpn = XOCPN(manager)
+        first = xocpn.channelled_media_block(video("v1", 3.0))
+        second = xocpn.channelled_media_block(video("v2", 3.0))
+        xocpn.set_root(xocpn.seq(first, second))
+        trace, binding = run_xocpn(xocpn)
+        assert binding.failures == []
+        intervals = xocpn.media_intervals(trace.intervals)
+        assert intervals["v2"][0] > intervals["v1"][1]
+
+    def test_concurrent_audio_video_fit_capacity(self):
+        manager = ChannelManager(capacity_kbps=2000.0, setup_latency=0.05)
+        xocpn = XOCPN(manager)
+        block = xocpn.relate_media(
+            video("v", 5.0), audio("a", 5.0), Relation.EQUALS
+        )
+        xocpn.set_root(block)
+        __, binding = run_xocpn(xocpn)
+        assert binding.failures == []

@@ -1,0 +1,192 @@
+"""Tests for net rendering and the clock-sync discipline."""
+
+import random
+
+import pytest
+
+from repro.clock.discipline import SimulatedSyncDiscipline, discipline_from_sample
+from repro.clock.drift import DriftingClock
+from repro.clock.sync import SyncSample
+from repro.clock.virtual import VirtualClock
+from repro.errors import ClockError, PetriNetError
+from repro.net.simnet import Link, Network
+from repro.petri.net import PetriNet
+from repro.petri.priority import PriorityNet
+from repro.petri.render import gantt, marking_summary, to_dot, trace_timeline
+from repro.petri.timed import FiringTrace
+from repro.session.dmps import DMPSClient, DMPSServer
+from repro.workload.presentations import figure1_presentation
+
+
+class TestDotExport:
+    def test_plain_net_structure(self):
+        net = PetriNet("demo")
+        net.add_place("p", tokens=2)
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=2)
+        dot = to_dot(net)
+        assert dot.startswith("digraph demo {")
+        assert '"p" -> "t" [label="2"];' in dot
+        assert "(2)" in dot  # token count shown
+
+    def test_priority_arcs_dashed(self):
+        net = PriorityNet("prio")
+        net.add_place("ui")
+        net.add_place("out")
+        net.add_transition("go")
+        net.add_priority_arc("ui", "go")
+        net.add_arc("go", "out")
+        dot = to_dot(net)
+        assert 'style=dashed label="P"' in dot
+
+    def test_media_places_shaded(self):
+        ocpn = figure1_presentation()
+        dot = to_dot(ocpn.net, media_places=ocpn.media_of_place)
+        assert "lightblue" in dot
+        assert "title[0]" in dot
+
+    def test_dot_is_wellformed(self):
+        ocpn = figure1_presentation()
+        dot = to_dot(ocpn.net, media_places=ocpn.media_of_place)
+        assert dot.count("{") == dot.count("}")
+        assert dot.rstrip().endswith("}")
+
+
+class TestGantt:
+    def test_bars_reflect_order(self):
+        chart = gantt({"a": (0.0, 5.0), "b": (5.0, 10.0)}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("b ")
+        assert "#" in lines[0]
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(PetriNetError):
+            gantt({"a": (0.0, 1.0)}, width=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PetriNetError):
+            gantt({})
+
+    def test_labels_show_times(self):
+        chart = gantt({"talk": (1.5, 4.25)}, width=10)
+        assert "1.5-4.2" in chart or "1.5-4.3" in chart
+
+    def test_trace_timeline_merges_spans(self):
+        trace = FiringTrace()
+        trace.record_interval("p", 0.0, 1.0)
+        trace.record_interval("p", 2.0, 3.0)
+        chart = trace_timeline(trace, width=12)
+        assert chart.startswith("p ")
+        assert "0.0-3.0" in chart
+
+
+class TestMarkingSummary:
+    def test_lists_marked_places(self):
+        net = PetriNet("m")
+        net.add_place("a", tokens=1)
+        net.add_place("b", tokens=0)
+        assert marking_summary(net) == "m: a=1"
+
+    def test_empty_marking(self):
+        net = PetriNet("m")
+        net.add_place("a")
+        assert "(empty marking)" in marking_summary(net)
+
+
+class TestSimulatedSyncDiscipline:
+    def test_corrections_bound_skew(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=0.5, drift_rate=0.01)
+        discipline = SimulatedSyncDiscipline(
+            clock, local, interval=2.0, rtt=0.04, rng=random.Random(1)
+        )
+        discipline.start()
+        clock.run_until(60.0)
+        # After a minute: skew <= rtt/2 + drift over one interval.
+        assert abs(local.skew()) <= 0.02 + 0.01 * 2.0 + 1e-9
+        assert discipline.corrections == 30
+
+    def test_without_discipline_drift_accumulates(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, drift_rate=0.01)
+        clock.run_until(60.0)
+        assert local.skew() == pytest.approx(0.6)
+
+    def test_stop_halts_corrections(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, drift_rate=0.01)
+        discipline = SimulatedSyncDiscipline(clock, local, interval=1.0)
+        discipline.start()
+        clock.run_until(5.0)
+        discipline.stop()
+        count = discipline.corrections
+        clock.run_until(20.0)
+        assert discipline.corrections == count
+
+    def test_bad_interval_rejected(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock)
+        with pytest.raises(ClockError):
+            SimulatedSyncDiscipline(clock, local, interval=0.0).start()
+
+    def test_start_is_idempotent(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock)
+        discipline = SimulatedSyncDiscipline(clock, local, interval=1.0)
+        discipline.start()
+        discipline.start()
+        clock.run_until(3.0)
+        assert discipline.corrections == 3
+
+
+class TestDisciplineFromSample:
+    def test_step_removes_estimated_offset(self):
+        clock = VirtualClock()
+        local = DriftingClock(clock, offset=1.0)
+        sample = SyncSample(
+            request_local=local.now(),
+            server_time=clock.now() + 0.01,
+            response_local=local.now() + 0.02,
+        )
+        correction = discipline_from_sample(local, sample)
+        assert correction == pytest.approx(-1.0)
+        assert abs(local.skew()) < 1e-9
+
+
+class TestClientClockSyncLoop:
+    def _classroom(self, offset, drift):
+        clock = VirtualClock()
+        network = Network(clock)
+        server = DMPSServer(clock, network)
+        client = DMPSClient(
+            "alice", "host-alice", network, clock_offset=offset, drift_rate=drift
+        )
+        network.connect_both("server", "host-alice", Link(base_latency=0.01))
+        client.join()
+        return clock, server, client
+
+    def test_periodic_sync_disciplines_clock(self):
+        clock, __, client = self._classroom(offset=2.0, drift=0.005)
+        client.start_clock_sync(interval=2.0, discipline=True)
+        clock.run_until(30.0)
+        # Residual skew: RTT error plus drift over one sync interval.
+        assert abs(client.local_clock.skew()) < 0.03 + 0.005 * 2.0
+
+    def test_sync_without_discipline_keeps_offset(self):
+        clock, __, client = self._classroom(offset=2.0, drift=0.0)
+        client.start_clock_sync(interval=2.0, discipline=False)
+        clock.run_until(30.0)
+        assert client.local_clock.skew() == pytest.approx(2.0)
+        # ... but the estimate still exposes accurate global time.
+        assert client.estimated_global_time() == pytest.approx(clock.now(), abs=0.02)
+
+    def test_stop_clock_sync(self):
+        clock, __, client = self._classroom(offset=2.0, drift=0.0)
+        client.start_clock_sync(interval=1.0)
+        clock.run_until(5.0)
+        client.stop_clock_sync()
+        samples = len(client.sync.samples)
+        clock.run_until(20.0)
+        # At most one in-flight probe may still complete after the stop.
+        assert len(client.sync.samples) <= samples + 1

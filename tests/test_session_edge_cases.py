@@ -1,0 +1,146 @@
+"""Edge-case and failure-injection tests for the session layer."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.core.modes import FCMMode
+from repro.errors import (
+    ChannelError,
+    ClockError,
+    FloorControlError,
+    MediaError,
+    NetworkError,
+    NotInGroupError,
+    PetriNetError,
+    ReproError,
+    SessionError,
+    TemporalError,
+    UnknownHostError,
+    UnknownNodeError,
+)
+from repro.net.simnet import Link, Network
+from repro.session.dmps import DMPSClient, DMPSServer
+
+
+def classroom(latency=0.01):
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network)
+    clients = {}
+    for name in ("teacher", "alice"):
+        host = f"host-{name}"
+        clients[name] = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=latency))
+        clients[name].join(is_chair=(name == "teacher"))
+    clock.run_until(1.0)
+    return clock, network, server, clients
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ChannelError,
+            ClockError,
+            FloorControlError,
+            MediaError,
+            NetworkError,
+            NotInGroupError,
+            PetriNetError,
+            SessionError,
+            TemporalError,
+            UnknownHostError,
+            UnknownNodeError,
+        ],
+    )
+    def test_every_error_is_a_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_not_in_group_is_floor_control_error(self):
+        assert issubclass(NotInGroupError, FloorControlError)
+
+    def test_unknown_host_is_network_error(self):
+        assert issubclass(UnknownHostError, NetworkError)
+
+    def test_unknown_node_is_petri_error(self):
+        assert issubclass(UnknownNodeError, PetriNetError)
+
+
+class TestServerRobustness:
+    def test_unknown_message_type_dropped_silently(self):
+        clock, network, server, clients = classroom()
+        network.send("host-alice", "server", {"weird": "payload"})
+        network.send("host-alice", "server", 42)
+        clock.run_until(2.0)  # no exception = pass
+        assert server.members() == ["teacher", "alice"]
+
+    def test_post_to_unknown_group_ignored(self):
+        clock, __, server, clients = classroom()
+        clients["alice"].post("hello", group="ghost-group")
+        clock.run_until(2.0)
+        assert len(server.board()) == 0
+
+    def test_heartbeat_before_hello_tolerated(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        server = DMPSServer(clock, network)
+        stranger = DMPSClient("stranger", "host-s", network)
+        network.connect_both("server", "host-s", Link(base_latency=0.01))
+        stranger.start_heartbeats(0.1)  # heartbeats without joining
+        clock.run_until(1.0)
+        assert "stranger" not in server.members()
+
+    def test_release_without_holding_tolerated(self):
+        clock, __, server, clients = classroom()
+        server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+        clients["alice"].release_floor()  # never held it
+        clock.run_until(2.0)
+        assert server.arbitrator_token_holder() is None if hasattr(
+            server, "arbitrator_token_holder"
+        ) else server.control.arbitrator.token("session").holder is None
+
+    def test_stale_double_release_tolerated(self):
+        clock, __, server, clients = classroom()
+        server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+        clients["alice"].request_floor()
+        clock.run_until(1.5)
+        clients["alice"].release_floor()
+        clients["alice"].release_floor()  # duplicate
+        clock.run_until(2.5)
+        assert server.control.arbitrator.token("session").holder is None
+
+    def test_request_with_explicit_unknown_group_denied(self):
+        clock, __, server, clients = classroom()
+        clients["alice"].request_floor(mode=FCMMode.FREE_ACCESS, group="ghost")
+        clock.run_until(2.0)
+        decision = clients["alice"].state.last_decision
+        assert decision is not None
+        assert decision.outcome == "denied"
+        assert "ghost" in decision.reason
+        assert server.members() == ["teacher", "alice"]
+
+
+class TestNetworkDeterminism:
+    def _run_once(self, seed):
+        import random
+
+        clock = VirtualClock()
+        network = Network(clock, rng=random.Random(seed))
+        deliveries = []
+        network.add_host("a", lambda s, p: None)
+        network.add_host(
+            "b", lambda s, p: deliveries.append((round(clock.now(), 9), p))
+        )
+        network.connect_both(
+            "a", "b", Link(base_latency=0.01, jitter=0.02, loss_probability=0.3)
+        )
+        for index in range(40):
+            network.send("a", "b", index)
+        clock.run_until(5.0)
+        return deliveries
+
+    def test_same_seed_identical_trace(self):
+        assert self._run_once(9) == self._run_once(9)
+
+    def test_different_seed_different_trace(self):
+        assert self._run_once(9) != self._run_once(10)

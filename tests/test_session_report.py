@@ -1,0 +1,84 @@
+"""Tests for session reporting."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.core.modes import FCMMode
+from repro.net.simnet import Link, Network
+from repro.session.dmps import DMPSClient, DMPSServer
+from repro.session.report import summarize
+
+
+def run_small_session():
+    clock = VirtualClock()
+    network = Network(clock)
+    server = DMPSServer(clock, network)
+    clients = []
+    for name in ("teacher", "alice", "bob"):
+        host = f"host-{name}"
+        client = DMPSClient(name, host, network)
+        network.connect_both("server", host, Link(base_latency=0.01))
+        client.join(is_chair=(name == "teacher"))
+        client.start_clock_sync(interval=1.0)
+        clients.append(client)
+    clock.run_until(1.0)
+    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
+    clock.run_until(1.2)
+    clients[1].request_floor()
+    clock.run_until(1.5)
+    clients[1].post("hello")
+    clients[2].post("blocked")
+    clock.run_until(2.0)
+    clients[1].release_floor()
+    clock.run_until(3.0)
+    return server, clients
+
+
+class TestSummarize:
+    def test_counters_reflect_session(self):
+        server, clients = run_small_session()
+        report = summarize(server, clients)
+        assert report.members == 3
+        assert report.requests == 1
+        assert report.granted == 1
+        assert report.posts_accepted == 1
+        assert report.posts_rejected == 1
+        assert report.token_passes == 1
+        assert report.boards == 1
+
+    def test_acceptance_rate(self):
+        server, clients = run_small_session()
+        report = summarize(server, clients)
+        assert report.acceptance_rate == pytest.approx(0.5)
+
+    def test_acceptance_rate_empty_session_is_one(self):
+        clock = VirtualClock()
+        network = Network(clock)
+        server = DMPSServer(clock, network)
+        assert summarize(server).acceptance_rate == 1.0
+
+    def test_sync_quality_reported(self):
+        server, clients = run_small_session()
+        report = summarize(server, clients)
+        assert report.synced_clients == 3
+        assert report.max_residual_skew < 0.05
+
+    def test_network_stats_present(self):
+        server, clients = run_small_session()
+        report = summarize(server, clients)
+        assert report.messages_sent > 0
+        assert report.messages_delivered > 0
+        assert report.mean_latency > 0
+
+    def test_render_contains_key_lines(self):
+        server, clients = run_small_session()
+        text = summarize(server, clients).render()
+        assert "session report" in text
+        assert "floor:" in text
+        assert "boards:" in text
+        assert "clocks:" in text
+        assert "50% acceptance" in text
+
+    def test_duration_is_clock_time(self):
+        server, clients = run_small_session()
+        assert summarize(server, clients).duration == pytest.approx(3.0)

@@ -1,0 +1,90 @@
+"""Tests for the asyncio real-time bridge."""
+
+import asyncio
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import SessionError
+from repro.net.simnet import Link, Network
+from repro.session.dmps import DMPSClient, DMPSServer
+from repro.session.runner import RealtimeBridge
+
+
+class TestRealtimeBridge:
+    def test_bad_speed_rejected(self):
+        with pytest.raises(SessionError):
+            RealtimeBridge(VirtualClock(), speed=0.0)
+
+    def test_run_advances_clock_to_deadline(self):
+        clock = VirtualClock()
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+        asyncio.run(bridge.run(until=5.0))
+        assert clock.now() == pytest.approx(5.0)
+
+    def test_events_fire_during_run(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(1.0, seen.append, "a")
+        clock.call_at(2.0, seen.append, "b")
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+        asyncio.run(bridge.run(until=3.0))
+        assert seen == ["a", "b"]
+
+    def test_participant_coroutine_sleeps_in_virtual_time(self):
+        clock = VirtualClock()
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+        wake_times = []
+
+        async def participant():
+            await bridge.sleep(2.0)
+            wake_times.append(clock.now())
+            await bridge.sleep(3.0)
+            wake_times.append(clock.now())
+
+        bridge.spawn(participant())
+        asyncio.run(bridge.run(until=10.0))
+        assert wake_times == [pytest.approx(2.0), pytest.approx(5.0)]
+
+    def test_until_time_returns_immediately_for_past(self):
+        clock = VirtualClock(start=5.0)
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+        flags = []
+
+        async def participant():
+            await bridge.until_time(1.0)
+            flags.append(clock.now())
+
+        bridge.spawn(participant())
+        asyncio.run(bridge.run(until=6.0))
+        assert flags == [5.0]
+
+    def test_realtime_pacing_roughly_matches_speed(self):
+        import time
+
+        clock = VirtualClock()
+        clock.call_at(1.0, lambda: None)
+        bridge = RealtimeBridge(clock, speed=100.0)  # 1 virtual s = 10 ms real
+        started = time.monotonic()
+        asyncio.run(bridge.run(until=2.0))
+        elapsed = time.monotonic() - started
+        assert 0.005 <= elapsed <= 2.0  # loose: CI-safe lower/upper bounds
+
+    def test_full_session_over_bridge(self):
+        """A miniature classroom driven entirely by coroutines."""
+        clock = VirtualClock()
+        network = Network(clock)
+        network.set_default_link(Link(base_latency=0.01))
+        server = DMPSServer(clock, network)
+        alice = DMPSClient("alice", "host-alice", network)
+        network.connect_both("server", "host-alice", Link(base_latency=0.01))
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+
+        async def alice_behaviour():
+            alice.join()
+            await bridge.sleep(0.5)
+            alice.post("hello from asyncio")
+
+        bridge.spawn(alice_behaviour())
+        asyncio.run(bridge.run(until=2.0))
+        assert [e.content for e in server.board()] == ["hello from asyncio"]

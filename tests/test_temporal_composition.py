@@ -1,0 +1,148 @@
+"""Tests for Allen composition and path consistency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InconsistentSpecError
+from repro.media.objects import video
+from repro.temporal.composition import (
+    check_spec_consistency,
+    compose,
+    composition_table,
+    path_consistent,
+)
+from repro.temporal.intervals import Relation, relation_between
+from repro.temporal.spec import PresentationSpec
+
+
+class TestCompositionTable:
+    def test_table_is_complete(self):
+        table = composition_table()
+        assert len(table) == 13 * 13
+        assert all(entries for entries in table.values())
+
+    def test_known_entries(self):
+        # BEFORE ; BEFORE = {BEFORE} — the classic textbook entry.
+        assert compose(Relation.BEFORE, Relation.BEFORE) == {Relation.BEFORE}
+        # EQUALS is the identity of composition.
+        for relation in Relation:
+            assert compose(Relation.EQUALS, relation) == {relation}
+            assert compose(relation, Relation.EQUALS) == {relation}
+
+    def test_before_after_composition_is_universal(self):
+        # A before B, B after C leaves A vs C fully unconstrained.
+        assert compose(Relation.BEFORE, Relation.AFTER) == set(Relation)
+
+    def test_meets_meets(self):
+        assert compose(Relation.MEETS, Relation.MEETS) == {Relation.BEFORE}
+
+    def test_during_during(self):
+        assert compose(Relation.DURING, Relation.DURING) == {Relation.DURING}
+
+    def test_inverse_symmetry(self):
+        """(r1 ; r2)^-1 == r2^-1 ; r1^-1 — a structural identity any
+        correct table satisfies."""
+        for r1 in Relation:
+            for r2 in Relation:
+                lhs = {relation.inverse() for relation in compose(r1, r2)}
+                rhs = compose(r2.inverse(), r1.inverse())
+                assert lhs == rhs, (r1, r2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        endpoints=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=6, max_size=6
+        )
+    )
+    def test_property_sampled_triples_respect_table(self, endpoints):
+        """Any concrete triple's composition appears in the table."""
+        values = sorted(endpoints)
+        a = (values[0], max(values[1], values[0] + 0.5))
+        b = (values[2], max(values[3], values[2] + 0.5))
+        c = (values[4], max(values[5], values[4] + 0.5))
+        r1 = relation_between(a, b)
+        r2 = relation_between(b, c)
+        r3 = relation_between(a, c)
+        assert r3 in compose(r1, r2)
+
+
+class TestPathConsistency:
+    def test_consistent_chain(self):
+        network = path_consistent(
+            ["a", "b", "c"],
+            {
+                ("a", "b"): {Relation.BEFORE},
+                ("b", "c"): {Relation.BEFORE},
+            },
+        )
+        assert network is not None
+        assert network[("a", "c")] == {Relation.BEFORE}
+
+    def test_cyclic_ordering_is_inconsistent(self):
+        network = path_consistent(
+            ["a", "b", "c"],
+            {
+                ("a", "b"): {Relation.BEFORE},
+                ("b", "c"): {Relation.BEFORE},
+                ("c", "a"): {Relation.BEFORE},
+            },
+        )
+        assert network is None
+
+    def test_equals_chain_propagates(self):
+        network = path_consistent(
+            ["a", "b", "c"],
+            {
+                ("a", "b"): {Relation.EQUALS},
+                ("b", "c"): {Relation.EQUALS},
+            },
+        )
+        assert network is not None
+        assert network[("a", "c")] == {Relation.EQUALS}
+
+    def test_contradictory_pair_detected_via_symmetry(self):
+        network = path_consistent(
+            ["a", "b", "c"],
+            {
+                ("a", "b"): {Relation.BEFORE},
+                ("b", "a"): {Relation.BEFORE},
+            },
+        )
+        assert network is None
+
+    def test_unconstrained_network_is_consistent(self):
+        network = path_consistent(["a", "b", "c"], {})
+        assert network is not None
+        assert network[("a", "b")] == set(Relation)
+
+
+class TestSpecConsistency:
+    def _spec(self):
+        spec = PresentationSpec("chain")
+        for name in ("a", "b", "c", "d"):
+            spec.add(video(name, 10.0))
+        return spec
+
+    def test_clean_spec_passes(self):
+        spec = self._spec()
+        spec.relate("a", "b", Relation.MEETS)
+        spec.relate("c", "d", Relation.MEETS)
+        check_spec_consistency(spec)  # no raise
+
+    def test_small_specs_trivially_pass(self):
+        spec = PresentationSpec("tiny")
+        spec.add(video("a", 10.0))
+        spec.add(video("b", 10.0))
+        spec.relate("a", "b", Relation.MEETS)
+        check_spec_consistency(spec)  # < 3 items, pairwise suffices
+
+    def test_joint_inconsistency_detected(self):
+        """The forest rule prevents most cycles, but chains can still
+        contradict through shared items: a meets b, b meets c, and a
+        BEFORE-cycle closed through inverse usage."""
+        spec = self._spec()
+        spec.relate("a", "b", Relation.BEFORE, offset=1.0)
+        spec.relate("b", "c", Relation.BEFORE, offset=1.0)
+        spec.relate("c", "a", Relation.BEFORE, offset=1.0)
+        with pytest.raises(InconsistentSpecError):
+            check_spec_consistency(spec)

@@ -1,0 +1,91 @@
+"""Tests for Allen's interval relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal.intervals import (
+    BASE_RELATIONS,
+    Relation,
+    relation_between,
+    satisfies,
+)
+
+
+class TestClassification:
+    CASES = [
+        ((0, 1), (2, 3), Relation.BEFORE),
+        ((2, 3), (0, 1), Relation.AFTER),
+        ((0, 1), (1, 3), Relation.MEETS),
+        ((1, 3), (0, 1), Relation.MET_BY),
+        ((0, 2), (1, 3), Relation.OVERLAPS),
+        ((1, 3), (0, 2), Relation.OVERLAPPED_BY),
+        ((0, 1), (0, 3), Relation.STARTS),
+        ((0, 3), (0, 1), Relation.STARTED_BY),
+        ((1, 2), (0, 3), Relation.DURING),
+        ((0, 3), (1, 2), Relation.CONTAINS),
+        ((2, 3), (0, 3), Relation.FINISHES),
+        ((0, 3), (2, 3), Relation.FINISHED_BY),
+        ((0, 3), (0, 3), Relation.EQUALS),
+    ]
+
+    @pytest.mark.parametrize("a, b, expected", CASES)
+    def test_all_thirteen_relations(self, a, b, expected):
+        assert relation_between(a, b) is expected
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(TemporalError):
+            relation_between((3, 1), (0, 1))
+
+    def test_tolerance_snaps_near_equal_endpoints(self):
+        assert relation_between((0, 1.0000000001), (0, 1), tolerance=1e-6) is Relation.EQUALS
+
+    def test_point_intervals_allowed(self):
+        assert relation_between((1, 1), (2, 2)) is Relation.BEFORE
+
+    def test_satisfies(self):
+        assert satisfies((0, 1), (1, 2), Relation.MEETS)
+        assert not satisfies((0, 1), (1, 2), Relation.BEFORE)
+
+
+class TestInverses:
+    @pytest.mark.parametrize("relation", list(Relation))
+    def test_inverse_is_involution(self, relation):
+        assert relation.inverse().inverse() is relation
+
+    def test_equals_is_self_inverse(self):
+        assert Relation.EQUALS.inverse() is Relation.EQUALS
+
+    @pytest.mark.parametrize("a, b, expected", TestClassification.CASES)
+    def test_swapping_operands_gives_inverse(self, a, b, expected):
+        assert relation_between(b, a) is expected.inverse()
+
+    def test_base_relations_are_seven(self):
+        assert len(BASE_RELATIONS) == 7
+
+    @pytest.mark.parametrize("relation", list(Relation))
+    def test_normalized_always_returns_base(self, relation):
+        base, swapped = relation.normalized()
+        assert base.is_base
+        if relation.is_base:
+            assert not swapped
+            assert base is relation
+        else:
+            assert swapped
+            assert base is relation.inverse()
+
+
+class TestPropertyBased:
+    interval = st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+    ).map(lambda pair: (min(pair), max(pair)))
+
+    @given(a=interval, b=interval)
+    def test_exactly_one_relation_holds(self, a, b):
+        hits = [r for r in Relation if satisfies(a, b, r)]
+        assert len(hits) == 1
+
+    @given(a=interval, b=interval)
+    def test_inverse_consistency(self, a, b):
+        assert relation_between(a, b).inverse() is relation_between(b, a)

@@ -1,0 +1,187 @@
+"""Tests for workload generators, trace replay, and the baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fifo_floor import FIFOFloorControl
+from repro.baselines.free_for_all import FreeForAll
+from repro.clock.virtual import VirtualClock
+from repro.core.floor import RequestOutcome
+from repro.core.modes import FCMMode
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.server import FloorControlServer
+from repro.errors import FloorControlError, ReproError
+from repro.temporal.compiler import compile_spec
+from repro.temporal.schedule import compute_schedule
+from repro.workload.generator import WorkloadConfig, generate, member_names
+from repro.workload.presentations import (
+    figure1_presentation,
+    lecture_ocpn,
+    random_presentation,
+)
+from repro.workload.traces import TraceRecorder, drive, replay
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("scenario", ["lecture", "seminar", "panel", "storm"])
+    def test_scenarios_produce_sorted_events(self, scenario):
+        events = generate(scenario, WorkloadConfig(members=6, duration=30.0, seed=1))
+        assert events, f"scenario {scenario} produced no events"
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError):
+            generate("rave", WorkloadConfig())
+
+    def test_seed_determinism(self):
+        config = WorkloadConfig(members=5, duration=40.0, seed=7)
+        assert generate("lecture", config) == generate("lecture", config)
+
+    def test_different_seeds_differ(self):
+        a = generate("lecture", WorkloadConfig(seed=1))
+        b = generate("lecture", WorkloadConfig(seed=2))
+        assert a != b
+
+    def test_storm_requests_all_members(self):
+        events = generate("storm", WorkloadConfig(members=12))
+        assert {event.member for event in events} == set(member_names(12))
+        assert all(event.action == "request" for event in events)
+
+    def test_events_within_duration(self):
+        events = generate("seminar", WorkloadConfig(duration=25.0, seed=3))
+        assert all(event.time <= 25.0 for event in events)
+
+
+class TestPresentationBuilders:
+    def test_figure1_schedules(self):
+        schedule = compute_schedule(figure1_presentation())
+        assert schedule.start_of("slides1") == schedule.start_of("narration1")
+        assert schedule.start_of("demo_video") == pytest.approx(23.0)
+        assert schedule.makespan() == pytest.approx(3 + 20 + 15 + 25 + 5)
+
+    def test_lecture_ocpn_scales_with_segments(self):
+        short = compute_schedule(lecture_ocpn(segments=1))
+        long = compute_schedule(lecture_ocpn(segments=4))
+        assert long.makespan() > short.makespan()
+
+    @settings(max_examples=15, deadline=None)
+    @given(items=st.integers(min_value=1, max_value=12), seed=st.integers(0, 100))
+    def test_property_random_presentations_always_compile(self, items, seed):
+        spec = random_presentation(items, seed=seed)
+        schedule = compute_schedule(compile_spec(spec))
+        assert len(schedule.media_names()) == items
+
+
+class TestDriveAndReplay:
+    def _server_factory(self, members=6):
+        def factory(clock):
+            resources = ResourceModel(
+                ResourceVector(network_kbps=100_000.0, cpu_share=8.0, memory_mb=4096.0)
+            )
+            server = FloorControlServer(clock, resources)
+            server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
+            for name in member_names(members):
+                server.join(name)
+            return server
+
+        return factory
+
+    def test_drive_applies_workload(self):
+        clock = VirtualClock()
+        server = self._server_factory()(clock)
+        events = generate("storm", WorkloadConfig(members=6))
+        grants = drive(server, clock, events)
+        outcomes = [grant.outcome for grant in grants]
+        assert outcomes.count(RequestOutcome.GRANTED) == 1
+        assert outcomes.count(RequestOutcome.QUEUED) == 5
+
+    def test_recorder_captures_applied_events(self):
+        clock = VirtualClock()
+        server = self._server_factory()(clock)
+        events = generate("storm", WorkloadConfig(members=4))
+        recorder = TraceRecorder()
+        drive(server, clock, events, recorder=recorder)
+        assert recorder.as_workload() == events
+
+    def test_replay_reproduces_outcomes(self):
+        events = generate("seminar", WorkloadConfig(members=5, duration=30.0, seed=9))
+        first = replay(events, self._server_factory(5))
+        second = replay(events, self._server_factory(5))
+        assert [g.outcome for g in first] == [g.outcome for g in second]
+
+
+class TestFIFOBaseline:
+    def test_first_request_granted(self):
+        fifo = FIFOFloorControl()
+        assert fifo.request("alice", now=1.0)
+        assert fifo.speakers() == {"alice"}
+
+    def test_second_waits_fifo(self):
+        fifo = FIFOFloorControl()
+        fifo.request("alice", now=1.0)
+        assert not fifo.request("bob", now=2.0)
+        assert not fifo.request("carol", now=3.0)
+        assert fifo.release("alice", now=5.0) == "bob"
+        assert fifo.release("bob", now=6.0) == "carol"
+
+    def test_release_without_holding_raises(self):
+        fifo = FIFOFloorControl()
+        with pytest.raises(FloorControlError):
+            fifo.release("ghost")
+
+    def test_grant_latency_accounting(self):
+        fifo = FIFOFloorControl()
+        fifo.request("alice", now=0.0)
+        fifo.request("bob", now=1.0)
+        fifo.release("alice", now=5.0)
+        # bob waited from t=1 to t=5; alice got it instantly.
+        assert fifo.mean_grant_latency() == pytest.approx(2.0)
+
+    def test_teacher_waits_behind_students(self):
+        """The pathology the priority-aware arbitrator avoids."""
+        fifo = FIFOFloorControl()
+        fifo.request("student0", now=0.0)
+        fifo.request("student1", now=0.1)
+        assert not fifo.request("teacher", now=0.2)
+        assert fifo.release("student0", now=5.0) == "student1"
+        assert fifo.speakers() == {"student1"}
+
+    def test_rerequest_by_holder_is_noop(self):
+        fifo = FIFOFloorControl()
+        fifo.request("a")
+        assert fifo.request("a")
+        assert fifo.grants == 1
+
+
+class TestFreeForAllBaseline:
+    def test_no_collision_when_spaced_out(self):
+        chaos = FreeForAll(collision_window=0.25)
+        chaos.post("a", 0.0)
+        chaos.post("b", 1.0)
+        assert chaos.collisions == 0
+
+    def test_collision_within_window(self):
+        chaos = FreeForAll(collision_window=0.25)
+        chaos.post("a", 0.0)
+        chaos.post("b", 0.1)
+        assert chaos.collisions == 1
+        assert chaos.collision_rate() == pytest.approx(0.5)
+
+    def test_same_author_burst_not_a_collision(self):
+        chaos = FreeForAll(collision_window=0.25)
+        chaos.post("a", 0.0)
+        chaos.post("a", 0.1)
+        assert chaos.collisions == 0
+
+    def test_peak_demand(self):
+        chaos = FreeForAll()
+        chaos.post("a", 0.0)
+        chaos.post("b", 0.2)
+        chaos.post("c", 0.4)
+        assert chaos.peak_demand_kbps(100.0, window=1.0) == pytest.approx(300.0)
+
+    def test_empty_rates(self):
+        chaos = FreeForAll()
+        assert chaos.collision_rate() == 0.0
+        assert chaos.peak_demand_kbps(100.0) == 0.0
