@@ -5,58 +5,61 @@ Claim shape: during a message flood from N students, the accepted
 board entries come exclusively from the serialized sequence of token
 holders, every non-holder post is rejected, and replicas converge to
 the authoritative board.
+
+The whole experiment runs on the :mod:`repro.api` facade: the star is
+built with :class:`SessionBuilder` and the flood is one scripted
+:class:`Scenario` instead of hand-rolled ``clock.call_at`` loops.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.clock.virtual import VirtualClock
-from repro.core.modes import FCMMode
-from repro.net.simnet import Link, Network
-from repro.session.dmps import DMPSClient, DMPSServer
+from repro.api import Scenario, Session, at
 
 
-def build_classroom(students: int):
-    clock = VirtualClock()
-    network = Network(clock)
-    server = DMPSServer(clock, network)
-    clients = {}
-    names = ["teacher"] + [f"student{i}" for i in range(students)]
-    for name in names:
-        host = f"host-{name}"
-        clients[name] = DMPSClient(name, host, network)
-        network.connect_both("server", host, Link(base_latency=0.01))
-        clients[name].join(is_chair=(name == "teacher"))
-    clock.run_until(0.5)
-    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
-    clock.run_until(1.0)
-    return clock, server, clients, names
+def class_names(students: int) -> list[str]:
+    return ["teacher"] + [f"student{i}" for i in range(students)]
 
 
-def run_flood(students: int = 10):
-    clock, server, clients, names = build_classroom(students)
+def build_classroom(students: int) -> Session:
+    session = (
+        Session.builder(chair="teacher")
+        .participants(*class_names(students))
+        .link(latency=0.01)
+        .heartbeats(None)
+        .warmup(0.5)
+        .build()
+    )
+    session.set_mode("equal_control")
+    session.run_until(1.0)
+    return session
+
+
+def run_flood(students: int = 10) -> Session:
+    session = build_classroom(students)
     # Everyone floods posts every 0.5 s; the floor rotates through three
     # holders: teacher -> student0 -> student1.
-    for name in names:
+    flood = Scenario(name="flood")
+    for name in class_names(students):
         for tick in range(10):
-            clock.call_at(
-                1.0 + tick * 0.5,
-                clients[name].post,
-                f"{name}-says-{tick}",
+            flood.add(
+                at(1.0 + tick * 0.5, "post", name, content=f"{name}-says-{tick}")
             )
-    clock.call_at(1.1, clients["teacher"].request_floor)
-    clock.call_at(2.0, clients["student0"].request_floor)
-    clock.call_at(2.5, clients["student1"].request_floor)
-    clock.call_at(3.0, clients["teacher"].release_floor)
-    clock.call_at(4.5, clients["student0"].release_floor)
-    clock.run_until(10.0)
-    return server, clients
+    flood.add(
+        at(1.1, "request_floor", "teacher"),
+        at(2.0, "request_floor", "student0"),
+        at(2.5, "request_floor", "student1"),
+        at(3.0, "release_floor", "teacher"),
+        at(4.5, "release_floor", "student0"),
+    )
+    flood.run(session, until=10.0)
+    return session
 
 
 def test_e5_only_holders_reach_board(benchmark, table):
-    server, clients = benchmark(run_flood, 10)
-    board = server.board()
+    session = benchmark(run_flood, 10)
+    board = session.board()
     authors_in_order = [entry.author for entry in board.entries()]
     # Collapse consecutive duplicates -> the serialized speaker sequence.
     sequence = [authors_in_order[0]] if authors_in_order else []
@@ -79,24 +82,23 @@ def test_e5_only_holders_reach_board(benchmark, table):
 
 
 def test_e5_replicas_converge(table):
-    server, clients = run_flood(6)
+    session = run_flood(6)
     converged = sum(
         1
-        for client in clients.values()
-        if client.replicas["session"].converged_with(server.board())
+        for client in session.clients.values()
+        if client.replicas["session"].converged_with(session.board())
     )
     table(
         "E5: replica convergence",
         ["clients", "converged"],
-        [(len(clients), converged)],
+        [(len(session.clients), converged)],
     )
-    assert converged == len(clients)
+    assert converged == len(session.clients)
 
 
 @pytest.mark.parametrize("students", [4, 16])
 def test_e5_rejection_scales_with_non_holders(students, table):
-    server, __ = run_flood(students)
-    board = server.board()
+    board = run_flood(students).board()
     total = (students + 1) * 10
     table(
         f"E5: acceptance ratio with {students} students",

@@ -4,6 +4,11 @@ bounded time.
 Claim shape: for every disconnected client the red light appears within
 ``timeout + sweep_interval`` of the disconnect; reconnects turn it
 green again; clients that stay up never flap red.
+
+Runs on the :mod:`repro.api` facade: the server-side-only chair
+(``chair_joins=False``) reproduces the original topology where only
+students join, and disconnects are facade verbs scheduled on the
+session clock.
 """
 
 from __future__ import annotations
@@ -12,9 +17,7 @@ import random
 
 import pytest
 
-from repro.clock.virtual import VirtualClock
-from repro.net.simnet import Link, Network
-from repro.session.dmps import DMPSClient, DMPSServer
+from repro.api import Session
 from repro.session.presence import Light
 
 TIMEOUT = 1.0
@@ -24,40 +27,37 @@ HEARTBEAT = 0.25
 
 def run_disconnect_schedule(clients_count: int = 12, seed: int = 3):
     rng = random.Random(seed)
-    clock = VirtualClock()
-    network = Network(clock, rng=random.Random(seed + 1))
-    server = DMPSServer(clock, network, presence_timeout=TIMEOUT)
-    server.presence.sweep_interval = SWEEP
-    clients = []
-    for index in range(clients_count):
-        name = f"student{index}"
-        client = DMPSClient(name, f"host-{name}", network)
-        network.connect_both("server", f"host-{name}", Link(base_latency=0.02))
-        client.join()
-        client.start_heartbeats(HEARTBEAT)
-        clients.append(client)
-    clock.run_until(2.0)
+    session = (
+        Session.builder(chair="teacher", chair_joins=False)
+        .seed(seed)
+        .participants(*[f"student{i}" for i in range(clients_count)])
+        .link(latency=0.02)
+        .heartbeats(HEARTBEAT)
+        .presence(timeout=TIMEOUT, sweep=SWEEP)
+        .warmup(2.0)
+        .build()
+    )
     # Half the clients drop at seeded times in [3, 8).
-    victims = clients[: clients_count // 2]
+    victims = [f"student{i}" for i in range(clients_count // 2)]
     drop_times = {}
-    for client in victims:
-        at = rng.uniform(3.0, 8.0)
-        drop_times[client.member] = at
-        clock.call_at(at, client.disconnect)
-    clock.run_until(12.0)
+    for name in victims:
+        at_time = rng.uniform(3.0, 8.0)
+        drop_times[name] = at_time
+        session.clock.call_at(at_time, session.disconnect, name)
+    session.run_until(12.0)
     latencies = {
-        member: server.presence.detection_latency(member, at)
-        for member, at in drop_times.items()
+        member: session.presence.detection_latency(member, at_time)
+        for member, at_time in drop_times.items()
     }
     survivors_green = all(
-        server.presence.light_of(client.member) is Light.GREEN
-        for client in clients[clients_count // 2:]
+        session.presence.light_of(f"student{i}") is Light.GREEN
+        for i in range(clients_count // 2, clients_count)
     )
-    return latencies, survivors_green, server, clients
+    return latencies, survivors_green, session
 
 
 def test_e6_detection_latency_bounded(benchmark, table):
-    latencies, survivors_green, __, __ = benchmark(run_disconnect_schedule)
+    latencies, survivors_green, __ = benchmark(run_disconnect_schedule)
     bound = TIMEOUT + SWEEP + HEARTBEAT
     rows = [(member, latency) for member, latency in sorted(latencies.items())]
     rows.append(("bound", bound))
@@ -67,13 +67,13 @@ def test_e6_detection_latency_bounded(benchmark, table):
 
 
 def test_e6_reconnect_goes_green(table):
-    __, __, server, clients = run_disconnect_schedule()
-    victim = clients[0]
-    victim.reconnect(HEARTBEAT)
-    server.presence.clock.run_until(server.presence.clock.now() + 2.0)
+    __, __, session = run_disconnect_schedule()
+    victim = "student0"
+    session.reconnect(victim)
+    session.run_for(2.0)
     table(
         "E6: reconnect",
         ["member", "light"],
-        [(victim.member, server.presence.light_of(victim.member).value)],
+        [(victim, session.presence.light_of(victim).value)],
     )
-    assert server.presence.light_of(victim.member) is Light.GREEN
+    assert session.presence.light_of(victim) is Light.GREEN

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.fifo_floor import FIFOFloorControl
+from repro.api import make_policy
 from repro.clock.virtual import VirtualClock
 from repro.core.floor import RequestOutcome
 from repro.core.modes import FCMMode
@@ -81,33 +81,36 @@ def test_e9_ablation_priority_vs_fifo(table):
     """A4: the chair cuts the line with the arbitrator's priority model
     (token queue is FIFO but effective-priority admission lets the chair
     hold the floor via equal control bootstrapping); under FIFO the
-    chair waits behind the whole class."""
+    chair waits behind the whole class.  Both contenders come from the
+    :mod:`repro.api.policies` registry and are driven through the same
+    :class:`~repro.api.policies.FloorPolicy` interface."""
     members = 20
     names = member_names(members)
     # FIFO baseline: everyone requests, then the teacher.
-    fifo = FIFOFloorControl()
+    fifo = make_policy("fifo")
     for index, name in enumerate(names):
         fifo.request(name, now=float(index) * 0.01)
     fifo.request("teacher", now=1.0)
     # Teacher position: the whole queue is ahead.
-    fifo_queue_ahead = fifo.queue.index("teacher")
+    fifo_queue_ahead = fifo.waiting().index("teacher")
     # Paper arbitrator: the chair's first request when the floor frees
     # is granted with elevated priority; measured as queue position too
     # (the token queue itself is FIFO by design), but free-access posts
     # and suspensions always favour the chair. We report the structural
     # difference: FIFO has no notion of the chair at all.
-    server, __ = make_server(members)
+    paper = make_policy("equal_control")
     for name in names:
-        server.request_floor(name, mode=FCMMode.EQUAL_CONTROL)
-    chair_grant = server.request_floor("teacher", mode=FCMMode.EQUAL_CONTROL)
-    effective = server.arbitrator.effective_priority("teacher", "session")
-    student_effective = server.arbitrator.effective_priority(names[5], "session")
+        paper.request(name)
+    paper.request("teacher")
+    arbitrator = paper.server.arbitrator
+    effective = arbitrator.effective_priority("teacher", "session")
+    student_effective = arbitrator.effective_priority(names[5], "session")
     table(
         "E9/A4: chair treatment, 20 students already queued",
         ["policy", "chair priority", "students ahead"],
         [
             ("FIFO baseline", 1, fifo_queue_ahead),
-            ("FCM arbitrator", effective, len(server.arbitrator.token("session").waiting())),
+            ("FCM arbitrator", effective, len(paper.waiting())),
         ],
     )
     assert fifo_queue_ahead == members - 1

@@ -1,78 +1,38 @@
 #!/usr/bin/env python3
-"""Quickstart: a three-person DMPS session in under a minute.
+"""Quickstart: a three-person DMPS session (server + teacher + two
+students) on the ``repro.api`` facade; walks free access, equal
+control, and direct contact.  Run: ``python examples/quickstart.py``"""
 
-Builds the paper's star topology (server + teacher + two students),
-joins everyone, walks through the four floor control modes, and prints
-the resulting whiteboard and event log.
-
-Run with::
-
-    python examples/quickstart.py
-"""
-
-from repro.clock import VirtualClock
-from repro.core import FCMMode
-from repro.net import Link, Network
-from repro.session import DMPSClient, DMPSServer, summarize
+from repro.api import Session
 
 
 def main() -> None:
-    # --- wiring ---------------------------------------------------------
-    clock = VirtualClock()
-    network = Network(clock)
-    server = DMPSServer(clock, network)
-    clients = {}
-    for name in ("teacher", "alice", "bob"):
-        host = f"host-{name}"
-        clients[name] = DMPSClient(name, host, network)
-        network.connect_both("server", host, Link(base_latency=0.02, jitter=0.005))
-    for name, client in clients.items():
-        client.join(is_chair=(name == "teacher"))
-        client.start_heartbeats()
-    clock.run_until(1.0)
-    print(f"members joined: {sorted(server.members())}")
-
-    # --- free access: everyone talks -------------------------------------
-    clients["alice"].post("hi everyone!")
-    clients["bob"].post("hello!")
-    clock.run_until(2.0)
-    print(f"\n[free access] board: {[(e.author, e.content) for e in server.board()]}")
-
-    # --- equal control: one speaker at a time ----------------------------
-    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
-    clock.run_until(2.5)
-    clients["alice"].request_floor()
-    clock.run_until(2.7)  # alice's request reaches the server first
-    clients["bob"].request_floor()
-    clock.run_until(3.0)
-    clients["alice"].post("I hold the floor")
-    clients["bob"].post("(rejected - no floor)")
-    clock.run_until(3.5)
-    clients["alice"].release_floor()
-    clock.run_until(4.0)
-    clients["bob"].post("now it is my turn")
-    clock.run_until(4.5)
-    print(f"[equal control] board: {[(e.author, e.content) for e in server.board()]}")
-    print(f"[equal control] rejected posts: {server.board().rejected}")
-
-    # --- direct contact: a private side channel --------------------------
-    private = server.open_direct_contact("alice", "bob")
-    clock.run_until(5.0)
-    clients["alice"].post("psst, did you get that?", group=private)
-    clock.run_until(5.5)
-    print(f"[direct contact] private board: "
-          f"{[(e.author, e.content) for e in server.board(private)]}")
-    print(f"[direct contact] teacher sees: {clients['teacher'].board(private)}")
-
-    # --- the transcript ---------------------------------------------------
-    print("\nsession transcript (last 8 events):")
-    for event in server.control.log.tail(8):
-        print(f"  t={event.time:6.2f}  {event.kind.value:<15} "
-              f"{event.member:<8} {event.detail}")
-
-    # --- summary -----------------------------------------------------------
-    print()
-    print(summarize(server, list(clients.values())).render())
+    with Session.build("alice", "bob", jitter=0.005) as s:
+        print(f"members joined: {sorted(s.members())}")
+        s.post("alice", "hi everyone!")
+        s.post("bob", "hello!")
+        s.run_until(2.0)
+        print(f"\n[free access] board: {[(e.author, e.content) for e in s.board()]}")
+        s.set_mode("equal_control")
+        s.run_for(0.5)
+        s.request_floor("alice")
+        s.run_for(0.2)  # alice's request reaches the server first
+        s.request_floor("bob")
+        s.run_for(0.3)
+        s.post("alice", "I hold the floor")
+        s.post("bob", "(rejected - no floor)")
+        s.run_for(0.5)
+        s.release_floor("alice")
+        s.run_for(0.5)
+        s.post("bob", "now it is my turn")
+        s.run_for(0.5)
+        print(f"[equal control] board: {[(e.author, e.content) for e in s.board()]}")
+        private = s.open_direct_contact("alice", "bob")
+        s.run_for(0.5)
+        s.post("alice", "psst, did you get that?", group=private)
+        s.run_for(0.5)
+        print(f"[direct contact] board: {[(e.author, e.content) for e in s.board(private)]}")
+        print(f"\n{s.report().render()}")
 
 
 if __name__ == "__main__":

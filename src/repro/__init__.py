@@ -3,6 +3,9 @@ Mechanism in Distributed Multimedia Presentation System" (ICDCS 2001).
 
 The package provides:
 
+* :mod:`repro.api` — the high-level facade: session builder, the
+  ``Session`` object, scripted scenarios, and the pluggable floor
+  policy registry (start here);
 * :mod:`repro.core` — the floor control mechanism (the paper's primary
   contribution): four modes, the FCM-Arbitrate and Media-Suspend
   algorithms, groups/invitations, the server-side manager;
@@ -24,34 +27,29 @@ The package provides:
 * :mod:`repro.baselines` — FIFO floor control and free-for-all
   baselines.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro.clock import VirtualClock
-    from repro.core import FCMMode
-    from repro.net import Link, Network
-    from repro.session import DMPSClient, DMPSServer
+    from repro.api import Session
 
-    clock = VirtualClock()
-    network = Network(clock)
-    network.set_default_link(Link(base_latency=0.02))
-    server = DMPSServer(clock, network)
-    alice = DMPSClient("alice", "host-alice", network)
-    network.connect_both("server", "host-alice", Link(base_latency=0.02))
-    alice.join()
-    clock.run_until(1.0)
-    alice.post("hello class")
-    clock.run_until(2.0)
-    assert [e.content for e in server.board()] == ["hello class"]
+    with Session.build("alice", chair="teacher") as s:
+        s.post("alice", "hello class")
+        s.run_until(2.0)
+        assert [e.content for e in s.board()] == ["hello class"]
+
+The raw layers stay importable for finer-grained wiring — see the
+docstring of :mod:`repro.session`.
 """
 
 __version__ = "1.0.0"
 
 from . import baselines, clock, core, media, net, petri, session, temporal, workload
+from . import api
 from .errors import ReproError
 
 __all__ = [
     "ReproError",
     "__version__",
+    "api",
     "baselines",
     "clock",
     "core",

@@ -1,0 +1,71 @@
+"""High-level facade over the whole DMPS stack.
+
+This package is the canonical way to stand up and drive a session::
+
+    from repro.api import Scenario, Session, at
+
+    with Session.build("alice", "bob", chair="teacher") as s:
+        Scenario().add(
+            at(1.5, "set_mode", mode="equal_control"),
+            at(2.0, "request_floor", "alice"),
+            at(2.5, "post", "alice", content="my point"),
+            at(3.0, "release_floor", "alice"),
+        ).run(s)
+        print(s.report().render())
+
+Three layers:
+
+* :mod:`repro.api.config` — declarative topology
+  (:class:`SessionConfig`, :class:`SessionBuilder`);
+* :mod:`repro.api.session` — the :class:`Session` facade owning clock,
+  network, server, and clients;
+* :mod:`repro.api.policies` — the :class:`FloorPolicy` protocol and the
+  name registry unifying the four FCM modes with the baselines;
+* :mod:`repro.api.scenario` — scripted scenarios (:class:`Scenario`,
+  :func:`at`) that the workload generators and the CLI emit.
+
+The facade composes the lower layers; every pre-existing import path
+(``from repro.session import DMPSServer``, ...) keeps working.
+"""
+
+from .config import (
+    LinkSpec,
+    ParticipantSpec,
+    ResourceSpec,
+    SessionBuilder,
+    SessionConfig,
+)
+from .policies import (
+    ArbitratedPolicy,
+    FIFOPolicy,
+    FloorPolicy,
+    FreeForAllPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+    resolve_mode,
+    unregister_policy,
+)
+from .scenario import Scenario, ScenarioStep, at
+from .session import Session
+
+__all__ = [
+    "ArbitratedPolicy",
+    "FIFOPolicy",
+    "FloorPolicy",
+    "FreeForAllPolicy",
+    "LinkSpec",
+    "ParticipantSpec",
+    "ResourceSpec",
+    "Scenario",
+    "ScenarioStep",
+    "Session",
+    "SessionBuilder",
+    "SessionConfig",
+    "at",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+    "resolve_mode",
+    "unregister_policy",
+]

@@ -1,0 +1,325 @@
+"""Declarative configuration for the :mod:`repro.api` session facade.
+
+A DMPS session is a *star*: one server owning the global clock, floor
+control, and the authoritative whiteboards, plus one client per
+participant.  Before this module existed every entry point re-wired
+that star by hand (clock, network, links, server, clients, joins,
+heartbeats — ~15 lines of boilerplate each).  Here the same topology is
+described once, declaratively:
+
+* :class:`LinkSpec` — latency/jitter/loss/bandwidth of one star link;
+* :class:`ParticipantSpec` — one member and their station parameters;
+* :class:`ResourceSpec` — server capacity and the paper's ``a``/``b``
+  thresholds;
+* :class:`SessionConfig` — the full frozen description of a session;
+* :class:`SessionBuilder` — a fluent builder producing a config or a
+  live :class:`~repro.api.session.Session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from ..core.modes import FCMMode
+from ..core.resources import ResourceModel, ResourceVector
+from ..errors import SessionError
+from ..net.simnet import Link
+from .policies import resolve_mode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import Session
+
+__all__ = [
+    "LinkSpec",
+    "ParticipantSpec",
+    "ResourceSpec",
+    "SessionConfig",
+    "SessionBuilder",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Parameters of one (symmetric) client<->server star link."""
+
+    latency: float = 0.02
+    jitter: float = 0.0
+    loss: float = 0.0
+    bandwidth_kbps: float | None = None
+
+    def to_link(self) -> Link:
+        """Materialize as a :class:`~repro.net.simnet.Link`."""
+        return Link(
+            base_latency=self.latency,
+            jitter=self.jitter,
+            loss_probability=self.loss,
+            bandwidth_kbps=self.bandwidth_kbps,
+        )
+
+
+@dataclass(frozen=True)
+class ParticipantSpec:
+    """One session participant and their station imperfections.
+
+    ``link=None`` means the participant uses the session-wide default
+    :class:`LinkSpec`; ``clock_offset``/``drift_rate`` configure the
+    client's :class:`~repro.clock.drift.DriftingClock`.
+    """
+
+    name: str
+    chair: bool = False
+    host: str = ""
+    link: LinkSpec | None = None
+    clock_offset: float = 0.0
+    drift_rate: float = 0.0
+
+    @property
+    def host_name(self) -> str:
+        """The network host this participant's client runs on."""
+        return self.host or f"host-{self.name}"
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Server station capacity plus the Z spec's ``a``/``b`` fractions."""
+
+    network_kbps: float = 100_000.0
+    cpu_share: float = 16.0
+    memory_mb: float = 8192.0
+    basic_fraction: float = 0.3
+    minimal_fraction: float = 0.1
+
+    def to_model(self) -> ResourceModel:
+        """Materialize as a :class:`~repro.core.resources.ResourceModel`."""
+        return ResourceModel(
+            ResourceVector(
+                network_kbps=self.network_kbps,
+                cpu_share=self.cpu_share,
+                memory_mb=self.memory_mb,
+            ),
+            basic_fraction=self.basic_fraction,
+            minimal_fraction=self.minimal_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """The full, frozen description of one DMPS session.
+
+    ``heartbeat_interval`` / ``clock_sync_interval`` of ``None`` disable
+    the respective client-side loop; ``presence_sweep`` of ``None``
+    keeps the presence monitor's default sweep.  ``join_warmup`` is how
+    far virtual time runs after the join handshakes are sent, so a
+    freshly built session already has all members joined.
+    """
+
+    participants: tuple[ParticipantSpec, ...] = ()
+    chair: str = "teacher"
+    link: LinkSpec = field(default_factory=LinkSpec)
+    resources: ResourceSpec = field(default_factory=ResourceSpec)
+    mode: FCMMode = FCMMode.FREE_ACCESS
+    seed: int = 0
+    presence_timeout: float = 1.0
+    presence_sweep: float | None = None
+    heartbeat_interval: float | None = 0.25
+    clock_sync_interval: float | None = None
+    join_warmup: float = 1.0
+    server_host: str = "server"
+
+    def validate(self) -> None:
+        """Reject inconsistent topologies before any wiring happens."""
+        if not self.participants:
+            raise SessionError("a session needs at least one participant")
+        names = [spec.name for spec in self.participants]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SessionError(f"duplicate participants: {sorted(duplicates)!r}")
+        if self.join_warmup < 0:
+            raise SessionError(f"negative join warmup: {self.join_warmup!r}")
+        for spec in self.participants:
+            if spec.chair and spec.name != self.chair:
+                raise SessionError(
+                    f"participant {spec.name!r} marked chair but the session "
+                    f"chair is {self.chair!r}"
+                )
+
+
+class SessionBuilder:
+    """Fluent builder for :class:`SessionConfig` / live sessions.
+
+    Example::
+
+        session = (SessionBuilder(chair="teacher")
+                   .participants("alice", "bob")
+                   .link(latency=0.02, jitter=0.005)
+                   .policy("equal_control")
+                   .seed(7)
+                   .build())
+
+    The chair is added as a participant automatically unless the
+    builder was created with ``chair_joins=False`` (a server-side-only
+    chair, useful for pure monitoring workloads).
+    """
+
+    def __init__(self, chair: str = "teacher", chair_joins: bool = True) -> None:
+        self._chair = chair
+        self._chair_joins = chair_joins
+        self._specs: dict[str, ParticipantSpec] = {}
+        self._link = LinkSpec()
+        self._resources = ResourceSpec()
+        self._mode = FCMMode.FREE_ACCESS
+        self._seed = 0
+        self._presence_timeout = 1.0
+        self._presence_sweep: float | None = None
+        self._heartbeat_interval: float | None = 0.25
+        self._clock_sync_interval: float | None = None
+        self._join_warmup = 1.0
+        self._server_host = "server"
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def participant(
+        self,
+        name: str,
+        *,
+        latency: float | None = None,
+        jitter: float | None = None,
+        loss: float | None = None,
+        bandwidth_kbps: float | None = None,
+        clock_offset: float = 0.0,
+        drift_rate: float = 0.0,
+        host: str = "",
+    ) -> "SessionBuilder":
+        """Add (or re-declare) one participant; link parameters given
+        here override the session-wide defaults for this member only."""
+        link = None
+        if any(v is not None for v in (latency, jitter, loss, bandwidth_kbps)):
+            link = LinkSpec(
+                latency=latency if latency is not None else self._link.latency,
+                jitter=jitter if jitter is not None else self._link.jitter,
+                loss=loss if loss is not None else self._link.loss,
+                bandwidth_kbps=(
+                    bandwidth_kbps
+                    if bandwidth_kbps is not None
+                    else self._link.bandwidth_kbps
+                ),
+            )
+        self._specs[name] = ParticipantSpec(
+            name=name,
+            chair=(name == self._chair),
+            host=host,
+            link=link,
+            clock_offset=clock_offset,
+            drift_rate=drift_rate,
+        )
+        return self
+
+    def participants(self, *names: str) -> "SessionBuilder":
+        """Add several participants with default station parameters."""
+        for name in names:
+            self.participant(name)
+        return self
+
+    def link(
+        self,
+        latency: float | None = None,
+        jitter: float | None = None,
+        loss: float | None = None,
+        bandwidth_kbps: float | None = None,
+    ) -> "SessionBuilder":
+        """Set the session-wide default link parameters."""
+        updates = {
+            key: value
+            for key, value in (
+                ("latency", latency),
+                ("jitter", jitter),
+                ("loss", loss),
+                ("bandwidth_kbps", bandwidth_kbps),
+            )
+            if value is not None
+        }
+        self._link = replace(self._link, **updates)
+        return self
+
+    def resources(self, **kwargs: float) -> "SessionBuilder":
+        """Override server capacity / threshold fields of
+        :class:`ResourceSpec` (keyword arguments match its fields)."""
+        self._resources = replace(self._resources, **kwargs)
+        return self
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def policy(self, policy: "FCMMode | str") -> "SessionBuilder":
+        """Set the initial floor policy by mode or registry name
+        (``"free_access"``, ``"equal_control"``, ...)."""
+        self._mode = resolve_mode(policy)
+        return self
+
+    def seed(self, value: int) -> "SessionBuilder":
+        """Seed for network jitter/loss randomness (reproducible runs)."""
+        self._seed = value
+        return self
+
+    def presence(
+        self, timeout: float | None = None, sweep: float | None = None
+    ) -> "SessionBuilder":
+        """Configure the presence monitor (heartbeat timeout / sweep)."""
+        if timeout is not None:
+            self._presence_timeout = timeout
+        if sweep is not None:
+            self._presence_sweep = sweep
+        return self
+
+    def heartbeats(self, interval: float | None) -> "SessionBuilder":
+        """Client heartbeat period; ``None`` disables heartbeats."""
+        self._heartbeat_interval = interval
+        return self
+
+    def clock_sync(self, interval: float | None) -> "SessionBuilder":
+        """Cristian clock-sync period; ``None`` disables syncing."""
+        self._clock_sync_interval = interval
+        return self
+
+    def warmup(self, seconds: float) -> "SessionBuilder":
+        """Virtual time to run right after joins (handshake settling)."""
+        self._join_warmup = seconds
+        return self
+
+    def server_host(self, name: str) -> "SessionBuilder":
+        """Rename the server's network host (default ``"server"``)."""
+        self._server_host = name
+        return self
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+    def config(self) -> SessionConfig:
+        """Freeze the current state into a :class:`SessionConfig`."""
+        specs = list(self._specs.values())
+        if self._chair_joins and self._chair not in self._specs:
+            specs.insert(0, ParticipantSpec(name=self._chair, chair=True))
+        config = SessionConfig(
+            participants=tuple(specs),
+            chair=self._chair,
+            link=self._link,
+            resources=self._resources,
+            mode=self._mode,
+            seed=self._seed,
+            presence_timeout=self._presence_timeout,
+            presence_sweep=self._presence_sweep,
+            heartbeat_interval=self._heartbeat_interval,
+            clock_sync_interval=self._clock_sync_interval,
+            join_warmup=self._join_warmup,
+            server_host=self._server_host,
+        )
+        config.validate()
+        return config
+
+    def build(self) -> "Session":
+        """Stand the session up: wire, join everyone, settle the clock."""
+        from .session import Session
+
+        return Session(self.config())

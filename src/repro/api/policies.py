@@ -1,0 +1,320 @@
+"""Pluggable floor policies behind one registry.
+
+The paper's four FCM modes and the two ablation baselines
+(:class:`~repro.baselines.fifo_floor.FIFOFloorControl`,
+:class:`~repro.baselines.free_for_all.FreeForAll`) used to live on
+parallel code paths with incompatible interfaces.  This module unifies
+them behind the :class:`FloorPolicy` protocol —
+
+    ``request(member, now) -> granted?``
+    ``release(member, now) -> new holder``
+    ``speakers() -> set`` / ``waiting() -> list``
+
+— and a name registry, so benchmarks and the CLI compare policies *by
+name* (``make_policy("fifo")`` vs ``make_policy("equal_control")``)
+instead of hand-wiring each implementation.
+
+The four mode policies are backed by the real
+:class:`~repro.core.server.FloorControlServer` arbitration (they are
+the paper's code path, not re-implementations); the baseline policies
+adapt the existing baseline classes, which remain importable unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from ..baselines.fifo_floor import FIFOFloorControl
+from ..baselines.free_for_all import FreeForAll
+from ..clock.virtual import VirtualClock
+from ..core.floor import RequestOutcome
+from ..core.modes import FCMMode
+from ..core.resources import ResourceModel, ResourceVector
+from ..core.server import FloorControlServer
+from ..errors import FloorControlError, ReproError
+
+__all__ = [
+    "FloorPolicy",
+    "ArbitratedPolicy",
+    "FIFOPolicy",
+    "FreeForAllPolicy",
+    "register_policy",
+    "unregister_policy",
+    "make_policy",
+    "policy_names",
+    "resolve_mode",
+]
+
+
+@runtime_checkable
+class FloorPolicy(Protocol):
+    """The uniform floor-control interface every policy implements."""
+
+    @property
+    def name(self) -> str:
+        """Registry name of this policy (round-trips via the registry)."""
+        ...
+
+    def request(self, member: str, now: float = 0.0) -> bool:
+        """Ask for the floor; ``True`` when granted immediately."""
+        ...
+
+    def release(self, member: str, now: float = 0.0) -> str | None:
+        """Give up the floor; returns the successor (if any)."""
+        ...
+
+    def speakers(self) -> set[str]:
+        """Members currently allowed to deliver."""
+        ...
+
+    def waiting(self) -> list[str]:
+        """Members queued for the floor, FIFO order."""
+        ...
+
+
+class ArbitratedPolicy:
+    """One FCM mode, driven by the paper's real arbitration machinery.
+
+    The policy owns a private :class:`FloorControlServer` with generous
+    resources; members are registered on first use, so the policy can be
+    driven exactly like the baselines.  Standalone conventions for the
+    subgroup modes (documented interpretation, not in the paper):
+
+    * *group discussion* — requesters are auto-invited into one shared
+      discussion subgroup chaired by the session chair;
+    * *direct contact* — the peer defaults to the session chair; the
+      chair's own requests need an explicit ``target_member``.
+    """
+
+    def __init__(self, mode: FCMMode, chair: str = "teacher") -> None:
+        self.mode = mode
+        self._clock = VirtualClock()
+        self.server = FloorControlServer(
+            self._clock,
+            ResourceModel(
+                ResourceVector(network_kbps=1e6, cpu_share=64.0, memory_mb=1e5)
+            ),
+            chair=chair,
+        )
+        self.server.set_mode(self.server.session_group, mode, by=chair)
+        self._discussion: str | None = None
+        self._contact_pairs: list[tuple[str, str]] = []
+
+    @property
+    def name(self) -> str:
+        """Registry name — the mode's wire value."""
+        return self.mode.value
+
+    def request(
+        self,
+        member: str,
+        now: float = 0.0,
+        target_member: str | None = None,
+        target_group: str | None = None,
+    ) -> bool:
+        """Arbitrate one floor request; ``True`` when granted."""
+        self._ensure_member(member)
+        if self.mode is FCMMode.GROUP_DISCUSSION and target_group is None:
+            target_group = self._shared_discussion(member)
+        if self.mode is FCMMode.DIRECT_CONTACT and target_member is None:
+            if member == self.server.chair:
+                return False  # the chair must name a peer explicitly
+            target_member = self.server.chair
+        grant = self.server.request_floor(
+            member,
+            mode=self.mode,
+            target_member=target_member,
+            target_group=target_group,
+            requested_at=now,
+        )
+        if (
+            grant.outcome is RequestOutcome.GRANTED
+            and self.mode is FCMMode.DIRECT_CONTACT
+        ):
+            self._contact_pairs.append((member, target_member or ""))
+        return grant.outcome is RequestOutcome.GRANTED
+
+    def release(self, member: str, now: float = 0.0) -> str | None:
+        """Pass the token (equal control) or close a contact pair."""
+        if self.mode is FCMMode.EQUAL_CONTROL:
+            try:
+                return self.server.release_floor(
+                    self.server.session_group, member
+                )
+            except FloorControlError:
+                return None
+        if self.mode is FCMMode.DIRECT_CONTACT:
+            self._contact_pairs = [
+                pair for pair in self._contact_pairs if member not in pair
+            ]
+        return None
+
+    def speakers(self) -> set[str]:
+        """Members the mode currently allows to deliver."""
+        if self.mode is FCMMode.GROUP_DISCUSSION:
+            if self._discussion is None:
+                return set()
+            return self.server.current_speakers(self._discussion)
+        if self.mode is FCMMode.DIRECT_CONTACT:
+            return {member for pair in self._contact_pairs for member in pair}
+        return self.server.current_speakers(self.server.session_group)
+
+    def waiting(self) -> list[str]:
+        """The equal-control token queue (empty for the other modes)."""
+        if self.mode is not FCMMode.EQUAL_CONTROL:
+            return []
+        return self.server.arbitrator.token(self.server.session_group).waiting()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_member(self, member: str) -> None:
+        if member == self.server.chair:
+            return
+        try:
+            self.server.registry.member(member)
+        except FloorControlError:
+            self.server.join(member)
+
+    def _shared_discussion(self, member: str) -> str:
+        chair = self.server.chair
+        if self._discussion is None:
+            self._discussion = self.server.open_discussion(chair)
+        group = self.server.registry.group(self._discussion)
+        if member not in group:
+            invitation = self.server.invite(self._discussion, chair, member)
+            self.server.respond(invitation.invitation_id, accept=True)
+        return self._discussion
+
+
+class FIFOPolicy:
+    """The A4 baseline (:class:`FIFOFloorControl`) behind the protocol."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self.impl = FIFOFloorControl()
+
+    def request(self, member: str, now: float = 0.0) -> bool:
+        """Single global queue: first asker speaks, the rest wait."""
+        return self.impl.request(member, now)
+
+    def release(self, member: str, now: float = 0.0) -> str | None:
+        """Head of the queue takes over; stale releases are ignored."""
+        try:
+            return self.impl.release(member, now)
+        except FloorControlError:
+            return None
+
+    def speakers(self) -> set[str]:
+        """The single current holder (or nobody)."""
+        return self.impl.speakers()
+
+    def waiting(self) -> list[str]:
+        """The FIFO wait queue."""
+        return list(self.impl.queue)
+
+
+class FreeForAllPolicy:
+    """The no-floor-control baseline behind the protocol.
+
+    Every request is granted and counts as an uncontrolled post, so the
+    wrapped :class:`FreeForAll` keeps scoring collisions; ``impl``
+    exposes the collision/overload counters.
+    """
+
+    name = "free_for_all"
+
+    def __init__(self, collision_window: float = 0.25) -> None:
+        self.impl = FreeForAll(collision_window=collision_window)
+
+    def request(self, member: str, now: float = 0.0) -> bool:
+        """Always granted — that is the point of this baseline."""
+        self.impl.post(member, now)
+        return True
+
+    def release(self, member: str, now: float = 0.0) -> str | None:
+        """No floor to release."""
+        return None
+
+    def speakers(self) -> set[str]:
+        """Everyone who ever spoke."""
+        return self.impl.speakers()
+
+    def waiting(self) -> list[str]:
+        """Nobody ever waits."""
+        return []
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[..., FloorPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[..., FloorPolicy]) -> None:
+    """Register a policy factory under a unique name.
+
+    Raises
+    ------
+    ReproError
+        If the name is already taken.
+    """
+    if name in _REGISTRY:
+        raise ReproError(f"policy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy (no-op when unknown); for plugins
+    and tests that register throwaway policies."""
+    _REGISTRY.pop(name, None)
+
+
+def make_policy(name: str, **kwargs) -> FloorPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises
+    ------
+    ReproError
+        On an unknown policy name (the message lists what exists).
+    """
+    if name not in _REGISTRY:
+        raise ReproError(
+            f"unknown floor policy {name!r}; registered: {policy_names()}"
+        )
+    return _REGISTRY[name](**kwargs)
+
+
+def policy_names() -> list[str]:
+    """All registered policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_mode(policy: FCMMode | str) -> FCMMode:
+    """Map a mode-backed policy name (or an :class:`FCMMode`) to its
+    mode; baseline policies have no FCM mode and raise.
+
+    Raises
+    ------
+    ReproError
+        If the name is not one of the four FCM mode policies.
+    """
+    if isinstance(policy, FCMMode):
+        return policy
+    try:
+        return FCMMode(policy)
+    except ValueError:
+        raise ReproError(
+            f"{policy!r} is not a session floor mode; expected one of "
+            f"{[mode.value for mode in FCMMode]}"
+        ) from None
+
+
+for _mode in FCMMode:
+    register_policy(
+        _mode.value,
+        lambda mode=_mode, **kwargs: ArbitratedPolicy(mode, **kwargs),
+    )
+register_policy("fifo", FIFOPolicy)
+register_policy("free_for_all", FreeForAllPolicy)

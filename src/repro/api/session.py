@@ -1,0 +1,337 @@
+"""The :class:`Session` facade — one object that owns a DMPS session.
+
+A session composes (never replaces) the lower layers: the shared
+:class:`~repro.clock.virtual.VirtualClock`, the
+:class:`~repro.net.simnet.Network`, one
+:class:`~repro.session.dmps.DMPSServer`, and one
+:class:`~repro.session.dmps.DMPSClient` per participant, already
+joined and heartbeating by the time :meth:`Session.build` returns.
+All the common verbs live directly on the facade::
+
+    with Session.build("alice", "bob", chair="teacher") as s:
+        s.post("alice", "hi everyone")
+        s.run_until(2.0)
+        s.set_mode("equal_control")
+        s.request_floor("alice")
+        s.run_for(0.5)
+        print(s.report().render())
+
+The underlying objects stay reachable (``s.server``, ``s.clients``,
+``s.clock``, ``s.network``) for anything the facade does not cover.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..clock.virtual import VirtualClock
+from ..core.events import EventLog
+from ..core.modes import FCMMode
+from ..errors import SessionError
+from ..net.simnet import Network
+from ..session.dmps import DMPSClient, DMPSServer
+from ..session.presence import PresenceMonitor
+from ..session.report import SessionReport, summarize
+from ..session.whiteboard import Whiteboard
+from .config import ParticipantSpec, SessionBuilder, SessionConfig
+from .policies import resolve_mode
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A fully wired DMPS session (star topology, joined, settled).
+
+    Construct through :meth:`build` / :meth:`builder` rather than
+    directly; the constructor expects a validated
+    :class:`~repro.api.config.SessionConfig`.
+    """
+
+    def __init__(self, config: SessionConfig) -> None:
+        config.validate()
+        self.config = config
+        self.clock = VirtualClock()
+        self.network = Network(self.clock, rng=random.Random(config.seed + 1))
+        self.server = DMPSServer(
+            self.clock,
+            self.network,
+            host_name=config.server_host,
+            chair=config.chair,
+            resources=config.resources.to_model(),
+            presence_timeout=config.presence_timeout,
+        )
+        if config.presence_sweep is not None:
+            self.server.presence.sweep_interval = config.presence_sweep
+        self._clients: dict[str, DMPSClient] = {}
+        self._departed: dict[str, DMPSClient] = {}
+        self._closed = False
+        for spec in config.participants:
+            self._connect(spec)
+        for spec in config.participants:
+            self._start_participant(spec.name)
+        self.clock.run_until(config.join_warmup)
+        if config.mode is not FCMMode.FREE_ACCESS:
+            self.server.set_mode(config.mode, by=config.chair)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def builder(cls, chair: str = "teacher", chair_joins: bool = True) -> SessionBuilder:
+        """A fluent :class:`~repro.api.config.SessionBuilder`."""
+        return SessionBuilder(chair=chair, chair_joins=chair_joins)
+
+    @classmethod
+    def build(
+        cls,
+        *participants: str,
+        chair: str = "teacher",
+        latency: float | None = None,
+        jitter: float | None = None,
+        loss: float | None = None,
+        bandwidth_kbps: float | None = None,
+        policy: FCMMode | str = FCMMode.FREE_ACCESS,
+        seed: int = 0,
+        heartbeats: float | None = 0.25,
+        clock_sync: float | None = None,
+        warmup: float = 1.0,
+        presence_timeout: float = 1.0,
+    ) -> "Session":
+        """One-call construction for the common case: the named
+        participants (plus the chair) on identical links."""
+        builder = (
+            cls.builder(chair=chair)
+            .link(latency=latency, jitter=jitter, loss=loss,
+                  bandwidth_kbps=bandwidth_kbps)
+            .policy(policy)
+            .seed(seed)
+            .heartbeats(heartbeats)
+            .clock_sync(clock_sync)
+            .warmup(warmup)
+            .presence(timeout=presence_timeout)
+        )
+        builder.participants(*participants)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every periodic loop (heartbeats, clock sync, presence
+        sweep) so the event queue can drain; idempotent."""
+        if self._closed:
+            return
+        for client in self._clients.values():
+            client.stop_heartbeats()
+            client.stop_clock_sync()
+        self.server.presence.stop()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current global virtual time."""
+        return self.clock.now()
+
+    def run_until(self, deadline: float) -> int:
+        """Run queued events up to an absolute virtual time."""
+        return self.clock.run_until(deadline)
+
+    def run_for(self, delta: float) -> int:
+        """Run queued events for a further ``delta`` virtual seconds."""
+        return self.clock.advance(delta)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def client(self, member: str) -> DMPSClient:
+        """The client endpoint of a participant.
+
+        Raises
+        ------
+        SessionError
+            For a name that was never part of this session.
+        """
+        if member not in self._clients:
+            raise SessionError(f"no participant {member!r} in this session")
+        return self._clients[member]
+
+    @property
+    def clients(self) -> dict[str, DMPSClient]:
+        """Name -> client endpoint (a copy)."""
+        return dict(self._clients)
+
+    def members(self) -> list[str]:
+        """Members that completed the join handshake with the server."""
+        return self.server.members()
+
+    def join(self, member: str, spec: ParticipantSpec | None = None) -> DMPSClient:
+        """Late-join a participant: wire their link, send the Hello,
+        start the configured loops.  A member who previously
+        :meth:`leave`-d rejoins on their original station (``spec`` is
+        ignored for them).  Advance the clock (e.g. :meth:`run_for`) to
+        let the handshake complete."""
+        if member in self._clients:
+            raise SessionError(f"participant {member!r} already in the session")
+        if member in self._departed:
+            client = self._departed.pop(member)
+            self._clients[member] = client
+            self.network.set_host_up(client.host_name, True)
+        else:
+            spec = spec if spec is not None else ParticipantSpec(name=member)
+            if spec.name != member:
+                raise SessionError(
+                    f"spec is for {spec.name!r}, not for joining member {member!r}"
+                )
+            self._connect(spec)
+        self._start_participant(member)
+        return self._clients[member]
+
+    def leave(self, member: str) -> None:
+        """Remove a participant: stop their loops, take their host down,
+        release any floor they hold, and drop them from the roster
+        (rejoinable later via :meth:`join`)."""
+        client = self.client(member)
+        client.stop_heartbeats()
+        client.stop_clock_sync()
+        self.network.set_host_up(client.host_name, False)
+        self.server.leave(member)
+        self._departed[member] = self._clients.pop(member)
+
+    def disconnect(self, member: str) -> None:
+        """Simulate losing a client (Figure 3's red-light scenario)."""
+        self.client(member).disconnect()
+
+    def reconnect(self, member: str) -> None:
+        """Bring a disconnected client back, resuming heartbeats only
+        when the session is configured to run them."""
+        client = self.client(member)
+        if self.config.heartbeat_interval is not None:
+            client.reconnect(self.config.heartbeat_interval)
+        else:
+            self.network.set_host_up(client.host_name, True)
+
+    # ------------------------------------------------------------------
+    # Floor control and boards
+    # ------------------------------------------------------------------
+    def set_mode(
+        self,
+        mode: FCMMode | str,
+        by: str | None = None,
+        group: str | None = None,
+    ) -> None:
+        """Change the floor mode (by policy name or mode); ``by``
+        defaults to the session chair."""
+        self.server.set_mode(
+            resolve_mode(mode),
+            by=by if by is not None else self.config.chair,
+            group=group,
+        )
+
+    def request_floor(
+        self,
+        member: str,
+        mode: FCMMode | None = None,
+        group: str | None = None,
+        target_member: str | None = None,
+        target_group: str | None = None,
+    ) -> None:
+        """Send a member's floor request (decision arrives over the
+        network; see ``client(member).decisions``)."""
+        self.client(member).request_floor(
+            mode=mode,
+            group=group,
+            target_member=target_member,
+            target_group=target_group,
+        )
+
+    def release_floor(
+        self,
+        member: str,
+        group: str | None = None,
+        successor: str | None = None,
+    ) -> None:
+        """Send a member's floor release (token passes on arrival)."""
+        self.client(member).release_floor(group=group, successor=successor)
+
+    def post(
+        self,
+        member: str,
+        content: str,
+        kind: str = "message",
+        group: str | None = None,
+    ) -> None:
+        """Send a member's message/annotation to a group's board."""
+        self.client(member).post(content, kind=kind, group=group)
+
+    def open_discussion(self, creator: str, invitees: tuple[str, ...] = ()) -> str:
+        """Create a discussion subgroup server-side and invite members;
+        returns the new group id."""
+        group_id = self.server.open_discussion(creator)
+        for invitee in invitees:
+            self.server.invite(group_id, creator, invitee)
+        return group_id
+
+    def open_direct_contact(self, initiator: str, peer: str) -> str:
+        """Create a private two-person window; returns the group id."""
+        return self.server.open_direct_contact(initiator, peer)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def board(self, group: str | None = None) -> Whiteboard:
+        """The server's authoritative whiteboard of a group."""
+        return self.server.board(group)
+
+    @property
+    def log(self) -> EventLog:
+        """The server's floor-control event log (the transcript)."""
+        return self.server.control.log
+
+    @property
+    def presence(self) -> PresenceMonitor:
+        """The server's presence monitor (connection lights)."""
+        return self.server.presence
+
+    def report(self) -> SessionReport:
+        """Aggregate every layer's counters into a
+        :class:`~repro.session.report.SessionReport`."""
+        return summarize(self.server, list(self._clients.values()))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _connect(self, spec: ParticipantSpec) -> None:
+        client = DMPSClient(
+            spec.name,
+            spec.host_name,
+            self.network,
+            server_host=self.config.server_host,
+            clock_offset=spec.clock_offset,
+            drift_rate=spec.drift_rate,
+        )
+        link = spec.link if spec.link is not None else self.config.link
+        self.network.connect_both(
+            self.config.server_host, spec.host_name, link.to_link()
+        )
+        self._clients[spec.name] = client
+
+    def _start_participant(self, member: str) -> None:
+        client = self._clients[member]
+        client.join(is_chair=(member == self.config.chair))
+        if self.config.heartbeat_interval is not None:
+            client.start_heartbeats(self.config.heartbeat_interval)
+        if self.config.clock_sync_interval is not None:
+            client.start_clock_sync(interval=self.config.clock_sync_interval)

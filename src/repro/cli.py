@@ -3,17 +3,23 @@
 Commands
 --------
 ``demo classroom``
-    Run a seeded classroom session and print the whiteboard, the event
-    transcript, and the session report.
+    Run a seeded classroom session on the :mod:`repro.api` facade and
+    print the whiteboard, the event transcript, and the session report.
 ``demo lecture``
     Run the DOCPN lecture with and without the global clock; print the
     skew comparison.
+``demo scenario``
+    Run a generated workload scenario (``lecture`` / ``seminar`` /
+    ``panel`` / ``storm``) through the session facade and print the
+    report.
 ``schedule``
     Compile the Figure 1 presentation, print its schedule as a Gantt
     chart and its synchronous sets.
 ``dot``
     Print the Figure 1 presentation net as Graphviz DOT (pipe into
     ``dot -Tpng`` to render).
+``policies``
+    List the registered floor policies (:mod:`repro.api.policies`).
 ``report``
     Run the seeded classroom and print only the session report.
 
@@ -23,69 +29,74 @@ All commands are deterministic; ``--seed`` varies the workload.
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 
-from .clock.virtual import VirtualClock
+from .api import Scenario, Session, at, policy_names
 from .core.modes import FCMMode
-from .net.simnet import Link, Network
 from .petri.docpn import DOCPNSystem
 from .petri.render import gantt, to_dot
-from .session.dmps import DMPSClient, DMPSServer
-from .session.report import summarize
 from .temporal.schedule import compute_schedule
+from .workload.generator import WorkloadConfig, member_names
+from .workload.generator import scenario as workload_scenario
 from .workload.presentations import figure1_presentation
 
 __all__ = ["main"]
 
+#: Which initial floor policy each workload scenario assumes.
+_SCENARIO_POLICY = {
+    "lecture": "equal_control",
+    "seminar": "equal_control",
+    "panel": "free_access",
+    "storm": "equal_control",
+}
 
-def _run_classroom(seed: int):
-    """A small scripted classroom; returns (server, clients)."""
-    import random
 
+def _run_classroom(seed: int) -> Session:
+    """A small scripted classroom on the facade; returns the session."""
     rng = random.Random(seed)
-    clock = VirtualClock()
-    network = Network(clock, rng=random.Random(seed + 1))
-    server = DMPSServer(clock, network)
+    builder = (
+        Session.builder(chair="teacher")
+        .seed(seed)
+        .heartbeats(0.25)
+        .clock_sync(2.0)
+    )
     names = ["teacher", "alice", "bob", "carol"]
-    clients = {}
     for name in names:
-        host = f"host-{name}"
-        clients[name] = DMPSClient(name, host, network)
-        network.connect_both(
-            "server", host, Link(base_latency=0.01 + rng.uniform(0, 0.02))
-        )
-        clients[name].join(is_chair=(name == "teacher"))
-        clients[name].start_heartbeats()
-        clients[name].start_clock_sync(interval=2.0)
-    clock.run_until(1.0)
-    server.set_mode(FCMMode.EQUAL_CONTROL, by="teacher")
-    clock.run_until(1.2)
-    speakers = ["teacher", "alice", "bob", "carol"]
+        builder.participant(name, latency=0.01 + rng.uniform(0, 0.02))
+    session = builder.build()
+    script = Scenario(name="classroom").add(
+        at(1.2, "set_mode", mode=FCMMode.EQUAL_CONTROL)
+    )
     t = 1.5
-    for speaker in speakers:
-        clock.call_at(t, clients[speaker].request_floor)
-        clock.call_at(t + 1.0, clients[speaker].post, f"{speaker}'s point")
-        clock.call_at(t + 2.0, clients[speaker].release_floor)
+    for speaker in names:
+        script.add(
+            at(t, "request_floor", speaker),
+            at(t + 1.0, "post", speaker, content=f"{speaker}'s point"),
+            at(t + 2.0, "release_floor", speaker),
+        )
         t += 2.5
-    clock.run_until(t + 2.0)
-    return server, list(clients.values())
+    script.run(session, until=t + 2.0)
+    return session
 
 
 def _cmd_demo_classroom(args: argparse.Namespace) -> int:
-    server, clients = _run_classroom(args.seed)
+    session = _run_classroom(args.seed)
     print("whiteboard:")
-    for entry in server.board():
+    for entry in session.board():
         print(f"  t={entry.accepted_at:6.2f}  {entry.author:>8}: {entry.content}")
     print("\ntranscript (floor events):")
-    for event in server.control.log:
+    for event in session.log:
         print(f"  t={event.time:6.2f}  {event.kind.value:<12} "
               f"{event.member:<8} {event.detail}")
     print()
-    print(summarize(server, clients).render())
+    print(session.report().render())
     return 0
 
 
 def _cmd_demo_lecture(args: argparse.Namespace) -> int:
+    from .clock.virtual import VirtualClock
+
     offsets = [0.3, -0.25, 0.1, 0.0]
     drifts = [0.01, -0.008, 0.002, 0.0]
     for use_gc in (False, True):
@@ -105,6 +116,34 @@ def _cmd_demo_lecture(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_demo_scenario(args: argparse.Namespace) -> int:
+    if args.members < 1:
+        print("error: --members must be at least 1", file=sys.stderr)
+        return 2
+    config = WorkloadConfig(
+        members=args.members, duration=args.duration, seed=args.seed
+    )
+    script = workload_scenario(args.name, config)
+    if args.name == "lecture":
+        # The lecture chair posts throughout: under equal control they
+        # must hold the floor first (students then queue behind them).
+        # t=0 sorts ahead of every workload event; it runs at warmup.
+        script.add(at(0.0, "request_floor", "teacher"))
+    session = (
+        Session.builder(chair="teacher")
+        .seed(args.seed)
+        .participants(*member_names(config.members))
+        .policy(_SCENARIO_POLICY[args.name])
+        .build()
+    )
+    with session:
+        script.run(session)
+        print(f"scenario {args.name!r}: {len(script)} scripted steps, "
+              f"{config.members} members")
+        print(session.report().render())
+    return 0
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     ocpn = figure1_presentation()
     schedule = compute_schedule(ocpn)
@@ -121,9 +160,14 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policies(args: argparse.Namespace) -> int:
+    for name in policy_names():
+        print(name)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    server, clients = _run_classroom(args.seed)
-    print(summarize(server, clients).render())
+    print(_run_classroom(args.seed).report().render())
     return 0
 
 
@@ -140,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo_sub = demo.add_subparsers(dest="scenario", required=True)
     demo_sub.add_parser("classroom").set_defaults(handler=_cmd_demo_classroom)
     demo_sub.add_parser("lecture").set_defaults(handler=_cmd_demo_lecture)
+    scenario = demo_sub.add_parser(
+        "scenario", help="run a generated workload through the facade"
+    )
+    scenario.add_argument(
+        "--name", choices=sorted(_SCENARIO_POLICY), default="seminar"
+    )
+    scenario.add_argument("--members", type=int, default=8)
+    scenario.add_argument("--duration", type=float, default=60.0)
+    scenario.set_defaults(handler=_cmd_demo_scenario)
 
     schedule = subparsers.add_parser("schedule", help="print the Figure 1 schedule")
     schedule.add_argument("--width", type=int, default=48)
@@ -147,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     dot = subparsers.add_parser("dot", help="print the Figure 1 net as DOT")
     dot.set_defaults(handler=_cmd_dot)
+
+    policies = subparsers.add_parser(
+        "policies", help="list registered floor policies"
+    )
+    policies.set_defaults(handler=_cmd_policies)
 
     report = subparsers.add_parser("report", help="session report only")
     report.set_defaults(handler=_cmd_report)

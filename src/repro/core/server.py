@@ -78,23 +78,41 @@ class FloorControlServer:
     # Membership
     # ------------------------------------------------------------------
     def join(self, member_name: str, host: str = "", role: Role = Role.PARTICIPANT) -> Member:
-        """Register a member and add them to the main session group."""
-        member = Member(name=member_name, role=role, host=host)
-        self.registry.register_member(member)
+        """Register a member and add them to the main session group.
+
+        A member who previously left is re-admitted with their existing
+        registration (priority and role are preserved).
+        """
+        try:
+            member = self.registry.member(member_name)
+        except FloorControlError:
+            member = Member(name=member_name, role=role, host=host)
+            self.registry.register_member(member)
         self.registry.join(self.session_group, member_name)
         self.log.append(self.clock.now(), EventKind.JOIN, member_name, self.session_group)
         return member
 
     def leave(self, member_name: str) -> None:
-        """Remove a member from the session (and any token queues)."""
+        """Remove a member from the session (and any token queues).
+
+        A leaving floor holder hands the token to the next queued
+        member — never back to themselves — or the floor clears when
+        nobody waits; each hand-off is logged as a ``TOKEN_PASS`` so
+        the transcript explains why the holder changed.
+        """
+        now = self.clock.now()
         for group in self.registry.joined_groups(member_name):
             token = self.arbitrator.token(group.group_id)
             token.withdraw(member_name)
             if token.holder == member_name:
-                token.pass_to(member_name)
+                new_holder = token.pass_to(member_name)
+                self.log.append(
+                    now, EventKind.TOKEN_PASS, member_name,
+                    group.group_id, new_holder or "",
+                )
             if group.chair != member_name:
                 self.registry.leave(group.group_id, member_name)
-        self.log.append(self.clock.now(), EventKind.LEAVE, member_name, self.session_group)
+        self.log.append(now, EventKind.LEAVE, member_name, self.session_group)
 
     # ------------------------------------------------------------------
     # Modes

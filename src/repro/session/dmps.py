@@ -109,6 +109,24 @@ class DMPSServer:
         """Members that completed the join handshake."""
         return list(self._host_of_member)
 
+    def leave(self, member: str) -> None:
+        """Remove a member: floor bookkeeping, presence, and routing.
+
+        Any floor the member holds passes to the next queued member
+        (see :meth:`~repro.core.server.FloorControlServer.leave`) and
+        the remaining members are notified of the new holder;
+        broadcasts stop being addressed to the departed host.
+        """
+        groups = [
+            group.group_id
+            for group in self.control.registry.joined_groups(member)
+        ]
+        self.control.leave(member)
+        self.presence.unwatch(member)
+        self._host_of_member.pop(member, None)
+        for group in groups:
+            self._notify_token(group)
+
     # ------------------------------------------------------------------
     # Group management helpers the chair uses out-of-band
     # ------------------------------------------------------------------

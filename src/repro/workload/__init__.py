@@ -1,6 +1,6 @@
 """Workload generation: scenarios, synthetic presentations, traces."""
 
-from .generator import RequestEvent, WorkloadConfig, generate, member_names
+from .generator import RequestEvent, WorkloadConfig, generate, member_names, scenario
 from .presentations import figure1_presentation, lecture_ocpn, random_presentation
 from .traces import TraceRecorder, drive, replay
 
@@ -15,4 +15,5 @@ __all__ = [
     "member_names",
     "random_presentation",
     "replay",
+    "scenario",
 ]

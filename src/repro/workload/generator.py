@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from ..core.modes import FCMMode
 from ..errors import ReproError
 
-__all__ = ["RequestEvent", "WorkloadConfig", "generate"]
+__all__ = ["RequestEvent", "WorkloadConfig", "generate", "scenario"]
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,20 @@ def generate(scenario: str, config: WorkloadConfig) -> list[RequestEvent]:
     if scenario == "storm":
         return _storm(config, rng)
     raise ReproError(f"unknown workload scenario {scenario!r}")
+
+
+def scenario(name: str, config: WorkloadConfig):
+    """Generate a named workload as a ready-to-run scripted
+    :class:`~repro.api.scenario.Scenario` for the session facade.
+
+    Raises
+    ------
+    ReproError
+        On an unknown scenario name.
+    """
+    from ..api.scenario import Scenario
+
+    return Scenario.from_workload(generate(name, config), name=name)
 
 
 def _lecture(config: WorkloadConfig, rng: random.Random) -> list[RequestEvent]:

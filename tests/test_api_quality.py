@@ -16,6 +16,7 @@ import repro
 # Modules whose public API we walk.
 _PACKAGES = [
     "repro",
+    "repro.api",
     "repro.baselines",
     "repro.clock",
     "repro.core",

@@ -1,0 +1,121 @@
+"""Tests for scripted scenarios: the at() helper, workload conversion,
+and seeded determinism of whole facade runs."""
+
+import pytest
+
+from repro.api import Scenario, ScenarioStep, Session, at
+from repro.core import FCMMode
+from repro.errors import ReproError
+from repro.workload import WorkloadConfig, member_names
+from repro.workload import scenario as workload_scenario
+from repro.workload.generator import RequestEvent
+
+
+class TestAt:
+    def test_builds_step(self):
+        step = at(2.0, "post", "alice", content="hi")
+        assert step == ScenarioStep(
+            time=2.0, action="post", member="alice", kwargs={"content": "hi"}
+        )
+
+    def test_callable_action(self):
+        seen = []
+        step = at(1.0, lambda session: seen.append(session))
+        step.apply("sentinel")
+        assert seen == ["sentinel"]
+
+    def test_unknown_verb_raises(self):
+        with Session.build("alice") as session:
+            with pytest.raises(ReproError):
+                at(1.0, "sing", "alice").apply(session)
+
+
+class TestScenario:
+    def test_steps_sorted_by_time_stable(self):
+        scenario = Scenario().add(
+            at(2.0, "post", "b", content="2"),
+            at(1.0, "post", "a", content="1"),
+            at(2.0, "post", "c", content="3"),
+        )
+        assert [step.member for step in scenario.steps] == ["a", "b", "c"]
+        assert scenario.duration == 2.0
+        assert len(scenario) == 3
+
+    def test_empty_scenario(self):
+        assert Scenario().duration == 0.0
+        assert list(Scenario()) == []
+
+    def test_run_executes_against_session(self):
+        with Session.build("alice", "bob") as session:
+            Scenario().add(
+                at(1.5, "post", "alice", content="first"),
+                at(2.0, "post", "bob", content="second"),
+            ).run(session)
+            assert [e.content for e in session.board()] == ["first", "second"]
+            assert session.now() == 3.0  # duration + settle grace
+
+    def test_from_workload_maps_actions(self):
+        events = [
+            RequestEvent(time=1.0, member="a", action="request",
+                         mode=FCMMode.EQUAL_CONTROL),
+            RequestEvent(time=2.0, member="a", action="post", content="x"),
+            RequestEvent(time=3.0, member="a", action="release"),
+        ]
+        steps = Scenario.from_workload(events).steps
+        assert [s.action for s in steps] == ["request_floor", "post", "release_floor"]
+        assert steps[0].kwargs == {"mode": FCMMode.EQUAL_CONTROL}
+        assert steps[1].kwargs == {"content": "x"}
+
+    def test_from_workload_rejects_unknown_action(self):
+        events = [RequestEvent(time=1.0, member="a", action="dance")]
+        with pytest.raises(ReproError):
+            Scenario.from_workload(events)
+
+    def test_past_steps_clamped_to_now_in_order(self):
+        # Workload events inside the join warmup must not crash the
+        # clock; they run immediately, preserving relative order.
+        with Session.build("alice") as session:  # now() == 1.0 > 0.2
+            Scenario().add(
+                at(0.5, "post", "alice", content="second"),
+                at(0.2, "post", "alice", content="first"),
+            ).run(session)
+            assert [e.content for e in session.board()] == ["first", "second"]
+
+
+def _seminar_log(seed: int) -> list[tuple]:
+    """One full facade run; returns the transcript as plain tuples."""
+    config = WorkloadConfig(members=4, duration=30.0, seed=seed)
+    script = workload_scenario("seminar", config)
+    session = (
+        Session.builder(chair="teacher")
+        .seed(seed)
+        .participants(*member_names(config.members))
+        .policy("equal_control")
+        .build()
+    )
+    with session:
+        script.run(session)
+        return [
+            (event.time, event.kind, event.member, event.group, event.detail)
+            for event in session.log
+        ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_event_log(self):
+        assert _seminar_log(11) == _seminar_log(11)
+
+    def test_different_seed_different_event_log(self):
+        assert _seminar_log(11) != _seminar_log(12)
+
+    def test_workload_scenario_emits_steps(self):
+        script = workload_scenario(
+            "storm", WorkloadConfig(members=6, duration=10.0, seed=0)
+        )
+        assert script.name == "storm"
+        assert len(script) == 6
+        assert all(step.action == "request_floor" for step in script)
+
+    def test_workload_scenario_unknown_name(self):
+        with pytest.raises(ReproError):
+            workload_scenario("riot", WorkloadConfig())

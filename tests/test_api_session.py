@@ -1,0 +1,220 @@
+"""Tests for the repro.api session facade: builder, lifecycle, verbs."""
+
+import pytest
+
+from repro.api import (
+    LinkSpec,
+    ParticipantSpec,
+    Session,
+    SessionBuilder,
+    SessionConfig,
+)
+from repro.core import FCMMode
+from repro.errors import ReproError, SessionError
+from repro.session.presence import Light
+
+
+class TestBuilderDefaults:
+    def test_defaults(self):
+        config = SessionBuilder().participants("alice", "bob").config()
+        assert config.chair == "teacher"
+        assert [p.name for p in config.participants] == ["teacher", "alice", "bob"]
+        assert config.link == LinkSpec()
+        assert config.mode is FCMMode.FREE_ACCESS
+        assert config.heartbeat_interval == 0.25
+        assert config.clock_sync_interval is None
+        assert config.join_warmup == 1.0
+
+    def test_chair_auto_added_and_flagged(self):
+        config = SessionBuilder(chair="prof").participants("alice").config()
+        chair_spec = config.participants[0]
+        assert chair_spec.name == "prof"
+        assert chair_spec.chair
+
+    def test_server_side_only_chair(self):
+        config = (
+            SessionBuilder(chair="teacher", chair_joins=False)
+            .participants("alice")
+            .config()
+        )
+        assert [p.name for p in config.participants] == ["alice"]
+        assert config.chair == "teacher"
+
+    def test_link_defaults_merge_with_participant_overrides(self):
+        config = (
+            SessionBuilder()
+            .link(latency=0.05, jitter=0.01)
+            .participant("alice", latency=0.2)
+            .participant("bob")
+            .config()
+        )
+        specs = {p.name: p for p in config.participants}
+        # alice overrides latency but inherits the session-wide jitter.
+        assert specs["alice"].link == LinkSpec(latency=0.2, jitter=0.01)
+        # bob has no per-member link: uses the default at wiring time.
+        assert specs["bob"].link is None
+        assert config.link == LinkSpec(latency=0.05, jitter=0.01)
+
+    def test_policy_by_name_sets_mode(self):
+        config = SessionBuilder().participants("a").policy("equal_control").config()
+        assert config.mode is FCMMode.EQUAL_CONTROL
+
+    def test_policy_rejects_baseline_names(self):
+        with pytest.raises(ReproError):
+            SessionBuilder().policy("fifo")
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(SessionError):
+            SessionBuilder(chair_joins=False).config()
+
+    def test_duplicate_participants_rejected(self):
+        config = SessionConfig(
+            participants=(
+                ParticipantSpec(name="alice"),
+                ParticipantSpec(name="alice"),
+            )
+        )
+        with pytest.raises(SessionError):
+            config.validate()
+
+    def test_mismatched_chair_flag_rejected(self):
+        config = SessionConfig(
+            participants=(ParticipantSpec(name="alice", chair=True),),
+            chair="teacher",
+        )
+        with pytest.raises(SessionError):
+            config.validate()
+
+
+class TestLifecycle:
+    def test_build_joins_everyone(self):
+        with Session.build("alice", "bob") as session:
+            assert sorted(session.members()) == ["alice", "bob", "teacher"]
+            assert session.now() == 1.0
+
+    def test_initial_policy_applied(self):
+        with Session.build("alice", policy="equal_control") as session:
+            assert (
+                session.server.control.mode_of("session")
+                is FCMMode.EQUAL_CONTROL
+            )
+
+    def test_context_manager_teardown_stops_all_loops(self):
+        with Session.build("alice", "bob") as session:
+            pass
+        assert session.closed
+        sent_at_close = session.network.stats.sent
+        session.run_for(5.0)  # nothing periodic should fire any more
+        assert session.network.stats.sent == sent_at_close
+
+    def test_close_is_idempotent(self):
+        session = Session.build("alice")
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_unknown_participant_raises(self):
+        with Session.build("alice") as session:
+            with pytest.raises(SessionError):
+                session.client("mallory")
+
+    def test_late_join(self):
+        with Session.build("alice") as session:
+            session.join("zoe")
+            session.run_for(1.0)
+            assert "zoe" in session.members()
+
+    def test_late_join_duplicate_rejected(self):
+        with Session.build("alice") as session:
+            with pytest.raises(SessionError):
+                session.join("alice")
+
+
+class TestVerbs:
+    def test_post_and_board(self):
+        with Session.build("alice") as session:
+            session.post("alice", "hello class")
+            session.run_for(1.0)
+            assert [e.content for e in session.board()] == ["hello class"]
+
+    def test_equal_control_serializes_posts(self):
+        with Session.build("alice", "bob", policy="equal_control") as session:
+            session.request_floor("alice")
+            session.run_for(0.5)
+            session.post("alice", "mine")
+            session.post("bob", "rejected")
+            session.run_for(0.5)
+            assert session.board().authors() == {"alice"}
+            assert session.board().rejected == 1
+
+    def test_leave_passes_floor_and_drops_member(self):
+        with Session.build("alice", "bob", policy="equal_control") as session:
+            session.request_floor("alice")
+            session.run_for(0.5)
+            session.request_floor("bob")
+            session.run_for(0.5)
+            session.leave("alice")
+            token = session.server.control.arbitrator.token("session")
+            assert token.holder == "bob"
+            assert "alice" not in session.members()
+            assert "alice" not in session.clients
+
+    def test_leave_notifies_clients_of_new_holder(self):
+        with Session.build("alice", "bob", policy="equal_control") as session:
+            session.request_floor("alice")
+            session.run_for(0.5)
+            session.request_floor("bob")
+            session.run_for(0.5)
+            session.leave("alice")
+            session.run_for(0.5)  # TokenNotifyMsg reaches the survivors
+            assert session.client("bob").holds_floor()
+
+    def test_leave_then_rejoin_on_same_station(self):
+        with Session.build("alice", "bob") as session:
+            session.leave("alice")
+            assert "alice" not in session.members()
+            session.join("alice")
+            session.run_for(1.0)
+            assert "alice" in session.members()
+            session.post("alice", "back again")
+            session.run_for(0.5)
+            assert "back again" in [e.content for e in session.board()]
+
+    def test_disconnect_turns_light_red_reconnect_green(self):
+        with Session.build("alice") as session:
+            session.disconnect("alice")
+            session.run_for(3.0)
+            assert session.presence.light_of("alice") is Light.RED
+            session.reconnect("alice")
+            session.run_for(2.0)
+            assert session.presence.light_of("alice") is Light.GREEN
+
+    def test_reconnect_respects_disabled_heartbeats(self):
+        session = (
+            Session.builder().participants("alice").heartbeats(None).build()
+        )
+        with session:
+            session.disconnect("alice")
+            session.run_for(0.5)
+            session.reconnect("alice")
+            sent = session.network.stats.sent
+            session.run_for(5.0)
+            # Host is back up but no heartbeat loop was (re)started.
+            assert session.network.stats.sent == sent
+            assert session.network.host("host-alice").up
+
+    def test_direct_contact_board_is_private(self):
+        with Session.build("alice", "bob") as session:
+            private = session.open_direct_contact("alice", "bob")
+            session.run_for(0.5)
+            session.post("alice", "psst", group=private)
+            session.run_for(0.5)
+            assert [e.content for e in session.board(private)] == ["psst"]
+            assert session.client("teacher").board(private) == []
+
+    def test_report_aggregates(self):
+        with Session.build("alice", "bob") as session:
+            session.run_for(2.0)
+            report = session.report()
+            assert report.members == 3
+            assert report.duration == session.now()

@@ -65,3 +65,28 @@ class TestCommands:
         main(["--seed", "7", "report"])
         second = capsys.readouterr().out
         assert first == second
+
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "equal_control" in out
+        assert "fifo" in out
+
+    @pytest.mark.parametrize("name", ["lecture", "seminar", "panel", "storm"])
+    def test_demo_scenario_runs_every_workload(self, name, capsys):
+        # seed 1 panel used to schedule events inside the join warmup.
+        args = ["--seed", "1", "demo", "scenario", "--name", name,
+                "--members", "4", "--duration", "20"]
+        assert main(args) == 0
+        assert "session report" in capsys.readouterr().out
+
+    def test_demo_scenario_lecture_chair_posts_accepted(self, capsys):
+        args = ["--seed", "3", "demo", "scenario", "--name", "lecture",
+                "--members", "4", "--duration", "30"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "(0% acceptance)" not in out
+
+    def test_demo_scenario_rejects_zero_members(self):
+        args = ["demo", "scenario", "--name", "storm", "--members", "0"]
+        assert main(args) == 2

@@ -44,6 +44,71 @@ class TestMembership:
         assert "alice" not in server.registry.group("session")
 
 
+class TestLeaveFloorHandOff:
+    """Regression: a leaving holder must never keep (or regain) the
+    floor — the token passes to the next queued member, or clears."""
+
+    def test_leaving_holder_passes_to_next_queued(self):
+        server, __ = make_server()
+        server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
+        for name in ("alice", "bob", "carol"):
+            server.request_floor(name)
+        server.leave("alice")
+        token = server.arbitrator.token("session")
+        assert token.holder == "bob"
+        assert token.waiting() == ["carol"]
+
+    def test_leaving_holder_with_empty_queue_clears_floor(self):
+        server, __ = make_server()
+        server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
+        server.request_floor("alice")
+        server.leave("alice")
+        assert server.arbitrator.token("session").holder is None
+
+    def test_leaving_queued_member_only_dequeued(self):
+        server, __ = make_server()
+        server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
+        for name in ("alice", "bob", "carol"):
+            server.request_floor(name)
+        server.leave("bob")
+        token = server.arbitrator.token("session")
+        assert token.holder == "alice"
+        assert token.waiting() == ["carol"]
+
+    def test_leave_hand_off_is_logged(self):
+        server, __ = make_server()
+        server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
+        server.request_floor("alice")
+        server.request_floor("bob")
+        server.leave("alice")
+        passes = server.log.of_kind(EventKind.TOKEN_PASS)
+        assert len(passes) == 1
+        assert passes[0].member == "alice"
+        assert passes[0].detail == "bob"
+
+    def test_leave_then_rejoin_preserves_registration(self):
+        server, __ = make_server()
+        server.leave("alice")
+        assert "alice" not in server.registry.group("session")
+        member = server.join("alice")
+        assert member.priority == 1
+        assert "alice" in server.registry.group("session")
+
+    def test_floor_never_returns_to_leaver(self):
+        server, __ = make_server()
+        server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
+        server.request_floor("alice")
+        server.request_floor("bob")
+        server.leave("alice")
+        # Draining the queue never hands the floor back to alice.
+        holders = []
+        token = server.arbitrator.token("session")
+        while token.holder is not None:
+            holders.append(token.holder)
+            server.release_floor("session", token.holder)
+        assert "alice" not in holders
+
+
 class TestModes:
     def test_default_mode_is_free_access(self):
         server, __ = make_server()
