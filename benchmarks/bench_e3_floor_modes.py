@@ -8,6 +8,14 @@ Claim shape:
   queued in FIFO order;
 * group discussion: exactly the invited subgroup speaks concurrently;
 * direct contact: exactly the pair speaks, coexisting with the session.
+
+The mode census runs through the :mod:`repro.experiments` sweep engine
+— one cell per mode on a ``mode`` axis, executed by a custom registered
+cell runner — so the paper's headline table comes from the same grid /
+seed / aggregation code path ``repro sweep`` users script.  A second
+sweep crosses the session-wide modes with the fifo / free-for-all
+ablations through the *built-in* runners and asserts the mode-vs-
+baseline ordering.
 """
 
 from __future__ import annotations
@@ -19,6 +27,14 @@ from repro.core.floor import RequestOutcome
 from repro.core.modes import FCMMode
 from repro.core.resources import ResourceModel, ResourceVector
 from repro.core.server import FloorControlServer
+from repro.experiments import (
+    Axis,
+    Cell,
+    SweepSpec,
+    register_runner,
+    run_sweep,
+    runner_names,
+)
 from repro.workload.generator import member_names
 
 
@@ -35,83 +51,129 @@ def make_server(members: int):
     return server, clock
 
 
-def run_mode_census(members: int = 16) -> dict[str, int]:
-    """Grant counts per mode for a request from every member."""
-    results = {}
-    # Free access.
+def run_mode_census_cell(cell: Cell) -> dict[str, float]:
+    """Sweep cell runner: a request storm from every member under one
+    mode; returns granted/queued plus the mode's documented speaker
+    count."""
+    members = int(cell.params["members"])
+    mode = FCMMode(cell.params["mode"])
+    names = member_names(members)
     server, __ = make_server(members)
-    grants = [
-        server.request_floor(name, mode=FCMMode.FREE_ACCESS)
-        for name in member_names(members)
-    ]
-    results["free_access"] = sum(
-        g.outcome is RequestOutcome.GRANTED for g in grants
-    )
-    # Equal control.
-    server, __ = make_server(members)
-    grants = [
-        server.request_floor(name, mode=FCMMode.EQUAL_CONTROL)
-        for name in member_names(members)
-    ]
-    results["equal_control"] = sum(
-        g.outcome is RequestOutcome.GRANTED for g in grants
-    )
-    results["equal_control_queued"] = sum(
-        g.outcome is RequestOutcome.QUEUED for g in grants
-    )
-    # Group discussion: invite a third of the class.
-    server, __ = make_server(members)
-    subgroup = server.open_discussion("student0")
-    invited = member_names(members)[1 : members // 3]
-    for name in invited:
-        invitation = server.invite(subgroup, "student0", name)
-        server.respond(invitation.invitation_id, accept=True)
-    grants = [
-        server.request_floor(
-            name, mode=FCMMode.GROUP_DISCUSSION, target_group=subgroup
-        )
-        for name in member_names(members)
-    ]
-    results["group_discussion"] = sum(
-        g.outcome is RequestOutcome.GRANTED for g in grants
-    )
-    results["group_size"] = 1 + len(invited)
-    # Direct contact.
-    server, __ = make_server(members)
-    grants = [
-        server.request_floor(
-            name, mode=FCMMode.DIRECT_CONTACT, target_member="student1"
-        )
-        for name in member_names(members)
-        if name != "student1"
-    ]
-    results["direct_contact"] = sum(
-        g.outcome is RequestOutcome.GRANTED for g in grants
-    )
-    return results
+    if mode is FCMMode.GROUP_DISCUSSION:
+        # Invite a third of the class into one discussion subgroup.
+        subgroup = server.open_discussion("student0")
+        invited = names[1 : members // 3]
+        for name in invited:
+            invitation = server.invite(subgroup, "student0", name)
+            server.respond(invitation.invitation_id, accept=True)
+        grants = [
+            server.request_floor(name, mode=mode, target_group=subgroup)
+            for name in names
+        ]
+        expected = 1 + len(invited)
+    elif mode is FCMMode.DIRECT_CONTACT:
+        grants = [
+            server.request_floor(name, mode=mode, target_member="student1")
+            for name in names
+            if name != "student1"
+        ]
+        expected = members - 1
+    else:
+        grants = [server.request_floor(name, mode=mode) for name in names]
+        expected = members if mode is FCMMode.FREE_ACCESS else 1
+    return {
+        "granted": sum(g.outcome is RequestOutcome.GRANTED for g in grants),
+        "queued": sum(g.outcome is RequestOutcome.QUEUED for g in grants),
+        "expected_speakers": expected,
+    }
+
+
+if "e3_mode_census" not in runner_names():
+    register_runner("e3_mode_census", run_mode_census_cell)
+
+#: One cell per FCM mode, 16 members each — the E3 headline grid.
+E3_SPEC = SweepSpec(
+    name="e3_modes",
+    axes=(Axis("mode", tuple(mode.value for mode in FCMMode)),),
+    base={"members": 16},
+    runner="e3_mode_census",
+    root_seed=3,
+)
 
 
 def test_e3_mode_speaker_sets(benchmark, table):
     members = 16
-    census = benchmark(run_mode_census, members)
+    result = benchmark(run_sweep, E3_SPEC)
+    rows = [
+        (
+            cell.cell.params["mode"],
+            cell.metrics["granted"],
+            cell.metrics["expected_speakers"],
+        )
+        for cell in result.results
+    ]
     table(
-        "E3: grants per mode (16 members, request storm)",
+        "E3: grants per mode (16 members, request storm, sweep engine)",
         ["mode", "granted", "expected"],
+        rows,
+    )
+    for cell in result.results:
+        assert cell.metrics["granted"] == cell.metrics["expected_speakers"]
+    equal = result.cell("mode=equal_control").metrics
+    assert equal["granted"] == 1
+    assert equal["queued"] == members - 1
+    free = result.cell("mode=free_access").metrics
+    assert free["granted"] == members
+
+
+def test_e3_modes_vs_baselines_ordering(table):
+    """The session-wide modes against the ablation baselines, all four
+    policies on one axis through the built-in sweep runners: the
+    gatekeeping policies (equal control, fifo) admit exactly one
+    speaker under a storm; the permissive ones (free access,
+    free-for-all) admit the whole class."""
+    members = 8
+    spec = SweepSpec(
+        name="e3_policy_storm",
+        axes=(
+            Axis(
+                "policy",
+                ("free_access", "equal_control", "fifo", "free_for_all"),
+            ),
+        ),
+        base={"participants": members, "scenario": "storm", "duration": 6.0},
+        root_seed=3,
+    )
+    result = run_sweep(spec)
+    table(
+        "E3: storm grants, modes vs baselines (8 members, sweep engine)",
+        ["policy", "granted", "queued"],
         [
-            ("free access", census["free_access"], members),
-            ("equal control", census["equal_control"], 1),
-            ("  (queued)", census["equal_control_queued"], members - 1),
-            ("group discussion", census["group_discussion"], census["group_size"]),
-            ("direct contact", census["direct_contact"], members - 1),
+            (
+                cell.cell.params["policy"],
+                cell.metrics["granted"],
+                cell.metrics["queued"],
+            )
+            for cell in result.results
         ],
     )
-    assert census["free_access"] == members
-    assert census["equal_control"] == 1
-    assert census["equal_control_queued"] == members - 1
-    # Only invited subgroup members speak.
-    assert census["group_discussion"] == census["group_size"]
-    # Every member may open a pairwise channel to student1.
-    assert census["direct_contact"] == members - 1
+    by_policy = {
+        cell.cell.params["policy"]: cell.metrics for cell in result.results
+    }
+    # Permissive policies admit everyone...
+    assert by_policy["free_access"]["granted"] == members
+    assert by_policy["free_for_all"]["granted"] == members
+    # ...the gatekeepers admit exactly one and queue the rest.
+    for gatekeeper in ("equal_control", "fifo"):
+        assert by_policy[gatekeeper]["granted"] == 1
+        assert by_policy[gatekeeper]["queued"] == members - 1
+    # Fairness under a storm with no releases: the permissive policies
+    # serve everyone evenly; the gatekeepers serve a single member.
+    assert by_policy["free_access"]["fairness"] == pytest.approx(1.0)
+    assert (
+        by_policy["equal_control"]["fairness"]
+        < by_policy["free_for_all"]["fairness"]
+    )
 
 
 @pytest.mark.parametrize("members", [8, 32, 64])

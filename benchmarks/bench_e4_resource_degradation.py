@@ -15,7 +15,6 @@ teacher on air through the degraded band instead of going dark.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.clock.virtual import VirtualClock
 from repro.core.floor import RequestOutcome

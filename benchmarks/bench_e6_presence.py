@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.api import Session
 from repro.session.presence import Light

@@ -8,6 +8,12 @@ Claim shapes:
   remaining media; DOCPN fires it immediately;
 * XOCPN's channel setup adds a fixed playout latency but rejects
   over-committed links *before* playout, which plain OCPN cannot.
+
+The headline skew comparison runs through the :mod:`repro.experiments`
+sweep engine — a ``global_clock`` axis crossing DOCPN against its A1
+ablation, executed by a custom registered cell runner — so the
+baseline-ordering table comes from the same grid / aggregation code
+path ``repro sweep`` users script.
 """
 
 from __future__ import annotations
@@ -15,9 +21,17 @@ from __future__ import annotations
 import pytest
 
 from repro.clock.virtual import VirtualClock
+from repro.errors import ChannelError
+from repro.experiments import (
+    Axis,
+    Cell,
+    SweepSpec,
+    register_runner,
+    run_sweep,
+    runner_names,
+)
 from repro.media.channels import ChannelManager
 from repro.media.objects import video
-from repro.errors import ChannelError
 from repro.petri.docpn import DOCPNSystem
 from repro.petri.timed import TimedExecutor
 from repro.petri.xocpn import XOCPN
@@ -27,55 +41,77 @@ from repro.workload.presentations import lecture_ocpn
 DRIFTS = [0.02, -0.015, 0.01, -0.005]
 
 
-def skew_comparison(segments: int = 4):
-    results = {}
-    for label, use_gc in (("DOCPN", True), ("OCPN (A1)", False)):
-        clock = VirtualClock()
-        system = DOCPNSystem(clock, use_global_clock=use_gc)
-        for index, drift in enumerate(DRIFTS):
-            system.add_site(
-                f"site{index}",
-                lecture_ocpn(segments=segments),
-                drift_rate=drift,
-            )
-        system.run(until=400.0)
-        results[label] = system
-    return results
+def run_skew_cell(cell: Cell) -> dict[str, float]:
+    """Sweep cell runner: four drifting sites replay the lecture with
+    or without the global clock; returns the inter-site skew profile
+    (first media, last media, worst case) in seconds."""
+    clock = VirtualClock()
+    system = DOCPNSystem(
+        clock, use_global_clock=bool(cell.params["global_clock"])
+    )
+    for index, drift in enumerate(DRIFTS):
+        system.add_site(
+            f"site{index}",
+            lecture_ocpn(segments=int(cell.params["segments"])),
+            drift_rate=drift,
+        )
+    system.run(until=400.0)
+    return {
+        "title_skew": system.playout.skew("title").spread,
+        "summary_skew": system.playout.skew("summary").spread,
+        "max_skew": system.max_skew(),
+    }
+
+
+if "e8_skew" not in runner_names():
+    register_runner("e8_skew", run_skew_cell)
+
+#: DOCPN vs the A1 no-global-clock ablation — the E8 headline grid.
+E8_SPEC = SweepSpec(
+    name="e8_skew",
+    axes=(Axis("global_clock", (True, False)),),
+    base={"segments": 4},
+    runner="e8_skew",
+    root_seed=8,
+)
+
+
+def _skew_sweep():
+    """The E8 grid, keyed by contender label."""
+    result = run_sweep(E8_SPEC)
+    return {
+        "DOCPN": result.cell("global_clock=True").metrics,
+        "OCPN (A1)": result.cell("global_clock=False").metrics,
+    }
 
 
 def test_e8_skew_docpn_vs_ocpn(benchmark, table):
-    results = benchmark(skew_comparison)
+    results = benchmark(_skew_sweep)
     docpn = results["DOCPN"]
     ocpn = results["OCPN (A1)"]
-    rows = []
-    for media in docpn.playout.media_names():
-        rows.append(
-            (
-                media,
-                ocpn.playout.skew(media).spread * 1000,
-                docpn.playout.skew(media).spread * 1000,
-            )
-        )
     table(
-        "E8: inter-site skew, drifting clocks (ms)",
+        "E8: inter-site skew, drifting clocks (ms, sweep engine)",
         ["media", "OCPN", "DOCPN"],
-        rows,
+        [
+            ("title", ocpn["title_skew"] * 1000, docpn["title_skew"] * 1000),
+            (
+                "summary",
+                ocpn["summary_skew"] * 1000,
+                docpn["summary_skew"] * 1000,
+            ),
+            ("max", ocpn["max_skew"] * 1000, docpn["max_skew"] * 1000),
+        ],
     )
-    assert docpn.max_skew() < ocpn.max_skew()
+    assert docpn["max_skew"] < ocpn["max_skew"]
     # OCPN skew grows along the timeline (drift accumulates); DOCPN's
     # final-media skew stays below OCPN's by a clear factor.
-    last_media = "summary"
-    assert (
-        docpn.playout.skew(last_media).spread
-        < 0.5 * ocpn.playout.skew(last_media).spread
-    )
+    assert docpn["summary_skew"] < 0.5 * ocpn["summary_skew"]
 
 
 def test_e8_skew_grows_without_global_clock(table):
-    results = skew_comparison()
-    ocpn = results["OCPN (A1)"]
-    first = ocpn.playout.skew("title").spread
-    last = ocpn.playout.skew("summary").spread
+    ocpn = _skew_sweep()["OCPN (A1)"]
+    first = ocpn["title_skew"]
+    last = ocpn["summary_skew"]
     table(
         "E8: OCPN skew accumulation",
         ["media", "skew (ms)"],

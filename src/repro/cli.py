@@ -20,6 +20,10 @@ Commands
     ``dot -Tpng`` to render).
 ``policies``
     List the registered floor policies (:mod:`repro.api.policies`).
+``sweep``
+    Run a parameter sweep (named via ``--spec``/``--smoke`` or inline
+    via ``--axis``), print the comparison table, and persist the
+    schema-versioned ``BENCH_*.json`` (:mod:`repro.experiments`).
 ``report``
     Run the seeded classroom and print only the session report.
 
@@ -34,6 +38,17 @@ import sys
 
 from .api import Scenario, Session, at, policy_names
 from .core.modes import FCMMode
+from .errors import ReproError
+from .experiments import (
+    SweepSpec,
+    axes_from_mapping,
+    bench_filename,
+    named_spec,
+    run_sweep,
+    spec_names,
+    write_csv,
+    write_json,
+)
 from .petri.docpn import DOCPNSystem
 from .petri.render import gantt, to_dot
 from .temporal.schedule import compute_schedule
@@ -166,6 +181,88 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scalar(text: str):
+    """CLI value -> typed scalar: int, float, bool, None, or str."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Resolve the requested spec: --smoke / --spec NAME / inline axes."""
+    if args.smoke:
+        spec = named_spec("smoke")
+    elif args.spec is not None:
+        spec = named_spec(args.spec)
+    else:
+        axes: dict[str, list] = {}
+        for declaration in args.axis:
+            name, __, values = declaration.partition("=")
+            if not values:
+                raise ValueError(
+                    f"--axis needs name=v1,v2,..., got {declaration!r}"
+                )
+            if name in axes:
+                raise ValueError(f"--axis {name!r} declared twice")
+            axes[name] = [_parse_scalar(value) for value in values.split(",")]
+        base = {}
+        for assignment in args.set:
+            key, separator, value = assignment.partition("=")
+            if not separator:
+                raise ValueError(f"--set needs key=value, got {assignment!r}")
+            base[key] = _parse_scalar(value)
+        spec = SweepSpec(
+            name=args.name,
+            axes=axes_from_mapping(axes),
+            base=base,
+            runner=args.runner,
+        )
+    return spec.with_root_seed(args.seed)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in spec_names():
+            print(name)
+        return 0
+    if not (args.smoke or args.spec is not None or args.axis):
+        print("error: pick a sweep: --smoke, --spec NAME, or --axis "
+              f"name=v1,v2 (named specs: {', '.join(spec_names())})",
+              file=sys.stderr)
+        return 2
+    # Usage errors (bad flags, unknown names) exit 2; anything a cell
+    # runner raises beyond ReproError is a real defect and propagates.
+    try:
+        spec = _sweep_spec_from_args(args)
+        spec.validate()
+    except (ValueError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = run_sweep(spec, workers=args.workers)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"sweep {spec.name!r}: {len(result)} cells, "
+          f"runner {spec.runner!r}, root seed {spec.root_seed}, "
+          f"workers {args.workers}")
+    print()
+    print(result.table(by=args.group_by))
+    out = args.out if args.out is not None else bench_filename(spec.name)
+    print(f"\nwrote {write_json(result, out)}")
+    if args.csv is not None:
+        print(f"wrote {write_csv(result, args.csv)}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     print(_run_classroom(args.seed).report().render())
     return 0
@@ -205,6 +302,37 @@ def build_parser() -> argparse.ArgumentParser:
         "policies", help="list registered floor policies"
     )
     policies.set_defaults(handler=_cmd_policies)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter sweep and persist BENCH json"
+    )
+    sweep.add_argument(
+        "--smoke", action="store_true",
+        help="run the tiny CI smoke grid (alias for --spec smoke)",
+    )
+    sweep.add_argument("--spec", help="a named spec (see --list)")
+    sweep.add_argument("--list", action="store_true",
+                       help="list named specs and exit")
+    sweep.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2",
+        help="inline axis (repeatable); crossed into the grid",
+    )
+    sweep.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="inline base parameter shared by every cell (repeatable)",
+    )
+    sweep.add_argument("--name", default="inline",
+                       help="name of an inline sweep (default: inline)")
+    sweep.add_argument("--runner", default="session",
+                       help="cell runner of an inline sweep")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--group-by", metavar="AXIS",
+                       help="aggregate the table over one axis")
+    sweep.add_argument("--out", help="BENCH json path "
+                                     "(default: BENCH_<spec>.json)")
+    sweep.add_argument("--csv", help="also write a CSV flattening here")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     report = subparsers.add_parser("report", help="session report only")
     report.set_defaults(handler=_cmd_report)

@@ -26,7 +26,7 @@ that here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ClockError
 from .drift import DriftingClock

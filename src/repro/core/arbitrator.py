@@ -35,7 +35,7 @@ what makes the arbitration property-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import FloorControlError, NotInGroupError
 from .floor import FloorGrant, FloorRequest, FloorToken, RequestOutcome

@@ -17,13 +17,12 @@ timestamps; the actual network transport lives one layer up in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from ..clock.virtual import VirtualClock
 from ..errors import FloorControlError
 from .arbitrator import Arbitrator
 from .events import EventKind, EventLog
-from .floor import FloorGrant, FloorRequest, RequestOutcome, _RequestFactory
+from .floor import FloorGrant, RequestOutcome, _RequestFactory
 from .groups import GroupRegistry, Invitation, Member, Role
 from .modes import FCMMode
 from .resources import ResourceModel, ResourceVector

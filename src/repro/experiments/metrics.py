@@ -1,0 +1,116 @@
+"""Per-cell metrics: grant latency percentiles, loss, and fairness.
+
+The paper's stated future work is "focus[ing] on the performance of
+the system"; this module turns one run's raw transcript into the
+numbers the comparison tables print:
+
+* :func:`grant_latencies` pairs ``REQUEST`` events with the ``GRANT``
+  or ``TOKEN_PASS`` that served them, yielding one floor-grant latency
+  per served request (queue wait included);
+* :func:`served_counts` tallies how often each member was served,
+  feeding :func:`jain_fairness`;
+* :func:`percentile` is the deterministic nearest-rank percentile the
+  persisted ``BENCH_*.json`` records as ``grant_p50`` / ``grant_p95``.
+
+Every function is pure and order-deterministic, which is what lets
+parallel and serial sweep runs agree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable, Mapping
+
+from ..core.events import EventKind, EventLog
+
+__all__ = [
+    "grant_latencies",
+    "jain_fairness",
+    "latency_summary",
+    "percentile",
+    "served_counts",
+]
+
+
+def percentile(values: Iterable[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 when empty).
+
+    Nearest-rank always returns an observed sample, so the persisted
+    numbers are exact floats that reproduce bit-for-bit.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct!r}")
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def jain_fairness(shares: Iterable[float]) -> float:
+    """Jain's fairness index over per-member shares.
+
+    1.0 means perfectly even service, ``1/n`` means one member took
+    everything.  Empty or all-zero shares score 1.0 (nobody was
+    treated unfairly when nobody was served).
+    """
+    values = list(shares)
+    total = sum(values)
+    if not values or total == 0:
+        return 1.0
+    square_sum = sum(value * value for value in values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def grant_latencies(log: EventLog) -> list[float]:
+    """Request-to-service latency for every served floor request.
+
+    A member's oldest outstanding ``REQUEST`` is served either by an
+    immediate ``GRANT`` or by a later ``TOKEN_PASS`` naming them as the
+    successor (the event's ``detail`` field).  Unserved requests (still
+    queued, denied, lost on the wire) contribute nothing.
+    """
+    pending: dict[str, deque[float]] = {}
+    latencies: list[float] = []
+
+    def serve(member: str, now: float) -> None:
+        queue = pending.get(member)
+        if queue:
+            latencies.append(now - queue.popleft())
+
+    for event in log:
+        if event.kind is EventKind.REQUEST:
+            pending.setdefault(event.member, deque()).append(event.time)
+        elif event.kind is EventKind.GRANT:
+            serve(event.member, event.time)
+        elif event.kind is EventKind.TOKEN_PASS and event.detail:
+            serve(event.detail, event.time)
+    return latencies
+
+
+def served_counts(log: EventLog, members: Iterable[str]) -> dict[str, int]:
+    """How many times each member was served the floor.
+
+    Counts ``GRANT`` events plus ``TOKEN_PASS`` hand-offs to the
+    member; ``members`` pre-seeds the tally so silent participants
+    count as zero in the fairness index.
+    """
+    counts: dict[str, int] = {member: 0 for member in members}
+    for event in log:
+        if event.kind is EventKind.GRANT:
+            counts[event.member] = counts.get(event.member, 0) + 1
+        elif event.kind is EventKind.TOKEN_PASS and event.detail:
+            counts[event.detail] = counts.get(event.detail, 0) + 1
+    return counts
+
+
+def latency_summary(latencies: Iterable[float]) -> Mapping[str, float]:
+    """The latency metrics recorded per cell: mean, p50, and p95."""
+    values = list(latencies)
+    mean = sum(values) / len(values) if values else 0.0
+    return {
+        "grant_mean": mean,
+        "grant_p50": percentile(values, 50.0),
+        "grant_p95": percentile(values, 95.0),
+    }

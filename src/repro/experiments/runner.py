@@ -1,0 +1,435 @@
+"""Sweep execution: run every cell of a grid, serially or in parallel.
+
+A *cell runner* is a callable ``(Cell) -> Mapping[str, float]`` living
+at module level (so it pickles by reference into worker processes).
+Two ship built in:
+
+* ``"session"`` — stands up a full :class:`repro.api.session.Session`
+  from the cell's parameters, feeds it a seeded workload scenario, and
+  measures the report plus the event-log latencies.  Baseline policies
+  (``fifo``, ``free_for_all``) have no server-side mode, so cells
+  naming them fall through to the policy runner — one sweep can cross
+  the paper's modes *and* the ablation baselines on one axis;
+* ``"policy"`` — drives a bare :class:`repro.api.policies.FloorPolicy`
+  with the same workload events, no network in the loop.
+
+:func:`run_sweep` executes the grid with ``workers=1`` (in process) or
+across ``concurrent.futures`` worker processes; every cell is fully
+determined by its own derived seed, and results are ordered by cell id,
+so both paths produce identical :class:`SweepResult` values.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..api.policies import make_policy
+from ..api.scenario import Scenario, ScenarioStep
+from ..api.session import Session
+from ..errors import ReproError
+from ..workload.generator import WorkloadConfig, generate, member_names
+from .metrics import grant_latencies, jain_fairness, latency_summary, served_counts
+from .spec import Cell, SweepSpec
+
+__all__ = [
+    "CellResult",
+    "CellRunner",
+    "SweepResult",
+    "register_runner",
+    "resolve_runner",
+    "run_policy_cell",
+    "run_session_cell",
+    "run_sweep",
+    "runner_names",
+    "unregister_runner",
+]
+
+CellRunner = Callable[[Cell], Mapping[str, float]]
+
+#: Parameters every built-in cell runner understands, with defaults.
+_SESSION_DEFAULTS: dict[str, Any] = {
+    "participants": 8,
+    "policy": "free_access",
+    "scenario": "seminar",
+    "duration": 30.0,
+    "latency": 0.02,
+    "jitter": 0.0,
+    "loss": 0.0,
+    "mean_hold": 4.0,
+    "request_rate": 0.5,
+}
+
+#: Policy names with no FCM mode behind them (driven without a server).
+_BASELINE_POLICIES = frozenset({"fifo", "free_for_all"})
+
+
+def _cell_value(cell: Cell, key: str) -> Any:
+    if key in cell.params:
+        return cell.params[key]
+    return _SESSION_DEFAULTS[key]
+
+
+def _float_value(cell: Cell, key: str) -> float:
+    value = _cell_value(cell, key)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"cell {cell.cell_id!r}: parameter {key!r} must be numeric, "
+            f"got {value!r}"
+        ) from None
+
+
+def _check_known_params(cell: Cell) -> None:
+    """Reject parameters the built-in runners would silently ignore —
+    a typo must fail loudly, not persist a mislabeled BENCH cell."""
+    unknown = sorted(set(cell.params) - set(_SESSION_DEFAULTS))
+    if unknown:
+        raise ReproError(
+            f"cell {cell.cell_id!r}: unknown parameters {unknown!r}; "
+            f"the built-in runners understand {sorted(_SESSION_DEFAULTS)}"
+        )
+
+
+def _workload(cell: Cell):
+    """The cell's seeded event list plus its member roster."""
+    members = int(_float_value(cell, "participants"))
+    if members < 1:
+        raise ReproError(f"cell {cell.cell_id!r}: participants must be >= 1")
+    config = WorkloadConfig(
+        members=members,
+        duration=_float_value(cell, "duration"),
+        seed=cell.seed,
+        mean_hold=_float_value(cell, "mean_hold"),
+        request_rate=_float_value(cell, "request_rate"),
+    )
+    events = generate(str(_cell_value(cell, "scenario")), config)
+    return events, member_names(members), config
+
+
+def run_session_cell(cell: Cell) -> Mapping[str, float]:
+    """Execute one cell as a full DMPS session over the simulated LAN.
+
+    Requests are sent without an explicit mode so the server arbitrates
+    under the cell's session policy — the only thing that varies along
+    a policy axis is the policy itself.
+    """
+    _check_known_params(cell)
+    policy = str(_cell_value(cell, "policy"))
+    if policy in _BASELINE_POLICIES:
+        return run_policy_cell(cell)
+    events, members, config = _workload(cell)
+    builder = (
+        Session.builder(chair="teacher")
+        .seed(cell.seed)
+        .link(
+            latency=_float_value(cell, "latency"),
+            jitter=_float_value(cell, "jitter"),
+            loss=_float_value(cell, "loss"),
+        )
+        .policy(policy)
+    )
+    builder.participants(*members)
+    steps = []
+    for event in events:
+        if event.action == "request":
+            steps.append(ScenarioStep(event.time, "request_floor", event.member))
+        elif event.action == "release":
+            steps.append(ScenarioStep(event.time, "release_floor", event.member))
+        else:
+            steps.append(
+                ScenarioStep(
+                    event.time,
+                    "post",
+                    event.member,
+                    kwargs={"content": event.content or "(empty)"},
+                )
+            )
+    with builder.build() as session:
+        Scenario(steps, name=cell.cell_id).run(
+            session, until=config.duration + 1.0
+        )
+        report = session.report()
+        log = session.log
+        latencies = grant_latencies(log)
+        counts = served_counts(log, members)
+    return {
+        "requests": float(report.requests),
+        "granted": float(report.granted),
+        "queued": float(report.queued),
+        "denied": float(report.denied),
+        "served": float(len(latencies)),
+        **latency_summary(latencies),
+        "fairness": jain_fairness(counts.values()),
+        "loss_rate": report.loss_rate,
+        "messages_sent": float(report.messages_sent),
+        "posts": float(report.posts_accepted),
+        "sim_time": report.duration,
+        "network_modeled": 1.0,
+    }
+
+
+def run_policy_cell(cell: Cell) -> Mapping[str, float]:
+    """Execute one cell against a bare floor policy (no network).
+
+    The same seeded workload drives ``policy.request`` /
+    ``policy.release`` directly; latency is queue wait alone, which is
+    exactly what makes the baselines comparable to the session cells'
+    request-to-service times.  Network parameters (latency/jitter/loss)
+    do not apply here; cells record ``network_modeled = 0`` so a grid
+    crossing baselines with network axes stays honest in the persisted
+    BENCH document.
+    """
+    _check_known_params(cell)
+    events, members, config = _workload(cell)
+    policy = make_policy(str(_cell_value(cell, "policy")))
+    pending: dict[str, deque[float]] = {}
+    latencies: list[float] = []
+    counts: dict[str, int] = {member: 0 for member in members}
+    requests = granted = queued = posts = 0
+
+    def serve(member: str, now: float) -> None:
+        queue = pending.get(member)
+        if queue:
+            latencies.append(now - queue.popleft())
+        counts[member] = counts.get(member, 0) + 1
+
+    for event in events:
+        if event.action == "request":
+            requests += 1
+            pending.setdefault(event.member, deque()).append(event.time)
+            if policy.request(event.member, now=event.time):
+                granted += 1
+                serve(event.member, event.time)
+            else:
+                queued += 1
+        elif event.action == "release":
+            successor = policy.release(event.member, now=event.time)
+            if successor is not None:
+                serve(successor, event.time)
+        else:
+            posts += 1
+    return {
+        "requests": float(requests),
+        "granted": float(granted),
+        "queued": float(queued),
+        "denied": 0.0,
+        "served": float(len(latencies)),
+        **latency_summary(latencies),
+        "fairness": jain_fairness(counts.values()),
+        "loss_rate": 0.0,
+        "messages_sent": 0.0,
+        "posts": float(posts),
+        "sim_time": config.duration,
+        "network_modeled": 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Runner registry
+# ----------------------------------------------------------------------
+_RUNNERS: dict[str, CellRunner] = {}
+
+
+def register_runner(name: str, runner: CellRunner) -> None:
+    """Register a cell runner under a unique name.
+
+    The callable must be defined at module level: worker processes
+    receive it by pickled reference.
+
+    Raises
+    ------
+    ReproError
+        If the name is already taken.
+    """
+    if name in _RUNNERS:
+        raise ReproError(f"cell runner {name!r} is already registered")
+    _RUNNERS[name] = runner
+
+
+def unregister_runner(name: str) -> None:
+    """Remove a registered runner (no-op when unknown)."""
+    _RUNNERS.pop(name, None)
+
+
+def resolve_runner(name: str) -> CellRunner:
+    """Look up a registered cell runner by name.
+
+    Raises
+    ------
+    ReproError
+        On an unknown runner name (the message lists what exists).
+    """
+    if name not in _RUNNERS:
+        raise ReproError(
+            f"unknown cell runner {name!r}; registered: {runner_names()}"
+        )
+    return _RUNNERS[name]
+
+
+def runner_names() -> list[str]:
+    """All registered runner names, sorted."""
+    return sorted(_RUNNERS)
+
+
+register_runner("session", run_session_cell)
+register_runner("policy", run_policy_cell)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell: the grid point plus its measured metrics."""
+
+    cell: Cell
+    metrics: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Every cell of one sweep, in grid enumeration order.
+
+    Enumeration order follows the declared axes (so numeric axes read
+    4, 8, 16 — not the lexicographic 16, 4, 8) and depends only on the
+    spec and the root seed — never on worker count or completion order
+    — which is what the byte-identical persistence guarantee rests on.
+    """
+
+    spec: SweepSpec
+    results: tuple[CellResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def cell(self, cell_id: str) -> CellResult:
+        """Look up one cell's result by its canonical id.
+
+        Raises
+        ------
+        ReproError
+            On an unknown cell id (the message lists what exists).
+        """
+        for result in self.results:
+            if result.cell.cell_id == cell_id:
+                return result
+        known = [result.cell.cell_id for result in self.results]
+        raise ReproError(f"no cell {cell_id!r} in this sweep; cells: {known}")
+
+    def metric_names(self) -> list[str]:
+        """Union of metric keys across cells, sorted."""
+        names: set[str] = set()
+        for result in self.results:
+            names.update(result.metrics)
+        return sorted(names)
+
+    def aggregate(self, by: str) -> dict[Any, dict[str, float]]:
+        """Mean of every metric, grouped by one parameter's value.
+
+        Groups appear in cell-id order; cells missing the parameter or
+        a metric are simply skipped for that entry.
+        """
+        grouped: dict[Any, list[CellResult]] = {}
+        for result in self.results:
+            if by not in result.cell.params:
+                continue
+            grouped.setdefault(result.cell.params[by], []).append(result)
+        aggregated: dict[Any, dict[str, float]] = {}
+        for value, members in grouped.items():
+            means: dict[str, float] = {}
+            for name in self.metric_names():
+                samples = [
+                    member.metrics[name]
+                    for member in members
+                    if name in member.metrics
+                ]
+                if samples:
+                    means[name] = sum(samples) / len(samples)
+            aggregated[value] = means
+        return aggregated
+
+    def table(self, by: str | None = None, metrics: list[str] | None = None) -> str:
+        """Render the comparison table the CLI prints.
+
+        One row per cell, or one row per group value when ``by`` names
+        a parameter to aggregate over; ``metrics`` restricts and orders
+        the columns.
+        """
+        columns = metrics if metrics is not None else self.metric_names()
+        if by is None:
+            headers = ["cell"] + columns
+            rows = [
+                (result.cell.cell_id, result.metrics) for result in self.results
+            ]
+        else:
+            headers = [by] + columns
+            rows = [
+                (str(value), means) for value, means in self.aggregate(by).items()
+            ]
+        label_width = max([len(headers[0])] + [len(label) for label, __ in rows])
+        lines = [
+            " | ".join(
+                [f"{headers[0]:>{label_width}}"]
+                + [f"{header:>12}" for header in headers[1:]]
+            )
+        ]
+        lines.append("-" * len(lines[0]))
+        for label, values in rows:
+            cells = [f"{label:>{label_width}}"]
+            for name in columns:
+                value = values.get(name)
+                cells.append(f"{'--':>12}" if value is None else f"{value:>12.4f}")
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+
+def _pool_context():
+    """The multiprocessing context for sweep workers.
+
+    Prefers ``fork`` (workers inherit ``sys.path`` and any runners the
+    parent registered after import); falls back to the platform
+    default elsewhere.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _run_cell(runner: CellRunner, cell: Cell) -> CellResult:
+    metrics = dict(runner(cell))
+    for name, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(
+                f"cell {cell.cell_id!r}: metric {name!r} must be a number, "
+                f"got {value!r}"
+            )
+    return CellResult(cell=cell, metrics={k: float(v) for k, v in metrics.items()})
+
+
+def run_sweep(spec: SweepSpec, workers: int = 1) -> SweepResult:
+    """Execute every cell of ``spec``; results follow grid order.
+
+    ``workers=1`` runs in-process; ``workers>1`` fans cells out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Each cell is
+    deterministic given its derived seed, so the two paths return
+    identical results (pinned by the determinism tests).
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers!r}")
+    runner = resolve_runner(spec.runner)
+    cells = spec.cells()
+    if workers == 1 or len(cells) <= 1:
+        results = [_run_cell(runner, cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(cells)), mp_context=_pool_context()
+        ) as pool:
+            futures = [pool.submit(_run_cell, runner, cell) for cell in cells]
+            results = [future.result() for future in futures]
+    results.sort(key=lambda result: result.cell.index)
+    return SweepResult(spec=spec, results=tuple(results))

@@ -1,0 +1,179 @@
+"""Declarative parameter sweeps: axes crossed into a grid of cells.
+
+The paper's claims are comparative — floor modes against baselines
+under varying delay, loss, and group size — so one run is never
+enough.  A :class:`SweepSpec` names the experiment once:
+
+* an :class:`Axis` is one swept parameter and its values;
+* the cross product of all axes, merged over ``base`` defaults, yields
+  one :class:`Cell` per combination;
+* every cell gets a seed derived deterministically from the spec's
+  ``root_seed`` and the cell's *sorted* parameters, so seeds survive
+  axis reordering and grid growth (adding an axis value never reseeds
+  the existing cells).
+
+Cells carry plain scalars only; they pickle cleanly across the worker
+processes of :func:`repro.experiments.runner.run_sweep`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import ReproError
+
+__all__ = ["Axis", "Cell", "SweepSpec", "axes_from_mapping", "derive_seed"]
+
+#: Parameter values a sweep may carry (JSON- and pickle-safe).
+_SCALARS = (bool, int, float, str, type(None))
+
+
+def _check_scalar(context: str, value: Any) -> None:
+    if not isinstance(value, _SCALARS):
+        raise ReproError(
+            f"{context}: sweep parameters must be scalars "
+            f"(bool/int/float/str/None), got {value!r}"
+        )
+
+
+def derive_seed(root_seed: int, runner: str, params: Mapping[str, Any]) -> int:
+    """Deterministic 63-bit seed for one cell.
+
+    The digest covers the root seed, the runner name, and the cell's
+    parameters *sorted by name* — reordering axes or re-enumerating the
+    grid never changes a cell's seed, only its position.
+    """
+    canonical = ",".join(f"{name}={params[name]!r}" for name in sorted(params))
+    digest = hashlib.sha256(
+        f"{root_seed}|{runner}|{canonical}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept parameter: a name and the values it takes."""
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.name:
+            raise ReproError("an axis needs a non-empty name")
+        if not self.values:
+            raise ReproError(f"axis {self.name!r} has no values")
+        seen: list[Any] = []
+        for value in self.values:
+            _check_scalar(f"axis {self.name!r}", value)
+            if any(value == prior and type(value) is type(prior) for prior in seen):
+                raise ReproError(
+                    f"axis {self.name!r} repeats the value {value!r}"
+                )
+            seen.append(value)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the grid: merged parameters plus a derived seed.
+
+    ``index`` is the cell's position in enumeration order (display
+    only); ``cell_id`` is the canonical, sorted axis-coordinate string
+    used to key results deterministically.
+    """
+
+    index: int
+    cell_id: str
+    params: Mapping[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of experiment configurations.
+
+    ``axes`` are crossed into cells; ``base`` supplies the parameters
+    shared by every cell; ``runner`` names the registered cell runner
+    (:mod:`repro.experiments.runner`) that executes each cell;
+    ``root_seed`` anchors every derived cell seed.
+    """
+
+    name: str
+    axes: tuple[Axis, ...] = ()
+    base: Mapping[str, Any] = field(default_factory=dict)
+    runner: str = "session"
+    root_seed: int = 0
+
+    def validate(self) -> None:
+        """Reject inconsistent grids before any cell runs."""
+        if not self.name:
+            raise ReproError("a sweep spec needs a non-empty name")
+        names = [axis.name for axis in self.axes]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ReproError(f"duplicate sweep axes: {sorted(duplicates)!r}")
+        overlap = set(names) & set(self.base)
+        if overlap:
+            raise ReproError(
+                f"axes shadow base parameters: {sorted(overlap)!r}"
+            )
+        for key, value in self.base.items():
+            _check_scalar(f"base parameter {key!r}", value)
+
+    @property
+    def axis_names(self) -> list[str]:
+        """The swept parameter names, in declaration order."""
+        return [axis.name for axis in self.axes]
+
+    def __len__(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    def cells(self) -> list[Cell]:
+        """Enumerate the grid: one :class:`Cell` per axis combination.
+
+        With no axes the grid is the single all-defaults cell.  Cell
+        ids and seeds depend only on the parameter *values*, never on
+        axis order.
+        """
+        self.validate()
+        cells: list[Cell] = []
+        value_lists = [axis.values for axis in self.axes]
+        for index, combo in enumerate(itertools.product(*value_lists)):
+            coords = dict(zip(self.axis_names, combo))
+            params = {**dict(self.base), **coords}
+            cell_id = (
+                ",".join(f"{name}={coords[name]}" for name in sorted(coords))
+                or "default"
+            )
+            cells.append(
+                Cell(
+                    index=index,
+                    cell_id=cell_id,
+                    params=params,
+                    seed=derive_seed(self.root_seed, self.runner, params),
+                )
+            )
+        return cells
+
+    def with_root_seed(self, root_seed: int) -> "SweepSpec":
+        """A copy of this spec anchored at a different root seed."""
+        return SweepSpec(
+            name=self.name,
+            axes=self.axes,
+            base=dict(self.base),
+            runner=self.runner,
+            root_seed=root_seed,
+        )
+
+
+def axes_from_mapping(values_by_name: Mapping[str, Iterable[Any]]) -> tuple[Axis, ...]:
+    """Build an axis tuple from ``{name: values}`` (CLI / JSON input)."""
+    return tuple(
+        Axis(name, tuple(values)) for name, values in values_by_name.items()
+    )

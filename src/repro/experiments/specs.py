@@ -1,0 +1,117 @@
+"""Named sweep specs: the grids the CLI and CI run by name.
+
+``repro sweep --spec <name>`` resolves here.  The registry ships the
+paper's headline comparisons —
+
+* ``smoke`` — three policies, four members, a storm burst; the ≤30 s
+  grid the CI ``bench-smoke`` lane runs on every PR;
+* ``floor_modes`` — the two session-wide FCM modes under a request
+  storm (E3's sweepable half; the subgroup modes need invitations and
+  live in ``benchmarks/bench_e3_floor_modes.py``);
+* ``baselines`` — equal control against the fifo / free-for-all
+  ablations over a seminar workload;
+* ``delay_grid`` — latency × loss over equal control, the "bounded
+  delay" premise of Section 3 made measurable;
+* ``group_size`` — participants axis, arbitration under growing
+  classes.
+
+Specs are values: grab one, ``with_root_seed`` it, cross more axes in
+a copy.  Registering your own name makes it reachable from the CLI.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .spec import Axis, SweepSpec
+
+__all__ = ["named_spec", "register_spec", "spec_names", "unregister_spec"]
+
+_SPECS: dict[str, SweepSpec] = {}
+
+
+def register_spec(spec: SweepSpec) -> SweepSpec:
+    """Add a spec to the named registry under ``spec.name``.
+
+    Raises
+    ------
+    ReproError
+        If the name is already taken.
+    """
+    spec.validate()
+    if spec.name in _SPECS:
+        raise ReproError(f"sweep spec {spec.name!r} is already registered")
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def unregister_spec(name: str) -> None:
+    """Remove a named spec (no-op when unknown)."""
+    _SPECS.pop(name, None)
+
+
+def named_spec(name: str) -> SweepSpec:
+    """Look up a registered spec by name.
+
+    Raises
+    ------
+    ReproError
+        On an unknown name (the message lists what exists).
+    """
+    if name not in _SPECS:
+        raise ReproError(
+            f"unknown sweep spec {name!r}; registered: {spec_names()}"
+        )
+    return _SPECS[name]
+
+
+def spec_names() -> list[str]:
+    """All registered spec names, sorted."""
+    return sorted(_SPECS)
+
+
+register_spec(
+    SweepSpec(
+        name="smoke",
+        axes=(Axis("policy", ("equal_control", "fifo", "free_for_all")),),
+        base={"participants": 4, "scenario": "storm", "duration": 6.0,
+              "latency": 0.01},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="floor_modes",
+        axes=(Axis("policy", ("free_access", "equal_control")),),
+        base={"participants": 16, "scenario": "storm", "duration": 8.0},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="baselines",
+        axes=(Axis("policy", ("equal_control", "fifo", "free_for_all")),),
+        base={"participants": 8, "scenario": "lecture", "duration": 40.0,
+              "request_rate": 8.0},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="delay_grid",
+        axes=(
+            Axis("latency", (0.005, 0.02, 0.08)),
+            Axis("loss", (0.0, 0.05)),
+        ),
+        base={"participants": 8, "scenario": "lecture", "duration": 30.0,
+              "policy": "equal_control", "request_rate": 8.0},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="group_size",
+        axes=(Axis("participants", (4, 8, 16, 32)),),
+        base={"scenario": "storm", "duration": 10.0,
+              "policy": "equal_control"},
+    )
+)

@@ -16,7 +16,7 @@ exercise exactly that trade-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import MediaError
 from .streams import Frame

@@ -8,7 +8,7 @@ provides the bookkeeping for both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean
 
 from ..errors import MediaError

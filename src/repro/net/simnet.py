@@ -20,7 +20,7 @@ possible, as in a real switched LAN).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from ..clock.virtual import VirtualClock
@@ -140,20 +140,16 @@ class Network:
         self._links[(source, target)] = link if link is not None else Link()
 
     def connect_both(self, a: str, b: str, link: Link | None = None) -> None:
-        """Create a symmetric pair of links between two hosts."""
+        """Create a symmetric pair of links between two hosts.
+
+        Each direction gets its own full copy of the template link, so
+        per-direction state (serialization backlog) is never shared and
+        every ``Link`` field — including ones added later — carries
+        over.
+        """
         template = link if link is not None else Link()
-        self.connect(a, b, Link(
-            base_latency=template.base_latency,
-            jitter=template.jitter,
-            loss_probability=template.loss_probability,
-            bandwidth_kbps=template.bandwidth_kbps,
-        ))
-        self.connect(b, a, Link(
-            base_latency=template.base_latency,
-            jitter=template.jitter,
-            loss_probability=template.loss_probability,
-            bandwidth_kbps=template.bandwidth_kbps,
-        ))
+        self.connect(a, b, replace(template))
+        self.connect(b, a, replace(template))
 
     def set_default_link(self, link: Link) -> None:
         """Fallback link parameters for unconfigured host pairs."""

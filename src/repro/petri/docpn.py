@@ -34,7 +34,6 @@ the global clock — they are never held by admission.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 from ..clock.drift import DriftingClock
 from ..clock.sync import GlobalClockAdmission

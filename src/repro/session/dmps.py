@@ -18,8 +18,6 @@ from ..clock.discipline import discipline_from_sample
 from ..clock.drift import DriftingClock
 from ..clock.sync import CristianSyncClient, SyncSample
 from ..clock.virtual import PeriodicHandle, VirtualClock, periodic
-from ..core.events import EventKind
-from ..core.floor import FloorGrant
 from ..core.modes import FCMMode
 from ..core.resources import ResourceModel, ResourceVector
 from ..core.server import FloorControlServer

@@ -7,7 +7,7 @@ message can be logged, replayed, and asserted on in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.modes import FCMMode
 

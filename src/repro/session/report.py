@@ -9,8 +9,7 @@ text block the examples print at the end of a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from statistics import mean, median
+from dataclasses import dataclass
 
 from ..core.events import EventKind
 from .dmps import DMPSClient, DMPSServer

@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 from functools import lru_cache
 
-from ..errors import InconsistentSpecError, TemporalError
+from ..errors import InconsistentSpecError
 from .intervals import Relation, relation_between
 from .spec import PresentationSpec
 

@@ -16,7 +16,7 @@ conditions during the presentation".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import InconsistentSpecError, TemporalError
 from ..media.objects import MediaObject

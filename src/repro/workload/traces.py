@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 
 from ..clock.virtual import VirtualClock
 from ..core.floor import FloorGrant
-from ..core.modes import FCMMode
 from ..core.server import FloorControlServer
 from .generator import RequestEvent
 

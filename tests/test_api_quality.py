@@ -20,6 +20,7 @@ _PACKAGES = [
     "repro.baselines",
     "repro.clock",
     "repro.core",
+    "repro.experiments",
     "repro.media",
     "repro.net",
     "repro.petri",

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import SCHEMA_VERSION, load_document
 
 
 class TestParser:
@@ -90,3 +91,92 @@ class TestCommands:
     def test_demo_scenario_rejects_zero_members(self):
         args = ["demo", "scenario", "--name", "storm", "--members", "0"]
         assert main(args) == 2
+
+
+class TestSweep:
+    def test_requires_some_spec(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_list_names_registry(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "smoke" in out
+        assert "delay_grid" in out
+
+    def test_smoke_writes_schema_versioned_bench_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_smoke.json"
+        assert main(["sweep", "--smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "sweep 'smoke'" in printed
+        assert "policy=fifo" in printed
+        document = load_document(out)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert len(document["cells"]) == 3
+
+    def test_smoke_default_output_name(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "--smoke"]) == 0
+        assert (tmp_path / "BENCH_smoke.json").exists()
+
+    def test_inline_axes_with_csv_and_grouping(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--axis", "policy=fifo,free_for_all",
+            "--set", "participants=2", "--set", "scenario=storm",
+            "--set", "duration=3",
+            "--group-by", "policy",
+            "--out", str(tmp_path / "BENCH_inline.json"),
+            "--csv", str(tmp_path / "BENCH_inline.csv"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "sweep 'inline': 2 cells" in out
+        csv_head = (tmp_path / "BENCH_inline.csv").read_text().splitlines()[0]
+        assert csv_head.startswith("cell,seed,")
+
+    def test_seed_flag_anchors_the_root_seed(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        third = tmp_path / "c.json"
+        main(["--seed", "4", "sweep", "--smoke", "--out", str(first)])
+        main(["--seed", "4", "sweep", "--smoke", "--out", str(second)])
+        main(["--seed", "5", "sweep", "--smoke", "--out", str(third)])
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes() != third.read_bytes()
+
+    def test_parallel_workers_match_serial_bytes(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        main(["sweep", "--smoke", "--out", str(serial)])
+        main(["sweep", "--smoke", "--workers", "4", "--out", str(parallel)])
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_malformed_axis_reported(self, capsys):
+        assert main(["sweep", "--axis", "policy"]) == 2
+        assert "--axis" in capsys.readouterr().err
+
+    def test_duplicate_axis_reported(self, capsys):
+        args = ["sweep", "--axis", "policy=fifo", "--axis", "policy=free_for_all"]
+        assert main(args) == 2
+        assert "declared twice" in capsys.readouterr().err
+
+    def test_typo_parameter_reported(self, capsys):
+        args = ["sweep", "--axis", "policy=fifo", "--set", "particpants=32"]
+        assert main(args) == 2
+        assert "particpants" in capsys.readouterr().err
+
+    def test_numeric_axis_rows_in_declared_order(self, tmp_path, capsys):
+        args = ["sweep", "--axis", "participants=4,8,16",
+                "--set", "scenario=storm", "--set", "duration=3",
+                "--out", str(tmp_path / "b.json")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if "participants=" in line]
+        assert [row.split("|")[0].strip() for row in rows] == [
+            "participants=4", "participants=8", "participants=16",
+        ]
+
+    def test_unknown_spec_reported(self, capsys):
+        assert main(["sweep", "--spec", "nope"]) == 2
+        assert "unknown sweep spec" in capsys.readouterr().err

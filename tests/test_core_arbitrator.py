@@ -1,7 +1,6 @@
 """Tests for FCM-Arbitrate: mode admission rules, resource thresholds,
 and Media-Suspend."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.arbitrator import Arbitrator

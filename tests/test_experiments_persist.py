@@ -1,0 +1,139 @@
+"""Tests for persisted bench documents: schema, bytes, CSV, specs."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    Axis,
+    SweepSpec,
+    bench_filename,
+    csv_text,
+    dumps,
+    load_document,
+    named_spec,
+    run_sweep,
+    spec_names,
+    to_document,
+    write_csv,
+    write_json,
+)
+
+SPEC = SweepSpec(
+    name="persist",
+    axes=(Axis("policy", ("fifo", "free_for_all")),),
+    base={"participants": 2, "scenario": "storm", "duration": 3.0},
+    root_seed=5,
+)
+
+
+class TestDocument:
+    def test_schema_header(self):
+        document = to_document(run_sweep(SPEC))
+        assert document["schema"] == SCHEMA
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["spec"]["name"] == "persist"
+        assert document["spec"]["axes"] == {"policy": ["fifo", "free_for_all"]}
+
+    def test_cells_follow_grid_order_with_params_and_metrics(self):
+        document = to_document(run_sweep(SPEC))
+        ids = [cell["id"] for cell in document["cells"]]
+        assert ids == [cell.cell_id for cell in SPEC.cells()]
+        assert all("metrics" in cell and "params" in cell
+                   for cell in document["cells"])
+
+    def test_numeric_axes_keep_declared_order(self):
+        """Grid order, not lexicographic id order: 4, 8, 16 — not
+        16, 4, 8."""
+        spec = SweepSpec(
+            name="sizes",
+            axes=(Axis("participants", (4, 8, 16)),),
+            base={"scenario": "storm", "duration": 3.0},
+        )
+        result = run_sweep(spec)
+        assert [r.cell.params["participants"] for r in result.results] == [
+            4, 8, 16,
+        ]
+        assert list(result.aggregate(by="participants")) == [4, 8, 16]
+
+    def test_byte_identical_across_worker_counts(self):
+        """The acceptance pin: the persisted JSON and CSV bytes do not
+        depend on the worker count."""
+        serial = run_sweep(SPEC, workers=1)
+        parallel = run_sweep(SPEC, workers=4)
+        assert dumps(serial) == dumps(parallel)
+        assert csv_text(serial) == csv_text(parallel)
+
+    def test_byte_identical_under_axis_reordering(self):
+        reordered = SweepSpec(
+            name="persist",
+            axes=(Axis("policy", ("fifo", "free_for_all")),),
+            base=dict(SPEC.base),
+            root_seed=5,
+        )
+        assert dumps(run_sweep(SPEC)) == dumps(run_sweep(reordered))
+
+    def test_round_trip_through_files(self, tmp_path):
+        result = run_sweep(SPEC)
+        json_path = write_json(result, tmp_path / "BENCH_persist.json")
+        csv_path = write_csv(result, tmp_path / "BENCH_persist.csv")
+        document = load_document(json_path)
+        assert document == to_document(result)
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("cell,seed,")
+        assert len(lines) == 1 + len(result)
+
+
+class TestLoadValidation:
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json")
+        with pytest.raises(ReproError):
+            load_document(path)
+
+    def test_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "someone-else"}))
+        with pytest.raises(ReproError):
+            load_document(path)
+
+    def test_rejects_newer_schema_versions(self, tmp_path):
+        result = run_sweep(SPEC)
+        document = to_document(result)
+        document["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ReproError):
+            load_document(path)
+
+
+class TestBenchFilename:
+    def test_plain_name(self):
+        assert bench_filename("smoke") == "BENCH_smoke.json"
+
+    def test_hostile_name_sanitized(self):
+        assert bench_filename("a b/c") == "BENCH_a_b_c.json"
+        assert bench_filename("///") == "BENCH_sweep.json"
+
+
+class TestNamedSpecs:
+    def test_registry_lists_the_standard_grids(self):
+        assert {"smoke", "floor_modes", "baselines", "delay_grid",
+                "group_size"} <= set(spec_names())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            named_spec("nope")
+
+    def test_smoke_spec_is_tiny(self):
+        spec = named_spec("smoke")
+        assert len(spec) <= 4
+        assert spec.base["duration"] <= 10.0
+
+    def test_every_named_spec_enumerates(self):
+        for name in spec_names():
+            cells = named_spec(name).cells()
+            assert cells, name

@@ -1,0 +1,148 @@
+"""Tests for sweep specs: grids, cell ids, and seed derivation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import Axis, SweepSpec, axes_from_mapping, derive_seed
+
+
+def two_axis_spec(axes=None, root_seed=0):
+    axes = axes if axes is not None else (
+        Axis("policy", ("equal_control", "fifo")),
+        Axis("participants", (2, 4)),
+    )
+    return SweepSpec(
+        name="grid",
+        axes=axes,
+        base={"scenario": "storm", "duration": 3.0},
+        root_seed=root_seed,
+    )
+
+
+class TestAxis:
+    def test_values_become_tuple(self):
+        assert Axis("p", [1, 2]).values == (1, 2)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ReproError):
+            Axis("p", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            Axis("", (1,))
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ReproError):
+            Axis("p", (1, 2, 1))
+
+    def test_bool_and_int_values_are_distinct(self):
+        # True == 1, but they are different sweep coordinates.
+        assert Axis("p", (True, 1)).values == (True, 1)
+
+    def test_non_scalar_values_rejected(self):
+        with pytest.raises(ReproError):
+            Axis("p", ([1, 2],))
+
+    def test_axes_from_mapping(self):
+        axes = axes_from_mapping({"a": [1], "b": ["x", "y"]})
+        assert [axis.name for axis in axes] == ["a", "b"]
+        assert axes[1].values == ("x", "y")
+
+
+class TestSpecValidation:
+    def test_duplicate_axis_names_rejected(self):
+        spec = SweepSpec(name="bad", axes=(Axis("p", (1,)), Axis("p", (2,))))
+        with pytest.raises(ReproError):
+            spec.validate()
+
+    def test_axis_shadowing_base_rejected(self):
+        spec = SweepSpec(name="bad", axes=(Axis("p", (1,)),), base={"p": 0})
+        with pytest.raises(ReproError):
+            spec.validate()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            SweepSpec(name="").validate()
+
+    def test_non_scalar_base_rejected(self):
+        spec = SweepSpec(name="bad", base={"p": object()})
+        with pytest.raises(ReproError):
+            spec.validate()
+
+
+class TestGrid:
+    def test_cross_product_size(self):
+        spec = two_axis_spec()
+        assert len(spec) == 4
+        assert len(spec.cells()) == 4
+
+    def test_no_axes_yields_single_default_cell(self):
+        spec = SweepSpec(name="solo", base={"participants": 2})
+        cells = spec.cells()
+        assert len(cells) == 1
+        assert cells[0].cell_id == "default"
+        assert cells[0].params == {"participants": 2}
+
+    def test_cells_merge_base_under_axis_coordinates(self):
+        cell = two_axis_spec().cells()[0]
+        assert cell.params["scenario"] == "storm"
+        assert cell.params["policy"] == "equal_control"
+
+    def test_cell_ids_are_sorted_axis_coordinates(self):
+        ids = {cell.cell_id for cell in two_axis_spec().cells()}
+        assert "participants=2,policy=equal_control" in ids
+        assert len(ids) == 4
+
+    def test_with_root_seed_reseeds_every_cell(self):
+        before = {c.cell_id: c.seed for c in two_axis_spec(root_seed=0).cells()}
+        after = {
+            c.cell_id: c.seed
+            for c in two_axis_spec(root_seed=0).with_root_seed(1).cells()
+        }
+        assert set(before) == set(after)
+        assert all(before[key] != after[key] for key in before)
+
+
+class TestSeedDerivation:
+    def test_derive_seed_is_pure(self):
+        params = {"a": 1, "b": "x"}
+        assert derive_seed(7, "session", params) == derive_seed(
+            7, "session", params
+        )
+
+    def test_order_independent(self):
+        assert derive_seed(7, "session", {"a": 1, "b": 2}) == derive_seed(
+            7, "session", {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_root_seed_runner_and_params(self):
+        base = derive_seed(7, "session", {"a": 1})
+        assert base != derive_seed(8, "session", {"a": 1})
+        assert base != derive_seed(7, "policy", {"a": 1})
+        assert base != derive_seed(7, "session", {"a": 2})
+
+    def test_seeds_stable_under_grid_reordering(self):
+        """Swapping axis declaration order (and value order) relocates
+        cells in the enumeration but never reseeds them."""
+        forward = two_axis_spec()
+        reordered = two_axis_spec(
+            axes=(
+                Axis("participants", (4, 2)),
+                Axis("policy", ("fifo", "equal_control")),
+            )
+        )
+        seeds_forward = {c.cell_id: c.seed for c in forward.cells()}
+        seeds_reordered = {c.cell_id: c.seed for c in reordered.cells()}
+        assert seeds_forward == seeds_reordered
+
+    def test_growing_an_axis_keeps_existing_seeds(self):
+        small = {c.cell_id: c.seed for c in two_axis_spec().cells()}
+        grown = two_axis_spec(
+            axes=(
+                Axis("policy", ("equal_control", "fifo", "free_for_all")),
+                Axis("participants", (2, 4)),
+            )
+        )
+        big = {c.cell_id: c.seed for c in grown.cells()}
+        assert set(small) < set(big)
+        assert all(big[key] == seed for key, seed in small.items())

@@ -22,6 +22,49 @@ def make_pair(clock=None, link=None, seed=0):
     return clock, network, inbox_a, inbox_b
 
 
+class TestConnectBoth:
+    def test_copies_every_link_field(self):
+        """``connect_both`` must clone the template wholesale: a field
+        added to ``Link`` later (even private state) may never be
+        silently dropped by a field-by-field rebuild."""
+        import dataclasses
+
+        network = Network(VirtualClock())
+        network.add_host("a", lambda s, p: None)
+        network.add_host("b", lambda s, p: None)
+        template = Link(
+            base_latency=0.5,
+            jitter=0.25,
+            loss_probability=0.5,
+            bandwidth_kbps=123.0,
+        )
+        template._busy_until = 1.5  # mutable per-link state
+        network.connect_both("a", "b", template)
+        forward = network._links[("a", "b")]
+        backward = network._links[("b", "a")]
+        for direction in (forward, backward):
+            for field_info in dataclasses.fields(Link):
+                assert getattr(direction, field_info.name) == getattr(
+                    template, field_info.name
+                ), f"connect_both dropped Link.{field_info.name}"
+
+    def test_directions_are_independent_copies(self):
+        """The two directions (and the caller's template) must not
+        share mutable serialization state."""
+        network = Network(VirtualClock())
+        network.add_host("a", lambda s, p: None)
+        network.add_host("b", lambda s, p: None)
+        template = Link(bandwidth_kbps=64.0)
+        network.connect_both("a", "b", template)
+        forward = network._links[("a", "b")]
+        backward = network._links[("b", "a")]
+        assert forward is not backward
+        assert forward is not template
+        forward._busy_until = 9.0
+        assert backward._busy_until == 0.0
+        assert template._busy_until == 0.0
+
+
 class TestLinkValidation:
     def test_negative_latency_rejected(self):
         with pytest.raises(NetworkError):

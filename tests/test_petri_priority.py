@@ -4,7 +4,6 @@ import pytest
 
 from repro.clock.virtual import VirtualClock
 from repro.errors import NotEnabledError, UnknownNodeError
-from repro.petri.net import PetriNet
 from repro.petri.priority import PriorityNet, PriorityTimedExecutor
 from repro.petri.timed import TimedPlaceMap
 

@@ -13,9 +13,7 @@ operations and check global invariants after every step:
 
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )
