@@ -16,21 +16,27 @@ This package is the canonical way to stand up and drive a session::
 Three layers:
 
 * :mod:`repro.api.config` — declarative topology
-  (:class:`SessionConfig`, :class:`SessionBuilder`);
+  (:class:`SessionConfig`, :class:`SessionBuilder`) including
+  time-varying network dynamics (:class:`DynamicsSpec`,
+  :class:`PartitionSpec`, backed by :mod:`repro.net.dynamics`);
 * :mod:`repro.api.session` — the :class:`Session` facade owning clock,
-  network, server, and clients;
+  network, dynamics, server, and clients;
 * :mod:`repro.api.policies` — the :class:`FloorPolicy` protocol and the
   name registry unifying the four FCM modes with the baselines;
 * :mod:`repro.api.scenario` — scripted scenarios (:class:`Scenario`,
-  :func:`at`) that the workload generators and the CLI emit.
+  :func:`at`) that the workload generators and the CLI emit; the
+  dynamics verbs (``degrade_link`` / ``partition`` / ``heal`` /
+  ``churn``) script the same way as floor-control actions.
 
 The facade composes the lower layers; every pre-existing import path
 (``from repro.session import DMPSServer``, ...) keeps working.
 """
 
 from .config import (
+    DynamicsSpec,
     LinkSpec,
     ParticipantSpec,
+    PartitionSpec,
     ResourceSpec,
     SessionBuilder,
     SessionConfig,
@@ -51,11 +57,13 @@ from .session import Session
 
 __all__ = [
     "ArbitratedPolicy",
+    "DynamicsSpec",
     "FIFOPolicy",
     "FloorPolicy",
     "FreeForAllPolicy",
     "LinkSpec",
     "ParticipantSpec",
+    "PartitionSpec",
     "ResourceSpec",
     "Scenario",
     "ScenarioStep",

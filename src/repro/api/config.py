@@ -11,6 +11,9 @@ described once, declaratively:
 * :class:`ParticipantSpec` — one member and their station parameters;
 * :class:`ResourceSpec` — server capacity and the paper's ``a``/``b``
   thresholds;
+* :class:`DynamicsSpec` / :class:`PartitionSpec` — time-varying network
+  behaviour (link profiles from :mod:`repro.net.dynamics`, partition
+  windows) applied to the star when the session is built;
 * :class:`SessionConfig` — the full frozen description of a session;
 * :class:`SessionBuilder` — a fluent builder producing a config or a
   live :class:`~repro.api.session.Session`.
@@ -24,6 +27,7 @@ from typing import TYPE_CHECKING
 from ..core.modes import FCMMode
 from ..core.resources import ResourceModel, ResourceVector
 from ..errors import SessionError
+from ..net.dynamics import GilbertElliott, LinkProfile, RampProfile
 from ..net.simnet import Link
 from .policies import resolve_mode
 
@@ -31,8 +35,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .session import Session
 
 __all__ = [
+    "DynamicsSpec",
     "LinkSpec",
     "ParticipantSpec",
+    "PartitionSpec",
     "ResourceSpec",
     "SessionConfig",
     "SessionBuilder",
@@ -104,6 +110,54 @@ class ResourceSpec:
 
 
 @dataclass(frozen=True)
+class DynamicsSpec:
+    """One time-varying link profile applied to star links at build.
+
+    ``members`` names whose client<->server link pair the profile
+    drives; empty means every participant's.  Profiles are scheduled on
+    the session clock *before* the join warmup runs, so a profile
+    written against t=0 covers the whole session.
+    """
+
+    profile: LinkProfile
+    members: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.profile, LinkProfile):
+            raise SessionError(
+                f"dynamics need a LinkProfile, got {self.profile!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A scheduled partition-and-heal window.
+
+    At virtual time ``start`` the named ``members`` (empty: every
+    participant except the chair) are cut off from the server; after
+    ``duration`` seconds the links heal.  Messages crossing the cut
+    count as ``blocked`` in the network stats.
+    """
+
+    start: float
+    duration: float
+    members: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise SessionError(f"negative partition start: {self.start!r}")
+        if self.duration <= 0:
+            raise SessionError(
+                f"partition duration must be positive, got {self.duration!r}"
+            )
+
+    @property
+    def heal_at(self) -> float:
+        """The virtual time the partition heals."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
 class SessionConfig:
     """The full, frozen description of one DMPS session.
 
@@ -118,6 +172,7 @@ class SessionConfig:
     chair: str = "teacher"
     link: LinkSpec = field(default_factory=LinkSpec)
     resources: ResourceSpec = field(default_factory=ResourceSpec)
+    dynamics: tuple[DynamicsSpec | PartitionSpec, ...] = ()
     mode: FCMMode = FCMMode.FREE_ACCESS
     seed: int = 0
     presence_timeout: float = 1.0
@@ -142,6 +197,17 @@ class SessionConfig:
                 raise SessionError(
                     f"participant {spec.name!r} marked chair but the session "
                     f"chair is {self.chair!r}"
+                )
+        for dynamic in self.dynamics:
+            if not isinstance(dynamic, (DynamicsSpec, PartitionSpec)):
+                raise SessionError(
+                    f"dynamics entries must be DynamicsSpec or PartitionSpec, "
+                    f"got {dynamic!r}"
+                )
+            unknown = sorted(set(dynamic.members) - set(names))
+            if unknown:
+                raise SessionError(
+                    f"dynamics target unknown participants: {unknown!r}"
                 )
 
 
@@ -168,6 +234,7 @@ class SessionBuilder:
         self._specs: dict[str, ParticipantSpec] = {}
         self._link = LinkSpec()
         self._resources = ResourceSpec()
+        self._dynamics: list[DynamicsSpec | PartitionSpec] = []
         self._mode = FCMMode.FREE_ACCESS
         self._seed = 0
         self._presence_timeout = 1.0
@@ -250,6 +317,86 @@ class SessionBuilder:
         return self
 
     # ------------------------------------------------------------------
+    # Network dynamics
+    # ------------------------------------------------------------------
+    def dynamics(
+        self, *specs: DynamicsSpec | PartitionSpec
+    ) -> "SessionBuilder":
+        """Attach time-varying network behaviour (profiles from
+        :mod:`repro.net.dynamics` wrapped in :class:`DynamicsSpec`,
+        or :class:`PartitionSpec` windows)."""
+        self._dynamics.extend(specs)
+        return self
+
+    def loss_burst(
+        self,
+        loss: float = 0.9,
+        *,
+        loss_good: float | None = None,
+        mean_good: float = 5.0,
+        mean_bad: float = 1.0,
+        start: float = 0.0,
+        members: tuple[str, ...] = (),
+    ) -> "SessionBuilder":
+        """Bursty loss: a seeded Gilbert–Elliott model alternating the
+        star links between ``loss_good`` and ``loss`` (the bad-state
+        probability), with mean sojourns ``mean_good``/``mean_bad``.
+        ``loss_good=None`` keeps each link's configured static loss in
+        the good state — bursts only ever add loss."""
+        return self.dynamics(
+            DynamicsSpec(
+                GilbertElliott(
+                    loss_good=loss_good,
+                    loss_bad=loss,
+                    mean_good=mean_good,
+                    mean_bad=mean_bad,
+                    start=start,
+                ),
+                members=members,
+            )
+        )
+
+    def delay_ramp(
+        self,
+        to_latency: float,
+        *,
+        start: float,
+        end: float,
+        from_latency: float | None = None,
+        steps: int = 20,
+        members: tuple[str, ...] = (),
+    ) -> "SessionBuilder":
+        """Sweep star-link latency linearly to ``to_latency`` between
+        virtual times ``start`` and ``end`` — the canonical "delay
+        creeps past the paper's bound" workload."""
+        return self.dynamics(
+            DynamicsSpec(
+                RampProfile(
+                    "base_latency",
+                    start=start,
+                    end=end,
+                    to_value=to_latency,
+                    from_value=from_latency,
+                    steps=steps,
+                ),
+                members=members,
+            )
+        )
+
+    def partition_window(
+        self,
+        start: float,
+        duration: float,
+        *,
+        members: tuple[str, ...] = (),
+    ) -> "SessionBuilder":
+        """Cut ``members`` (default: everyone but the chair) off from
+        the server at ``start``; heal after ``duration`` seconds."""
+        return self.dynamics(
+            PartitionSpec(start=start, duration=duration, members=members)
+        )
+
+    # ------------------------------------------------------------------
     # Behaviour
     # ------------------------------------------------------------------
     def policy(self, policy: "FCMMode | str") -> "SessionBuilder":
@@ -306,6 +453,7 @@ class SessionBuilder:
             chair=self._chair,
             link=self._link,
             resources=self._resources,
+            dynamics=tuple(self._dynamics),
             mode=self._mode,
             seed=self._seed,
             presence_timeout=self._presence_timeout,

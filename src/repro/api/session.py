@@ -17,7 +17,14 @@ All the common verbs live directly on the facade::
         print(s.report().render())
 
 The underlying objects stay reachable (``s.server``, ``s.clients``,
-``s.clock``, ``s.network``) for anything the facade does not cover.
+``s.clock``, ``s.network``, ``s.dynamics``) for anything the facade
+does not cover.
+
+Time-varying network behaviour (:mod:`repro.net.dynamics`) is part of
+the facade: declare it up front with the builder's ``loss_burst`` /
+``delay_ramp`` / ``partition_window`` knobs, or script it mid-session
+with the ``degrade_link`` / ``partition`` / ``heal`` / ``churn`` verbs
+(all reachable from :class:`~repro.api.scenario.Scenario` steps).
 """
 
 from __future__ import annotations
@@ -28,12 +35,19 @@ from ..clock.virtual import VirtualClock
 from ..core.events import EventLog
 from ..core.modes import FCMMode
 from ..errors import SessionError
+from ..net.dynamics import NetworkDynamics
 from ..net.simnet import Network
 from ..session.dmps import DMPSClient, DMPSServer
 from ..session.presence import PresenceMonitor
 from ..session.report import SessionReport, summarize
 from ..session.whiteboard import Whiteboard
-from .config import ParticipantSpec, SessionBuilder, SessionConfig
+from .config import (
+    DynamicsSpec,
+    ParticipantSpec,
+    PartitionSpec,
+    SessionBuilder,
+    SessionConfig,
+)
 from .policies import resolve_mode
 
 __all__ = ["Session"]
@@ -62,6 +76,9 @@ class Session:
         )
         if config.presence_sweep is not None:
             self.server.presence.sweep_interval = config.presence_sweep
+        self.dynamics = NetworkDynamics(
+            self.network, rng=random.Random(config.seed + 2)
+        )
         self._clients: dict[str, DMPSClient] = {}
         self._departed: dict[str, DMPSClient] = {}
         self._closed = False
@@ -69,6 +86,10 @@ class Session:
             self._connect(spec)
         for spec in config.participants:
             self._start_participant(spec.name)
+        # Dynamics are scheduled before the warmup runs so profiles and
+        # partition windows written against t=0 cover the whole run.
+        for dynamic in config.dynamics:
+            self._apply_dynamics(dynamic)
         self.clock.run_until(config.join_warmup)
         if config.mode is not FCMMode.FREE_ACCESS:
             self.server.set_mode(config.mode, by=config.chair)
@@ -124,13 +145,15 @@ class Session:
 
     def close(self) -> None:
         """Stop every periodic loop (heartbeats, clock sync, presence
-        sweep) so the event queue can drain; idempotent."""
+        sweep, self-rescheduling dynamics profiles) so the event queue
+        can drain; idempotent."""
         if self._closed:
             return
         for client in self._clients.values():
             client.stop_heartbeats()
             client.stop_clock_sync()
         self.server.presence.stop()
+        self.dynamics.cancel_profiles()
         self._closed = True
 
     @property
@@ -222,6 +245,68 @@ class Session:
             client.reconnect(self.config.heartbeat_interval)
         else:
             self.network.set_host_up(client.host_name, True)
+
+    # ------------------------------------------------------------------
+    # Network dynamics
+    # ------------------------------------------------------------------
+    def degrade_link(
+        self,
+        member: str,
+        *,
+        latency: float | None = None,
+        jitter: float | None = None,
+        loss: float | None = None,
+        bandwidth_kbps: float | None = None,
+    ) -> None:
+        """Change a member's star-link parameters right now (both
+        directions); only the named fields change.  Scriptable:
+        ``at(8.0, "degrade_link", "alice", loss=0.5)``."""
+        client = self.client(member)
+        self.dynamics.degrade(
+            self.config.server_host,
+            client.host_name,
+            latency=latency,
+            jitter=jitter,
+            loss=loss,
+            bandwidth_kbps=bandwidth_kbps,
+        )
+
+    def partition(self, *members: str) -> None:
+        """Cut the named members (default: everyone but the chair) off
+        from the server until :meth:`heal`.  Their hosts stay up — only
+        the wires are cut, so messages count as ``blocked``, not
+        ``to_down_host``.  Scriptable: ``at(8.0, "partition")``."""
+        names = members if members else tuple(
+            name for name in self._clients if name != self.config.chair
+        )
+        hosts = {self.client(name).host_name for name in names}
+        self.dynamics.partition(hosts, {self.config.server_host})
+
+    def heal(self) -> None:
+        """Restore every link cut by :meth:`partition` (or by a
+        configured :class:`~repro.api.config.PartitionSpec`)."""
+        self.dynamics.heal()
+
+    def churn(self, member: str, rejoin_after: float | None = None) -> None:
+        """Host churn: the member leaves now and, with ``rejoin_after``,
+        automatically rejoins that many virtual seconds later (on their
+        original station).  A member who already rejoined by then (e.g.
+        via an explicit :meth:`join`) is left alone.  Scriptable:
+        ``at(5.0, "churn", "bob", rejoin_after=4.0)``."""
+        if rejoin_after is not None and rejoin_after <= 0:
+            raise SessionError(
+                f"rejoin_after must be positive, got {rejoin_after!r}"
+            )
+        self.leave(member)
+        if rejoin_after is not None:
+            self.clock.call_later(rejoin_after, self._rejoin, member)
+
+    def _rejoin(self, member: str) -> None:
+        # A no-op once the member is already back or the session closed
+        # (a rejoin must not restart loops close() just stopped).
+        if self._closed or member in self._clients:
+            return
+        self.join(member)
 
     # ------------------------------------------------------------------
     # Floor control and boards
@@ -327,6 +412,27 @@ class Session:
             self.config.server_host, spec.host_name, link.to_link()
         )
         self._clients[spec.name] = client
+
+    def _apply_dynamics(self, dynamic: DynamicsSpec | PartitionSpec) -> None:
+        hosts_of = {
+            spec.name: spec.host_name for spec in self.config.participants
+        }
+        if isinstance(dynamic, PartitionSpec):
+            members = dynamic.members or tuple(
+                name for name in hosts_of if name != self.config.chair
+            )
+            self.dynamics.partition(
+                {hosts_of[name] for name in members},
+                {self.config.server_host},
+                at=dynamic.start,
+                heal_at=dynamic.heal_at,
+            )
+            return
+        members = dynamic.members or tuple(hosts_of)
+        for name in members:
+            self.dynamics.apply(
+                dynamic.profile, self.config.server_host, hosts_of[name]
+            )
 
     def _start_participant(self, member: str) -> None:
         client = self._clients[member]

@@ -24,6 +24,10 @@ Commands
     Run a parameter sweep (named via ``--spec``/``--smoke`` or inline
     via ``--axis``), print the comparison table, and persist the
     schema-versioned ``BENCH_*.json`` (:mod:`repro.experiments`).
+    Network-dynamics grids ship as named specs (``loss_burst``,
+    ``delay_ramp``, ``partition_heal``) and as cell parameters
+    (``burst_loss``, ``ramp_to_latency``, ``partition_start``, ...)
+    usable with ``--axis``/``--set``.
 ``report``
     Run the seeded classroom and print only the session report.
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -115,8 +116,12 @@ class VirtualClock:
         Raises
         ------
         ClockError
-            If ``when`` is in the virtual past.
+            If ``when`` is in the virtual past, NaN, or infinite — a
+            non-finite deadline compares ``False`` against everything
+            and would silently corrupt the heap order.
         """
+        if not math.isfinite(when):
+            raise ClockError(f"event time must be finite, got {when!r}")
         if when < self._now:
             raise ClockError(
                 f"cannot schedule event at t={when:.6f}; "
@@ -158,6 +163,8 @@ class VirtualClock:
         event fired earlier), matching the behaviour of running a real
         loop for a fixed duration.  Returns the number of events run.
         """
+        if not math.isfinite(deadline):
+            raise ClockError(f"deadline must be finite, got {deadline!r}")
         if deadline < self._now:
             raise ClockError(
                 f"deadline t={deadline:.6f} is before now t={self._now:.6f}"

@@ -27,10 +27,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+from ..api.config import DynamicsSpec, PartitionSpec
 from ..api.policies import make_policy
 from ..api.scenario import Scenario, ScenarioStep
 from ..api.session import Session
 from ..errors import ReproError
+from ..net.dynamics import GilbertElliott, RampProfile
 from ..workload.generator import WorkloadConfig, generate, member_names
 from .metrics import grant_latencies, jain_fairness, latency_summary, served_counts
 from .spec import Cell, SweepSpec
@@ -51,6 +53,8 @@ __all__ = [
 CellRunner = Callable[[Cell], Mapping[str, float]]
 
 #: Parameters every built-in cell runner understands, with defaults.
+#: The dynamics block (burst/ramp/partition) is off by default: 0.0 or
+#: ``None`` disables the respective time-varying behaviour.
 _SESSION_DEFAULTS: dict[str, Any] = {
     "participants": 8,
     "policy": "free_access",
@@ -61,6 +65,14 @@ _SESSION_DEFAULTS: dict[str, Any] = {
     "loss": 0.0,
     "mean_hold": 4.0,
     "request_rate": 0.5,
+    "burst_loss": 0.0,
+    "burst_mean_good": 4.0,
+    "burst_mean_bad": 1.0,
+    "ramp_to_latency": None,
+    "ramp_start": 0.0,
+    "ramp_end": None,
+    "partition_start": None,
+    "partition_duration": 2.0,
 }
 
 #: Policy names with no FCM mode behind them (driven without a server).
@@ -93,6 +105,51 @@ def _check_known_params(cell: Cell) -> None:
             f"cell {cell.cell_id!r}: unknown parameters {unknown!r}; "
             f"the built-in runners understand {sorted(_SESSION_DEFAULTS)}"
         )
+
+
+def _cell_dynamics(cell: Cell, duration: float) -> list:
+    """The cell's network-dynamics specs (empty when all knobs are off).
+
+    ``burst_loss > 0`` enables the Gilbert–Elliott bursty-loss model —
+    the good state keeps the cell's static ``loss`` (so crossing both
+    knobs stays honest: bursts only ever *add* loss), the bad state
+    drops at ``burst_loss``.  ``ramp_to_latency`` enables a latency
+    ramp (``ramp_end=None`` rides to the end of the run), and
+    ``partition_start`` a partition-and-heal window cutting every
+    student off from the server.
+    """
+    specs: list[DynamicsSpec | PartitionSpec] = []
+    burst_loss = _float_value(cell, "burst_loss")
+    if burst_loss > 0:
+        specs.append(
+            DynamicsSpec(
+                GilbertElliott(
+                    loss_bad=burst_loss,
+                    mean_good=_float_value(cell, "burst_mean_good"),
+                    mean_bad=_float_value(cell, "burst_mean_bad"),
+                )
+            )
+        )
+    if _cell_value(cell, "ramp_to_latency") is not None:
+        ramp_end = _cell_value(cell, "ramp_end")
+        specs.append(
+            DynamicsSpec(
+                RampProfile(
+                    "base_latency",
+                    start=_float_value(cell, "ramp_start"),
+                    end=float(ramp_end) if ramp_end is not None else duration,
+                    to_value=_float_value(cell, "ramp_to_latency"),
+                )
+            )
+        )
+    if _cell_value(cell, "partition_start") is not None:
+        specs.append(
+            PartitionSpec(
+                start=_float_value(cell, "partition_start"),
+                duration=_float_value(cell, "partition_duration"),
+            )
+        )
+    return specs
 
 
 def _workload(cell: Cell):
@@ -134,6 +191,7 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
         .policy(policy)
     )
     builder.participants(*members)
+    builder.dynamics(*_cell_dynamics(cell, config.duration))
     steps = []
     for event in events:
         if event.action == "request":
@@ -157,6 +215,7 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
         log = session.log
         latencies = grant_latencies(log)
         counts = served_counts(log, members)
+        blocked = float(session.network.stats.blocked)
     return {
         "requests": float(report.requests),
         "granted": float(report.granted),
@@ -166,6 +225,8 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
         **latency_summary(latencies),
         "fairness": jain_fairness(counts.values()),
         "loss_rate": report.loss_rate,
+        "net_latency": report.mean_latency,
+        "blocked": blocked,
         "messages_sent": float(report.messages_sent),
         "posts": float(report.posts_accepted),
         "sim_time": report.duration,
@@ -222,6 +283,8 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
         **latency_summary(latencies),
         "fairness": jain_fairness(counts.values()),
         "loss_rate": 0.0,
+        "net_latency": 0.0,
+        "blocked": 0.0,
         "messages_sent": 0.0,
         "posts": float(posts),
         "sim_time": config.duration,

@@ -13,7 +13,14 @@ paper's headline comparisons —
 * ``delay_grid`` — latency × loss over equal control, the "bounded
   delay" premise of Section 3 made measurable;
 * ``group_size`` — participants axis, arbitration under growing
-  classes.
+  classes;
+* ``loss_burst`` — a Gilbert–Elliott bursty-loss axis
+  (:mod:`repro.net.dynamics`): what independent-loss grids miss about
+  correlated outages;
+* ``delay_ramp`` — mid-session latency ramps that violate the paper's
+  bounded-delay premise while the session runs;
+* ``partition_heal`` — the session-wide modes under a mid-session
+  partition-and-heal window (do grants resume after the heal?).
 
 Specs are values: grab one, ``with_root_seed`` it, cross more axes in
 a copy.  Registering your own name makes it reachable from the CLI.
@@ -113,5 +120,34 @@ register_spec(
         axes=(Axis("participants", (4, 8, 16, 32)),),
         base={"scenario": "storm", "duration": 10.0,
               "policy": "equal_control"},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="loss_burst",
+        axes=(Axis("burst_loss", (0.0, 0.4, 0.9)),),
+        base={"participants": 6, "scenario": "seminar", "duration": 20.0,
+              "policy": "equal_control", "latency": 0.02,
+              "burst_mean_good": 4.0, "burst_mean_bad": 1.5},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="delay_ramp",
+        axes=(Axis("ramp_to_latency", (0.02, 0.1, 0.4)),),
+        base={"participants": 6, "scenario": "seminar", "duration": 20.0,
+              "policy": "equal_control", "latency": 0.02,
+              "ramp_start": 5.0, "ramp_end": 15.0},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="partition_heal",
+        axes=(Axis("policy", ("free_access", "equal_control")),),
+        base={"participants": 6, "scenario": "seminar", "duration": 24.0,
+              "partition_start": 8.0, "partition_duration": 4.0},
     )
 )

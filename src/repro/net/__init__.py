@@ -1,14 +1,31 @@
-"""Network simulation substrate: links, hosts, transport, topologies."""
+"""Network simulation substrate: links, hosts, transport, topologies,
+and time-varying dynamics (:mod:`repro.net.dynamics`)."""
 
+from .dynamics import (
+    GilbertElliott,
+    LinkProfile,
+    NetworkDynamics,
+    PartitionHandle,
+    PiecewiseProfile,
+    ProfileHandle,
+    RampProfile,
+)
 from .simnet import DeliveryStats, Host, Link, Network
 from .topology import StarTopology, build_star
 from .transport import ReliableChannel
 
 __all__ = [
     "DeliveryStats",
+    "GilbertElliott",
     "Host",
     "Link",
+    "LinkProfile",
     "Network",
+    "NetworkDynamics",
+    "PartitionHandle",
+    "PiecewiseProfile",
+    "ProfileHandle",
+    "RampProfile",
     "ReliableChannel",
     "StarTopology",
     "build_star",

@@ -1,0 +1,579 @@
+"""Time-varying network dynamics: profiles, partitions, churn.
+
+The paper's synchrony argument rests on *bounded delay* over a campus
+LAN (Section 3), so the interesting experimental question is what
+happens when that bound is violated mid-session.  The static
+:class:`~repro.net.simnet.Link` freezes delay/loss at construction;
+this module drives those fields over virtual time:
+
+* a :class:`PiecewiseProfile` steps one link field through scheduled
+  values (e.g. a delay spike at t=10);
+* a :class:`RampProfile` sweeps a field linearly between two values —
+  the canonical "delay creeps past the bound" workload;
+* :class:`GilbertElliott` is the classic two-state bursty-loss model:
+  the link alternates between a *good* and a *bad* loss state with
+  seeded, exponentially distributed sojourn times;
+* :class:`NetworkDynamics` binds profiles to the links of a
+  :class:`~repro.net.simnet.Network`, cuts and heals partitions, and
+  schedules host churn — everything on the shared
+  :class:`~repro.clock.virtual.VirtualClock`, so runs stay
+  byte-reproducible for any seed.
+
+Example
+-------
+::
+
+    dynamics = NetworkDynamics(network, rng=random.Random(7))
+    dynamics.apply(
+        RampProfile("base_latency", start=5.0, end=15.0, to_value=0.4),
+        "server", "host-alice",
+    )
+    dynamics.partition({"host-alice"}, at=8.0, heal_at=12.0)
+
+The session facade exposes the same machinery as scripting verbs
+(``degrade_link`` / ``partition`` / ``churn``) and declarative
+:class:`~repro.api.config.DynamicsSpec` knobs; the sweep engine's
+``loss_burst`` / ``delay_ramp`` / ``partition_heal`` specs run it at
+grid scale (:mod:`repro.experiments.specs`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..clock.virtual import EventHandle, VirtualClock
+from ..errors import NetworkError
+from .simnet import Link, Network
+
+__all__ = [
+    "GilbertElliott",
+    "LinkProfile",
+    "NetworkDynamics",
+    "PartitionHandle",
+    "PiecewiseProfile",
+    "ProfileHandle",
+    "RampProfile",
+]
+
+#: Link fields a profile may drive over time.
+DRIVABLE_FIELDS = ("base_latency", "jitter", "loss_probability", "bandwidth_kbps")
+
+
+def _check_field(field: str) -> None:
+    if field not in DRIVABLE_FIELDS:
+        raise NetworkError(
+            f"cannot drive link field {field!r}; drivable: {list(DRIVABLE_FIELDS)}"
+        )
+
+
+def _check_value(field: str, value: float | None) -> None:
+    """Mirror :class:`Link`'s construction rules for mutated values."""
+    if field == "bandwidth_kbps":
+        if value is not None and value <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {value!r}")
+        return
+    if value is None or not math.isfinite(value):
+        raise NetworkError(f"link {field} must be a finite number, got {value!r}")
+    if value < 0:
+        raise NetworkError(f"negative link {field}: {value!r}")
+    if field == "loss_probability" and value > 1.0:
+        raise NetworkError(f"loss probability must be in [0, 1], got {value!r}")
+
+
+class ProfileHandle:
+    """Cancellation handle for one applied profile.
+
+    Cancelling stops every pending and future field update of the
+    profile; values already written stay in place.
+    """
+
+    __slots__ = ("_events", "_stopped")
+
+    def __init__(self) -> None:
+        self._events: list[EventHandle] = []
+        self._stopped = False
+
+    def _track(self, event: EventHandle) -> None:
+        self._events.append(event)
+
+    def _track_current(self, event: EventHandle) -> None:
+        """Track a self-rescheduling chain's single pending event,
+        replacing the fired one — keeps the handle O(1) for unbounded
+        chains like :class:`GilbertElliott`."""
+        if self._events:
+            self._events[-1] = event
+        else:
+            self._events.append(event)
+
+    def cancel(self) -> None:
+        """Stop all remaining updates of this profile."""
+        self._stopped = True
+        for event in self._events:
+            event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._stopped
+
+
+class LinkProfile:
+    """Base class of all link-field drivers.
+
+    A profile is a frozen value describing *how* one link field evolves
+    over virtual time; :meth:`NetworkDynamics.apply` binds it to
+    concrete links and schedules the updates.  Subclasses implement
+    :meth:`_schedule`.
+    """
+
+    #: The :class:`Link` field this profile drives (set by subclasses).
+    field: str
+
+    def _schedule(
+        self,
+        clock: VirtualClock,
+        rng: random.Random,
+        links: list[Link],
+        handle: ProfileHandle,
+    ) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PiecewiseProfile(LinkProfile):
+    """Piecewise-constant schedule: ``(time, value)`` breakpoints.
+
+    At each breakpoint the field jumps to the value and holds it until
+    the next one.  Breakpoints already in the virtual past when the
+    profile is applied collapse onto "apply the latest past value now",
+    so profiles written against t=0 behave identically whenever they
+    are attached.
+    """
+
+    field: str
+    points: tuple[tuple[float, float | None], ...]
+
+    def __post_init__(self) -> None:
+        _check_field(self.field)
+        if not self.points:
+            raise NetworkError("a piecewise profile needs at least one point")
+        previous = None
+        for when, value in self.points:
+            if not math.isfinite(when) or when < 0:
+                raise NetworkError(
+                    f"piecewise point time must be finite and >= 0, got {when!r}"
+                )
+            if previous is not None and when <= previous:
+                raise NetworkError(
+                    f"piecewise point times must be strictly increasing; "
+                    f"{when!r} follows {previous!r}"
+                )
+            previous = when
+            _check_value(self.field, value)
+
+    def _schedule(
+        self,
+        clock: VirtualClock,
+        rng: random.Random,
+        links: list[Link],
+        handle: ProfileHandle,
+    ) -> None:
+        now = clock.now()
+
+        def write(value: float | None) -> None:
+            for link in links:
+                setattr(link, self.field, value)
+
+        catch_up: float | None = None
+        caught = False
+        for when, value in self.points:
+            if when <= now:
+                catch_up, caught = value, True
+                continue
+            handle._track(clock.call_at(when, write, value))
+        if caught:
+            write(catch_up)
+
+
+@dataclass(frozen=True)
+class RampProfile(LinkProfile):
+    """Linear sweep of one field from ``from_value`` to ``to_value``.
+
+    The ramp runs between virtual times ``start`` and ``end`` in
+    ``steps`` equal updates (the first at ``start``, the last exactly
+    ``to_value`` at ``end``).  ``from_value=None`` reads the field's
+    current value when the ramp begins, so a ramp composes with
+    whatever configured the link.  Steps already in the virtual past
+    when the profile is applied collapse onto "apply the latest one
+    now" (matching :class:`PiecewiseProfile`), so a ramp attached
+    after its window still lands at ``to_value``.
+    """
+
+    field: str
+    start: float
+    end: float
+    to_value: float
+    from_value: float | None = None
+    steps: int = 20
+
+    def __post_init__(self) -> None:
+        _check_field(self.field)
+        if self.field == "bandwidth_kbps":
+            raise NetworkError(
+                "cannot ramp bandwidth_kbps (None means infinitely fast); "
+                "use a PiecewiseProfile"
+            )
+        if not math.isfinite(self.start) or self.start < 0:
+            raise NetworkError(
+                f"ramp start must be finite and >= 0, got {self.start!r}"
+            )
+        if not math.isfinite(self.end) or self.end <= self.start:
+            raise NetworkError(
+                f"ramp end must be finite and after start, got {self.end!r}"
+            )
+        if self.steps < 1:
+            raise NetworkError(f"ramp needs at least 1 step, got {self.steps!r}")
+        _check_value(self.field, self.to_value)
+        if self.from_value is not None:
+            _check_value(self.field, self.from_value)
+
+    def _schedule(
+        self,
+        clock: VirtualClock,
+        rng: random.Random,
+        links: list[Link],
+        handle: ProfileHandle,
+    ) -> None:
+        state = {"from": self.from_value}
+
+        def write(fraction: float) -> None:
+            if state["from"] is None:
+                state["from"] = float(getattr(links[0], self.field))
+            value = state["from"] + (self.to_value - state["from"]) * fraction
+            for link in links:
+                setattr(link, self.field, value)
+
+        now = clock.now()
+        span = self.end - self.start
+        catch_up: float | None = None
+        for index in range(self.steps + 1):
+            fraction = index / self.steps
+            when = self.start + span * fraction
+            if when <= now:
+                # Like PiecewiseProfile, steps already in the virtual
+                # past collapse onto "apply the latest one now" — a
+                # ramp attached after its window still lands the link
+                # exactly at to_value.
+                catch_up = fraction
+                continue
+            handle._track(clock.call_at(when, write, fraction))
+        if catch_up is not None:
+            write(catch_up)
+
+
+@dataclass(frozen=True)
+class GilbertElliott(LinkProfile):
+    """Seeded two-state bursty-loss model (Gilbert–Elliott).
+
+    The link's ``loss_probability`` alternates between ``loss_good``
+    and ``loss_bad``; sojourn times in each state are exponentially
+    distributed with means ``mean_good`` / ``mean_bad`` seconds (the
+    continuous-time analogue of the classic per-slot transition
+    probabilities).  ``loss_good=None`` (the default) keeps each
+    link's *configured* loss in the good state, so bursts only ever
+    add loss on top of a lossy link instead of silently wiping its
+    static floor.  All randomness comes from the RNG owned by the
+    :class:`NetworkDynamics` that applies the profile, so a seeded run
+    reproduces the exact same burst pattern.
+    """
+
+    loss_good: float | None = None
+    loss_bad: float = 0.9
+    mean_good: float = 5.0
+    mean_bad: float = 1.0
+    start: float = 0.0
+
+    field: str = "loss_probability"
+
+    def __post_init__(self) -> None:
+        for name, value in (("loss_good", self.loss_good),
+                            ("loss_bad", self.loss_bad)):
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise NetworkError(
+                    f"{name} must be in [0, 1], got {value!r}"
+                )
+        for name, value in (("mean_good", self.mean_good),
+                            ("mean_bad", self.mean_bad)):
+            if not math.isfinite(value) or value <= 0:
+                raise NetworkError(
+                    f"{name} must be a positive number of seconds, got {value!r}"
+                )
+        if not math.isfinite(self.start) or self.start < 0:
+            raise NetworkError(
+                f"burst start must be finite and >= 0, got {self.start!r}"
+            )
+        if self.field != "loss_probability":
+            raise NetworkError("GilbertElliott drives loss_probability only")
+
+    def _schedule(
+        self,
+        clock: VirtualClock,
+        rng: random.Random,
+        links: list[Link],
+        handle: ProfileHandle,
+    ) -> None:
+        state = {"baselines": None}
+
+        def enter(bad: bool) -> None:
+            if handle.cancelled:
+                return
+            if state["baselines"] is None:
+                # Per-link good-state loss, captured when the chain
+                # starts (links carry their configured loss by then).
+                state["baselines"] = [
+                    self.loss_good
+                    if self.loss_good is not None
+                    else link.loss_probability
+                    for link in links
+                ]
+            for link, baseline in zip(links, state["baselines"]):
+                link.loss_probability = self.loss_bad if bad else baseline
+            sojourn = rng.expovariate(
+                1.0 / (self.mean_bad if bad else self.mean_good)
+            )
+            handle._track_current(clock.call_later(sojourn, enter, not bad))
+
+        handle._track_current(
+            clock.call_at(max(self.start, clock.now()), enter, False)
+        )
+
+
+class PartitionHandle:
+    """One partition's cut links, healable independently.
+
+    Returned by :meth:`NetworkDynamics.partition`; a scheduled
+    ``heal_at`` heals exactly this partition, so overlapping partitions
+    never end each other early.
+    """
+
+    __slots__ = ("_dynamics", "_pairs")
+
+    def __init__(self, dynamics: "NetworkDynamics") -> None:
+        self._dynamics = dynamics
+        self._pairs: set[tuple[str, str]] = set()
+
+    def heal(self) -> None:
+        """Restore this partition's links (links a later partition also
+        cut stay cut until that one heals too); idempotent."""
+        self._dynamics._heal_pairs(self._pairs)
+        self._pairs.clear()
+
+    @property
+    def pairs(self) -> set[tuple[str, str]]:
+        """Directional link pairs this partition cut (a copy)."""
+        return set(self._pairs)
+
+
+class NetworkDynamics:
+    """Schedules time-varying behaviour onto a live :class:`Network`.
+
+    One instance per network; it shares the network's virtual clock and
+    owns its own seeded RNG (independent of the network's jitter/loss
+    RNG, so burst-state transitions never perturb per-message draws).
+    """
+
+    def __init__(self, network: Network, rng: random.Random | None = None) -> None:
+        self.network = network
+        self.clock = network.clock
+        self.rng = rng if rng is not None else random.Random(0)
+        #: Cut link pairs -> how many active partitions cover them.
+        self._partitioned: dict[tuple[str, str], int] = {}
+        self._partitions: list[PartitionHandle] = []
+        self._profiles: list[ProfileHandle] = []
+
+    # ------------------------------------------------------------------
+    # Link profiles
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        profile: LinkProfile,
+        source: str,
+        target: str,
+        *,
+        both: bool = True,
+    ) -> ProfileHandle:
+        """Attach a profile to the ``source -> target`` link (and, with
+        ``both``, to the reverse direction); updates start scheduling
+        immediately.  Returns a cancellable :class:`ProfileHandle`."""
+        links = [self.network.link(source, target)]
+        if both:
+            links.append(self.network.link(target, source))
+        handle = ProfileHandle()
+        profile._schedule(self.clock, self.rng, links, handle)
+        self._profiles.append(handle)
+        return handle
+
+    def degrade(
+        self,
+        source: str,
+        target: str,
+        *,
+        at: float | None = None,
+        both: bool = True,
+        latency: float | None = None,
+        jitter: float | None = None,
+        loss: float | None = None,
+        bandwidth_kbps: float | None = None,
+    ) -> EventHandle | None:
+        """One-shot change of link parameters, now (``at=None``) or at
+        an absolute virtual time.  Only the named fields change."""
+        updates: list[tuple[str, float | None]] = []
+        for field, value in (
+            ("base_latency", latency),
+            ("jitter", jitter),
+            ("loss_probability", loss),
+            ("bandwidth_kbps", bandwidth_kbps),
+        ):
+            if value is not None:
+                _check_value(field, value)
+                updates.append((field, value))
+        if not updates:
+            raise NetworkError("degrade needs at least one field to change")
+        links = [self.network.link(source, target)]
+        if both:
+            links.append(self.network.link(target, source))
+
+        def write() -> None:
+            for link in links:
+                for field, value in updates:
+                    setattr(link, field, value)
+
+        if at is None:
+            write()
+            return None
+        return self.clock.call_at(at, write)
+
+    def cancel_profiles(self) -> None:
+        """Cancel every profile this instance applied."""
+        for handle in self._profiles:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        group_a: Iterable[str],
+        group_b: Iterable[str] | None = None,
+        *,
+        at: float | None = None,
+        heal_at: float | None = None,
+    ) -> PartitionHandle:
+        """Cut every configured link crossing the two host groups.
+
+        ``group_b=None`` means "everything not in ``group_a``".  The
+        cut happens now or at virtual time ``at``; ``heal_at``
+        optionally schedules the returned handle's
+        :meth:`~PartitionHandle.heal` — scoped to *this* partition, so
+        overlapping partitions and windows never end each other early.
+        Crossing links are resolved when the cut fires, so hosts wired
+        after scheduling are still covered.  Messages over a cut link
+        count as ``blocked`` in
+        :class:`~repro.net.simnet.DeliveryStats`.
+        """
+        side_a = frozenset(group_a)
+        side_b = None if group_b is None else frozenset(group_b)
+        if not side_a:
+            raise NetworkError("a partition needs at least one host in group_a")
+        if heal_at is not None:
+            cut_time = at if at is not None else self.clock.now()
+            if heal_at <= cut_time:
+                raise NetworkError(
+                    f"heal_at {heal_at!r} must come after the cut "
+                    f"at t={cut_time:.6f}"
+                )
+        handle = PartitionHandle(self)
+        self._partitions.append(handle)
+
+        def cut() -> None:
+            b = (
+                side_b
+                if side_b is not None
+                else frozenset(self.network.hosts()) - side_a
+            )
+            for (source, target), link in self.network.links().items():
+                crosses = (source in side_a and target in b) or (
+                    source in b and target in side_a
+                )
+                if crosses and (source, target) not in handle._pairs:
+                    link.up = False
+                    handle._pairs.add((source, target))
+                    self._partitioned[(source, target)] = (
+                        self._partitioned.get((source, target), 0) + 1
+                    )
+
+        if at is None:
+            cut()
+        else:
+            self.clock.call_at(at, cut)
+        if heal_at is not None:
+            self.clock.call_at(heal_at, handle.heal)
+        return handle
+
+    def heal(self, *, at: float | None = None) -> None:
+        """Restore every link this instance cut — *all* active
+        partitions at once — now or at ``at``.  For ending one specific
+        partition, heal the handle :meth:`partition` returned."""
+        if at is not None:
+            self.clock.call_at(at, self.heal)
+            return
+        for pair in self._partitioned:
+            self.network.link(*pair).up = True
+        self._partitioned.clear()
+        # Drop every handle's claims too: a stale handle's scheduled
+        # heal must never steal a claim a *later* partition makes on
+        # the same pair.
+        for handle in self._partitions:
+            handle._pairs.clear()
+
+    def _heal_pairs(self, pairs: set[tuple[str, str]]) -> None:
+        """Drop one partition's claim on each pair; restore links no
+        other active partition still covers."""
+        for pair in pairs:
+            remaining = self._partitioned.get(pair)
+            if remaining is None:
+                continue  # a blanket heal() already restored it
+            if remaining <= 1:
+                del self._partitioned[pair]
+                self.network.link(*pair).up = True
+            else:
+                self._partitioned[pair] = remaining - 1
+
+    @property
+    def partitioned(self) -> set[tuple[str, str]]:
+        """Directional link pairs currently cut (a copy)."""
+        return set(self._partitioned)
+
+    # ------------------------------------------------------------------
+    # Host churn
+    # ------------------------------------------------------------------
+    def churn(
+        self, host: str, down_at: float, up_at: float | None = None
+    ) -> None:
+        """Schedule a host to go down (and optionally come back).
+
+        Models a crashing/rejoining station at the network layer:
+        messages to the downed host count as ``to_down_host``.  Session
+        membership churn (leave/rejoin with handshakes) lives on the
+        facade — see :meth:`repro.api.session.Session.churn`.
+        """
+        self.network.host(host)  # validate early, not at fire time
+        if up_at is not None and up_at <= down_at:
+            raise NetworkError(
+                f"up_at {up_at!r} must come after down_at {down_at!r}"
+            )
+        self.clock.call_at(down_at, self.network.set_host_up, host, False)
+        if up_at is not None:
+            self.clock.call_at(up_at, self.network.set_host_up, host, True)

@@ -15,6 +15,11 @@ experimental variable:
 
 Delivery on a single link is FIFO (reordering across different links is
 possible, as in a real switched LAN).
+
+Link parameters are mutable *during* a run: :mod:`repro.net.dynamics`
+drives them over virtual time (delay ramps, bursty loss, partitions),
+which is how the "what if the bounded-delay premise breaks mid-session"
+experiments are expressed.
 """
 
 from __future__ import annotations
@@ -59,12 +64,17 @@ class Link:
         Independent drop probability per message.
     bandwidth_kbps:
         Optional serialization rate; ``None`` means infinitely fast.
+    up:
+        Whether the wire is connected; messages over a downed link are
+        counted as ``blocked`` (how partitions are modelled — see
+        :meth:`repro.net.dynamics.NetworkDynamics.partition`).
     """
 
     base_latency: float = 0.01
     jitter: float = 0.0
     loss_probability: float = 0.0
     bandwidth_kbps: float | None = None
+    up: bool = True
     #: Time at which the link finishes serializing its last message.
     _busy_until: float = field(default=0.0, repr=False)
 
@@ -82,6 +92,17 @@ class Link:
                 f"bandwidth must be positive, got {self.bandwidth_kbps!r}"
             )
 
+    def clone(self) -> "Link":
+        """A fresh copy carrying the configured parameters only.
+
+        Transient per-direction state (the serialization backlog in
+        ``_busy_until``) is reset, so a template link that already
+        carried traffic never hands its backlog to new directions.
+        """
+        link = replace(self)
+        link._busy_until = 0.0
+        return link
+
 
 @dataclass
 class DeliveryStats:
@@ -91,6 +112,7 @@ class DeliveryStats:
     delivered: int = 0
     dropped: int = 0
     to_down_host: int = 0
+    blocked: int = 0
     total_latency: float = 0.0
 
     @property
@@ -103,7 +125,7 @@ class DeliveryStats:
     def loss_rate(self) -> float:
         if self.sent == 0:
             return 0.0
-        return (self.dropped + self.to_down_host) / self.sent
+        return (self.dropped + self.to_down_host + self.blocked) / self.sent
 
 
 class Network:
@@ -145,15 +167,40 @@ class Network:
         Each direction gets its own full copy of the template link, so
         per-direction state (serialization backlog) is never shared and
         every ``Link`` field — including ones added later — carries
-        over.
+        over.  Transient state is reset on each copy (see
+        :meth:`Link.clone`).
         """
         template = link if link is not None else Link()
-        self.connect(a, b, replace(template))
-        self.connect(b, a, replace(template))
+        self.connect(a, b, template.clone())
+        self.connect(b, a, template.clone())
 
     def set_default_link(self, link: Link) -> None:
         """Fallback link parameters for unconfigured host pairs."""
         self._default_link = link
+
+    def link(self, source: str, target: str) -> Link:
+        """The configured link of one direction.
+
+        Only explicitly connected pairs resolve here — the shared
+        default link is deliberately excluded, since mutating it would
+        silently change every unconfigured pair at once.
+
+        Raises
+        ------
+        NetworkError
+            When the pair was never connected.
+        """
+        self._check_host(source)
+        self._check_host(target)
+        pair = (source, target)
+        if pair not in self._links:
+            raise NetworkError(f"no configured link from {source!r} to {target!r}")
+        return self._links[pair]
+
+    def links(self) -> dict[tuple[str, str], Link]:
+        """Every configured directional link, keyed ``(source, target)``
+        (a copy of the mapping; the links themselves are live)."""
+        return dict(self._links)
 
     def host(self, name: str) -> Host:
         """Look up a host record by name."""
@@ -182,8 +229,8 @@ class Network:
         """Send ``payload`` from ``source`` to ``target``.
 
         Returns ``True`` if the message was scheduled for delivery,
-        ``False`` if it was dropped (loss or downed target — senders do
-        not learn which, as on a real network).
+        ``False`` if it was dropped (loss, a downed link, or a downed
+        target — senders do not learn which, as on a real network).
         """
         self._check_host(source)
         self._check_host(target)
@@ -193,6 +240,10 @@ class Network:
         if link is None:
             raise NetworkError(f"no link from {source!r} to {target!r}")
         self.stats.sent += 1
+        if not link.up:
+            # The wire is cut (partition): the message never leaves.
+            self.stats.blocked += 1
+            return False
         if not self._hosts[target].up:
             self.stats.to_down_host += 1
             return False

@@ -85,12 +85,19 @@ class RealtimeBridge:
     # ------------------------------------------------------------------
     async def run(self, until: float) -> None:
         """Run the simulation to virtual time ``until``, paced by
-        ``speed``, with participant coroutines interleaved."""
+        ``speed``, with participant coroutines interleaved.
+
+        A participant coroutine that crashes does not go unnoticed:
+        after the simulation window ends and all tasks are cleaned up,
+        the first non-cancellation error is re-raised (cancellations of
+        still-sleeping participants are the expected way a bounded run
+        ends and stay silent)."""
         if self._running:
             raise SessionError("bridge is already running")
         self._running = True
         started = [asyncio.ensure_future(task) for task in self._tasks]
         self._tasks = []
+        participant_errors: list[BaseException] = []
         try:
             while self.clock.now() < until:
                 # Give participant tasks a chance to schedule new events.
@@ -112,8 +119,12 @@ class RealtimeBridge:
             for task in started:
                 try:
                     await task
-                except (asyncio.CancelledError, Exception):
+                except asyncio.CancelledError:
                     pass
+                except Exception as error:
+                    participant_errors.append(error)
+        if participant_errors:
+            raise participant_errors[0]
 
     async def _pace(self, virtual_delta: float) -> None:
         if virtual_delta <= 0 or self.speed == float("inf"):

@@ -1,0 +1,313 @@
+"""Tests for network dynamics through the repro.api facade."""
+
+import pytest
+
+from repro.api import (
+    DynamicsSpec,
+    PartitionSpec,
+    Scenario,
+    Session,
+    SessionConfig,
+    at,
+)
+from repro.api.config import ParticipantSpec
+from repro.errors import SessionError
+from repro.net.dynamics import GilbertElliott, RampProfile
+
+
+class TestConfigValidation:
+    def test_builder_knobs_land_in_config(self):
+        config = (
+            Session.builder()
+            .participants("alice")
+            .loss_burst(0.8, mean_good=2.0)
+            .delay_ramp(0.3, start=2.0, end=6.0)
+            .partition_window(4.0, 2.0)
+            .config()
+        )
+        assert len(config.dynamics) == 3
+        burst, ramp, window = config.dynamics
+        assert isinstance(burst, DynamicsSpec)
+        assert isinstance(burst.profile, GilbertElliott)
+        assert burst.profile.loss_bad == 0.8
+        assert isinstance(ramp.profile, RampProfile)
+        assert ramp.profile.to_value == 0.3
+        assert isinstance(window, PartitionSpec)
+        assert window.heal_at == 6.0
+
+    def test_unknown_dynamics_member_rejected(self):
+        with pytest.raises(SessionError, match="unknown participants"):
+            (
+                Session.builder()
+                .participants("alice")
+                .partition_window(1.0, 1.0, members=("ghost",))
+                .config()
+            )
+
+    def test_partition_spec_validates_window(self):
+        with pytest.raises(SessionError):
+            PartitionSpec(start=-1.0, duration=1.0)
+        with pytest.raises(SessionError):
+            PartitionSpec(start=1.0, duration=0.0)
+
+    def test_dynamics_spec_needs_a_profile(self):
+        with pytest.raises(SessionError):
+            DynamicsSpec(profile="not a profile")
+
+    def test_config_rejects_foreign_dynamics_entries(self):
+        config = SessionConfig(
+            participants=(ParticipantSpec(name="teacher", chair=True),),
+            dynamics=("bogus",),
+        )
+        with pytest.raises(SessionError, match="DynamicsSpec"):
+            config.validate()
+
+
+class TestConfiguredDynamics:
+    def test_partition_window_blocks_then_heals(self):
+        """Messages during the configured window are blocked; after the
+        heal the same member posts successfully again."""
+        with (
+            Session.builder()
+            .participants("alice")
+            .partition_window(3.0, 2.0)
+            .build()
+        ) as session:
+            session.post("alice", "before")
+            session.run_until(2.5)
+            session.run_until(3.5)
+            blocked_before = session.network.stats.blocked
+            session.post("alice", "during")
+            session.run_until(4.0)
+            assert session.network.stats.blocked > blocked_before
+            session.run_until(5.5)  # healed at t=5
+            session.post("alice", "after")
+            session.run_for(1.0)
+            contents = [entry.content for entry in session.board()]
+        assert "before" in contents
+        assert "during" not in contents
+        assert "after" in contents
+
+    def test_partition_defaults_to_everyone_but_the_chair(self):
+        with (
+            Session.builder()
+            .participants("alice", "bob")
+            .partition_window(2.0, 1.0)
+            .build()
+        ) as session:
+            session.run_until(2.5)
+            chair_host = session.client("teacher").host_name
+            assert session.network.link("server", chair_host).up
+            for member in ("alice", "bob"):
+                host = session.client(member).host_name
+                assert not session.network.link("server", host).up
+
+    def test_loss_burst_changes_outcomes_reproducibly(self):
+        def outcome(loss):
+            builder = Session.builder().participants("alice")
+            if loss:
+                builder.loss_burst(1.0, mean_good=1.0, mean_bad=1.0)
+            with builder.build() as session:
+                for step in range(40):
+                    session.post("alice", f"m{step}")
+                    session.run_for(0.25)
+                return (
+                    len(session.board()),
+                    session.network.stats.dropped,
+                )
+
+        clean_posts, clean_dropped = outcome(False)
+        lossy_posts, lossy_dropped = outcome(True)
+        assert clean_dropped == 0
+        assert lossy_dropped > 0
+        assert lossy_posts < clean_posts
+        assert outcome(True) == outcome(True)  # seeded => reproducible
+
+    def test_loss_burst_on_lossy_link_only_adds_loss(self):
+        """Regression (facade path): loss_burst used to default the
+        good state to 0.0, so adding a burst knob *reduced* measured
+        loss below the configured static link loss."""
+        def loss_rate(burst):
+            builder = Session.builder().participants("alice").link(loss=0.3)
+            if burst:
+                builder.loss_burst(0.9, mean_good=1.0, mean_bad=1.0)
+            with builder.build() as session:
+                for step in range(120):
+                    session.post("alice", f"m{step}")
+                    session.run_for(0.1)
+                return session.network.stats.loss_rate
+
+        plain, bursty = loss_rate(False), loss_rate(True)
+        assert plain > 0.15
+        assert bursty > plain
+
+    def test_delay_ramp_raises_observed_latency(self):
+        def mean_latency(ramp):
+            builder = Session.builder().participants("alice").link(
+                latency=0.01
+            )
+            if ramp:
+                builder.delay_ramp(0.5, start=1.0, end=2.0)
+            with builder.build() as session:
+                for step in range(20):
+                    session.post("alice", f"m{step}")
+                    session.run_for(0.4)
+                return session.network.stats.mean_latency
+
+        assert mean_latency(True) > mean_latency(False) * 5
+
+
+class TestScenarioVerbs:
+    def test_degrade_link_scripted(self):
+        with Session.build("alice") as session:
+            Scenario().add(
+                at(2.0, "degrade_link", "alice", loss=1.0),
+            ).run(session, until=3.0)
+            session.post("alice", "lost")
+            session.run_for(1.0)
+            assert [e.content for e in session.board()] == []
+            assert session.network.stats.dropped >= 1
+
+    def test_degrade_link_unknown_member(self):
+        with Session.build("alice") as session:
+            with pytest.raises(SessionError):
+                session.degrade_link("ghost", loss=0.5)
+
+    def test_partition_and_heal_scripted(self):
+        with Session.build("alice", "bob") as session:
+            Scenario().add(
+                at(2.0, "post", "alice", content="pre"),
+                at(3.0, "partition"),
+                at(4.0, "post", "alice", content="cut"),
+                at(5.0, "heal"),
+                at(6.0, "post", "alice", content="post"),
+            ).run(session, until=8.0)
+            contents = [e.content for e in session.board()]
+        assert contents == ["pre", "post"]
+
+    def test_partition_of_named_members_only(self):
+        with Session.build("alice", "bob") as session:
+            session.partition("alice")
+            session.post("alice", "from-alice")
+            session.post("bob", "from-bob")
+            session.run_for(1.0)
+            assert [e.content for e in session.board()] == ["from-bob"]
+
+    def test_churn_leaves_and_rejoins(self):
+        with Session.build("alice", "bob") as session:
+            session.run_for(0.5)
+            session.churn("alice", rejoin_after=2.0)
+            assert "alice" not in session.members()
+            session.run_for(1.0)
+            assert "alice" not in session.members()
+            session.run_for(2.0)  # rejoin handshake completes
+            assert "alice" in session.members()
+            session.post("alice", "back")
+            session.run_for(0.5)
+            assert [e.content for e in session.board()] == ["back"]
+
+    def test_churn_without_rejoin_stays_out(self):
+        with Session.build("alice") as session:
+            session.churn("alice")
+            session.run_for(2.0)
+            assert "alice" not in session.members()
+
+    def test_churn_rejects_non_positive_rejoin(self):
+        with Session.build("alice") as session:
+            with pytest.raises(SessionError):
+                session.churn("alice", rejoin_after=0.0)
+
+    def test_rejected_churn_leaves_session_untouched(self):
+        """Regression: the rejoin validation used to run after
+        ``leave``, so a rejected churn still removed the member."""
+        with Session.build("alice") as session:
+            with pytest.raises(SessionError):
+                session.churn("alice", rejoin_after=-1.0)
+            assert "alice" in session.clients
+            assert "alice" in session.members()
+            session.post("alice", "still here")
+            session.run_for(0.5)
+            assert [e.content for e in session.board()] == ["still here"]
+
+    def test_early_manual_join_disarms_scheduled_rejoin(self):
+        """Regression: the scheduled rejoin used to call ``join``
+        unguarded, crashing the run when the member was already back."""
+        with Session.build("alice", "bob") as session:
+            session.churn("bob", rejoin_after=4.0)
+            session.run_for(1.0)
+            session.join("bob")  # manual early rejoin
+            session.run_for(5.0)  # the scheduled rejoin fires: no-op
+            assert "bob" in session.members()
+
+    def test_scripted_partition_survives_configured_window_heal(self):
+        """Regression: a PartitionSpec window's heal used to also heal
+        partitions scripted independently mid-session."""
+        with (
+            Session.builder()
+            .participants("alice", "bob")
+            .partition_window(2.0, 1.0)
+            .build()
+        ) as session:
+            session.run_until(2.5)
+            session.partition("bob")  # separate, open-ended cut
+            session.run_until(4.0)  # window healed at t=3
+            alice_host = session.client("alice").host_name
+            bob_host = session.client("bob").host_name
+            assert session.network.link("server", alice_host).up
+            assert not session.network.link("server", bob_host).up
+            session.heal()
+            assert session.network.link("server", bob_host).up
+
+
+class TestClose:
+    def test_pending_churn_rejoin_is_disarmed_by_close(self):
+        """Regression: a rejoin still pending at close() used to fire
+        afterwards, restarting heartbeats so the queue never drained."""
+        session = Session.build("alice", "bob")
+        session.run_for(0.5)
+        session.churn("bob", rejoin_after=2.0)
+        session.close()
+        session.run_for(5.0)
+        assert "bob" not in session.members()
+        assert session.clock.pending() == 0
+
+    def test_close_cancels_burst_profiles_so_queue_drains(self):
+        """Regression: a Gilbert–Elliott chain used to keep
+        rescheduling itself after ``close``, so the event queue never
+        drained — breaking close()'s documented contract."""
+        session = (
+            Session.builder()
+            .participants("alice")
+            .loss_burst(0.9, mean_good=0.5, mean_bad=0.5)
+            .build()
+        )
+        session.close()
+        session.run_for(5.0)
+        assert session.clock.pending() == 0
+
+
+class TestSessionDeterminism:
+    def test_same_config_same_report(self):
+        def run():
+            with (
+                Session.builder()
+                .participants("alice", "bob", "carol")
+                .seed(21)
+                .link(latency=0.02, jitter=0.01)
+                .loss_burst(0.7, mean_good=1.5, mean_bad=0.5)
+                .partition_window(3.0, 1.5)
+                .policy("equal_control")
+                .build()
+            ) as session:
+                script = Scenario()
+                for index, member in enumerate(("alice", "bob", "carol")):
+                    script.add(
+                        at(1.5 + index, "request_floor", member),
+                        at(2.5 + index, "release_floor", member),
+                        at(5.0 + index, "request_floor", member),
+                    )
+                script.run(session, until=10.0)
+                stats = session.network.stats
+                return (session.report(), stats.blocked, stats.dropped)
+
+        assert run() == run()

@@ -66,6 +66,44 @@ class TestScheduling:
         with pytest.raises(ClockError):
             VirtualClock().call_later(-0.1, lambda: None)
 
+    def test_nan_deadline_rejected(self):
+        """Regression: ``when < now`` is False for NaN, so a NaN
+        deadline used to slip into the heap and corrupt its order."""
+        clock = VirtualClock()
+        with pytest.raises(ClockError, match="finite"):
+            clock.call_at(float("nan"), lambda: None)
+        assert clock.pending() == 0
+
+    def test_infinite_deadline_rejected(self):
+        clock = VirtualClock()
+        for when in (float("inf"), float("-inf")):
+            with pytest.raises(ClockError, match="finite"):
+                clock.call_at(when, lambda: None)
+        assert clock.pending() == 0
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().call_later(float("nan"), lambda: None)
+
+    def test_nan_event_never_corrupts_heap_order(self):
+        """Events scheduled after the rejected NaN still run in order."""
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(2.0, seen.append, "b")
+        with pytest.raises(ClockError):
+            clock.call_at(float("nan"), seen.append, "never")
+        clock.call_at(1.0, seen.append, "a")
+        clock.run_until(3.0)
+        assert seen == ["a", "b"]
+
+    def test_run_until_rejects_non_finite_deadline(self):
+        clock = VirtualClock()
+        clock.call_at(1.0, lambda: None)
+        for deadline in (float("nan"), float("inf")):
+            with pytest.raises(ClockError, match="finite"):
+                clock.run_until(deadline)
+        assert clock.pending() == 1  # nothing ran, nothing lost
+
     def test_same_time_events_run_fifo(self):
         clock = VirtualClock()
         order = []

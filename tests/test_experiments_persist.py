@@ -67,6 +67,17 @@ class TestDocument:
         assert dumps(serial) == dumps(parallel)
         assert csv_text(serial) == csv_text(parallel)
 
+    def test_loss_burst_spec_byte_identical_across_workers(self):
+        """The dynamics acceptance pin: the seeded Gilbert–Elliott
+        burst schedule lives entirely inside each cell, so the named
+        ``loss_burst`` grid persists identical bytes serial vs
+        ``--workers``."""
+        spec = named_spec("loss_burst").with_root_seed(17)
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=3)
+        assert dumps(serial) == dumps(parallel)
+        assert csv_text(serial) == csv_text(parallel)
+
     def test_byte_identical_under_axis_reordering(self):
         reordered = SweepSpec(
             name="persist",

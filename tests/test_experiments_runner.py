@@ -134,6 +134,68 @@ class TestSessionRunner:
         metrics = run_sweep(spec).results[0].metrics
         assert metrics["loss_rate"] > 0.0
 
+    def test_burst_loss_cells_degrade_with_burstiness(self):
+        """The ``burst_loss`` knob reaches the session's links: a cell
+        with a hot bad state loses traffic a burst-free twin keeps."""
+        spec = SweepSpec(
+            name="burst",
+            axes=(Axis("burst_loss", (0.0, 1.0)),),
+            base={"participants": 4, "scenario": "seminar", "duration": 15.0,
+                  "policy": "equal_control", "burst_mean_good": 1.0,
+                  "burst_mean_bad": 1.0},
+        )
+        result = run_sweep(spec)
+        calm = result.cell("burst_loss=0.0").metrics
+        bursty = result.cell("burst_loss=1.0").metrics
+        assert calm["loss_rate"] == 0.0
+        assert bursty["loss_rate"] > 0.0
+
+    def test_burst_good_state_keeps_the_static_loss_floor(self):
+        """Regression: the Gilbert–Elliott good state used to reset
+        loss_probability to 0.0, so adding a burst knob *reduced* loss
+        below the cell's static ``loss`` — a mislabeled BENCH cell."""
+        base = {"participants": 4, "scenario": "seminar", "duration": 15.0,
+                "policy": "equal_control", "loss": 0.3}
+        plain = run_sweep(SweepSpec(name="plain", base=dict(base)))
+        bursty = run_sweep(
+            SweepSpec(
+                name="bursty",
+                base={**base, "burst_loss": 0.9, "burst_mean_good": 1.0,
+                      "burst_mean_bad": 1.0},
+            )
+        )
+        plain_loss = plain.results[0].metrics["loss_rate"]
+        bursty_loss = bursty.results[0].metrics["loss_rate"]
+        assert plain_loss > 0.2
+        assert bursty_loss > plain_loss  # bursts only ever add loss
+
+    def test_partition_cells_record_blocked_messages(self):
+        spec = SweepSpec(
+            name="cut",
+            base={"participants": 4, "scenario": "seminar", "duration": 12.0,
+                  "policy": "equal_control", "partition_start": 4.0,
+                  "partition_duration": 3.0},
+        )
+        metrics = run_sweep(spec).results[0].metrics
+        assert metrics["blocked"] > 0.0
+        assert metrics["loss_rate"] > 0.0
+
+    def test_ramp_cells_raise_measured_latency(self):
+        base = {"participants": 3, "scenario": "seminar", "duration": 12.0,
+                "policy": "equal_control", "latency": 0.01}
+        flat = run_sweep(SweepSpec(name="flat", base=dict(base)))
+        ramped = run_sweep(
+            SweepSpec(
+                name="ramped",
+                base={**base, "ramp_to_latency": 0.5, "ramp_start": 1.0,
+                      "ramp_end": 6.0},
+            )
+        )
+        assert (
+            ramped.results[0].metrics["net_latency"]
+            > flat.results[0].metrics["net_latency"] * 5
+        )
+
     def test_invalid_participants_rejected(self):
         spec = SweepSpec(name="bad", base={"participants": 0})
         with pytest.raises(ReproError):

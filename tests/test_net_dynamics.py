@@ -1,0 +1,518 @@
+"""Tests for time-varying network dynamics (repro.net.dynamics)."""
+
+import random
+
+import pytest
+
+from repro.clock.virtual import VirtualClock
+from repro.errors import NetworkError
+from repro.net.dynamics import (
+    GilbertElliott,
+    NetworkDynamics,
+    PiecewiseProfile,
+    RampProfile,
+)
+from repro.net.simnet import Link, Network
+
+
+def star(hosts=("a", "b"), link=None, seed=0):
+    """A server + hosts star with inboxes; returns (clock, net, inboxes)."""
+    clock = VirtualClock()
+    network = Network(clock, rng=random.Random(seed))
+    inboxes = {"server": []}
+    network.add_host("server", lambda s, p: inboxes["server"].append((s, p)))
+    for name in hosts:
+        inboxes[name] = []
+        network.add_host(
+            name, (lambda n: lambda s, p: inboxes[n].append((s, p)))(name)
+        )
+        network.connect_both(
+            "server", name, (link or Link(base_latency=0.01)).clone()
+        )
+    return clock, network, inboxes
+
+
+class TestProfileValidation:
+    def test_piecewise_needs_points(self):
+        with pytest.raises(NetworkError):
+            PiecewiseProfile("base_latency", ())
+
+    def test_piecewise_rejects_unknown_field(self):
+        with pytest.raises(NetworkError):
+            PiecewiseProfile("up", ((0.0, 1.0),))
+
+    def test_piecewise_rejects_unsorted_points(self):
+        with pytest.raises(NetworkError):
+            PiecewiseProfile("jitter", ((2.0, 0.1), (1.0, 0.2)))
+
+    def test_piecewise_rejects_invalid_values(self):
+        with pytest.raises(NetworkError):
+            PiecewiseProfile("loss_probability", ((0.0, 1.5),))
+        with pytest.raises(NetworkError):
+            PiecewiseProfile("base_latency", ((0.0, -0.1),))
+        with pytest.raises(NetworkError):
+            PiecewiseProfile("base_latency", ((0.0, None),))
+
+    def test_piecewise_allows_bandwidth_none(self):
+        PiecewiseProfile("bandwidth_kbps", ((0.0, 64.0), (5.0, None)))
+
+    def test_ramp_rejects_bad_window(self):
+        with pytest.raises(NetworkError):
+            RampProfile("base_latency", start=5.0, end=5.0, to_value=0.1)
+        with pytest.raises(NetworkError):
+            RampProfile("base_latency", start=-1.0, end=5.0, to_value=0.1)
+        with pytest.raises(NetworkError):
+            RampProfile("base_latency", start=0.0, end=5.0, to_value=0.1,
+                        steps=0)
+
+    def test_ramp_rejects_bandwidth(self):
+        with pytest.raises(NetworkError):
+            RampProfile("bandwidth_kbps", start=0.0, end=5.0, to_value=64.0)
+
+    def test_gilbert_elliott_rejects_bad_parameters(self):
+        with pytest.raises(NetworkError):
+            GilbertElliott(loss_bad=1.5)
+        with pytest.raises(NetworkError):
+            GilbertElliott(mean_good=0.0)
+        with pytest.raises(NetworkError):
+            GilbertElliott(start=-1.0)
+        with pytest.raises(NetworkError):
+            GilbertElliott(field="base_latency")
+
+
+class TestPiecewiseProfile:
+    def test_steps_through_values_at_breakpoints(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            PiecewiseProfile("base_latency", ((1.0, 0.1), (2.0, 0.3))),
+            "server", "a",
+        )
+        assert network.link("server", "a").base_latency == 0.01
+        clock.run_until(1.5)
+        assert network.link("server", "a").base_latency == 0.1
+        clock.run_until(2.5)
+        assert network.link("server", "a").base_latency == 0.3
+
+    def test_past_points_collapse_to_latest(self):
+        """A profile written against t=0 applied later catches up to
+        the value that should currently hold."""
+        clock, network, __ = star()
+        clock.run_until(5.0)
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            PiecewiseProfile(
+                "jitter", ((0.0, 0.001), (4.0, 0.02), (9.0, 0.05))
+            ),
+            "server", "a",
+        )
+        assert network.link("server", "a").jitter == 0.02
+        clock.run_until(10.0)
+        assert network.link("server", "a").jitter == 0.05
+
+    def test_drives_both_directions_by_default(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            PiecewiseProfile("base_latency", ((1.0, 0.2),)), "server", "a"
+        )
+        clock.run_until(1.5)
+        assert network.link("server", "a").base_latency == 0.2
+        assert network.link("a", "server").base_latency == 0.2
+
+    def test_one_direction_when_asked(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            PiecewiseProfile("base_latency", ((1.0, 0.2),)),
+            "server", "a", both=False,
+        )
+        clock.run_until(1.5)
+        assert network.link("server", "a").base_latency == 0.2
+        assert network.link("a", "server").base_latency == 0.01
+
+    def test_cancel_stops_future_updates(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        handle = dynamics.apply(
+            PiecewiseProfile("base_latency", ((1.0, 0.1), (2.0, 0.3))),
+            "server", "a",
+        )
+        clock.run_until(1.5)
+        handle.cancel()
+        assert handle.cancelled
+        clock.run_until(3.0)
+        assert network.link("server", "a").base_latency == 0.1
+
+
+class TestRampProfile:
+    def test_linear_sweep_hits_endpoints_and_midpoint(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            RampProfile("base_latency", start=2.0, end=4.0,
+                        from_value=0.1, to_value=0.3, steps=10),
+            "server", "a",
+        )
+        clock.run_until(2.0)
+        assert network.link("server", "a").base_latency == pytest.approx(0.1)
+        clock.run_until(3.0)
+        assert network.link("server", "a").base_latency == pytest.approx(0.2)
+        clock.run_until(4.0)
+        assert network.link("server", "a").base_latency == pytest.approx(0.3)
+
+    def test_from_value_defaults_to_current(self):
+        clock, network, __ = star(link=Link(base_latency=0.05))
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            RampProfile("base_latency", start=1.0, end=3.0, to_value=0.25,
+                        steps=4),
+            "server", "a",
+        )
+        clock.run_until(2.0)
+        assert network.link("server", "a").base_latency == pytest.approx(0.15)
+
+    def test_ramp_applied_after_its_window_lands_at_to_value(self):
+        """Regression: past ramp steps used to be skipped with no
+        catch-up, leaving the field untouched instead of at
+        ``to_value`` (PiecewiseProfile already collapsed past points)."""
+        clock, network, __ = star()
+        clock.run_until(5.0)
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            RampProfile("base_latency", start=1.0, end=2.0, to_value=0.4),
+            "server", "a",
+        )
+        assert network.link("server", "a").base_latency == pytest.approx(0.4)
+
+    def test_ramp_applied_mid_window_catches_up(self):
+        clock, network, __ = star()
+        clock.run_until(3.0)  # halfway through the window below
+        dynamics = NetworkDynamics(network)
+        dynamics.apply(
+            RampProfile("base_latency", start=2.0, end=4.0,
+                        from_value=0.1, to_value=0.3, steps=10),
+            "server", "a",
+        )
+        assert network.link("server", "a").base_latency == pytest.approx(0.2)
+        clock.run_until(4.0)
+        assert network.link("server", "a").base_latency == pytest.approx(0.3)
+
+
+class TestGilbertElliott:
+    def test_alternates_between_loss_states(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network, rng=random.Random(42))
+        dynamics.apply(
+            GilbertElliott(loss_good=0.0, loss_bad=0.9,
+                           mean_good=1.0, mean_bad=1.0),
+            "server", "a",
+        )
+        observed = set()
+        for __ in range(200):
+            clock.advance(0.1)
+            observed.add(network.link("server", "a").loss_probability)
+        assert observed == {0.0, 0.9}
+
+    def test_burst_pattern_is_seeded(self):
+        def trace(seed):
+            clock, network, __ = star()
+            dynamics = NetworkDynamics(network, rng=random.Random(seed))
+            dynamics.apply(
+                GilbertElliott(loss_bad=0.8, mean_good=2.0, mean_bad=0.5),
+                "server", "a",
+            )
+            values = []
+            for __ in range(100):
+                clock.advance(0.25)
+                values.append(network.link("server", "a").loss_probability)
+            return values
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_bursty_loss_actually_drops_messages_in_bursts(self):
+        clock, network, inboxes = star(seed=3)
+        dynamics = NetworkDynamics(network, rng=random.Random(9))
+        dynamics.apply(
+            GilbertElliott(loss_good=0.0, loss_bad=1.0,
+                           mean_good=2.0, mean_bad=2.0),
+            "server", "a",
+        )
+        for __ in range(400):
+            network.send("server", "a", "tick")
+            clock.advance(0.05)
+        delivered = len(inboxes["a"])
+        # Roughly half the time the link is in the full-loss state.
+        assert 100 < delivered < 300
+        assert network.stats.dropped == 400 - delivered
+
+    def test_good_state_keeps_each_links_configured_loss(self):
+        """Regression: the good state used to reset loss_probability to
+        0.0, silently wiping a lossy link's static floor — adding a
+        burst knob made the network *better*."""
+        clock, network, __ = star(link=Link(base_latency=0.01,
+                                            loss_probability=0.3))
+        dynamics = NetworkDynamics(network, rng=random.Random(5))
+        dynamics.apply(
+            GilbertElliott(loss_bad=0.9, mean_good=1.0, mean_bad=1.0),
+            "server", "a",
+        )
+        observed = set()
+        for __ in range(200):
+            clock.advance(0.1)
+            observed.add(network.link("server", "a").loss_probability)
+        assert observed == {0.3, 0.9}  # floor kept, never 0.0
+
+    def test_handle_tracking_stays_bounded_over_long_chains(self):
+        """Regression: the chain used to append one dead EventHandle
+        per state transition, growing without bound over a long run."""
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network, rng=random.Random(2))
+        handle = dynamics.apply(
+            GilbertElliott(loss_bad=0.9, mean_good=0.2, mean_bad=0.2),
+            "server", "a",
+        )
+        clock.run_until(500.0)  # thousands of transitions
+        assert len(handle._events) == 1
+        handle.cancel()
+        pending_before = clock.pending()
+        clock.run_until(600.0)
+        assert clock.pending() <= pending_before  # chain really stopped
+
+    def test_cancel_freezes_the_chain(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network, rng=random.Random(1))
+        handle = dynamics.apply(
+            GilbertElliott(loss_bad=0.9, mean_good=0.5, mean_bad=0.5),
+            "server", "a",
+        )
+        clock.run_until(5.0)
+        handle.cancel()
+        frozen = network.link("server", "a").loss_probability
+        clock.run_until(20.0)
+        assert network.link("server", "a").loss_probability == frozen
+
+
+class TestDegrade:
+    def test_immediate_change_of_named_fields_only(self):
+        __, network, __ = star(link=Link(base_latency=0.02, jitter=0.004))
+        dynamics = NetworkDynamics(network)
+        dynamics.degrade("server", "a", latency=0.5, loss=0.25)
+        for pair in (("server", "a"), ("a", "server")):
+            link = network.link(*pair)
+            assert link.base_latency == 0.5
+            assert link.loss_probability == 0.25
+            assert link.jitter == 0.004  # untouched
+
+    def test_scheduled_change(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.degrade("server", "a", at=3.0, latency=0.4)
+        clock.run_until(2.9)
+        assert network.link("server", "a").base_latency == 0.01
+        clock.run_until(3.1)
+        assert network.link("server", "a").base_latency == 0.4
+
+    def test_needs_at_least_one_field(self):
+        __, network, __ = star()
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).degrade("server", "a")
+
+    def test_validates_values(self):
+        __, network, __ = star()
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).degrade("server", "a", loss=1.5)
+
+
+class TestPartition:
+    def test_cut_blocks_both_directions_and_heal_restores(self):
+        clock, network, inboxes = star(hosts=("a", "b"))
+        dynamics = NetworkDynamics(network)
+        dynamics.partition({"a"})
+        assert not network.send("server", "a", "to-a")
+        assert not network.send("a", "server", "from-a")
+        assert network.send("server", "b", "to-b")  # b is unaffected
+        assert network.stats.blocked == 2
+        assert dynamics.partitioned == {("server", "a"), ("a", "server")}
+        dynamics.heal()
+        assert dynamics.partitioned == set()
+        assert network.send("server", "a", "healed")
+        clock.run_until(1.0)
+        assert [p for __, p in inboxes["a"]] == ["healed"]
+
+    def test_scheduled_window(self):
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.partition({"a"}, at=2.0, heal_at=4.0)
+        assert network.link("server", "a").up
+        clock.run_until(3.0)
+        assert not network.link("server", "a").up
+        clock.run_until(5.0)
+        assert network.link("server", "a").up
+
+    def test_explicit_group_b_limits_the_cut(self):
+        clock, network, __ = star(hosts=("a", "b"))
+        # a is cut from the server only; an a<->b link (if any existed)
+        # would survive.  Here we just assert the crossing set.
+        dynamics = NetworkDynamics(network)
+        dynamics.partition({"a"}, {"server"})
+        assert dynamics.partitioned == {("server", "a"), ("a", "server")}
+        assert network.link("server", "b").up
+
+    def test_empty_group_rejected(self):
+        __, network, __ = star()
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).partition(set())
+
+    def test_heal_before_cut_rejected(self):
+        __, network, __ = star()
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).partition({"a"}, at=5.0, heal_at=4.0)
+
+    def test_immediate_cut_with_past_heal_rejected_before_cutting(self):
+        """Regression: an immediate cut with a stale heal_at used to
+        cut the links first and then blow up scheduling the heal,
+        leaving the network permanently partitioned."""
+        clock, network, __ = star()
+        clock.run_until(5.0)
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).partition({"a"}, heal_at=3.0)
+        assert network.link("server", "a").up  # nothing was cut
+
+    def test_scheduled_heal_is_scoped_to_its_own_partition(self):
+        """Regression: a window's scheduled heal used to restore every
+        cut link, silently ending unrelated partitions early."""
+        clock, network, __ = star(hosts=("a", "b"))
+        dynamics = NetworkDynamics(network)
+        dynamics.partition({"a"}, at=2.0, heal_at=4.0)
+        clock.run_until(3.0)
+        dynamics.partition({"b"})  # open-ended, healed explicitly later
+        clock.run_until(5.0)
+        assert network.link("server", "a").up  # the window healed
+        assert not network.link("server", "b").up  # b stays cut
+        dynamics.heal()
+        assert network.link("server", "b").up
+
+    def test_overlapping_partitions_keep_shared_links_cut(self):
+        """A pair covered by two partitions heals only when the last
+        one covering it does."""
+        clock, network, __ = star(hosts=("a", "b"))
+        dynamics = NetworkDynamics(network)
+        first = dynamics.partition({"a"})
+        second = dynamics.partition({"a", "b"})
+        first.heal()
+        assert not network.link("server", "a").up  # second still covers it
+        assert not network.link("server", "b").up
+        second.heal()
+        assert network.link("server", "a").up
+        assert network.link("server", "b").up
+
+    def test_stale_scheduled_heal_cannot_end_a_newer_partition(self):
+        """Regression: after a blanket heal(), an old window's scheduled
+        heal used to steal a newer partition's claim on the same pair
+        and heal it early."""
+        clock, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.partition({"a"}, at=1.0, heal_at=4.0)
+        clock.run_until(1.5)
+        dynamics.heal()  # blanket heal ends the window early
+        clock.run_until(3.0)
+        dynamics.partition({"a"}, at=3.5, heal_at=10.0)  # a newer cut
+        clock.run_until(5.0)  # the stale t=4 heal fires in between
+        assert not network.link("server", "a").up  # newer cut survives
+        clock.run_until(10.5)
+        assert network.link("server", "a").up
+
+    def test_partition_handle_heal_is_idempotent(self):
+        __, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        handle = dynamics.partition({"a"})
+        handle.heal()
+        handle.heal()
+        dynamics.heal()
+        assert network.link("server", "a").up
+
+    def test_blocked_messages_count_in_loss_rate(self):
+        __, network, __ = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.partition({"a"})
+        network.send("server", "a", "x")
+        assert network.stats.loss_rate == 1.0
+
+
+class TestChurn:
+    def test_down_and_up_are_scheduled(self):
+        clock, network, inboxes = star()
+        dynamics = NetworkDynamics(network)
+        dynamics.churn("a", down_at=1.0, up_at=2.0)
+        network.send("server", "a", "before")
+        clock.run_until(1.5)
+        assert not network.host("a").up
+        assert not network.send("server", "a", "while-down")
+        clock.run_until(2.5)
+        assert network.host("a").up
+        network.send("server", "a", "after")
+        clock.run_until(3.0)
+        assert [p for __, p in inboxes["a"]] == ["before", "after"]
+        assert network.stats.to_down_host == 1
+
+    def test_unknown_host_rejected_eagerly(self):
+        __, network, __ = star()
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).churn("ghost", down_at=1.0)
+
+    def test_up_must_follow_down(self):
+        __, network, __ = star()
+        with pytest.raises(NetworkError):
+            NetworkDynamics(network).churn("a", down_at=2.0, up_at=2.0)
+
+
+class TestLinkAccessors:
+    def test_link_returns_live_object(self):
+        __, network, __ = star()
+        network.link("server", "a").base_latency = 0.77
+        assert network.link("server", "a").base_latency == 0.77
+
+    def test_link_rejects_unconfigured_pair(self):
+        __, network, __ = star(hosts=("a", "b"))
+        with pytest.raises(NetworkError):
+            network.link("a", "b")
+
+    def test_links_returns_copy_of_mapping(self):
+        __, network, __ = star()
+        links = network.links()
+        links.clear()
+        assert network.links()  # the network's own mapping survives
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        """The whole point: dynamics never break byte-reproducibility."""
+
+        def run(seed):
+            clock, network, inboxes = star(hosts=("a", "b"), seed=seed)
+            dynamics = NetworkDynamics(network, rng=random.Random(seed + 1))
+            dynamics.apply(
+                GilbertElliott(loss_bad=0.7, mean_good=1.0, mean_bad=0.5),
+                "server", "a",
+            )
+            dynamics.apply(
+                RampProfile("base_latency", start=2.0, end=8.0,
+                            to_value=0.3),
+                "server", "b",
+            )
+            dynamics.partition({"a"}, at=4.0, heal_at=6.0)
+            for step in range(200):
+                network.broadcast("server", step)
+                clock.advance(0.05)
+            stats = network.stats
+            return (
+                [(s, p) for s, p in inboxes["a"]],
+                [(s, p) for s, p in inboxes["b"]],
+                (stats.sent, stats.delivered, stats.dropped,
+                 stats.blocked, stats.to_down_host, stats.total_latency),
+            )
+
+        assert run(13) == run(13)
+        assert run(13) != run(14)

@@ -25,8 +25,11 @@ def make_pair(clock=None, link=None, seed=0):
 class TestConnectBoth:
     def test_copies_every_link_field(self):
         """``connect_both`` must clone the template wholesale: a field
-        added to ``Link`` later (even private state) may never be
-        silently dropped by a field-by-field rebuild."""
+        added to ``Link`` later may never be silently dropped by a
+        field-by-field rebuild.  The one exception is transient
+        per-direction state (``_busy_until``), which must *reset* — a
+        template that already carried traffic may not hand its
+        serialization backlog to both new directions."""
         import dataclasses
 
         network = Network(VirtualClock())
@@ -44,9 +47,29 @@ class TestConnectBoth:
         backward = network._links[("b", "a")]
         for direction in (forward, backward):
             for field_info in dataclasses.fields(Link):
+                if field_info.name == "_busy_until":
+                    continue
                 assert getattr(direction, field_info.name) == getattr(
                     template, field_info.name
                 ), f"connect_both dropped Link.{field_info.name}"
+            assert direction._busy_until == 0.0
+
+    def test_clone_resets_serialization_backlog(self):
+        """Regression: a used template link used to hand its
+        ``_busy_until`` backlog to both directions, delaying the first
+        messages of a fresh connection for no physical reason."""
+        clock = VirtualClock()
+        network = Network(clock, rng=random.Random(0))
+        inbox = []
+        network.add_host("a", lambda s, p: None)
+        network.add_host("b", lambda s, p: inbox.append(p))
+        template = Link(base_latency=0.01, bandwidth_kbps=8.0)
+        template._busy_until = 1e6  # a heavily backlogged past life
+        network.connect_both("a", "b", template)
+        network.send("a", "b", "first", size_bytes=100)
+        # 100 bytes at 8 kbps = 0.1 s serialization + 0.01 s latency.
+        clock.run_until(0.2)
+        assert inbox == ["first"]
 
     def test_directions_are_independent_copies(self):
         """The two directions (and the caller's template) must not
@@ -174,6 +197,42 @@ class TestLossAndDowntime:
         clock.run_until(10.0)
         assert 0.3 < network.stats.loss_rate < 0.7
 
+    def test_in_flight_vs_send_time_down_stats(self):
+        """Both failure shapes count as ``to_down_host`` and neither
+        inflates ``delivered``/``total_latency`` — but only the
+        send-time one returns ``False`` to the sender (mid-flight loss
+        is invisible at send time, as on a real network)."""
+        clock, network, __, inbox_b = make_pair()
+        # Shape 1: target already down when the message is sent.
+        network.set_host_up("b", False)
+        assert network.send("a", "b", "at-send") is False
+        assert network.stats.to_down_host == 1
+        network.set_host_up("b", True)
+        # Shape 2: target goes down while the message is in flight.
+        assert network.send("a", "b", "mid-flight") is True
+        network.set_host_up("b", False)
+        clock.run_until(1.0)
+        assert inbox_b == []
+        assert network.stats.to_down_host == 2
+        assert network.stats.sent == 2
+        assert network.stats.delivered == 0
+        assert network.stats.total_latency == 0.0
+        assert network.stats.loss_rate == 1.0
+
+    def test_down_host_checked_at_delivery_instant(self):
+        """The in-flight check happens exactly at the delivery instant:
+        a host that blinks down and back up while the message is on the
+        wire still receives it."""
+        clock, network, __, inbox_b = make_pair()  # 0.05 s latency
+        network.send("a", "b", "blink")
+        network.set_host_up("b", False)
+        clock.run_until(0.01)
+        network.set_host_up("b", True)
+        clock.run_until(1.0)
+        assert [p for __, p in inbox_b] == ["blink"]
+        assert network.stats.delivered == 1
+        assert network.stats.to_down_host == 0
+
 
 class TestJitterAndBandwidth:
     def test_jitter_varies_latency(self):
@@ -217,6 +276,77 @@ class TestJitterAndBandwidth:
         network.send("a", "b", "x")
         clock.run_until(1.0)
         assert network.stats.mean_latency == pytest.approx(0.1)
+
+
+class TestBroadcastChurnDeterminism:
+    """``broadcast`` order (and therefore every seeded RNG draw) must be
+    a pure function of the add/remove history, not of set/dict
+    internals — the dynamics experiments lean on this for
+    byte-reproducible runs under churn."""
+
+    @staticmethod
+    def _run(history, seed=7):
+        """Replay an add/remove/broadcast history; returns the delivery
+        order and the final stats tuple."""
+        clock = VirtualClock()
+        network = Network(clock, rng=random.Random(seed))
+        deliveries = []
+
+        def handler_for(name):
+            return lambda s, p: deliveries.append((name, p))
+
+        network.set_default_link(Link(base_latency=0.01, jitter=0.005))
+        for op, name in history:
+            if op == "add":
+                network.add_host(name, handler_for(name))
+            elif op == "down":
+                network.set_host_up(name, False)
+            elif op == "up":
+                network.set_host_up(name, True)
+            else:
+                network.broadcast(name, f"from-{name}")
+        clock.run_until(5.0)
+        return deliveries, (network.stats.sent, network.stats.delivered)
+
+    HISTORY = [
+        ("add", "hub"), ("add", "n1"), ("add", "n2"), ("add", "n3"),
+        ("broadcast", "hub"),
+        ("down", "n2"), ("broadcast", "hub"),
+        ("add", "n4"), ("up", "n2"), ("broadcast", "hub"),
+        ("down", "n1"), ("down", "n3"), ("broadcast", "hub"),
+    ]
+
+    def test_identical_histories_give_identical_traces(self):
+        first = self._run(self.HISTORY)
+        second = self._run(self.HISTORY)
+        assert first == second
+
+    def test_delivery_order_follows_registration_order(self):
+        """With equal links and no jitter, one broadcast delivers in
+        host-registration order (the virtual clock's FIFO tie-break)."""
+        clock = VirtualClock()
+        network = Network(clock, rng=random.Random(0))
+        deliveries = []
+        for name in ("hub", "n1", "n2", "n3"):
+            network.add_host(
+                name, (lambda n: lambda s, p: deliveries.append(n))(name)
+            )
+        network.set_default_link(Link(base_latency=0.01))
+        network.broadcast("hub", "tick")
+        clock.run_until(1.0)
+        assert deliveries == ["n1", "n2", "n3"]
+
+    def test_down_then_up_host_keeps_its_slot(self):
+        """Churning a host down and back up must not move it in the
+        broadcast order (hosts are keyed by insertion, not liveness)."""
+        base = [("add", "hub"), ("add", "n1"), ("add", "n2"), ("add", "n3")]
+        churned = base + [
+            ("down", "n2"), ("up", "n2"), ("broadcast", "hub"),
+        ]
+        plain = base + [("broadcast", "hub")]
+        churned_trace, __ = self._run(churned)
+        plain_trace, __ = self._run(plain)
+        assert churned_trace == plain_trace
 
 
 class TestReliableChannel:

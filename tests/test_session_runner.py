@@ -70,6 +70,59 @@ class TestRealtimeBridge:
         elapsed = time.monotonic() - started
         assert 0.005 <= elapsed <= 2.0  # loose: CI-safe lower/upper bounds
 
+    def test_crashed_participant_reraised_after_run(self):
+        """Regression: ``run`` used to swallow *all* participant
+        exceptions in its cleanup, so a crashed coroutine was
+        indistinguishable from a clean run."""
+        clock = VirtualClock()
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+
+        async def crasher():
+            await bridge.sleep(0.5)
+            raise ValueError("participant logic bug")
+
+        bridge.spawn(crasher())
+        with pytest.raises(ValueError, match="participant logic bug"):
+            asyncio.run(bridge.run(until=2.0))
+        # The bridge still cleaned up and can run again.
+        assert clock.now() == pytest.approx(2.0)
+        asyncio.run(bridge.run(until=3.0))
+
+    def test_crash_cleanup_still_cancels_other_participants(self):
+        """One crash must not leak the other participants' tasks."""
+        clock = VirtualClock()
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+        cancelled = []
+
+        async def sleeper():
+            try:
+                await bridge.sleep(100.0)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+
+        async def crasher():
+            await bridge.sleep(0.5)
+            raise RuntimeError("boom")
+
+        bridge.spawn(sleeper())
+        bridge.spawn(crasher())
+        with pytest.raises(RuntimeError, match="boom"):
+            asyncio.run(bridge.run(until=2.0))
+        assert cancelled == [True]
+
+    def test_cancelled_sleepers_stay_silent(self):
+        """A participant still sleeping when the window ends is simply
+        cancelled — that is a clean run, not an error."""
+        clock = VirtualClock()
+        bridge = RealtimeBridge(clock, speed=float("inf"))
+
+        async def sleeper():
+            await bridge.sleep(100.0)
+
+        bridge.spawn(sleeper())
+        asyncio.run(bridge.run(until=1.0))  # must not raise
+
     def test_full_session_over_bridge(self):
         """A miniature classroom driven entirely by coroutines."""
         clock = VirtualClock()
