@@ -9,6 +9,10 @@ The package provides:
 * :mod:`repro.core` — the floor control mechanism (the paper's primary
   contribution): four modes, the FCM-Arbitrate and Media-Suspend
   algorithms, groups/invitations, the server-side manager;
+* :mod:`repro.check` — the verification subsystem: property specs
+  (mutex/bounds/invariants), the byte-interning explicit-state engine,
+  induction-backed proofs (place invariants + state equation), and
+  live session monitors;
 * :mod:`repro.petri` — the Petri net substrate: classic nets, timed
   nets, prioritized nets (Yang et al.), OCPN, XOCPN, and DOCPN with
   global-clock admission;
@@ -43,7 +47,7 @@ docstring of :mod:`repro.session`.
 __version__ = "1.0.0"
 
 from . import baselines, clock, core, media, net, petri, session, temporal, workload
-from . import api
+from . import api, check
 from .errors import ReproError
 
 __all__ = [
@@ -51,6 +55,7 @@ __all__ = [
     "__version__",
     "api",
     "baselines",
+    "check",
     "clock",
     "core",
     "media",

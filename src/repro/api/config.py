@@ -14,7 +14,9 @@ described once, declaratively:
 * :class:`DynamicsSpec` / :class:`PartitionSpec` — time-varying network
   behaviour (link profiles from :mod:`repro.net.dynamics`, partition
   windows) applied to the star when the session is built;
-* :class:`SessionConfig` — the full frozen description of a session;
+* :class:`SessionConfig` — the full frozen description of a session,
+  including the named runtime invariants (``checks``) a
+  :class:`~repro.check.monitor.SessionMonitor` watches while it runs;
 * :class:`SessionBuilder` — a fluent builder producing a config or a
   live :class:`~repro.api.session.Session`.
 """
@@ -166,6 +168,13 @@ class SessionConfig:
     keeps the presence monitor's default sweep.  ``join_warmup`` is how
     far virtual time runs after the join handshakes are sent, so a
     freshly built session already has all members joined.
+
+    ``checks`` names runtime invariants from
+    :mod:`repro.check.monitor` (e.g. ``"single_speaker"``); a non-empty
+    tuple makes the session own a
+    :class:`~repro.check.monitor.SessionMonitor` that re-checks them on
+    every floor event and every ``check_sweep`` virtual seconds, with
+    violations folded into the session report.
     """
 
     participants: tuple[ParticipantSpec, ...] = ()
@@ -181,6 +190,8 @@ class SessionConfig:
     clock_sync_interval: float | None = None
     join_warmup: float = 1.0
     server_host: str = "server"
+    checks: tuple[str, ...] = ()
+    check_sweep: float = 0.5
 
     def validate(self) -> None:
         """Reject inconsistent topologies before any wiring happens."""
@@ -209,6 +220,19 @@ class SessionConfig:
                 raise SessionError(
                     f"dynamics target unknown participants: {unknown!r}"
                 )
+        if self.checks:
+            from ..check.monitor import invariant_names
+
+            unknown_checks = sorted(set(self.checks) - set(invariant_names()))
+            if unknown_checks:
+                raise SessionError(
+                    f"unknown check invariants {unknown_checks!r}; "
+                    f"registered: {invariant_names()}"
+                )
+        if self.check_sweep <= 0:
+            raise SessionError(
+                f"check_sweep must be positive, got {self.check_sweep!r}"
+            )
 
 
 class SessionBuilder:
@@ -243,6 +267,8 @@ class SessionBuilder:
         self._clock_sync_interval: float | None = None
         self._join_warmup = 1.0
         self._server_host = "server"
+        self._checks: tuple[str, ...] = ()
+        self._check_sweep = 0.5
 
     # ------------------------------------------------------------------
     # Topology
@@ -410,6 +436,17 @@ class SessionBuilder:
         self._seed = value
         return self
 
+    def checks(self, *names: str, sweep: float | None = None) -> "SessionBuilder":
+        """Attach runtime invariants (:mod:`repro.check.monitor`) the
+        session monitors on every floor event — e.g.
+        ``.checks("single_speaker", "queue_consistent")``.  Repeated
+        names (across calls too) are kept once.  ``sweep`` overrides
+        the periodic re-check interval (virtual seconds)."""
+        self._checks = tuple(dict.fromkeys(self._checks + names))
+        if sweep is not None:
+            self._check_sweep = sweep
+        return self
+
     def presence(
         self, timeout: float | None = None, sweep: float | None = None
     ) -> "SessionBuilder":
@@ -462,6 +499,8 @@ class SessionBuilder:
             clock_sync_interval=self._clock_sync_interval,
             join_warmup=self._join_warmup,
             server_host=self._server_host,
+            checks=self._checks,
+            check_sweep=self._check_sweep,
         )
         config.validate()
         return config

@@ -25,16 +25,23 @@ the facade: declare it up front with the builder's ``loss_burst`` /
 ``delay_ramp`` / ``partition_window`` knobs, or script it mid-session
 with the ``degrade_link`` / ``partition`` / ``heal`` / ``churn`` verbs
 (all reachable from :class:`~repro.api.scenario.Scenario` steps).
+
+Runtime verification (:mod:`repro.check.monitor`) is part of it too:
+``SessionConfig.checks`` (builder knob ``checks(...)``) attaches a
+:class:`~repro.check.monitor.SessionMonitor` re-checking named
+invariants on every floor event, the scripted ``assert_invariant``
+verb checks one on the spot, and violations land in the report.
 """
 
 from __future__ import annotations
 
 import random
 
+from ..check.monitor import SessionMonitor, evaluate_invariant
 from ..clock.virtual import VirtualClock
 from ..core.events import EventLog
 from ..core.modes import FCMMode
-from ..errors import SessionError
+from ..errors import CheckError, SessionError
 from ..net.dynamics import NetworkDynamics
 from ..net.simnet import Network
 from ..session.dmps import DMPSClient, DMPSServer
@@ -82,6 +89,14 @@ class Session:
         self._clients: dict[str, DMPSClient] = {}
         self._departed: dict[str, DMPSClient] = {}
         self._closed = False
+        #: The runtime invariant monitor (``None`` unless the config
+        #: names ``checks``).  Attached before any event fires so even
+        #: the join handshakes are checked.
+        self.monitor: SessionMonitor | None = None
+        if config.checks:
+            self.monitor = SessionMonitor(
+                self, config.checks, sweep_interval=config.check_sweep
+            )
         for spec in config.participants:
             self._connect(spec)
         for spec in config.participants:
@@ -154,6 +169,8 @@ class Session:
             client.stop_clock_sync()
         self.server.presence.stop()
         self.dynamics.cancel_profiles()
+        if self.monitor is not None:
+            self.monitor.stop()
         self._closed = True
 
     @property
@@ -390,10 +407,40 @@ class Session:
         """The server's presence monitor (connection lights)."""
         return self.server.presence
 
+    def assert_invariant(self, name: str) -> None:
+        """Check one named invariant (:mod:`repro.check.monitor`) right
+        now; scriptable as ``at(8.0, "assert_invariant",
+        name="single_speaker")``.
+
+        The violation (if any) is recorded on the session monitor when
+        one is attached — even for a name outside the monitor's own
+        configured set — then raised.
+
+        Raises
+        ------
+        CheckError
+            With the violation detail, or for an unknown name.
+        """
+        detail = evaluate_invariant(name, self)
+        if self.monitor is not None:
+            if detail is not None:
+                self.monitor.record_external(name, detail)
+            else:
+                # A passing spot check ends any episode this monitor
+                # could not end itself (names outside its own set).
+                self.monitor.clear_episodes(name)
+        if detail is not None:
+            raise CheckError(
+                f"invariant {name!r} violated at t={self.now():.3f}: {detail}"
+            )
+
     def report(self) -> SessionReport:
         """Aggregate every layer's counters into a
-        :class:`~repro.session.report.SessionReport`."""
-        return summarize(self.server, list(self._clients.values()))
+        :class:`~repro.session.report.SessionReport` (including the
+        monitor's invariant violations when checks are attached)."""
+        return summarize(
+            self.server, list(self._clients.values()), monitor=self.monitor
+        )
 
     # ------------------------------------------------------------------
     # Internals

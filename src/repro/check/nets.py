@@ -1,0 +1,265 @@
+"""Petri-net models of the four FCM floor-control channels.
+
+The paper's Section 4 describes floor control per *channel*: the
+session message window (free access), the equal-control token, a
+discussion subgroup's private board, and a two-person direct-contact
+window.  Each model here renders one mode's channel as a
+place/transition net whose **floor-token mutual exclusion** —
+at most one member delivering on the channel at any instant — is a
+*linear* safety property, so the inductive engine
+(:mod:`repro.check.induct`) can PROVE it from a place invariant
+instead of enumerating states:
+
+* ``free_access`` — every member may ask at will, but delivery into
+  the shared message window serializes on the server's window token;
+* ``equal_control`` — the classic token: ``floor_free`` plus one
+  holder place per member, requests and releases move the single
+  token;
+* ``group_discussion`` — members must first accept an invitation
+  (``outside -> invited``), and only invited members compete for the
+  subgroup board token;
+* ``direct_contact`` — the two peers alternate on a private window
+  token while every other member keeps using the session channel, so
+  the net carries *two* independent channels (the paper: direct
+  contact coexists with the other modes).
+
+Every model also ships the scalable ``product_cycles`` workload used
+by bench E13: independent token cycles whose state space is
+``length ** cycles``, the ≥50k-state net the explicit engine is timed
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.modes import FCMMode
+from ..errors import CheckError
+from ..petri.net import PetriNet
+from .props import DeadlockFree, EventuallyFires, Mutex, PlaceBound, Property
+
+__all__ = ["FloorModel", "floor_model", "member_places", "product_cycles"]
+
+
+@dataclass(frozen=True)
+class FloorModel:
+    """One FCM mode's floor-control channel as a checkable net.
+
+    ``channel_places`` are the per-member delivery places of the mode's
+    primary channel — the places whose token sum the mutual-exclusion
+    property bounds; ``properties`` is the model's bound suite (the
+    mutex first, then supporting safety/liveness properties).
+    """
+
+    mode: FCMMode
+    net: PetriNet
+    channel_places: tuple[str, ...]
+    properties: tuple[Property, ...]
+
+    @property
+    def mutex(self) -> Mutex:
+        """The headline mutual-exclusion property of the channel."""
+        for prop in self.properties:
+            if isinstance(prop, Mutex) and set(prop.places) == set(
+                self.channel_places
+            ):
+                return prop
+        raise CheckError(
+            f"model {self.net.name!r} lost its channel mutex property"
+        )
+
+
+def member_places(prefix: str, members: int) -> tuple[str, ...]:
+    """The per-member place names ``prefix_m0 .. prefix_m<members-1>``."""
+    return tuple(f"{prefix}_m{i}" for i in range(members))
+
+
+def _token_channel(
+    net: PetriNet,
+    token_place: str,
+    idle_prefix: str,
+    busy_prefix: str,
+    acquire_prefix: str,
+    release_prefix: str,
+    member_ids: list[int],
+) -> tuple[str, ...]:
+    """Wire one serialized channel: ``idle + token -> busy`` and back.
+
+    Returns the busy (delivering) place names.  The construction gives
+    the channel its conservation invariant
+    ``token + sum(busy) == 1`` by design, which is exactly what the
+    inductive prover finds.
+    """
+    net.add_place(token_place, tokens=1)
+    busy_places = []
+    for i in member_ids:
+        idle, busy = f"{idle_prefix}_m{i}", f"{busy_prefix}_m{i}"
+        if idle not in net.places:
+            net.add_place(idle, tokens=1)
+        net.add_place(busy)
+        busy_places.append(busy)
+        acquire, release = f"{acquire_prefix}_m{i}", f"{release_prefix}_m{i}"
+        net.add_transition(acquire)
+        net.add_arc(idle, acquire)
+        net.add_arc(token_place, acquire)
+        net.add_arc(acquire, busy)
+        net.add_transition(release)
+        net.add_arc(busy, release)
+        net.add_arc(release, idle)
+        net.add_arc(release, token_place)
+    return tuple(busy_places)
+
+
+def _free_access(members: int) -> FloorModel:
+    net = PetriNet("fcm-free_access")
+    busy = _token_channel(
+        net, "window_free", "composing", "delivering", "post", "deliver",
+        list(range(members)),
+    )
+    properties: tuple[Property, ...] = (
+        Mutex(busy),
+        PlaceBound("window_free", 1),
+        DeadlockFree(),
+        EventuallyFires("post_m0"),
+    )
+    return FloorModel(FCMMode.FREE_ACCESS, net, busy, properties)
+
+
+def _equal_control(members: int) -> FloorModel:
+    net = PetriNet("fcm-equal_control")
+    holders = _token_channel(
+        net, "floor_free", "idle", "holder", "request", "release",
+        list(range(members)),
+    )
+    properties: tuple[Property, ...] = (
+        Mutex(holders),
+        PlaceBound("floor_free", 1),
+        DeadlockFree(),
+        EventuallyFires(f"request_m{members - 1}"),
+    )
+    return FloorModel(FCMMode.EQUAL_CONTROL, net, holders, properties)
+
+
+def _group_discussion(members: int) -> FloorModel:
+    net = PetriNet("fcm-group_discussion")
+    net.add_place("board_free", tokens=1)
+    speaking = []
+    for i in range(members):
+        outside, invite = f"outside_m{i}", f"invite_m{i}"
+        invited, busy = f"invited_m{i}", f"speaking_m{i}"
+        net.add_place(outside, tokens=1)
+        net.add_place(invite, tokens=1)
+        net.add_place(invited)
+        net.add_place(busy)
+        speaking.append(busy)
+        accept = f"accept_m{i}"
+        net.add_transition(accept)
+        net.add_arc(outside, accept)
+        net.add_arc(invite, accept)
+        net.add_arc(accept, invited)
+        speak, yield_ = f"speak_m{i}", f"yield_m{i}"
+        net.add_transition(speak)
+        net.add_arc(invited, speak)
+        net.add_arc("board_free", speak)
+        net.add_arc(speak, busy)
+        net.add_transition(yield_)
+        net.add_arc(busy, yield_)
+        net.add_arc(yield_, invited)
+        net.add_arc(yield_, "board_free")
+    properties: tuple[Property, ...] = (
+        Mutex(tuple(speaking)),
+        # Speaking without having accepted the invitation is impossible:
+        # outside + invited + speaking is conserved per member.
+        Mutex(("outside_m0", "speaking_m0")),
+        PlaceBound("board_free", 1),
+        DeadlockFree(),
+        EventuallyFires("speak_m0"),
+    )
+    return FloorModel(
+        FCMMode.GROUP_DISCUSSION, net, tuple(speaking), properties
+    )
+
+
+def _direct_contact(members: int) -> FloorModel:
+    net = PetriNet("fcm-direct_contact")
+    # The two peers (initiator m0, peer m1) share a private window.
+    talking = _token_channel(
+        net, "window_free", "quiet", "talking", "speak", "pause", [0, 1]
+    )
+    # Everyone else keeps the session's free-access channel — the paper
+    # has direct contact coexist with the other modes.
+    session_busy: tuple[str, ...] = ()
+    if members > 2:
+        session_busy = _token_channel(
+            net, "session_free", "composing", "delivering", "post", "deliver",
+            list(range(2, members)),
+        )
+    properties: list[Property] = [
+        Mutex(talking),
+        PlaceBound("window_free", 1),
+        DeadlockFree(),
+        EventuallyFires("speak_m1"),
+    ]
+    if session_busy:
+        properties.append(Mutex(session_busy))
+    return FloorModel(
+        FCMMode.DIRECT_CONTACT, net, talking, tuple(properties)
+    )
+
+
+_BUILDERS = {
+    FCMMode.FREE_ACCESS: _free_access,
+    FCMMode.EQUAL_CONTROL: _equal_control,
+    FCMMode.GROUP_DISCUSSION: _group_discussion,
+    FCMMode.DIRECT_CONTACT: _direct_contact,
+}
+
+
+def floor_model(mode: FCMMode | str, members: int = 3) -> FloorModel:
+    """Build the floor-control net of one FCM mode.
+
+    ``members`` scales the per-member machinery (direct contact needs
+    at least the two peers).
+
+    Raises
+    ------
+    CheckError
+        On fewer than two members or an unknown mode name.
+    """
+    if members < 2:
+        raise CheckError(f"floor models need >= 2 members, got {members!r}")
+    if not isinstance(mode, FCMMode):
+        try:
+            mode = FCMMode(mode)
+        except ValueError:
+            raise CheckError(
+                f"unknown FCM mode {mode!r}; expected one of "
+                f"{[m.value for m in FCMMode]}"
+            ) from None
+    return _BUILDERS[mode](members)
+
+
+def product_cycles(
+    cycles: int = 8, length: int = 4, name: str = "product-cycles"
+) -> PetriNet:
+    """Independent token cycles: state space of ``length ** cycles``.
+
+    Each cycle is a ring of ``length`` places with one token walking
+    it; cycles interleave freely, so the reachable markings are the
+    full product — the scalable exploration workload bench E13 times
+    the engines on (8 cycles of length 4 = 65536 states).
+    """
+    if cycles < 1 or length < 2:
+        raise CheckError(
+            f"need cycles >= 1 and length >= 2, got {cycles!r}/{length!r}"
+        )
+    net = PetriNet(name)
+    for c in range(cycles):
+        for s in range(length):
+            net.add_place(f"c{c}_p{s}", tokens=1 if s == 0 else 0)
+        for s in range(length):
+            transition = f"c{c}_t{s}"
+            net.add_transition(transition)
+            net.add_arc(f"c{c}_p{s}", transition)
+            net.add_arc(transition, f"c{c}_p{(s + 1) % length}")
+    return net

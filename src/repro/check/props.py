@@ -1,0 +1,403 @@
+"""Declarative safety/liveness properties over Petri net markings.
+
+The paper promises that presentations modeled as Petri nets let "users
+dynamically modify and verify different kinds of conditions during the
+presentation".  This module is the condition language: small, composable
+property values that any engine (:mod:`repro.check.explicit`,
+:mod:`repro.check.induct`) can discharge against any
+:class:`~repro.petri.net.PetriNet` — OCPN/DOCPN/XOCPN included, since
+they all bottom out in a place/transition net.
+
+* :class:`Mutex` — weighted token sum over a set of places stays ≤ a
+  bound (the floor-token mutual-exclusion shape);
+* :class:`PlaceBound` — one place stays ≤ k tokens;
+* :class:`Invariant` — an arbitrary boolean expression over place
+  names, evaluated against each marking;
+* :class:`EventuallyFires` — a transition fires somewhere in the
+  reachable state space (quasi-liveness, L1 in Murata's hierarchy);
+* :class:`DeadlockFree` — no reachable marking is dead.
+
+Properties are values: hashable, serializable
+(:meth:`Property.to_dict` / :func:`property_from_dict`), and carry no
+engine state.  Engines return a :class:`Verdict` per property —
+``PROVED`` / ``VIOLATED`` (with a firing-trace counterexample) /
+``UNKNOWN`` — never a silently-truncated answer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Mapping
+
+from ..errors import CheckError
+from ..petri.net import PetriNet
+
+__all__ = [
+    "Verdict",
+    "Property",
+    "Mutex",
+    "PlaceBound",
+    "Invariant",
+    "EventuallyFires",
+    "DeadlockFree",
+    "property_from_dict",
+]
+
+
+class Verdict(Enum):
+    """Outcome of checking one property.
+
+    ``PROVED`` means the property holds on *every* reachable marking
+    (by an inductive certificate or a complete exploration);
+    ``VIOLATED`` comes with a counterexample firing trace; ``UNKNOWN``
+    means the budget ran out before a verdict — never a guess.
+    """
+
+    PROVED = "proved"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Property:
+    """Base class for all checkable properties.
+
+    Subclasses set :attr:`kind` (``"safety"`` or ``"liveness"``) and
+    implement the hooks the engines use: linear safety properties
+    expose :meth:`linear_bound`; general safety predicates implement
+    :meth:`violated_by`; liveness properties are handled structurally.
+    """
+
+    kind = "safety"
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier of this property."""
+        raise NotImplementedError
+
+    def linear_bound(self) -> tuple[dict[str, int], int] | None:
+        """``(coefficients, k)`` when the property is the linear form
+        ``sum(coeff[p] * m[p]) <= k`` (inductively provable), else
+        ``None``."""
+        return None
+
+    def violated_by(self, marking: Mapping[str, int]) -> bool:
+        """Whether a single marking violates this safety property."""
+        raise NotImplementedError
+
+    def places_used(self) -> tuple[str, ...]:
+        """Place names the property mentions (validated against nets)."""
+        return ()
+
+    def transitions_used(self) -> tuple[str, ...]:
+        """Transition names the property mentions."""
+        return ()
+
+    def validate_against(self, net: PetriNet) -> None:
+        """Reject the property when it names nodes ``net`` lacks.
+
+        Raises
+        ------
+        CheckError
+            Listing every unknown place/transition.
+        """
+        unknown_places = sorted(set(self.places_used()) - set(net.places))
+        unknown_transitions = sorted(
+            set(self.transitions_used()) - set(net.transitions)
+        )
+        if unknown_places or unknown_transitions:
+            raise CheckError(
+                f"property {self.name!r} does not fit net {net.name!r}: "
+                f"unknown places {unknown_places!r}, "
+                f"unknown transitions {unknown_transitions!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; :func:`property_from_dict` round-trips it."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Mutex(Property):
+    """At most ``bound`` tokens across ``places`` in any reachable
+    marking — the floor-token mutual-exclusion shape.
+
+    ``Mutex(("holder_a", "holder_b"))`` says the two holder places are
+    never simultaneously marked (and neither ever holds two tokens).
+    Linear, so the inductive engine can discharge it with a place
+    invariant or the state equation.
+    """
+
+    places: tuple[str, ...]
+    bound: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "places", tuple(self.places))
+        if not self.places:
+            raise CheckError("Mutex needs at least one place")
+        if len(set(self.places)) != len(self.places):
+            raise CheckError(f"Mutex repeats places: {self.places!r}")
+        if self.bound < 0:
+            raise CheckError(f"Mutex bound must be >= 0, got {self.bound!r}")
+
+    @property
+    def name(self) -> str:
+        """``mutex(p,q,...)<=k``."""
+        return f"mutex({','.join(self.places)})<={self.bound}"
+
+    def linear_bound(self) -> tuple[dict[str, int], int]:
+        """Coefficient 1 on each named place, bounded by ``bound``."""
+        return {place: 1 for place in self.places}, self.bound
+
+    def violated_by(self, marking: Mapping[str, int]) -> bool:
+        """Token sum over the named places exceeds the bound."""
+        return sum(marking.get(place, 0) for place in self.places) > self.bound
+
+    def places_used(self) -> tuple[str, ...]:
+        """The mutex places."""
+        return self.places
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {"type": "mutex", "places": list(self.places), "bound": self.bound}
+
+
+@dataclass(frozen=True)
+class PlaceBound(Property):
+    """One place never exceeds ``bound`` tokens (k-boundedness)."""
+
+    place: str
+    bound: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise CheckError(
+                f"PlaceBound bound must be >= 0, got {self.bound!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """``bound(p)<=k``."""
+        return f"bound({self.place})<={self.bound}"
+
+    def linear_bound(self) -> tuple[dict[str, int], int]:
+        """Coefficient 1 on the place, bounded by ``bound``."""
+        return {self.place: 1}, self.bound
+
+    def violated_by(self, marking: Mapping[str, int]) -> bool:
+        """The place holds more than ``bound`` tokens."""
+        return marking.get(self.place, 0) > self.bound
+
+    def places_used(self) -> tuple[str, ...]:
+        """The bounded place."""
+        return (self.place,)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {"type": "place_bound", "place": self.place, "bound": self.bound}
+
+
+#: AST node types an :class:`Invariant` expression may contain.
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BoolOp,
+    ast.And,
+    ast.Or,
+    ast.UnaryOp,
+    ast.Not,
+    ast.USub,
+    ast.UAdd,
+    ast.BinOp,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Compare,
+    ast.Eq,
+    ast.NotEq,
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.Name,
+    ast.Load,
+    ast.Constant,
+)
+
+
+class _MarkingNames(dict):
+    """Expression namespace: place names resolve to token counts.
+
+    Unmentioned places default to zero so sparse markings evaluate
+    the same as dense ones.
+    """
+
+    def __init__(self, marking: Mapping[str, int]) -> None:
+        super().__init__()
+        self._marking = marking
+
+    def __missing__(self, key: str) -> int:
+        return self._marking.get(key, 0)
+
+
+@dataclass(frozen=True)
+class Invariant(Property):
+    """A boolean expression over place names that must hold in every
+    reachable marking.
+
+    The expression uses Python syntax restricted to arithmetic,
+    comparisons and boolean operators over place names and integer
+    literals — ``Invariant("free + holder_a + holder_b == 1")``.
+    Anything else (calls, attributes, subscripts) is rejected at
+    construction.  Not linear in general, so the engines discharge it
+    by exploration.
+    """
+
+    expr: str
+    label: str = ""
+    _code: Any = field(
+        default=None, init=False, repr=False, compare=False, hash=False
+    )
+    _names: tuple[str, ...] = field(
+        default=(), init=False, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        try:
+            tree = ast.parse(self.expr, mode="eval")
+        except SyntaxError as error:
+            raise CheckError(
+                f"invariant expression {self.expr!r} does not parse: {error}"
+            ) from None
+        names = []
+        for node in ast.walk(tree):
+            if not isinstance(node, _ALLOWED_NODES):
+                raise CheckError(
+                    f"invariant expression {self.expr!r} uses a forbidden "
+                    f"construct: {type(node).__name__}"
+                )
+            if isinstance(node, ast.Constant) and not isinstance(
+                node.value, (int, bool)
+            ):
+                raise CheckError(
+                    f"invariant expression {self.expr!r}: only integer "
+                    f"literals are allowed, got {node.value!r}"
+                )
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+        object.__setattr__(self, "_code", compile(tree, "<invariant>", "eval"))
+        object.__setattr__(self, "_names", tuple(dict.fromkeys(names)))
+
+    @property
+    def name(self) -> str:
+        """The label when given, else ``inv(<expr>)``."""
+        return self.label or f"inv({self.expr})"
+
+    def violated_by(self, marking: Mapping[str, int]) -> bool:
+        """The expression evaluates falsy in the marking.
+
+        Raises
+        ------
+        CheckError
+            When evaluation itself fails (e.g. ``a % b`` with ``b`` at
+            zero tokens) — a spec error, not a verdict.
+        """
+        try:
+            return not eval(  # noqa: S307 - AST-whitelisted, no builtins
+                self._code, {"__builtins__": {}}, _MarkingNames(marking)
+            )
+        except ArithmeticError as error:
+            raise CheckError(
+                f"invariant {self.name!r} failed to evaluate in marking "
+                f"{dict(marking)!r}: {error}"
+            ) from None
+
+    def places_used(self) -> tuple[str, ...]:
+        """Every name the expression mentions."""
+        return self._names
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {"type": "invariant", "expr": self.expr, "label": self.label}
+
+
+@dataclass(frozen=True)
+class EventuallyFires(Property):
+    """The transition fires somewhere in the reachable state space.
+
+    This is quasi-liveness (L1): *some* firing sequence from the
+    initial marking includes the transition.  ``PROVED`` comes with a
+    witness trace; ``VIOLATED`` requires a complete exploration (the
+    transition is dead); a truncated exploration yields ``UNKNOWN``.
+    """
+
+    transition: str
+    kind = "liveness"
+
+    @property
+    def name(self) -> str:
+        """``eventually(t)``."""
+        return f"eventually({self.transition})"
+
+    def transitions_used(self) -> tuple[str, ...]:
+        """The awaited transition."""
+        return (self.transition,)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {"type": "eventually_fires", "transition": self.transition}
+
+
+@dataclass(frozen=True)
+class DeadlockFree(Property):
+    """No reachable marking is dead (every state enables something).
+
+    One-shot presentation nets deliberately end in a terminal marking —
+    do not include this property for them; it is meant for service
+    nets (floor control channels) that must always keep serving.
+    """
+
+    @property
+    def name(self) -> str:
+        """``deadlock_free``."""
+        return "deadlock_free"
+
+    def violated_by(self, marking: Mapping[str, int]) -> bool:
+        """Deadlock is a property of the enabled set, not the marking
+        alone; the engines special-case it.  Always ``False`` here."""
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {"type": "deadlock_free"}
+
+
+_DECODERS: dict[str, Callable[[dict[str, Any]], Property]] = {
+    "mutex": lambda d: Mutex(tuple(d["places"]), bound=int(d.get("bound", 1))),
+    "place_bound": lambda d: PlaceBound(d["place"], bound=int(d.get("bound", 1))),
+    "invariant": lambda d: Invariant(d["expr"], label=d.get("label", "")),
+    "eventually_fires": lambda d: EventuallyFires(d["transition"]),
+    "deadlock_free": lambda d: DeadlockFree(),
+}
+
+
+def property_from_dict(data: Mapping[str, Any]) -> Property:
+    """Rebuild a property from its :meth:`Property.to_dict` form.
+
+    Raises
+    ------
+    CheckError
+        On an unknown ``type`` tag or malformed payload.
+    """
+    tag = data.get("type")
+    if tag not in _DECODERS:
+        raise CheckError(
+            f"unknown property type {tag!r}; known: {sorted(_DECODERS)}"
+        )
+    try:
+        return _DECODERS[tag](dict(data))
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckError(f"malformed property payload {data!r}: {error}") from None

@@ -1,0 +1,324 @@
+"""Named property suites: the checks the CLI and CI run by name.
+
+``repro check --suite <name>`` resolves here.  A suite is a list of
+*cases* — one net plus the properties bound to it — produced fresh on
+every run so budgets and member counts can vary.  Built in:
+
+* ``floor_safety`` — the four FCM floor-control channels
+  (:mod:`repro.check.nets`): the headline floor-token mutual
+  exclusion, channel-token boundedness, deadlock freedom, and
+  quasi-liveness per mode.  The mutexes must come back ``PROVED`` (by
+  an inductive certificate, not mere budget survival) — bench E13 and
+  the CI ``check-smoke`` lane pin that;
+* ``figure1`` — the paper's Figure 1 lecture net: every media place
+  stays 1-bounded, the two slide sections are mutually exclusive, and
+  the presentation can terminate (``EventuallyFires`` of the final
+  transition).
+
+Suite runs serialize to a schema-versioned verdict document
+(``CHECK_<suite>.json``) the CI uploads as an artifact, with sorted
+keys so re-running the same suite reproduces the bytes exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.modes import FCMMode
+from ..errors import CheckError
+from ..petri.net import PetriNet
+from .explicit import CheckReport
+from .induct import InductiveEngine
+from .nets import floor_model
+from .props import EventuallyFires, Mutex, PlaceBound, Property, Verdict
+
+__all__ = [
+    "CheckCase",
+    "CheckSuite",
+    "SuiteResult",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "register_suite",
+    "unregister_suite",
+    "named_suite",
+    "suite_names",
+    "run_suite",
+    "check_filename",
+]
+
+#: Document family tag every verdict file carries.
+SCHEMA = "repro-dmps/check"
+#: Bump on any incompatible change to the document layout.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One net and the properties checked against it."""
+
+    name: str
+    net: PetriNet
+    properties: tuple[Property, ...]
+
+
+@dataclass(frozen=True)
+class CheckSuite:
+    """A named list of check cases.
+
+    ``members`` records the model size the cases were *built* with
+    (``None`` for suites whose nets are not member-parameterized);
+    the persisted verdict document reports this value, so a suite
+    passed to :func:`run_suite` by value cannot misdescribe its size.
+    """
+
+    name: str
+    description: str
+    cases: tuple[CheckCase, ...]
+    members: int | None = None
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Every case report of one suite run, plus the run parameters.
+
+    ``members`` is the size the suite's nets were built with (``None``
+    when the suite is not member-parameterized).
+    """
+
+    suite: CheckSuite
+    reports: tuple[tuple[str, CheckReport], ...]
+    members: int | None
+    budget: int
+
+    @property
+    def all_proved(self) -> bool:
+        """Every property of every case PROVED."""
+        return all(report.all_proved for __, report in self.reports)
+
+    @property
+    def any_violated(self) -> bool:
+        """At least one property VIOLATED somewhere."""
+        return any(report.any_violated for __, report in self.reports)
+
+    def counts(self) -> dict[str, int]:
+        """``{"proved": n, "violated": n, "unknown": n}`` totals."""
+        totals = {verdict.value: 0 for verdict in Verdict}
+        for __, report in self.reports:
+            for verdict in report.verdicts:
+                totals[verdict.verdict.value] += 1
+        return totals
+
+    def to_document(self) -> dict[str, Any]:
+        """The run as a plain JSON-ready verdict document."""
+        cases = []
+        for case_name, report in self.reports:
+            properties = []
+            for verdict in report.verdicts:
+                entry: dict[str, Any] = {
+                    "property": verdict.prop.name,
+                    "spec": verdict.prop.to_dict(),
+                    "verdict": verdict.verdict.value,
+                    "method": verdict.method,
+                    "states": verdict.states,
+                    "note": verdict.note,
+                }
+                if verdict.counterexample is not None:
+                    entry["trace"] = list(verdict.counterexample.trace)
+                if verdict.witness is not None:
+                    entry["witness"] = list(verdict.witness)
+                properties.append(entry)
+            cases.append(
+                {
+                    "case": case_name,
+                    "net": report.net_name,
+                    "explored": report.explored,
+                    "complete": report.complete,
+                    "properties": properties,
+                }
+            )
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "suite": self.suite.name,
+            "members": self.members,
+            "budget": self.budget,
+            "counts": self.counts(),
+            "cases": cases,
+        }
+
+    def dumps(self) -> str:
+        """Serialize to canonical byte-stable JSON text."""
+        return (
+            json.dumps(self.to_document(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the verdict document; returns the path written."""
+        target = Path(path)
+        target.write_text(self.dumps(), encoding="utf-8")
+        return target
+
+    def table(self) -> str:
+        """The per-property verdict table the CLI prints."""
+        headers = ("case", "property", "verdict", "method", "states")
+        rows: list[tuple[str, str, str, str, str]] = []
+        for case_name, report in self.reports:
+            for verdict in report.verdicts:
+                rows.append(
+                    (
+                        case_name,
+                        verdict.prop.name,
+                        verdict.verdict.value.upper(),
+                        verdict.method,
+                        str(verdict.states),
+                    )
+                )
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+        ]
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_SUITES: dict[str, Callable[[int], CheckSuite]] = {}
+
+
+def register_suite(name: str, builder: Callable[[int], CheckSuite]) -> None:
+    """Register a suite builder (``members -> CheckSuite``) under a
+    unique name.
+
+    Raises
+    ------
+    CheckError
+        If the name is already taken.
+    """
+    if name in _SUITES:
+        raise CheckError(f"check suite {name!r} is already registered")
+    _SUITES[name] = builder
+
+
+def unregister_suite(name: str) -> None:
+    """Remove a registered suite (no-op when unknown)."""
+    _SUITES.pop(name, None)
+
+
+def suite_names() -> list[str]:
+    """All registered suite names, sorted."""
+    return sorted(_SUITES)
+
+
+def named_suite(name: str, members: int = 3) -> CheckSuite:
+    """Build a registered suite by name.
+
+    Raises
+    ------
+    CheckError
+        On an unknown suite name (the message lists what exists).
+    """
+    if name not in _SUITES:
+        raise CheckError(
+            f"unknown check suite {name!r}; registered: {suite_names()}"
+        )
+    return _SUITES[name](members)
+
+
+def run_suite(
+    suite: CheckSuite | str, members: int = 3, budget: int = 50_000
+) -> SuiteResult:
+    """Run every case of a suite (by value or registered name) through
+    the inductive engine stack; returns the collected verdicts.
+
+    ``members`` sizes a suite built here *by name*; a suite passed by
+    value was already built, so the result reports the suite's own
+    recorded size, not this parameter.
+    """
+    if isinstance(suite, str):
+        suite = named_suite(suite, members=members)
+    reports = tuple(
+        (case.name, InductiveEngine(case.net).check(case.properties, budget=budget))
+        for case in suite.cases
+    )
+    return SuiteResult(
+        suite=suite, reports=reports, members=suite.members, budget=budget
+    )
+
+
+def check_filename(suite_name: str) -> str:
+    """Canonical ``CHECK_<name>.json`` filename for a suite name."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", suite_name).strip("_") or "suite"
+    return f"CHECK_{safe}.json"
+
+
+# ----------------------------------------------------------------------
+# Built-in suites
+# ----------------------------------------------------------------------
+def _floor_safety(members: int) -> CheckSuite:
+    cases = []
+    for mode in FCMMode:
+        model = floor_model(mode, members=members)
+        cases.append(
+            CheckCase(
+                name=mode.value, net=model.net, properties=model.properties
+            )
+        )
+    return CheckSuite(
+        name="floor_safety",
+        description=(
+            "floor-token mutual exclusion (plus boundedness, deadlock "
+            "freedom, and quasi-liveness) on the four FCM channel nets"
+        ),
+        cases=tuple(cases),
+        members=members,
+    )
+
+
+def _figure1(members: int) -> CheckSuite:
+    from ..workload.presentations import figure1_presentation
+
+    ocpn = figure1_presentation()
+    net = ocpn.net
+    properties: list[Property] = [
+        PlaceBound(place, 1) for place in sorted(ocpn.media_of_place)
+    ]
+    section1 = sorted(
+        place
+        for place, (media, __) in ocpn.media_of_place.items()
+        if media == "slides1"
+    )
+    section2 = sorted(
+        place
+        for place, (media, __) in ocpn.media_of_place.items()
+        if media == "slides2"
+    )
+    properties.append(Mutex(tuple(section1 + section2)))
+    final_transitions = net.preset_of_place("done")
+    properties.extend(
+        EventuallyFires(transition) for transition in sorted(final_transitions)
+    )
+    return CheckSuite(
+        name="figure1",
+        description=(
+            "the Figure 1 lecture net: media places stay 1-bounded, the "
+            "two slide sections never overlap, the presentation can end"
+        ),
+        cases=(CheckCase(name="figure1", net=net, properties=tuple(properties)),),
+    )
+
+
+register_suite("floor_safety", _floor_safety)
+register_suite("figure1", _figure1)

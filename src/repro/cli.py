@@ -27,7 +27,19 @@ Commands
     Network-dynamics grids ship as named specs (``loss_burst``,
     ``delay_ramp``, ``partition_heal``) and as cell parameters
     (``burst_loss``, ``ramp_to_latency``, ``partition_start``, ...)
-    usable with ``--axis``/``--set``.
+    usable with ``--axis``/``--set``; the verification workload ships
+    as ``floor_safety`` (the ``check`` cell runner).
+``check``
+    Verify property suites (:mod:`repro.check`): per-property verdicts
+    — ``PROVED`` (inductive certificate or complete exploration),
+    ``VIOLATED`` (with a counterexample firing trace), ``UNKNOWN``
+    (budget ran out; never silently truncated) — optionally persisted
+    as a schema-versioned ``CHECK_*.json``.  ``--smoke`` runs the
+    Figure 1 net plus the floor-safety suite, the CI gate proving
+    floor-token mutual exclusion for all four FCM modes.  Exit code 1
+    means a property is VIOLATED — or UNKNOWN under ``--strict``
+    (implied by ``--smoke``: the gate requires proof, not budget
+    survival).
 ``report``
     Run the seeded classroom and print only the session report.
 
@@ -41,6 +53,12 @@ import random
 import sys
 
 from .api import Scenario, Session, at, policy_names
+from .check import (
+    Verdict,
+    check_filename,
+    run_suite,
+    suite_names,
+)
 from .core.modes import FCMMode
 from .errors import ReproError
 from .experiments import (
@@ -267,6 +285,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The suites ``repro check --smoke`` runs (the CI gate).
+_SMOKE_SUITES = ("figure1", "floor_safety")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in suite_names():
+            print(name)
+        return 0
+    names = list(args.suite)
+    if args.smoke:
+        names = [name for name in _SMOKE_SUITES if name not in names] + names
+    if not names:
+        print("error: pick a suite: --smoke or --suite NAME "
+              f"(named suites: {', '.join(suite_names())})", file=sys.stderr)
+        return 2
+    # The smoke gate *proves*: an UNKNOWN verdict (budget survival) must
+    # fail CI just like a violation, or the guarantee silently erodes.
+    strict = args.smoke or args.strict
+    try:
+        results = [
+            run_suite(name, members=args.members, budget=args.budget)
+            for name in names
+        ]
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    violated = False
+    for result in results:
+        counts = result.counts()
+        size = "n/a" if result.members is None else str(result.members)
+        print(f"suite {result.suite.name!r}: {counts['proved']} proved, "
+              f"{counts['violated']} violated, {counts['unknown']} unknown "
+              f"(members {size}, budget {result.budget})")
+        print()
+        print(result.table())
+        for __, report in result.reports:
+            for verdict in report.verdicts:
+                if verdict.verdict is Verdict.VIOLATED and verdict.counterexample:
+                    trace = " -> ".join(verdict.counterexample.trace) or "(initial)"
+                    print(f"  counterexample [{verdict.prop.name}]: {trace}")
+        print()
+        out = args.out if args.out is not None else check_filename(
+            result.suite.name
+        )
+        if args.out is not None and len(results) > 1:
+            # One explicit --out path with several suites would clobber;
+            # suffix each file with its suite name instead.
+            out = f"{args.out}.{result.suite.name}.json"
+        print(f"wrote {result.write_json(out)}")
+        violated = violated or result.any_violated
+        if strict and counts["unknown"]:
+            print(f"error: suite {result.suite.name!r} left "
+                  f"{counts['unknown']} properties UNKNOWN "
+                  f"(strict mode requires proof)", file=sys.stderr)
+            violated = True
+    return 1 if violated else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     print(_run_classroom(args.seed).report().render())
     return 0
@@ -337,6 +414,31 @@ def build_parser() -> argparse.ArgumentParser:
                                      "(default: BENCH_<spec>.json)")
     sweep.add_argument("--csv", help="also write a CSV flattening here")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    check = subparsers.add_parser(
+        "check", help="verify property suites and persist CHECK json"
+    )
+    check.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI gate: the Figure 1 net + the floor-safety suite",
+    )
+    check.add_argument(
+        "--suite", action="append", default=[], metavar="NAME",
+        help="a named property suite (repeatable; see --list)",
+    )
+    check.add_argument("--list", action="store_true",
+                       help="list named suites and exit")
+    check.add_argument("--members", type=int, default=3,
+                       help="model size of member-parameterized suites")
+    check.add_argument("--budget", type=int, default=50_000,
+                       help="explicit-engine state budget (fallback only)")
+    check.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 1) on UNKNOWN verdicts; implied by --smoke",
+    )
+    check.add_argument("--out", help="verdict json path "
+                                     "(default: CHECK_<suite>.json)")
+    check.set_defaults(handler=_cmd_check)
 
     report = subparsers.add_parser("report", help="session report only")
     report.set_defaults(handler=_cmd_report)

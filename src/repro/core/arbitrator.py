@@ -91,6 +91,13 @@ class Arbitrator:
             self._tokens[group_id] = FloorToken(group=group_id)
         return self._tokens[group_id]
 
+    def peek_token(self, group_id: str) -> FloorToken | None:
+        """The group's token if one exists, with *no* side effects —
+        the read-only accessor observers (e.g. the session monitors of
+        :mod:`repro.check.monitor`) use so that watching a run never
+        changes its state."""
+        return self._tokens.get(group_id)
+
     def effective_priority(self, member_name: str, group_id: str) -> int:
         """Base priority, elevated to the controlled-mode threshold for
         the token holder and for subgroup chairs."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator
+from typing import Callable, Iterator
 
 __all__ = ["EventKind", "FloorEvent", "EventLog"]
 
@@ -45,18 +45,44 @@ class FloorEvent:
 
 
 class EventLog:
-    """Append-only event history with simple query helpers."""
+    """Append-only event history with simple query helpers.
+
+    Listeners registered with :meth:`subscribe` observe every appended
+    event — this is how the live session monitors
+    (:mod:`repro.check.monitor`) re-check invariants at each floor
+    grant/release/join/leave without polling.
+    """
 
     def __init__(self) -> None:
         self._events: list[FloorEvent] = []
+        self._listeners: list[Callable[[FloorEvent], None]] = []
 
     def append(
         self, time: float, kind: EventKind, member: str, group: str, detail: str = ""
     ) -> FloorEvent:
-        """Record one event; returns the stored entry."""
+        """Record one event; returns the stored entry.
+
+        Listeners run synchronously after the event is stored, so a
+        listener reading the log sees the event it was called for.
+        """
         event = FloorEvent(time=time, kind=kind, member=member, group=group, detail=detail)
         self._events.append(event)
+        for listener in tuple(self._listeners):
+            listener(event)
         return event
+
+    def subscribe(
+        self, listener: Callable[[FloorEvent], None]
+    ) -> Callable[[], None]:
+        """Register a listener for future appends; returns an
+        unsubscribe callable (idempotent)."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
 
     def __len__(self) -> int:
         return len(self._events)

@@ -204,7 +204,11 @@ class FloorControlServer:
         if mode is FCMMode.FREE_ACCESS:
             return set(group.members)
         if mode is FCMMode.EQUAL_CONTROL:
-            holder = self.arbitrator.token(group_id).holder
+            # peek: a query must not materialize a token (observers
+            # like the session monitors rely on reads being free of
+            # side effects).
+            token = self.arbitrator.peek_token(group_id)
+            holder = token.holder if token is not None else None
             return {holder} if holder else set()
         return set(group.members)
 

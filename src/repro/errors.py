@@ -63,6 +63,10 @@ class SessionError(ReproError):
     """Error in the DMPS session layer."""
 
 
+class CheckError(ReproError):
+    """Error in the property-checking subsystem (:mod:`repro.check`)."""
+
+
 class FloorControlError(ReproError):
     """Error in the floor control mechanism."""
 

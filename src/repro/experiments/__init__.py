@@ -56,6 +56,7 @@ from .runner import (
     SweepResult,
     register_runner,
     resolve_runner,
+    run_check_cell,
     run_policy_cell,
     run_session_cell,
     run_sweep,
@@ -88,6 +89,7 @@ __all__ = [
     "register_runner",
     "register_spec",
     "resolve_runner",
+    "run_check_cell",
     "run_policy_cell",
     "run_session_cell",
     "run_sweep",

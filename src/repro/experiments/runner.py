@@ -11,7 +11,11 @@ Two ship built in:
   naming them fall through to the policy runner — one sweep can cross
   the paper's modes *and* the ablation baselines on one axis;
 * ``"policy"`` — drives a bare :class:`repro.api.policies.FloorPolicy`
-  with the same workload events, no network in the loop.
+  with the same workload events, no network in the loop;
+* ``"check"`` — verifies one FCM mode's floor-control net
+  (:mod:`repro.check`) and records the verdict census and
+  explored-state counts as metrics, so property verdicts ride the same
+  BENCH persistence and CI lanes as performance numbers.
 
 :func:`run_sweep` executes the grid with ``workers=1`` (in process) or
 across ``concurrent.futures`` worker processes; every cell is fully
@@ -31,6 +35,9 @@ from ..api.config import DynamicsSpec, PartitionSpec
 from ..api.policies import make_policy
 from ..api.scenario import Scenario, ScenarioStep
 from ..api.session import Session
+from ..check.induct import InductiveEngine
+from ..check.nets import floor_model
+from ..check.props import Verdict
 from ..errors import ReproError
 from ..net.dynamics import GilbertElliott, RampProfile
 from ..workload.generator import WorkloadConfig, generate, member_names
@@ -43,6 +50,7 @@ __all__ = [
     "SweepResult",
     "register_runner",
     "resolve_runner",
+    "run_check_cell",
     "run_policy_cell",
     "run_session_cell",
     "run_sweep",
@@ -292,6 +300,62 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
     }
 
 
+#: Parameters the ``check`` cell runner understands, with defaults.
+_CHECK_DEFAULTS: dict[str, Any] = {
+    "mode": "equal_control",
+    "members": 4,
+    "budget": 20_000,
+}
+
+
+def run_check_cell(cell: Cell) -> Mapping[str, float]:
+    """Verify one FCM mode's floor-control net and report the verdicts.
+
+    Parameters: ``mode`` (one of the four FCM modes), ``members``
+    (model size), ``budget`` (explicit-fallback state cap).  Metrics
+    are the verdict census (``proved``/``violated``/``unknown``), how
+    many of the proofs were inductive (``proved_inductively`` — the
+    acceptance bar: the mutex must not depend on budget survival),
+    the explored-state count of the explicit fallback, and
+    ``mutex_proved`` for the headline property.  Everything is
+    deterministic, so check sweeps persist byte-identically like any
+    other BENCH document.
+    """
+    unknown = sorted(set(cell.params) - set(_CHECK_DEFAULTS))
+    if unknown:
+        raise ReproError(
+            f"cell {cell.cell_id!r}: unknown parameters {unknown!r}; "
+            f"the check runner understands {sorted(_CHECK_DEFAULTS)}"
+        )
+
+    def value(key: str) -> Any:
+        return cell.params.get(key, _CHECK_DEFAULTS[key])
+
+    members = int(value("members"))
+    budget = int(value("budget"))
+    model = floor_model(str(value("mode")), members=members)
+    report = InductiveEngine(model.net).check(model.properties, budget=budget)
+    census = {verdict.value: 0 for verdict in Verdict}
+    inductive = 0
+    for verdict in report.verdicts:
+        census[verdict.verdict.value] += 1
+        if verdict.verdict is Verdict.PROVED and verdict.method in (
+            "invariant",
+            "state-equation",
+        ):
+            inductive += 1
+    mutex = report.verdict_for(model.mutex.name)
+    return {
+        "properties": float(len(report.verdicts)),
+        "proved": float(census["proved"]),
+        "violated": float(census["violated"]),
+        "unknown": float(census["unknown"]),
+        "proved_inductively": float(inductive),
+        "mutex_proved": float(mutex.verdict is Verdict.PROVED),
+        "states_explored": float(report.explored),
+    }
+
+
 # ----------------------------------------------------------------------
 # Runner registry
 # ----------------------------------------------------------------------
@@ -341,6 +405,7 @@ def runner_names() -> list[str]:
 
 register_runner("session", run_session_cell)
 register_runner("policy", run_policy_cell)
+register_runner("check", run_check_cell)
 
 
 # ----------------------------------------------------------------------

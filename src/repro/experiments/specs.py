@@ -20,7 +20,11 @@ paper's headline comparisons —
 * ``delay_ramp`` — mid-session latency ramps that violate the paper's
   bounded-delay premise while the session runs;
 * ``partition_heal`` — the session-wide modes under a mid-session
-  partition-and-heal window (do grants resume after the heal?).
+  partition-and-heal window (do grants resume after the heal?);
+* ``floor_safety`` — the verification workload (:mod:`repro.check`):
+  every FCM mode's floor-control net at two model sizes, persisting
+  the property-verdict census and explored-state counts — the grid
+  bench E13 and the CI ``check-smoke`` lane read.
 
 Specs are values: grab one, ``with_root_seed`` it, cross more axes in
 a copy.  Registering your own name makes it reachable from the CLI.
@@ -149,5 +153,18 @@ register_spec(
         axes=(Axis("policy", ("free_access", "equal_control")),),
         base={"participants": 6, "scenario": "seminar", "duration": 24.0,
               "partition_start": 8.0, "partition_duration": 4.0},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="floor_safety",
+        axes=(
+            Axis("mode", ("free_access", "equal_control",
+                          "group_discussion", "direct_contact")),
+            Axis("members", (4, 8)),
+        ),
+        base={"budget": 20_000},
+        runner="check",
     )
 )

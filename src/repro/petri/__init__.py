@@ -8,6 +8,9 @@ Public API::
 """
 
 from .analysis import (
+    DeadlockResult,
+    LivenessResult,
+    MarkingCodec,
     ReachabilityGraph,
     bound_of,
     conservative_weights,
@@ -33,9 +36,12 @@ __all__ = [
     "ChannelBinding",
     "DOCPNSite",
     "DOCPNSystem",
+    "DeadlockResult",
     "FiringRecord",
     "FiringTrace",
+    "LivenessResult",
     "Marking",
+    "MarkingCodec",
     "OCPN",
     "PetriNet",
     "Place",

@@ -9,11 +9,18 @@ verification side:
   budget;
 * :func:`is_bounded` / :func:`bound_of` — coverability-based
   unboundedness detection (Karp–Miller style cut-off);
-* :func:`find_deadlocks` — reachable dead markings;
+* :func:`find_deadlocks` — reachable dead markings, with
+  ``complete``/``explored`` provenance on the result;
 * :func:`is_live` — whether every transition can always fire again
-  (checked over the explored graph);
+  (checked over the explored graph, undecided on a truncated one);
 * :func:`incidence_matrix`, :func:`place_invariants` — structural
   analysis via the incidence matrix over the rationals.
+
+:class:`MarkingCodec` is the canonical fixed-place-order encoder the
+hot paths intern markings through (``Marking.frozen()`` re-sorts the
+items on every call; the codec reads places in net declaration order,
+so building a key is one pass with no sort).  The richer byte-level
+engine lives in :mod:`repro.check.explicit`.
 
 All functions leave the net's own marking untouched.
 """
@@ -23,17 +30,21 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterator
+from operator import itemgetter
+from typing import Iterator, Mapping, Sequence
 
 from ..errors import PetriNetError
 from .net import Marking, PetriNet
 
 __all__ = [
+    "MarkingCodec",
     "ReachabilityGraph",
     "reachability_graph",
     "is_bounded",
     "bound_of",
+    "DeadlockResult",
     "find_deadlocks",
+    "LivenessResult",
     "is_live",
     "dead_transitions",
     "incidence_matrix",
@@ -42,7 +53,119 @@ __all__ = [
     "conservative_weights",
 ]
 
-_MarkingKey = tuple[tuple[str, int], ...]
+_MarkingKey = tuple[int, ...]
+
+
+def _mutating(name: str):
+    base = getattr(list, name)
+
+    def method(self, *args, **kwargs):
+        self.version += 1
+        return base(self, *args, **kwargs)
+
+    method.__name__ = name
+    method.__doc__ = getattr(base, "__doc__", None)
+    return method
+
+
+class _ObservedList(list):
+    """A list that counts its mutations.
+
+    :class:`ReachabilityGraph` keys its adjacency cache on the edge
+    list's ``version`` so *any* mutation — append, in-place
+    replacement, deletion, sort — invalidates the cache, preserving
+    the pre-cache behaviour where every query reflected the live list.
+    """
+
+    # Class-level default: pickle rebuilds list subclasses by calling
+    # append() before __init__ runs, and appends must find a version.
+    version = 0
+
+    def __init__(self, iterable=()) -> None:
+        super().__init__(iterable)
+        self.version = 0
+
+
+for _name in (
+    "append", "extend", "insert", "remove", "pop", "clear",
+    "sort", "reverse", "__setitem__", "__delitem__", "__iadd__", "__imul__",
+):
+    setattr(_ObservedList, _name, _mutating(_name))
+del _name
+
+
+class MarkingCodec:
+    """Canonical marking keys/encodings in fixed place order.
+
+    The codec snapshots a net's place order once; every key is then a
+    plain tuple of counts in that order — no per-marking sorting, which
+    is what made ``Marking.frozen()`` the interning hot spot.
+    :meth:`encode` additionally packs a counts tuple into ``bytes`` for
+    the dense visited-set of :mod:`repro.check.explicit`.
+    """
+
+    __slots__ = ("places", "_index", "_getter")
+
+    def __init__(self, net: PetriNet) -> None:
+        self.places: tuple[str, ...] = tuple(net.places)
+        self._index: dict[str, int] = {
+            place: i for i, place in enumerate(self.places)
+        }
+        # itemgetter reads all counts in one C call on the (dense)
+        # markings the analysers produce; sparse markings fall back to
+        # a per-place get in key().
+        if len(self.places) > 1:
+            self._getter = itemgetter(*self.places)
+        elif self.places:
+            single = self.places[0]
+            self._getter = lambda marking: (marking[single],)
+        else:
+            self._getter = lambda marking: ()
+
+    def __len__(self) -> int:
+        return len(self.places)
+
+    def index_of(self, place: str) -> int:
+        """Position of ``place`` in the fixed order.
+
+        Raises
+        ------
+        PetriNetError
+            For a place the codec's net does not have.
+        """
+        try:
+            return self._index[place]
+        except KeyError:
+            raise PetriNetError(f"codec knows no place {place!r}") from None
+
+    def key(self, marking: Mapping[str, int]) -> _MarkingKey:
+        """Hashable canonical key (counts tuple in fixed place order).
+
+        Unlike ``Marking.frozen()`` this never sorts; dense markings
+        (every place present — what the analysers produce) take a
+        single C-level multi-get.
+        """
+        try:
+            return self._getter(marking)
+        except KeyError:
+            return tuple(marking.get(place, 0) for place in self.places)
+
+    def encode(self, counts: Sequence[int]) -> bytes:
+        """Pack a counts sequence into bytes (one byte per place while
+        every count fits; an 8-byte-per-place wide form otherwise).
+
+        The two forms have different lengths for the same codec, so
+        keys from either never collide; a given marking always encodes
+        the same way.
+        """
+        try:
+            return bytes(counts)
+        except ValueError:
+            return b"".join(count.to_bytes(8, "big") for count in counts)
+
+    def marking(self, counts: Sequence[int]) -> Marking:
+        """Rebuild a :class:`~repro.petri.net.Marking` from counts."""
+        return Marking(zip(self.places, counts))
 
 
 @dataclass
@@ -61,22 +184,53 @@ class ReachabilityGraph:
     """
 
     nodes: list[Marking] = field(default_factory=list)
-    edges: list[tuple[int, str, int]] = field(default_factory=list)
+    edges: list[tuple[int, str, int]] = field(default_factory=_ObservedList)
     complete: bool = True
+    _adjacency: list[list[tuple[str, int]]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _adjacency_token: tuple = field(
+        default=(), init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.nodes)
 
+    def _out_edges(self) -> list[list[tuple[str, int]]]:
+        # Adjacency is built once and reused.  The cache token covers
+        # the edge list's identity and mutation count (hand-assembled
+        # graphs edit edges in place) plus the node count; an edge list
+        # replaced with a plain list has no mutation counter, so it is
+        # rebuilt on every call — the pre-cache behaviour.
+        edges = self.edges
+        token = (
+            id(edges),
+            getattr(edges, "version", None),
+            len(edges),
+            len(self.nodes),
+        )
+        if (
+            self._adjacency is None
+            or token != self._adjacency_token
+            or token[1] is None
+        ):
+            adjacency: list[list[tuple[str, int]]] = [
+                [] for __ in range(len(self.nodes))
+            ]
+            for source, transition, target in edges:
+                adjacency[source].append((transition, target))
+            self._adjacency = adjacency
+            self._adjacency_token = token
+        return self._adjacency
+
     def successors(self, index: int) -> Iterator[tuple[str, int]]:
         """Yield ``(transition, target_index)`` pairs for a node."""
-        for source, transition, target in self.edges:
-            if source == index:
-                yield transition, target
+        yield from self._out_edges()[index]
 
     def deadlock_indices(self) -> list[int]:
         """Indices of nodes with no outgoing edge."""
-        have_out = {source for source, __, __ in self.edges}
-        return [i for i in range(len(self.nodes)) if i not in have_out]
+        adjacency = self._out_edges()
+        return [i for i in range(len(self.nodes)) if not adjacency[i]]
 
     def transitions_seen(self) -> set[str]:
         """All transitions that label at least one edge."""
@@ -92,16 +246,20 @@ def reachability_graph(net: PetriNet, max_nodes: int = 10_000) -> ReachabilityGr
     if max_nodes < 1:
         raise PetriNetError(f"max_nodes must be >= 1, got {max_nodes!r}")
     graph = ReachabilityGraph()
+    codec = MarkingCodec(net)
     start = net.marking()
-    index_of: dict[_MarkingKey, int] = {start.frozen(): 0}
+    index_of: dict[_MarkingKey, int] = {codec.key(start): 0}
     graph.nodes.append(start)
+    # Edges accumulate in a plain list (no per-append mutation
+    # accounting on the hot loop) and are wrapped once at the end.
+    edges: list[tuple[int, str, int]] = []
     queue: deque[int] = deque([0])
     while queue:
         current_index = queue.popleft()
         current = graph.nodes[current_index]
         for transition in net.enabled_transitions(current):
             successor = net.successor_marking(current, transition)
-            key = successor.frozen()
+            key = codec.key(successor)
             if key in index_of:
                 target = index_of[key]
             else:
@@ -112,7 +270,8 @@ def reachability_graph(net: PetriNet, max_nodes: int = 10_000) -> ReachabilityGr
                 index_of[key] = target
                 graph.nodes.append(successor)
                 queue.append(target)
-            graph.edges.append((current_index, transition, target))
+            edges.append((current_index, transition, target))
+    graph.edges = _ObservedList(edges)
     return graph
 
 
@@ -130,6 +289,7 @@ def is_bounded(net: PetriNet, max_nodes: int = 10_000) -> bool:
     PetriNetError
         If the budget is exhausted before a verdict.
     """
+    codec = MarkingCodec(net)
     start = net.marking()
     # Depth-first with explicit ancestor chains.
     stack: list[tuple[Marking, tuple[Marking, ...]]] = [(start, ())]
@@ -137,7 +297,7 @@ def is_bounded(net: PetriNet, max_nodes: int = 10_000) -> bool:
     visited = 0
     while stack:
         marking, ancestors = stack.pop()
-        key = marking.frozen()
+        key = codec.key(marking)
         if key in seen:
             continue
         seen.add(key)
@@ -166,10 +326,47 @@ def bound_of(net: PetriNet, place: str, max_nodes: int = 10_000) -> int:
     return max(marking.get(place, 0) for marking in graph.nodes)
 
 
-def find_deadlocks(net: PetriNet, max_nodes: int = 10_000) -> list[Marking]:
-    """All reachable dead markings (no transition enabled)."""
+class DeadlockResult(list):
+    """Reachable dead markings plus exploration provenance.
+
+    Behaves exactly like the plain ``list[Marking]`` it used to be,
+    with two extra attributes: ``complete`` (``False`` when the state
+    budget truncated exploration, so deadlocks may be missing) and
+    ``explored`` (how many distinct markings were visited).  An empty
+    result with ``complete=False`` is *not* a deadlock-freedom proof.
+    """
+
+    def __init__(
+        self,
+        deadlocks: Sequence[Marking] = (),
+        complete: bool = True,
+        explored: int = 0,
+    ) -> None:
+        super().__init__(deadlocks)
+        self.complete = complete
+        self.explored = explored
+
+
+def find_deadlocks(net: PetriNet, max_nodes: int = 10_000) -> DeadlockResult:
+    """All reachable dead markings (no transition enabled).
+
+    The result carries ``complete``/``explored`` so a truncated search
+    cannot masquerade as a definitive all-clear.  On a truncated graph
+    the edge-less frontier nodes (whose successors were simply never
+    interned) are re-checked for enabledness, so only genuinely dead
+    markings are reported.
+    """
     graph = reachability_graph(net, max_nodes=max_nodes)
-    return [graph.nodes[i] for i in graph.deadlock_indices()]
+    deadlocks = [graph.nodes[i] for i in graph.deadlock_indices()]
+    if not graph.complete:
+        deadlocks = [
+            marking
+            for marking in deadlocks
+            if not net.enabled_transitions(marking)
+        ]
+    return DeadlockResult(
+        deadlocks, complete=graph.complete, explored=len(graph.nodes)
+    )
 
 
 def dead_transitions(net: PetriNet, max_nodes: int = 10_000) -> set[str]:
@@ -178,20 +375,52 @@ def dead_transitions(net: PetriNet, max_nodes: int = 10_000) -> set[str]:
     return set(net.transitions) - graph.transitions_seen()
 
 
-def is_live(net: PetriNet, max_nodes: int = 10_000) -> bool:
+@dataclass(frozen=True)
+class LivenessResult:
+    """Tri-state liveness verdict with exploration provenance.
+
+    ``live`` is ``None`` when the state budget truncated exploration
+    before a verdict; ``complete``/``explored`` say how far the search
+    got.  Using an undecided result as a boolean raises, so truncation
+    can never silently pass for a definitive answer — inspect ``live``
+    (or ``decided``) to handle the undecided case explicitly.
+    """
+
+    live: bool | None
+    complete: bool
+    explored: int
+
+    @property
+    def decided(self) -> bool:
+        """Whether exploration reached a definitive verdict."""
+        return self.live is not None
+
+    def __bool__(self) -> bool:
+        if self.live is None:
+            raise PetriNetError(
+                f"liveness undecided: state space exceeded the budget "
+                f"after {self.explored} markings"
+            )
+        return self.live
+
+
+def is_live(net: PetriNet, max_nodes: int = 10_000) -> LivenessResult:
     """Liveness over the explored graph (L4 in Murata's hierarchy).
 
     Every transition must be fireable again from every reachable
     marking, i.e. from each node some path reaches an edge labelled with
-    each transition.  Checked by fixpoint on the finite graph; only
-    meaningful when the graph is complete.
+    each transition.  Checked by fixpoint on the finite graph.  On a
+    truncated exploration the result is undecided
+    (``LivenessResult(live=None, complete=False, ...)``) rather than a
+    guess; truthiness of an undecided result raises.
     """
     graph = reachability_graph(net, max_nodes=max_nodes)
+    explored = len(graph.nodes)
     if not graph.complete:
-        raise PetriNetError("liveness undecided: state space exceeded budget")
+        return LivenessResult(live=None, complete=False, explored=explored)
     transitions = set(net.transitions)
     if not transitions:
-        return True
+        return LivenessResult(live=True, complete=True, explored=explored)
     # For each transition: the set of nodes from which it is eventually
     # fireable is the backward closure of the sources of its edges.
     predecessors: dict[int, list[int]] = {i: [] for i in range(len(graph.nodes))}
@@ -200,7 +429,7 @@ def is_live(net: PetriNet, max_nodes: int = 10_000) -> bool:
     for transition in transitions:
         can_fire = {s for s, label, __ in graph.edges if label == transition}
         if not can_fire:
-            return False
+            return LivenessResult(live=False, complete=True, explored=explored)
         frontier = deque(can_fire)
         while frontier:
             node = frontier.popleft()
@@ -209,8 +438,8 @@ def is_live(net: PetriNet, max_nodes: int = 10_000) -> bool:
                     can_fire.add(predecessor)
                     frontier.append(predecessor)
         if len(can_fire) != len(graph.nodes):
-            return False
-    return True
+            return LivenessResult(live=False, complete=True, explored=explored)
+    return LivenessResult(live=True, complete=True, explored=explored)
 
 
 def incidence_matrix(net: PetriNet) -> tuple[list[str], list[str], list[list[int]]]:

@@ -47,6 +47,9 @@ class SessionReport:
     # Clock sync
     synced_clients: int
     max_residual_skew: float
+    # Runtime checks (populated when a SessionMonitor is attached)
+    checked_invariants: int = 0
+    check_violations: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -76,14 +79,25 @@ class SessionReport:
             f"  clocks:   {self.synced_clients} synced, "
             f"max residual skew {self.max_residual_skew * 1000:.1f} ms",
         ]
+        if self.checked_invariants:
+            lines.append(
+                f"  checks:   {self.checked_invariants} invariants monitored, "
+                f"{self.check_violations} violations"
+            )
         return "\n".join(lines)
 
 
 def summarize(
     server: DMPSServer,
     clients: list[DMPSClient] | None = None,
+    monitor=None,
 ) -> SessionReport:
-    """Build a :class:`SessionReport` from a server (and its clients)."""
+    """Build a :class:`SessionReport` from a server (and its clients).
+
+    ``monitor`` is an optional attached
+    :class:`~repro.check.monitor.SessionMonitor`; its invariant count
+    and recorded violations become the report's ``checks`` line.
+    """
     clients = clients or []
     log = server.control.log
     stats = server.control.arbitrator.stats
@@ -119,4 +133,6 @@ def summarize(
         mean_latency=server.network.stats.mean_latency,
         synced_clients=len(synced),
         max_residual_skew=max(residuals, default=0.0),
+        checked_invariants=len(monitor.names) if monitor is not None else 0,
+        check_violations=len(monitor.violations) if monitor is not None else 0,
     )

@@ -18,6 +18,7 @@ _PACKAGES = [
     "repro",
     "repro.api",
     "repro.baselines",
+    "repro.check",
     "repro.clock",
     "repro.core",
     "repro.experiments",

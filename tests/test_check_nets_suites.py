@@ -1,0 +1,235 @@
+"""Tests for the FCM floor-control nets, the named property suites,
+the verdict persistence, and the sweep-engine check runner."""
+
+import json
+
+import pytest
+
+from repro.check.explicit import check_explicit
+from repro.check.nets import floor_model, member_places, product_cycles
+from repro.check.props import Verdict
+from repro.check.suites import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    CheckCase,
+    CheckSuite,
+    check_filename,
+    named_suite,
+    register_suite,
+    run_suite,
+    suite_names,
+    unregister_suite,
+)
+from repro.core.modes import FCMMode
+from repro.errors import CheckError
+from repro.experiments import named_spec, run_sweep
+from repro.petri.net import PetriNet
+
+
+class TestFloorModels:
+    @pytest.mark.parametrize("mode", list(FCMMode), ids=lambda m: m.value)
+    def test_model_builds_and_validates(self, mode):
+        model = floor_model(mode, members=4)
+        assert model.net.validate() == []
+        for prop in model.properties:
+            prop.validate_against(model.net)
+        assert model.mutex.places == model.channel_places
+
+    @pytest.mark.parametrize("mode", list(FCMMode), ids=lambda m: m.value)
+    def test_channel_mutex_holds_in_full_state_space(self, mode):
+        model = floor_model(mode, members=3)
+        report = check_explicit(model.net, [model.mutex], max_states=200_000)
+        assert report.complete
+        assert report.verdicts[0].verdict is Verdict.PROVED
+
+    def test_members_scale_the_model(self):
+        small = floor_model(FCMMode.EQUAL_CONTROL, members=2)
+        large = floor_model(FCMMode.EQUAL_CONTROL, members=6)
+        assert len(large.net.places) > len(small.net.places)
+        assert len(large.channel_places) == 6
+
+    def test_rejects_tiny_member_counts(self):
+        with pytest.raises(CheckError):
+            floor_model(FCMMode.EQUAL_CONTROL, members=1)
+
+    def test_mode_accepts_wire_names(self):
+        assert floor_model("direct_contact").mode is FCMMode.DIRECT_CONTACT
+
+    def test_unknown_mode_raises_check_error(self):
+        # Regression: used to escape as a raw ValueError, bypassing the
+        # CLI's and the sweep runner's ReproError handling.
+        with pytest.raises(CheckError):
+            floor_model("bogus")
+
+    def test_member_places_helper(self):
+        assert member_places("holder", 2) == ("holder_m0", "holder_m1")
+
+    def test_broken_channel_is_caught_not_proved(self):
+        # Sabotage: a release that does NOT return the token lets two
+        # members deliver at once — the engines must catch it.
+        model = floor_model(FCMMode.EQUAL_CONTROL, members=3)
+        net = model.net
+        bad = PetriNet("fcm-broken")
+        for name, place in net.places.items():
+            bad.add_place(name, tokens=place.tokens)
+        for name in net.transitions:
+            bad.add_transition(name)
+            for place, weight in net.inputs(name).items():
+                bad.add_arc(place, name, weight)
+            for place, weight in net.outputs(name).items():
+                if (name, place) == ("release_m0", "floor_free"):
+                    continue  # m0 swallows the token on release
+                bad.add_arc(name, place, weight)
+        # The token can now be re-minted nowhere, so mutex still holds;
+        # instead break the *request* to mint a token out of thin air.
+        bad.add_transition("rogue_request_m1")
+        bad.add_arc("idle_m1", "rogue_request_m1")
+        bad.add_arc("rogue_request_m1", "holder_m1")
+        report = check_explicit(bad, [model.mutex], max_states=10_000)
+        verdict = report.verdicts[0]
+        assert verdict.verdict is Verdict.VIOLATED
+        reached = verdict.counterexample.replay(bad)
+        assert sum(reached[p] for p in model.mutex.places) > 1
+
+
+class TestProductCycles:
+    def test_state_space_is_length_to_the_cycles(self):
+        net = product_cycles(cycles=3, length=4)
+        exploration = check_explicit(net, [], max_states=1000)
+        assert exploration.explored == 4 ** 3
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(CheckError):
+            product_cycles(cycles=0)
+        with pytest.raises(CheckError):
+            product_cycles(length=1)
+
+
+class TestSuites:
+    def test_builtin_suites_registered(self):
+        assert {"floor_safety", "figure1"} <= set(suite_names())
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(CheckError):
+            named_suite("nonsense")
+
+    def test_floor_safety_all_proved_with_inductive_mutex(self):
+        result = run_suite("floor_safety", members=4)
+        assert result.all_proved
+        assert not result.any_violated
+        for case_name, report in result.reports:
+            mutex = next(
+                v for v in report.verdicts if v.prop.name.startswith("mutex")
+            )
+            assert mutex.verdict is Verdict.PROVED
+            assert mutex.method in ("invariant", "state-equation"), (
+                f"{case_name}: mutex proof must be inductive"
+            )
+
+    def test_figure1_suite_all_proved(self):
+        result = run_suite("figure1")
+        assert result.all_proved
+        counts = result.counts()
+        assert counts["violated"] == 0 and counts["unknown"] == 0
+
+    def test_register_unregister_custom_suite(self):
+        net = product_cycles(cycles=2, length=2)
+
+        def build(members):
+            return CheckSuite(
+                name="custom", description="d",
+                cases=(CheckCase("only", net, ()),),
+            )
+
+        register_suite("custom", build)
+        try:
+            with pytest.raises(CheckError):
+                register_suite("custom", build)
+            assert named_suite("custom").cases[0].name == "only"
+        finally:
+            unregister_suite("custom")
+
+    def test_table_renders_every_property(self):
+        result = run_suite("floor_safety", members=3)
+        table = result.table()
+        for __, report in result.reports:
+            for verdict in report.verdicts:
+                assert verdict.prop.name in table
+
+
+class TestPersistence:
+    def test_document_schema_and_round_trip(self, tmp_path):
+        result = run_suite("floor_safety", members=3, budget=9_000)
+        path = result.write_json(tmp_path / "CHECK.json")
+        document = json.loads(path.read_text())
+        assert document["schema"] == SCHEMA
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["suite"] == "floor_safety"
+        assert document["budget"] == 9_000
+        assert document["counts"]["violated"] == 0
+        assert len(document["cases"]) == 4
+        for case in document["cases"]:
+            for prop in case["properties"]:
+                assert prop["verdict"] in ("proved", "violated", "unknown")
+
+    def test_dumps_is_byte_stable(self):
+        first = run_suite("floor_safety", members=3).dumps()
+        second = run_suite("floor_safety", members=3).dumps()
+        assert first == second
+
+    def test_violation_traces_serialized(self):
+        net = product_cycles(cycles=2, length=2)
+        from repro.check.props import Mutex
+
+        suite = CheckSuite(
+            name="bad", description="d",
+            cases=(CheckCase("bad", net, (Mutex(("c0_p0", "c1_p1")),)),),
+        )
+        document = run_suite(suite).to_document()
+        prop = document["cases"][0]["properties"][0]
+        assert prop["verdict"] == "violated"
+        assert isinstance(prop["trace"], list)
+
+    def test_by_value_suite_reports_its_own_member_count(self):
+        # Regression: the document used to echo run_suite's `members`
+        # kwarg even for a suite built (by value) at a different size.
+        suite = named_suite("floor_safety", members=8)
+        document = run_suite(suite).to_document()
+        assert document["members"] == 8
+        unparameterized = run_suite("figure1", members=5).to_document()
+        assert unparameterized["members"] is None
+
+    def test_check_filename_sanitizes(self):
+        assert check_filename("floor_safety") == "CHECK_floor_safety.json"
+        assert check_filename("we?ird//name") == "CHECK_we_ird_name.json"
+
+
+class TestCheckRunner:
+    def test_floor_safety_spec_records_verdict_metrics(self):
+        result = run_sweep(named_spec("floor_safety"))
+        assert len(result) == 8  # 4 modes x 2 member counts
+        for cell_result in result.results:
+            metrics = cell_result.metrics
+            assert metrics["mutex_proved"] == 1.0
+            assert metrics["violated"] == 0.0
+            assert metrics["unknown"] == 0.0
+            assert metrics["proved_inductively"] >= 2.0
+            assert metrics["states_explored"] > 0
+
+    def test_unknown_parameter_rejected(self):
+        from repro.experiments import Axis, SweepSpec
+
+        spec = SweepSpec(
+            name="typo", axes=(Axis("mode", ("equal_control",)),),
+            base={"bugdet": 10}, runner="check",
+        )
+        with pytest.raises(Exception):
+            run_sweep(spec)
+
+    def test_workers_agree_with_serial(self):
+        spec = named_spec("floor_safety")
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert [dict(r.metrics) for r in serial.results] == [
+            dict(r.metrics) for r in parallel.results
+        ]

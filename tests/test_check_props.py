@@ -1,0 +1,149 @@
+"""Tests for the property language: construction, evaluation,
+serialization round-trips, and net validation."""
+
+import pytest
+
+from repro.check.props import (
+    DeadlockFree,
+    EventuallyFires,
+    Invariant,
+    Mutex,
+    PlaceBound,
+    Verdict,
+    property_from_dict,
+)
+from repro.errors import CheckError
+from repro.petri.net import PetriNet
+
+
+def two_place_net():
+    net = PetriNet("two")
+    net.add_place("a", tokens=1)
+    net.add_place("b")
+    net.add_transition("t")
+    net.add_arc("a", "t")
+    net.add_arc("t", "b")
+    return net
+
+
+class TestMutex:
+    def test_violated_by_token_sum(self):
+        prop = Mutex(("a", "b"))
+        assert not prop.violated_by({"a": 1, "b": 0})
+        assert prop.violated_by({"a": 1, "b": 1})
+        assert prop.violated_by({"a": 2})
+
+    def test_linear_form(self):
+        coeffs, bound = Mutex(("a", "b"), bound=2).linear_bound()
+        assert coeffs == {"a": 1, "b": 1}
+        assert bound == 2
+
+    def test_missing_places_default_to_zero(self):
+        assert not Mutex(("a", "b")).violated_by({})
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(CheckError):
+            Mutex(())
+        with pytest.raises(CheckError):
+            Mutex(("a", "a"))
+        with pytest.raises(CheckError):
+            Mutex(("a",), bound=-1)
+
+    def test_name_is_stable(self):
+        assert Mutex(("x", "y")).name == "mutex(x,y)<=1"
+
+
+class TestPlaceBound:
+    def test_violation(self):
+        prop = PlaceBound("p", 2)
+        assert not prop.violated_by({"p": 2})
+        assert prop.violated_by({"p": 3})
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(CheckError):
+            PlaceBound("p", -1)
+
+
+class TestInvariant:
+    def test_expression_evaluates_against_marking(self):
+        prop = Invariant("a + b == 1")
+        assert not prop.violated_by({"a": 1, "b": 0})
+        assert prop.violated_by({"a": 1, "b": 1})
+
+    def test_boolean_operators(self):
+        prop = Invariant("a <= 1 and (b == 0 or a == 0)")
+        assert not prop.violated_by({"a": 1, "b": 0})
+        assert prop.violated_by({"a": 1, "b": 2})
+
+    def test_unknown_names_read_zero(self):
+        assert not Invariant("ghost == 0").violated_by({"a": 5})
+
+    def test_rejects_calls_attributes_and_floats(self):
+        with pytest.raises(CheckError):
+            Invariant("__import__('os')")
+        with pytest.raises(CheckError):
+            Invariant("a.__class__")
+        with pytest.raises(CheckError):
+            Invariant("a < 1.5")
+        with pytest.raises(CheckError):
+            Invariant("a +")
+
+    def test_division_by_zero_surfaces_as_check_error(self):
+        # Regression: a zero-valued place in `%`/`//` used to escape as
+        # a raw ZeroDivisionError, aborting the whole engine run.
+        prop = Invariant("a % b == 0")
+        with pytest.raises(CheckError):
+            prop.violated_by({"a": 4, "b": 0})
+        assert not prop.violated_by({"a": 4, "b": 2})
+
+    def test_label_names_the_property(self):
+        assert Invariant("a == 0", label="quiet").name == "quiet"
+        assert Invariant("a == 0").name == "inv(a == 0)"
+
+    def test_places_used_collects_names(self):
+        assert set(Invariant("a + b <= c").places_used()) == {"a", "b", "c"}
+
+
+class TestValidation:
+    def test_unknown_place_rejected(self):
+        with pytest.raises(CheckError):
+            Mutex(("a", "ghost")).validate_against(two_place_net())
+
+    def test_unknown_transition_rejected(self):
+        with pytest.raises(CheckError):
+            EventuallyFires("ghost").validate_against(two_place_net())
+
+    def test_fitting_properties_pass(self):
+        net = two_place_net()
+        Mutex(("a", "b")).validate_against(net)
+        EventuallyFires("t").validate_against(net)
+        DeadlockFree().validate_against(net)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "prop",
+        [
+            Mutex(("a", "b"), bound=2),
+            PlaceBound("p", 3),
+            Invariant("a + b == 1", label="conserved"),
+            EventuallyFires("t"),
+            DeadlockFree(),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_round_trip(self, prop):
+        assert property_from_dict(prop.to_dict()) == prop
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CheckError):
+            property_from_dict({"type": "nonsense"})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(CheckError):
+            property_from_dict({"type": "mutex"})
+
+
+class TestVerdictEnum:
+    def test_values_are_wire_stable(self):
+        assert {v.value for v in Verdict} == {"proved", "violated", "unknown"}

@@ -180,3 +180,107 @@ class TestSweep:
     def test_unknown_spec_reported(self, capsys):
         assert main(["sweep", "--spec", "nope"]) == 2
         assert "unknown sweep spec" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_requires_some_suite(self, capsys):
+        assert main(["check"]) == 2
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_list_names_registry(self, capsys):
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "floor_safety" in out
+        assert "figure1" in out
+
+    def test_smoke_proves_floor_mutex_for_all_modes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "suite 'figure1'" in out
+        assert "suite 'floor_safety'" in out
+        assert "VIOLATED" not in out
+        assert "UNKNOWN" not in out
+        # every FCM mode's mutex line is PROVED by an inductive method
+        for mode in ("free_access", "equal_control",
+                     "group_discussion", "direct_contact"):
+            row = next(
+                line for line in out.splitlines()
+                if line.startswith(mode) and "mutex" in line
+            )
+            assert "PROVED" in row
+            assert "invariant" in row or "state-equation" in row
+        assert (tmp_path / "CHECK_floor_safety.json").exists()
+        assert (tmp_path / "CHECK_figure1.json").exists()
+
+    def test_suite_with_out_path(self, tmp_path, capsys):
+        out = tmp_path / "verdicts.json"
+        assert main(["check", "--suite", "floor_safety", "--members", "4",
+                     "--out", str(out)]) == 0
+        import json
+
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-dmps/check"
+        assert document["members"] == 4
+        assert document["counts"]["violated"] == 0
+
+    def test_violated_suite_exits_one(self, tmp_path, capsys):
+        from repro.check import (
+            CheckCase,
+            CheckSuite,
+            Mutex,
+            product_cycles,
+            register_suite,
+            unregister_suite,
+        )
+
+        net = product_cycles(cycles=2, length=2)
+
+        def build(members):
+            return CheckSuite(
+                name="cli_bad", description="d",
+                cases=(CheckCase("bad", net, (Mutex(("c0_p0", "c1_p1")),)),),
+            )
+
+        register_suite("cli_bad", build)
+        try:
+            code = main(["check", "--suite", "cli_bad",
+                         "--out", str(tmp_path / "bad.json")])
+        finally:
+            unregister_suite("cli_bad")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "counterexample" in out
+
+    def test_unknown_suite_reported(self, capsys):
+        assert main(["check", "--suite", "nope"]) == 2
+        assert "unknown check suite" in capsys.readouterr().err
+
+    def test_multiple_suites_with_explicit_out_get_suffixes(self, tmp_path):
+        base = tmp_path / "multi.json"
+        assert main(["check", "--suite", "figure1", "--suite", "floor_safety",
+                     "--out", str(base)]) == 0
+        assert (tmp_path / "multi.json.figure1.json").exists()
+        assert (tmp_path / "multi.json.floor_safety.json").exists()
+
+    def test_deterministic_verdict_bytes(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        main(["check", "--suite", "floor_safety", "--out", str(first)])
+        main(["check", "--suite", "floor_safety", "--out", str(second)])
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_strict_fails_on_unknown_verdicts(self, tmp_path, capsys):
+        # Regression: the smoke gate used to exit 0 on UNKNOWN, passing
+        # CI while proving nothing.  A tiny budget leaves the non-linear
+        # properties (deadlock freedom) undecided.
+        code = main(["check", "--suite", "floor_safety", "--members", "8",
+                     "--budget", "2", "--strict",
+                     "--out", str(tmp_path / "u.json")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "UNKNOWN" in err and "strict" in err
+        # without --strict the same run is merely unproven, not failed
+        code = main(["check", "--suite", "floor_safety", "--members", "8",
+                     "--budget", "2", "--out", str(tmp_path / "u2.json")])
+        assert code == 0

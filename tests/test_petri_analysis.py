@@ -7,6 +7,7 @@ import pytest
 
 from repro.errors import PetriNetError
 from repro.petri.analysis import (
+    MarkingCodec,
     bound_of,
     conservative_weights,
     dead_transitions,
@@ -17,7 +18,7 @@ from repro.petri.analysis import (
     place_invariants,
     reachability_graph,
 )
-from repro.petri.net import PetriNet
+from repro.petri.net import Marking, PetriNet
 
 
 def cycle_net(tokens=1):
@@ -110,6 +111,106 @@ class TestReachabilityGraph:
         assert len(graph) == 4
 
 
+class TestMarkingCodec:
+    def test_key_matches_frozen_content(self):
+        net = cycle_net(tokens=2)
+        codec = MarkingCodec(net)
+        marking = net.marking()
+        assert dict(zip(codec.places, codec.key(marking))) == dict(
+            marking.frozen()
+        )
+
+    def test_key_needs_no_sort_and_defaults_to_zero(self):
+        codec = MarkingCodec(cycle_net())
+        assert codec.key({"p2": 3}) == (0, 3)
+
+    def test_round_trip_through_marking(self):
+        net = cycle_net(tokens=2)
+        codec = MarkingCodec(net)
+        counts = codec.key(net.marking())
+        assert codec.marking(counts) == net.marking()
+        assert isinstance(codec.marking(counts), Marking)
+
+    def test_encode_narrow_and_wide_forms(self):
+        codec = MarkingCodec(cycle_net())
+        assert codec.encode((1, 0)) == bytes((1, 0))
+        wide = codec.encode((300, 0))
+        assert wide == (300).to_bytes(8, "big") + (0).to_bytes(8, "big")
+
+    def test_index_of_unknown_place_raises(self):
+        with pytest.raises(PetriNetError):
+            MarkingCodec(cycle_net()).index_of("ghost")
+
+
+class TestAdjacencyRegression:
+    """successors()/deadlock_indices() now reuse a one-shot adjacency
+    build; results must be pinned to the old full-edge-scan behaviour."""
+
+    def scan_successors(self, graph, index):
+        return [(t, tgt) for s, t, tgt in graph.edges if s == index]
+
+    def scan_deadlocks(self, graph):
+        have_out = {s for s, __, __ in graph.edges}
+        return [i for i in range(len(graph.nodes)) if i not in have_out]
+
+    def test_successors_match_edge_scan(self):
+        net = PetriNet()
+        for branch in ("a", "b"):
+            net.add_place(f"{branch}_in", tokens=1)
+            net.add_place(f"{branch}_out")
+            net.add_transition(f"t_{branch}")
+            net.add_arc(f"{branch}_in", f"t_{branch}")
+            net.add_arc(f"t_{branch}", f"{branch}_out")
+        graph = reachability_graph(net)
+        for index in range(len(graph)):
+            assert list(graph.successors(index)) == self.scan_successors(
+                graph, index
+            )
+
+    def test_deadlock_indices_match_edge_scan(self):
+        for factory in (linear_net, cycle_net):
+            graph = reachability_graph(factory())
+            assert graph.deadlock_indices() == self.scan_deadlocks(graph)
+
+    def test_adjacency_rebuilds_after_manual_edge_growth(self):
+        graph = reachability_graph(linear_net())
+        assert graph.deadlock_indices() == [1]
+        graph.edges.append((1, "loop", 1))  # hand-grown graph
+        assert graph.deadlock_indices() == []
+        assert list(graph.successors(1)) == [("loop", 1)]
+
+    def test_adjacency_rebuilds_after_in_place_edge_replacement(self):
+        # Regression: a same-length in-place edit (edges[0] = ...) used
+        # to evade count-based invalidation and serve stale adjacency.
+        graph = reachability_graph(linear_net())
+        assert list(graph.successors(0)) == [("t", 1)]
+        graph.edges[0] = (1, "back", 0)
+        assert list(graph.successors(0)) == []
+        assert list(graph.successors(1)) == [("back", 0)]
+        assert graph.deadlock_indices() == [0]
+
+    def test_graph_pickles_and_cache_still_works(self):
+        # Regression: the mutation-counting edge list used to break
+        # pickle reconstruction (append before __init__ set version).
+        import pickle
+
+        graph = reachability_graph(cycle_net())
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.edges == graph.edges
+        assert list(clone.successors(0)) == list(graph.successors(0))
+        clone.edges.append((1, "extra", 1))
+        assert ("extra", 1) in list(clone.successors(1))
+
+    def test_adjacency_rebuilds_after_manual_node_growth(self):
+        # Regression: edge-count-only invalidation crashed when a node
+        # was appended (no new edge) after a cached query.
+        graph = reachability_graph(linear_net())
+        assert graph.deadlock_indices() == [1]
+        graph.nodes.append(Marking({"p1": 9, "p2": 9}))
+        assert graph.deadlock_indices() == [1, 2]
+        assert list(graph.successors(2)) == []
+
+
 class TestBoundedness:
     def test_cycle_is_bounded(self):
         assert is_bounded(cycle_net())
@@ -156,6 +257,47 @@ class TestDeadlockAndLiveness:
 
     def test_dead_transitions_empty_for_live_net(self):
         assert dead_transitions(cycle_net()) == set()
+
+
+class TestExplorationProvenance:
+    """A truncated exploration must never masquerade as a definitive
+    answer: find_deadlocks/is_live carry complete/explored now."""
+
+    def test_complete_deadlock_search_says_so(self):
+        result = find_deadlocks(linear_net())
+        assert result.complete
+        assert result.explored == 2
+
+    def test_truncated_deadlock_search_flagged(self):
+        result = find_deadlocks(unbounded_net(), max_nodes=5)
+        assert not result.complete
+        assert result.explored == 5
+        # the pump never deadlocks, but an incomplete empty result is
+        # NOT a proof — the flag is the only honest signal
+        assert result == []
+
+    def test_deadlock_result_still_behaves_like_a_list(self):
+        result = find_deadlocks(linear_net())
+        assert result == [{"p1": 0, "p2": 1}]
+        assert len(result) == 1
+        assert list(result)[0]["p2"] == 1
+
+    def test_is_live_result_carries_provenance(self):
+        verdict = is_live(cycle_net())
+        assert verdict.decided and verdict.complete
+        assert verdict.live is True
+        assert verdict.explored == 2
+
+    def test_is_live_undecided_on_truncation(self):
+        verdict = is_live(unbounded_net(), max_nodes=5)
+        assert not verdict.decided
+        assert verdict.live is None
+        assert not verdict.complete
+
+    def test_undecided_liveness_raises_as_boolean(self):
+        verdict = is_live(unbounded_net(), max_nodes=5)
+        with pytest.raises(PetriNetError):
+            bool(verdict)
 
 
 class TestIncidenceAndInvariants:
