@@ -1,0 +1,188 @@
+"""E14 — the event bus: indexed queries vs. list scans, and replay.
+
+The transcript is how every DMPS claim is ultimately judged, so its
+query layer is hot-path infrastructure for the sweep engine and the
+live monitors.  This experiment pins the redesign's two promises:
+
+* **Indexed queries win big** — on a 100k-event transcript, the
+  per-kind/per-member indexes and the bisected time spine must answer
+  a mixed ``of_kind`` / ``for_member`` / ``between`` workload at
+  ≥ 5x the seed-era flat-list scans (same results, element for
+  element), and the bounded ring mode must hold a long session's
+  memory at its capacity;
+* **Record/replay is deterministic** — a scripted session saved with
+  ``Session.save_transcript`` must (a) survive a save→load→save cycle
+  byte-identically and (b) replay through ``repro replay``'s engine
+  reproducing the live run's recorded metrics and check verdicts
+  byte-for-byte, with zero divergence.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Scenario, Session, at
+from repro.core.modes import FCMMode
+from repro.events import (
+    EventBus,
+    EventKind,
+    dumps_transcript,
+    load_transcript,
+    replay_transcript,
+)
+
+#: Transcript size the speedup is measured at.
+EVENTS = 100_000
+MEMBERS, GROUPS = 64, 8
+#: Acceptance bar: indexed query time vs. the flat-scan baseline.
+SPEEDUP_BAR = 5.0
+
+_KINDS = tuple(EventKind)
+
+
+def build_transcript(count: int = EVENTS):
+    """One synthetic 100k-event transcript, as a bus and a flat list."""
+    bus = EventBus()
+    for index in range(count):
+        bus.append(
+            index * 0.001,
+            _KINDS[index % len(_KINDS)],
+            f"m{index % MEMBERS}",
+            f"g{index % GROUPS}",
+        )
+    return bus, list(bus)
+
+
+# ----------------------------------------------------------------------
+# The seed-era baseline: every query is a full scan of the flat list.
+# ----------------------------------------------------------------------
+def scan_of_kind(events, kind):
+    """Seed-era ``EventLog.of_kind``: O(n) list scan."""
+    return [event for event in events if event.kind is kind]
+
+
+def scan_for_member(events, member):
+    """Seed-era ``EventLog.for_member``: O(n) list scan."""
+    return [event for event in events if event.member == member]
+
+
+def scan_between(events, start, end):
+    """Seed-era ``EventLog.between``: O(n) list scan."""
+    return [event for event in events if start <= event.time <= end]
+
+
+def _query_workload(of_kind, for_member, between):
+    """The mixed query mix both implementations answer identically."""
+    total = 0
+    for kind in _KINDS:
+        total += len(of_kind(kind))
+    for index in range(0, MEMBERS, 4):
+        total += len(for_member(f"m{index}"))
+    for window in range(10):
+        start = window * 10.0
+        total += len(between(start, start + 2.0))
+    return total
+
+
+def test_e14_indexed_queries_beat_list_scans(table):
+    bus, events = build_transcript()
+
+    def run_indexed():
+        return _query_workload(
+            bus.of_kind, bus.for_member, bus.between
+        )
+
+    def run_scans():
+        return _query_workload(
+            lambda kind: scan_of_kind(events, kind),
+            lambda member: scan_for_member(events, member),
+            lambda start, end: scan_between(events, start, end),
+        )
+
+    # Same answers before any timing claim.
+    assert run_indexed() == run_scans()
+    for kind in _KINDS:
+        assert bus.of_kind(kind) == scan_of_kind(events, kind)
+    assert bus.between(12.0, 34.0) == scan_between(events, 12.0, 34.0)
+
+    start = time.perf_counter()
+    run_scans()
+    scan_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_indexed()
+    indexed_seconds = time.perf_counter() - start
+    speedup = scan_seconds / indexed_seconds
+    table(
+        "E14: query workload on a 100k-event transcript",
+        ["implementation", "seconds", "speedup"],
+        [
+            ("list scans", scan_seconds, 1.0),
+            ("indexed bus", indexed_seconds, speedup),
+        ],
+    )
+    assert speedup >= SPEEDUP_BAR, (
+        f"indexed queries only {speedup:.1f}x over list scans "
+        f"(bar: {SPEEDUP_BAR}x)"
+    )
+
+
+def test_e14_ring_mode_bounds_a_long_session(table):
+    capacity = 4096
+    bus = EventBus(capacity=capacity)
+    for index in range(EVENTS):
+        bus.append(index * 0.001, _KINDS[index % len(_KINDS)],
+                   f"m{index % MEMBERS}", f"g{index % GROUPS}")
+    assert len(bus) == capacity
+    assert bus.evicted == EVENTS - capacity
+    live = list(bus)
+    assert sum(bus.count(kind) for kind in EventKind) == capacity
+    for kind in _KINDS:
+        assert bus.of_kind(kind) == [e for e in live if e.kind is kind]
+    table(
+        "E14: bounded ring after 100k appends",
+        ["capacity", "live", "evicted"],
+        [(capacity, len(bus), bus.evicted)],
+    )
+
+
+def _scripted_session(tmp_path):
+    session = (
+        Session.builder(chair="teacher")
+        .seed(14)
+        .participants("teacher", "alice", "bob", "carol")
+        .checks("queue_consistent", "holder_is_member")
+        .build()
+    )
+    with session:
+        script = Scenario(name="e14").add(
+            at(1.2, "set_mode", mode=FCMMode.EQUAL_CONTROL)
+        )
+        t = 1.5
+        for speaker in ("alice", "bob", "carol", "alice"):
+            script.add(
+                at(t, "request_floor", speaker),
+                at(t + 1.4, "release_floor", speaker),
+            )
+            t += 1.6
+        script.run(session, until=t + 2.0)
+        return session.save_transcript(tmp_path / "TRANSCRIPT_e14.jsonl")
+
+
+def test_e14_record_replay_is_byte_identical(table, tmp_path):
+    path = _scripted_session(tmp_path)
+    text = path.read_text(encoding="utf-8")
+
+    # (a) save -> load -> save reproduces the file byte for byte.
+    document = load_transcript(path)
+    assert dumps_transcript(document.events, document.meta) == text
+
+    # (b) replay reproduces the recorded metrics and verdicts exactly.
+    report = replay_transcript(path)
+    assert report.ok, "replay diverged from the recorded run"
+    assert report.metrics_match and report.checks_match
+    assert report.missing == ()
+    table(
+        "E14: record/replay determinism",
+        ["events", "metrics identical", "checks identical"],
+        [(report.events, report.metrics_match, report.checks_match)],
+    )

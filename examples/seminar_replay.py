@@ -1,83 +1,112 @@
 #!/usr/bin/env python3
-"""Deterministic replay: compare arbitration policies on identical input.
+"""Record a seminar session, then audit it from the transcript alone.
 
-Records a seeded seminar workload against the paper's FCM arbitrator,
-then replays the *exact same* request sequence against a fresh server —
-and against the FIFO baseline — to show:
+The seed-era version of this example replayed a request trace against
+a fresh server to show arbitration determinism.  The event subsystem
+(:mod:`repro.events`) makes the stronger loop possible: a live session
+*saves its whole transcript* — typed events plus the metrics and check
+verdicts the run concluded — and everything after that happens offline
+against the file:
 
-1. replay determinism (outcome-for-outcome identical reruns), which is
-   how a failing classroom session can be debugged offline;
-2. the ablation A4 comparison on shared input: the FCM token queue and
-   the FIFO queue serve the same workload differently once priorities
-   matter.
+1. **record** — run a seeded seminar workload under equal control on
+   the :mod:`repro.api` facade with runtime monitors attached, and
+   ``Session.save_transcript`` it;
+2. **replay** — :func:`repro.events.replay_transcript` recomputes the
+   metrics and stream-check verdicts from the persisted events and
+   compares byte-for-byte (the same gate ``repro replay`` runs in CI);
+3. **audit** — indexed queries and typed payloads answer transcript
+   questions (who got the token, how long the queue got) with no
+   re-simulation and no detail-string parsing;
+4. **determinism** — re-running the same seeded session writes the
+   exact same bytes, so transcripts diff cleanly across code changes.
 
 Run with::
 
     python examples/seminar_replay.py
 """
 
-from repro.baselines import FIFOFloorControl
-from repro.clock import VirtualClock
-from repro.core import FCMMode, RequestOutcome, ResourceModel, ResourceVector
-from repro.core.server import FloorControlServer
-from repro.workload import TraceRecorder, WorkloadConfig, drive, generate, member_names, replay
+import tempfile
+from pathlib import Path
+
+from repro.api import Scenario, Session, at
+from repro.events import EventKind, load_transcript, replay_transcript
+from repro.workload import member_names
 
 MEMBERS = 6
+SEED = 42
 
 
-def server_factory(clock: VirtualClock) -> FloorControlServer:
-    server = FloorControlServer(
-        clock,
-        ResourceModel(
-            ResourceVector(network_kbps=100_000.0, cpu_share=16.0, memory_mb=8192.0)
-        ),
+def record(path: Path) -> None:
+    """Run a contended seeded seminar live and save its transcript.
+
+    The opening speaker takes the floor, everyone else piles into the
+    wait queue, and each release hands the token to the next waiter —
+    so the transcript records real queue positions and hand-offs.
+    """
+    names = member_names(MEMBERS)
+    script = Scenario(name="seminar").add(
+        at(1.0, "request_floor", names[0]),
     )
-    server.set_mode("session", FCMMode.EQUAL_CONTROL, by="teacher")
-    for name in member_names(MEMBERS):
-        server.join(name)
-    return server
+    for index, name in enumerate(names[1:], start=1):
+        script.add(at(2.0 + 0.2 * index, "request_floor", name))
+    release_at = 6.0
+    for name in names:
+        script.add(at(release_at, "release_floor", name))
+        release_at += 4.0
+    session = (
+        Session.builder(chair="teacher")
+        .seed(SEED)
+        .participants(*names)
+        .policy("equal_control")
+        .checks("queue_consistent", "holder_is_member")
+        .build()
+    )
+    with session:
+        script.run(session, until=release_at + 2.0)
+        session.save_transcript(path)
+        print(f"recorded {len(session.bus)} events "
+              f"({session.bus.count(EventKind.REQUEST)} requests, "
+              f"{session.bus.count(EventKind.TOKEN_PASS)} token passes) "
+              f"-> {path.name}")
 
 
 def main() -> None:
-    config = WorkloadConfig(members=MEMBERS, duration=60.0, seed=42)
-    events = generate("seminar", config)
-    print(f"seminar workload: {len(events)} events over {config.duration:.0f}s "
-          f"(seed {config.seed})")
+    workdir = Path(tempfile.mkdtemp(prefix="seminar_replay_"))
+    first = workdir / "TRANSCRIPT_seminar.jsonl"
+    record(first)
 
-    # --- live run, recorded -------------------------------------------------
-    clock = VirtualClock()
-    server = server_factory(clock)
-    recorder = TraceRecorder()
-    grants = drive(server, clock, events, recorder=recorder)
-    outcome_counts = {}
-    for grant in grants:
-        outcome_counts[grant.outcome.value] = (
-            outcome_counts.get(grant.outcome.value, 0) + 1
-        )
-    print(f"live run outcomes: {outcome_counts}")
-    print(f"token hand-offs:   {server.arbitrator.token('session').hand_offs}")
+    # --- replay: the recorded run reproduces from the file alone ----------
+    report = replay_transcript(first)
+    print(f"\nreplay of {first.name}:")
+    print(f"  metrics byte-identical: {report.metrics_match}")
+    print(f"  check verdicts byte-identical: {report.checks_match}")
+    assert report.ok, "transcript diverged from the recorded run"
 
-    # --- replay determinism --------------------------------------------------
-    first = replay(recorder.as_workload(), server_factory)
-    second = replay(recorder.as_workload(), server_factory)
-    identical = [g.outcome for g in first] == [g.outcome for g in second]
-    matches_live = [g.outcome for g in first] == [g.outcome for g in grants]
-    print(f"\nreplay #1 == replay #2: {identical}")
-    print(f"replay    == live run:  {matches_live}")
+    # --- audit: typed payloads + indexed queries, no re-simulation --------
+    document = load_transcript(first)
+    served: dict[str, int] = {}
+    for event in document.events:
+        if event.kind is EventKind.TOKEN_PASS:
+            recipient = event.payload().to_member
+            if recipient:
+                served[recipient] = served.get(recipient, 0) + 1
+    deepest = max(
+        (event.payload().position or 0
+         for event in document.events if event.kind is EventKind.QUEUE),
+        default=0,
+    )
+    print("\ntranscript audit (offline):")
+    print(f"  grant p95: {document.meta['metrics']['grant_p95']:.3f}s, "
+          f"fairness: {document.meta['metrics']['fairness']:.3f}")
+    print(f"  token hand-offs per member: {dict(sorted(served.items()))}")
+    print(f"  deepest wait-queue position: {deepest}")
 
-    # --- same workload through the FIFO baseline -----------------------------
-    fifo = FIFOFloorControl()
-    for event in events:
-        if event.action == "request":
-            fifo.request(event.member, now=event.time)
-        elif event.action == "release" and fifo.holder == event.member:
-            fifo.release(event.member, now=event.time)
-    print(f"\nFIFO baseline on the same workload:")
-    print(f"  grants: {fifo.grants}, forced waits: {fifo.waits}, "
-          f"mean grant latency: {fifo.mean_grant_latency():.3f}s")
-    granted = sum(1 for g in grants if g.outcome is RequestOutcome.GRANTED)
-    print(f"  FCM arbitrator granted {granted} immediately "
-          f"(rotating speakers release before the next request arrives)")
+    # --- determinism: same seed, same bytes -------------------------------
+    second = workdir / "TRANSCRIPT_seminar_rerun.jsonl"
+    record(second)
+    identical = first.read_bytes() == second.read_bytes()
+    print(f"\nre-recorded run is byte-identical: {identical}")
+    assert identical, "seeded sessions must record identical transcripts"
 
 
 if __name__ == "__main__":

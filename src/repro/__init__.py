@@ -13,6 +13,9 @@ The package provides:
   (mutex/bounds/invariants), the byte-interning explicit-state engine,
   induction-backed proofs (place invariants + state equation), and
   live session monitors;
+* :mod:`repro.events` — the typed event bus: structured payloads per
+  event kind, indexed queries, filtered subscriptions, and
+  deterministic transcript record/replay;
 * :mod:`repro.petri` — the Petri net substrate: classic nets, timed
   nets, prioritized nets (Yang et al.), OCPN, XOCPN, and DOCPN with
   global-clock admission;
@@ -46,7 +49,7 @@ docstring of :mod:`repro.session`.
 
 __version__ = "1.0.0"
 
-from . import baselines, clock, core, media, net, petri, session, temporal, workload
+from . import baselines, clock, core, events, media, net, petri, session, temporal, workload
 from . import api, check
 from .errors import ReproError
 
@@ -58,6 +61,7 @@ __all__ = [
     "check",
     "clock",
     "core",
+    "events",
     "media",
     "net",
     "petri",

@@ -36,6 +36,7 @@ verb checks one on the spot, and violations land in the report.
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 from ..check.monitor import SessionMonitor, evaluate_invariant
 from ..clock.virtual import VirtualClock
@@ -401,6 +402,45 @@ class Session:
     def log(self) -> EventLog:
         """The server's floor-control event log (the transcript)."""
         return self.server.control.log
+
+    @property
+    def bus(self) -> EventLog:
+        """The session's event bus (:mod:`repro.events`) — the same
+        object as :attr:`log`, under the redesigned subsystem's name:
+        indexed queries, filtered ``subscribe``, ``save``/``load``."""
+        return self.server.control.log
+
+    def save_transcript(self, path) -> Path:
+        """Persist the session transcript as a replayable JSONL file.
+
+        The metadata block records what the live run concluded from the
+        events — transcript metrics, stream-check verdicts, and the
+        attached monitor's invariant summary when checks are configured
+        — so ``repro replay`` can later reproduce the run's numbers
+        byte-identically from the file alone.  Returns the path
+        written.
+        """
+        from ..events.replay import build_meta
+        from ..events.transcript import save_transcript
+
+        # One snapshot serves both the metadata and the file, so the
+        # recorded blocks can never drift from the persisted events.
+        events = list(self.bus)
+        meta = build_meta(
+            events,
+            monitor=self.monitor,
+            extra={
+                "session": {
+                    "chair": self.config.chair,
+                    "members": sorted(self._clients),
+                    "policy": self.config.mode.value,
+                    "seed": self.config.seed,
+                    "duration": self.clock.now(),
+                    "listener_errors": self.bus.listener_error_count,
+                }
+            },
+        )
+        return save_transcript(path, events, meta=meta)
 
     @property
     def presence(self) -> PresenceMonitor:

@@ -269,8 +269,11 @@ class SessionMonitor:
         self.checks_run = 0
         self._active: set[tuple[str, str]] = set()
         self._stopped = False
+        # A *filtered* subscription: the bus only dispatches the
+        # floor-moving kinds to us, so posts/heartbeats/sync traffic no
+        # longer pay a per-event monitor callback.
         self._unsubscribe = session.server.control.log.subscribe(
-            self._on_event
+            self._on_event, kinds=_TRIGGER_KINDS
         )
         from ..clock.virtual import periodic
 
@@ -375,7 +378,9 @@ class SessionMonitor:
     # Internals
     # ------------------------------------------------------------------
     def _on_event(self, event: FloorEvent) -> None:
-        if self._stopped or event.kind not in _TRIGGER_KINDS:
+        # Kind filtering happens in the bus subscription; only the
+        # stopped guard remains (stop() may race a queued dispatch).
+        if self._stopped:
             return
         self.check_now(trigger=event.kind.value)
 

@@ -40,6 +40,14 @@ Commands
     means a property is VIOLATED — or UNKNOWN under ``--strict``
     (implied by ``--smoke``: the gate requires proof, not budget
     survival).
+``replay``
+    Re-run a saved transcript (:mod:`repro.events`): recompute its
+    metrics and stream-check verdicts from the persisted events alone
+    and compare byte-for-byte against what the live run recorded.
+    Exit code 1 means the replay diverged — the transcript does not
+    reproduce the recorded run.  Save transcripts with
+    ``Session.save_transcript``, the sweep ``--transcripts DIR``
+    option, or ``EventBus.save``.
 ``report``
     Run the seeded classroom and print only the session report.
 
@@ -49,6 +57,7 @@ All commands are deterministic; ``--seed`` varies the workload.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import random
 import sys
 
@@ -61,6 +70,7 @@ from .check import (
 )
 from .core.modes import FCMMode
 from .errors import ReproError
+from .events import replay_transcript
 from .experiments import (
     SweepSpec,
     axes_from_mapping,
@@ -247,6 +257,10 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
             base=base,
             runner=args.runner,
         )
+    if args.transcripts is not None:
+        spec = dataclasses.replace(
+            spec, base={**dict(spec.base), "transcript_dir": args.transcripts}
+        )
     return spec.with_root_seed(args.seed)
 
 
@@ -344,6 +358,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if violated else 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    # Every named transcript is checked even when an earlier one is
+    # unreadable — one corrupt file must not mask a divergence in the
+    # next.  Exit: 2 if any file failed to load, else 1 if any replay
+    # diverged, else 0.
+    exit_code = 0
+    for index, path in enumerate(args.transcript):
+        if index:
+            print()
+        try:
+            report = replay_transcript(path)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            exit_code = 2
+            continue
+        print(report.render())
+        if not report.ok:
+            print(f"error: replay of {path} diverged from the recorded run",
+                  file=sys.stderr)
+            exit_code = max(exit_code, 1)
+    return exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     print(_run_classroom(args.seed).report().render())
     return 0
@@ -413,7 +450,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", help="BENCH json path "
                                      "(default: BENCH_<spec>.json)")
     sweep.add_argument("--csv", help="also write a CSV flattening here")
+    sweep.add_argument(
+        "--transcripts", metavar="DIR",
+        help="save each session cell's replayable transcript JSONL "
+             "(TRANSCRIPT_<cell>.jsonl) into this directory",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    replay = subparsers.add_parser(
+        "replay", help="re-run saved transcripts and verify they "
+                       "reproduce the recorded metrics and verdicts"
+    )
+    replay.add_argument("transcript", nargs="+",
+                        help="one or more TRANSCRIPT_*.jsonl files")
+    replay.set_defaults(handler=_cmd_replay)
 
     check = subparsers.add_parser(
         "check", help="verify property suites and persist CHECK json"

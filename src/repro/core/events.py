@@ -1,111 +1,29 @@
-"""Floor-control event log.
+"""Floor-control event log — compatibility facade over
+:mod:`repro.events`.
 
-Every arbitration decision, token hand-off, suspension and resumption
-is appended here with its global timestamp.  The benchmarks read the
-log to compute grant latencies and fairness; the examples print it as
-the session transcript.
+The event subsystem moved to :mod:`repro.events`: typed payloads live
+in :mod:`repro.events.types`, the indexed bus in
+:mod:`repro.events.bus`, and transcript record/replay in
+:mod:`repro.events.transcript` / :mod:`repro.events.replay`.  This
+module keeps the seed-era import surface — ``EventKind``,
+``FloorEvent`` and ``EventLog`` — so every existing call site keeps
+working; :class:`EventLog` is the bus under its historical name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from enum import Enum
-from typing import Callable, Iterator
+from ..events import EventBus, EventKind, FloorEvent
 
 __all__ = ["EventKind", "FloorEvent", "EventLog"]
 
 
-class EventKind(Enum):
-    REQUEST = "request"
-    GRANT = "grant"
-    QUEUE = "queue"
-    DENY = "deny"
-    ABORT = "abort"
-    TOKEN_PASS = "token_pass"
-    SUSPEND = "suspend"
-    RESUME = "resume"
-    JOIN = "join"
-    LEAVE = "leave"
-    INVITE = "invite"
-    INVITE_RESPONSE = "invite_response"
-    MODE_CHANGE = "mode_change"
-    DISCONNECT = "disconnect"
-    RECONNECT = "reconnect"
+class EventLog(EventBus):
+    """The seed-era name for the indexed :class:`~repro.events.bus.
+    EventBus`.
 
-
-@dataclass(frozen=True)
-class FloorEvent:
-    """One timestamped entry in the session transcript."""
-
-    time: float
-    kind: EventKind
-    member: str
-    group: str
-    detail: str = ""
-
-
-class EventLog:
-    """Append-only event history with simple query helpers.
-
-    Listeners registered with :meth:`subscribe` observe every appended
-    event — this is how the live session monitors
-    (:mod:`repro.check.monitor`) re-check invariants at each floor
-    grant/release/join/leave without polling.
+    Same append/query/subscribe API as always — ``of_kind`` /
+    ``for_member`` / ``for_group`` / ``between`` / ``tail`` — now
+    served from indexes instead of full scans, with ``subscribe``
+    grown optional kind/member/group filters and exception-isolated
+    dispatch (see :mod:`repro.events.bus`).
     """
-
-    def __init__(self) -> None:
-        self._events: list[FloorEvent] = []
-        self._listeners: list[Callable[[FloorEvent], None]] = []
-
-    def append(
-        self, time: float, kind: EventKind, member: str, group: str, detail: str = ""
-    ) -> FloorEvent:
-        """Record one event; returns the stored entry.
-
-        Listeners run synchronously after the event is stored, so a
-        listener reading the log sees the event it was called for.
-        """
-        event = FloorEvent(time=time, kind=kind, member=member, group=group, detail=detail)
-        self._events.append(event)
-        for listener in tuple(self._listeners):
-            listener(event)
-        return event
-
-    def subscribe(
-        self, listener: Callable[[FloorEvent], None]
-    ) -> Callable[[], None]:
-        """Register a listener for future appends; returns an
-        unsubscribe callable (idempotent)."""
-        self._listeners.append(listener)
-
-        def unsubscribe() -> None:
-            if listener in self._listeners:
-                self._listeners.remove(listener)
-
-        return unsubscribe
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def __iter__(self) -> Iterator[FloorEvent]:
-        return iter(self._events)
-
-    def of_kind(self, kind: EventKind) -> list[FloorEvent]:
-        """All events of one kind, in order."""
-        return [event for event in self._events if event.kind is kind]
-
-    def for_member(self, member: str) -> list[FloorEvent]:
-        """All events attributed to one member."""
-        return [event for event in self._events if event.member == member]
-
-    def for_group(self, group: str) -> list[FloorEvent]:
-        """All events of one group."""
-        return [event for event in self._events if event.group == group]
-
-    def between(self, start: float, end: float) -> list[FloorEvent]:
-        """Events with ``start <= time <= end`` (inclusive)."""
-        return [event for event in self._events if start <= event.time <= end]
-
-    def tail(self, count: int = 10) -> list[FloorEvent]:
-        """The most recent ``count`` events."""
-        return self._events[-count:]

@@ -108,6 +108,7 @@ class FloorControlServer:
                 self.log.append(
                     now, EventKind.TOKEN_PASS, member_name,
                     group.group_id, new_holder or "",
+                    data={"to": new_holder},
                 )
             if group.chair != member_name:
                 self.registry.leave(group.group_id, member_name)
@@ -129,9 +130,14 @@ class FloorControlServer:
             raise FloorControlError(
                 f"only chair {group.chair!r} may change the mode of {group_id!r}"
             )
+        previous = self._mode.get(group_id)
         self._mode[group_id] = mode
         self.log.append(
-            self.clock.now(), EventKind.MODE_CHANGE, by, group_id, mode.value
+            self.clock.now(), EventKind.MODE_CHANGE, by, group_id, mode.value,
+            data={
+                "from": previous.value if previous is not None else None,
+                "to": mode.value,
+            },
         )
 
     # ------------------------------------------------------------------
@@ -165,14 +171,27 @@ class FloorControlServer:
             target_group=target_group,
             requested_at=requested_at if requested_at is not None else now,
         )
-        self.log.append(now, EventKind.REQUEST, member, group, mode.value)
+        self.log.append(
+            now, EventKind.REQUEST, member, group, mode.value,
+            data={"mode": mode.value},
+        )
         grant = self.arbitrator.arbitrate(request, demand=demand, now=now)
+        outcome_data: dict[str, object] = {
+            "reason": grant.reason or None,
+            "mode": mode.value,
+        }
+        if grant.outcome is RequestOutcome.QUEUED:
+            token = self.arbitrator.peek_token(group)
+            waiting = token.waiting() if token is not None else []
+            if member in waiting:
+                outcome_data["position"] = waiting.index(member) + 1
         self.log.append(
             now,
             _OUTCOME_EVENT[grant.outcome],
             member,
             group,
             grant.reason or mode.value,
+            data=outcome_data,
         )
         for victim in grant.suspended:
             self.log.append(now, EventKind.SUSPEND, victim, group)
@@ -189,6 +208,7 @@ class FloorControlServer:
             member,
             group_id,
             new_holder or "",
+            data={"to": new_holder},
         )
         return new_holder
 
@@ -225,7 +245,8 @@ class FloorControlServer:
         """Send a subgroup invitation (logged)."""
         invitation = self.registry.invite(group_id, inviter, invitee)
         self.log.append(
-            self.clock.now(), EventKind.INVITE, inviter, group_id, invitee
+            self.clock.now(), EventKind.INVITE, inviter, group_id, invitee,
+            data={"invitee": invitee},
         )
         return invitation
 
@@ -238,6 +259,7 @@ class FloorControlServer:
             invitation.invitee,
             invitation.group_id,
             "accept" if accept else "decline",
+            data={"accepted": accept},
         )
         return invitation
 
@@ -251,7 +273,8 @@ class FloorControlServer:
         self._mode[group.group_id] = FCMMode.DIRECT_CONTACT
         self.registry.invite(group.group_id, initiator, peer)
         self.log.append(
-            self.clock.now(), EventKind.INVITE, initiator, group.group_id, peer
+            self.clock.now(), EventKind.INVITE, initiator, group.group_id, peer,
+            data={"invitee": peer},
         )
         return group.group_id
 

@@ -63,6 +63,14 @@ class SessionError(ReproError):
     """Error in the DMPS session layer."""
 
 
+class EventBusError(ReproError):
+    """Error in the event subsystem (:mod:`repro.events`)."""
+
+
+class TranscriptError(EventBusError):
+    """A saved transcript could not be read or failed validation."""
+
+
 class CheckError(ReproError):
     """Error in the property-checking subsystem (:mod:`repro.check`)."""
 

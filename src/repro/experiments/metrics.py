@@ -22,7 +22,7 @@ import math
 from collections import deque
 from typing import Iterable, Mapping
 
-from ..core.events import EventKind, EventLog
+from ..core.events import EventKind, FloorEvent
 
 __all__ = [
     "grant_latencies",
@@ -63,13 +63,20 @@ def jain_fairness(shares: Iterable[float]) -> float:
     return (total * total) / (len(values) * square_sum)
 
 
-def grant_latencies(log: EventLog) -> list[float]:
+def _token_recipient(event: FloorEvent) -> str | None:
+    """Who a ``TOKEN_PASS`` handed the floor to (typed payload)."""
+    payload = event.payload()
+    return payload.to_member if payload is not None else None
+
+
+def grant_latencies(log: Iterable[FloorEvent]) -> list[float]:
     """Request-to-service latency for every served floor request.
 
     A member's oldest outstanding ``REQUEST`` is served either by an
     immediate ``GRANT`` or by a later ``TOKEN_PASS`` naming them as the
-    successor (the event's ``detail`` field).  Unserved requests (still
-    queued, denied, lost on the wire) contribute nothing.
+    successor (the event's typed payload).  Unserved requests (still
+    queued, denied, lost on the wire) contribute nothing.  ``log`` is
+    any event iterable — a live bus or a loaded transcript.
     """
     pending: dict[str, deque[float]] = {}
     latencies: list[float] = []
@@ -84,12 +91,16 @@ def grant_latencies(log: EventLog) -> list[float]:
             pending.setdefault(event.member, deque()).append(event.time)
         elif event.kind is EventKind.GRANT:
             serve(event.member, event.time)
-        elif event.kind is EventKind.TOKEN_PASS and event.detail:
-            serve(event.detail, event.time)
+        elif event.kind is EventKind.TOKEN_PASS:
+            recipient = _token_recipient(event)
+            if recipient:
+                serve(recipient, event.time)
     return latencies
 
 
-def served_counts(log: EventLog, members: Iterable[str]) -> dict[str, int]:
+def served_counts(
+    log: Iterable[FloorEvent], members: Iterable[str]
+) -> dict[str, int]:
     """How many times each member was served the floor.
 
     Counts ``GRANT`` events plus ``TOKEN_PASS`` hand-offs to the
@@ -100,8 +111,10 @@ def served_counts(log: EventLog, members: Iterable[str]) -> dict[str, int]:
     for event in log:
         if event.kind is EventKind.GRANT:
             counts[event.member] = counts.get(event.member, 0) + 1
-        elif event.kind is EventKind.TOKEN_PASS and event.detail:
-            counts[event.detail] = counts.get(event.detail, 0) + 1
+        elif event.kind is EventKind.TOKEN_PASS:
+            recipient = _token_recipient(event)
+            if recipient:
+                counts[recipient] = counts.get(recipient, 0) + 1
     return counts
 
 

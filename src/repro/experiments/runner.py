@@ -29,6 +29,7 @@ import multiprocessing
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from ..api.config import DynamicsSpec, PartitionSpec
@@ -39,10 +40,11 @@ from ..check.induct import InductiveEngine
 from ..check.nets import floor_model
 from ..check.props import Verdict
 from ..errors import ReproError
+from ..events.transcript import transcript_filename
 from ..net.dynamics import GilbertElliott, RampProfile
 from ..workload.generator import WorkloadConfig, generate, member_names
 from .metrics import grant_latencies, jain_fairness, latency_summary, served_counts
-from .spec import Cell, SweepSpec
+from .spec import CAPTURE_PARAMS, Cell, SweepSpec
 
 __all__ = [
     "CellResult",
@@ -81,6 +83,7 @@ _SESSION_DEFAULTS: dict[str, Any] = {
     "ramp_end": None,
     "partition_start": None,
     "partition_duration": 2.0,
+    "transcript_dir": None,
 }
 
 #: Policy names with no FCM mode behind them (driven without a server).
@@ -224,6 +227,17 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
         latencies = grant_latencies(log)
         counts = served_counts(log, members)
         blocked = float(session.network.stats.blocked)
+        transcript_dir = _cell_value(cell, "transcript_dir")
+        if transcript_dir is not None:
+            # Transcript capture: persist this cell's replayable JSONL
+            # record next to the BENCH numbers.  Metrics are untouched,
+            # so capturing cannot perturb the byte-identical BENCH
+            # guarantee.
+            directory = Path(str(transcript_dir))
+            directory.mkdir(parents=True, exist_ok=True)
+            session.save_transcript(
+                directory / transcript_filename(cell.cell_id)
+            )
     return {
         "requests": float(report.requests),
         "granted": float(report.granted),
@@ -251,7 +265,8 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
     request-to-service times.  Network parameters (latency/jitter/loss)
     do not apply here; cells record ``network_modeled = 0`` so a grid
     crossing baselines with network axes stays honest in the persisted
-    BENCH document.
+    BENCH document.  ``transcript_dir`` likewise does not apply: a bare
+    policy keeps no event bus, so baseline cells save no transcript.
     """
     _check_known_params(cell)
     events, members, config = _workload(cell)
@@ -321,7 +336,11 @@ def run_check_cell(cell: Cell) -> Mapping[str, float]:
     deterministic, so check sweeps persist byte-identically like any
     other BENCH document.
     """
-    unknown = sorted(set(cell.params) - set(_CHECK_DEFAULTS))
+    # Capture params (transcript_dir) may ride any sweep's base — e.g.
+    # ``repro sweep --transcripts`` over a check spec.  A check cell
+    # keeps no event bus, so like the baseline runner it skips capture
+    # rather than rejecting the whole sweep.
+    unknown = sorted(set(cell.params) - set(_CHECK_DEFAULTS) - CAPTURE_PARAMS)
     if unknown:
         raise ReproError(
             f"cell {cell.cell_id!r}: unknown parameters {unknown!r}; "

@@ -25,10 +25,23 @@ from typing import Any, Iterable, Mapping
 
 from ..errors import ReproError
 
-__all__ = ["Axis", "Cell", "SweepSpec", "axes_from_mapping", "derive_seed"]
+__all__ = [
+    "Axis",
+    "CAPTURE_PARAMS",
+    "Cell",
+    "SweepSpec",
+    "axes_from_mapping",
+    "derive_seed",
+]
 
 #: Parameter values a sweep may carry (JSON- and pickle-safe).
 _SCALARS = (bool, int, float, str, type(None))
+
+#: Capture/output parameters: they direct *where artifacts go*, never
+#: what a cell simulates, so :func:`derive_seed` excludes them — a
+#: sweep run with transcript capture on reproduces the exact metrics
+#: of the same sweep run without it.
+CAPTURE_PARAMS = frozenset({"transcript_dir"})
 
 
 def _check_scalar(context: str, value: Any) -> None:
@@ -44,9 +57,15 @@ def derive_seed(root_seed: int, runner: str, params: Mapping[str, Any]) -> int:
 
     The digest covers the root seed, the runner name, and the cell's
     parameters *sorted by name* — reordering axes or re-enumerating the
-    grid never changes a cell's seed, only its position.
+    grid never changes a cell's seed, only its position.  Capture
+    parameters (:data:`CAPTURE_PARAMS`) are excluded: artifact
+    destinations must not reseed the simulation they record.
     """
-    canonical = ",".join(f"{name}={params[name]!r}" for name in sorted(params))
+    canonical = ",".join(
+        f"{name}={params[name]!r}"
+        for name in sorted(params)
+        if name not in CAPTURE_PARAMS
+    )
     digest = hashlib.sha256(
         f"{root_seed}|{runner}|{canonical}".encode()
     ).digest()

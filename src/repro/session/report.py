@@ -50,6 +50,9 @@ class SessionReport:
     # Runtime checks (populated when a SessionMonitor is attached)
     checked_invariants: int = 0
     check_violations: int = 0
+    # Event-bus dispatch health: listeners that raised (exceptions are
+    # isolated, so failures must surface here rather than crash a run).
+    listener_errors: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -84,6 +87,11 @@ class SessionReport:
                 f"  checks:   {self.checked_invariants} invariants monitored, "
                 f"{self.check_violations} violations"
             )
+        if self.listener_errors:
+            lines.append(
+                f"  events:   {self.listener_errors} listener errors "
+                f"(dispatch isolated; see bus.listener_errors)"
+            )
         return "\n".join(lines)
 
 
@@ -114,12 +122,12 @@ def summarize(
     return SessionReport(
         duration=server.clock.now(),
         members=len(server.members()),
-        requests=len(log.of_kind(EventKind.REQUEST)),
+        requests=log.count(EventKind.REQUEST),
         granted=stats.granted,
         queued=stats.queued,
         denied=stats.denied,
         aborted=stats.aborted,
-        token_passes=len(log.of_kind(EventKind.TOKEN_PASS)),
+        token_passes=log.count(EventKind.TOKEN_PASS),
         suspensions=server.control.arbitrator.suspension.suspensions,
         resumptions=server.control.arbitrator.suspension.resumptions,
         posts_accepted=accepted,
@@ -135,4 +143,5 @@ def summarize(
         max_residual_skew=max(residuals, default=0.0),
         checked_invariants=len(monitor.names) if monitor is not None else 0,
         check_violations=len(monitor.violations) if monitor is not None else 0,
+        listener_errors=log.listener_error_count,
     )

@@ -21,6 +21,7 @@ _PACKAGES = [
     "repro.check",
     "repro.clock",
     "repro.core",
+    "repro.events",
     "repro.experiments",
     "repro.media",
     "repro.net",

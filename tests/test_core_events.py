@@ -59,3 +59,76 @@ class TestEventLog:
         log = EventLog()
         log.append(1.0, EventKind.JOIN, "x", "g")
         assert len(log.tail(10)) == 1
+
+
+class _Recorder:
+    """A callable that records events and compares equal to its kin.
+
+    Equality across distinct instances is what exposed the seed-era
+    unsubscribe bug: ``list.remove`` matches by equality, so detaching
+    one listener could silently drop a different-but-equal one.
+    """
+
+    def __init__(self):
+        self.seen = []
+
+    def __call__(self, event):
+        self.seen.append(event)
+
+    def __eq__(self, other):
+        return isinstance(other, _Recorder)
+
+    def __hash__(self):
+        return 1
+
+
+class TestEventLogSubscribe:
+    def test_unsubscribe_removes_by_identity_not_equality(self):
+        log = EventLog()
+        first, second = _Recorder(), _Recorder()
+        unsubscribe_first = log.subscribe(first)
+        log.subscribe(second)
+        unsubscribe_first()
+        event = log.append(1.0, EventKind.JOIN, "x", "g")
+        assert first.seen == []
+        assert second.seen == [event]  # the equal listener survived
+
+    def test_listener_unsubscribing_itself_mid_callback(self):
+        log = EventLog()
+        seen = []
+        unsubscribe = None
+
+        def once(event):
+            seen.append(event)
+            unsubscribe()
+
+        unsubscribe = log.subscribe(once)
+        log.append(1.0, EventKind.JOIN, "x", "g")
+        log.append(2.0, EventKind.LEAVE, "x", "g")
+        assert len(seen) == 1  # no crash; second append not observed
+
+    def test_raising_listener_does_not_corrupt_log_or_starve_others(self):
+        log = EventLog()
+        seen = []
+
+        def explode(event):
+            raise ValueError("boom")
+
+        log.subscribe(explode)
+        log.subscribe(seen.append)
+        event = log.append(1.0, EventKind.JOIN, "x", "g")
+        assert seen == [event]
+        assert list(log) == [event]
+        assert len(log.listener_errors) == 1
+
+    def test_append_from_listener_keeps_global_order(self):
+        log = EventLog()
+
+        def reactor(event):
+            if event.kind is EventKind.REQUEST:
+                log.append(event.time, EventKind.GRANT, event.member,
+                           event.group)
+
+        log.subscribe(reactor)
+        log.append(1.0, EventKind.REQUEST, "x", "g")
+        assert [e.kind for e in log] == [EventKind.REQUEST, EventKind.GRANT]

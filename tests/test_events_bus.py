@@ -1,0 +1,238 @@
+"""Tests for the indexed event bus: queries, subscriptions, ring mode."""
+
+import pytest
+
+from repro.errors import EventBusError
+from repro.events import EventBus, EventKind
+
+
+def fill(bus, count=20):
+    """Append a deterministic mixed workload of ``count`` events."""
+    kinds = [EventKind.REQUEST, EventKind.GRANT, EventKind.QUEUE,
+             EventKind.TOKEN_PASS, EventKind.JOIN]
+    for index in range(count):
+        bus.append(
+            float(index),
+            kinds[index % len(kinds)],
+            f"m{index % 3}",
+            f"g{index % 2}",
+            data={"to": f"m{(index + 1) % 3}"}
+            if kinds[index % len(kinds)] is EventKind.TOKEN_PASS else None,
+        )
+    return bus
+
+
+class TestIndexedQueries:
+    def test_indexes_agree_with_scans(self):
+        bus = fill(EventBus())
+        events = list(bus)
+        for kind in EventKind:
+            assert bus.of_kind(kind) == [e for e in events if e.kind is kind]
+        for member in ("m0", "m1", "m2", "ghost"):
+            assert bus.for_member(member) == [
+                e for e in events if e.member == member
+            ]
+        for group in ("g0", "g1", "ghost"):
+            assert bus.for_group(group) == [
+                e for e in events if e.group == group
+            ]
+
+    def test_count_is_consistent(self):
+        bus = fill(EventBus())
+        assert bus.count() == len(bus) == 20
+        assert bus.count(EventKind.REQUEST) == len(bus.of_kind(EventKind.REQUEST))
+        assert bus.count(EventKind.DISCONNECT) == 0
+
+    def test_between_inclusive_bisect(self):
+        bus = fill(EventBus())
+        window = bus.between(3.0, 7.0)
+        assert [e.time for e in window] == [3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_between_with_ties(self):
+        bus = EventBus()
+        for _ in range(3):
+            bus.append(1.0, EventKind.JOIN, "a", "g")
+        bus.append(2.0, EventKind.LEAVE, "a", "g")
+        assert len(bus.between(1.0, 1.0)) == 3
+
+    def test_between_out_of_order_falls_back_to_scan(self):
+        bus = EventBus()
+        bus.append(5.0, EventKind.JOIN, "a", "g")
+        bus.append(1.0, EventKind.JOIN, "b", "g")  # out of order
+        bus.append(3.0, EventKind.JOIN, "c", "g")
+        assert [e.member for e in bus.between(0.0, 3.0)] == ["b", "c"]
+
+    def test_members_and_groups_rosters(self):
+        bus = fill(EventBus())
+        assert bus.members() == ["m0", "m1", "m2"]
+        assert bus.groups() == ["g0", "g1"]
+
+    def test_tail(self):
+        bus = fill(EventBus())
+        assert [e.time for e in bus.tail(3)] == [17.0, 18.0, 19.0]
+        assert bus.tail(0) == []
+
+
+class TestRingMode:
+    def test_capacity_bounds_the_bus(self):
+        bus = fill(EventBus(capacity=8), count=30)
+        assert len(bus) == 8
+        assert bus.evicted == 22
+        assert [e.time for e in bus] == [float(t) for t in range(22, 30)]
+
+    def test_eviction_keeps_indexes_consistent(self):
+        bus = fill(EventBus(capacity=7), count=50)
+        live = list(bus)
+        assert sum(bus.count(kind) for kind in EventKind) == len(live)
+        for kind in EventKind:
+            assert bus.of_kind(kind) == [e for e in live if e.kind is kind]
+        for member in bus.members():
+            assert bus.for_member(member) == [
+                e for e in live if e.member == member
+            ]
+        assert bus.between(0.0, 100.0) == live
+
+    def test_eviction_drops_empty_roster_entries(self):
+        bus = EventBus(capacity=1)
+        bus.append(1.0, EventKind.JOIN, "gone", "old")
+        bus.append(2.0, EventKind.JOIN, "here", "new")
+        assert bus.members() == ["here"]
+        assert bus.groups() == ["new"]
+        assert bus.for_member("gone") == []
+
+    def test_compaction_preserves_queries(self):
+        bus = fill(EventBus(capacity=16), count=5000)
+        assert len(bus) == 16
+        assert [e.time for e in bus.between(4990.0, 4999.0)] == [
+            float(t) for t in range(4990, 5000)
+        ]
+
+    def test_capacity_validated(self):
+        with pytest.raises(EventBusError, match="capacity"):
+            EventBus(capacity=0)
+
+
+class TestSubscriptions:
+    def test_unfiltered_listener_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        fill(bus, count=10)
+        assert seen == list(bus)
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=EventKind.GRANT)
+        fill(bus, count=20)
+        assert seen == bus.of_kind(EventKind.GRANT)
+
+    def test_member_and_group_filters(self):
+        bus = EventBus()
+        by_member, by_group, combined = [], [], []
+        bus.subscribe(by_member.append, members="m1")
+        bus.subscribe(by_group.append, groups={"g0"})
+        bus.subscribe(combined.append, kinds={EventKind.REQUEST},
+                      members={"m0"}, groups={"g0"})
+        fill(bus, count=20)
+        assert by_member == bus.for_member("m1")
+        assert by_group == bus.for_group("g0")
+        assert combined == [
+            e for e in bus
+            if e.kind is EventKind.REQUEST and e.member == "m0"
+            and e.group == "g0"
+        ]
+
+    def test_filter_validation(self):
+        bus = EventBus()
+        with pytest.raises(EventBusError, match="EventKind"):
+            bus.subscribe(lambda e: None, kinds={"grant"})
+        with pytest.raises(EventBusError, match="members filter"):
+            bus.subscribe(lambda e: None, members={1})
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        unsubscribe()
+        unsubscribe()
+        bus.append(1.0, EventKind.JOIN, "a", "g")
+        assert seen == []
+
+    def test_raising_listener_does_not_starve_later_listeners(self):
+        bus = EventBus()
+        seen = []
+
+        def explode(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(explode)
+        bus.subscribe(seen.append)
+        event = bus.append(1.0, EventKind.JOIN, "a", "g")
+        assert seen == [event]
+        assert len(bus) == 1  # the log itself is not corrupted
+        assert len(bus.listener_errors) == 1
+        recorded = bus.listener_errors[0]
+        assert recorded.listener is explode
+        assert isinstance(recorded.error, RuntimeError)
+
+    def test_listener_errors_are_bounded(self):
+        from repro.events.bus import _MAX_LISTENER_ERRORS
+
+        bus = EventBus()
+
+        def explode(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(explode)
+        total = _MAX_LISTENER_ERRORS + 50
+        for index in range(total):
+            bus.append(float(index), EventKind.JOIN, "a", "g")
+        assert len(bus.listener_errors) == _MAX_LISTENER_ERRORS
+        assert bus.listener_error_count == total
+        # The retained window is the most recent errors.
+        assert bus.listener_errors[-1].time == float(total - 1)
+
+    def test_append_from_listener_preserves_global_order(self):
+        bus = EventBus()
+        observed = []
+
+        def echo(event):
+            observed.append((echo, event.kind))
+            if event.kind is EventKind.REQUEST:
+                bus.append(event.time, EventKind.GRANT, event.member,
+                           event.group)
+
+        def watcher(event):
+            observed.append((watcher, event.kind))
+
+        bus.subscribe(echo)
+        bus.subscribe(watcher)
+        bus.append(1.0, EventKind.REQUEST, "a", "g")
+        # The log stores REQUEST then GRANT...
+        assert [e.kind for e in bus] == [EventKind.REQUEST, EventKind.GRANT]
+        # ...and every listener observed them in that same global order:
+        # the nested append is dispatched only after the REQUEST finished
+        # fanning out to both listeners.
+        assert observed == [
+            (echo, EventKind.REQUEST),
+            (watcher, EventKind.REQUEST),
+            (echo, EventKind.GRANT),
+            (watcher, EventKind.GRANT),
+        ]
+
+    def test_listener_unsubscribing_another_mid_dispatch(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe_second = None
+
+        def first(event):
+            unsubscribe_second()
+
+        def second(event):
+            seen.append(event)
+
+        bus.subscribe(first)
+        unsubscribe_second = bus.subscribe(second)
+        bus.append(1.0, EventKind.JOIN, "a", "g")
+        assert seen == []  # cancelled before its turn in this dispatch

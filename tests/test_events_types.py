@@ -1,0 +1,136 @@
+"""Tests for typed event payloads and event serialization."""
+
+import pytest
+
+from repro.errors import EventBusError
+from repro.events import (
+    EventKind,
+    FloorEvent,
+    InvitePayload,
+    InviteResponsePayload,
+    ModeChangePayload,
+    OutcomePayload,
+    RequestPayload,
+    TokenPassPayload,
+)
+
+
+class TestPayloads:
+    def test_request_payload_from_data(self):
+        event = FloorEvent(1.0, EventKind.REQUEST, "a", "g",
+                           "equal_control", data={"mode": "equal_control"})
+        assert event.payload() == RequestPayload(mode="equal_control")
+
+    def test_request_payload_legacy_detail(self):
+        event = FloorEvent(1.0, EventKind.REQUEST, "a", "g", "free_access")
+        assert event.payload() == RequestPayload(mode="free_access")
+
+    def test_queue_payload_carries_position(self):
+        event = FloorEvent(
+            2.0, EventKind.QUEUE, "b", "g", "floor held by 'a'",
+            data={"reason": "floor held by 'a'", "mode": "equal_control",
+                  "position": 3},
+        )
+        payload = event.payload()
+        assert payload == OutcomePayload(
+            reason="floor held by 'a'", mode="equal_control", position=3
+        )
+
+    def test_outcome_payload_legacy_detail_becomes_reason(self):
+        event = FloorEvent(2.0, EventKind.DENY, "b", "g", "not a member")
+        assert event.payload() == OutcomePayload(reason="not a member")
+
+    def test_token_pass_payload(self):
+        with_data = FloorEvent(3.0, EventKind.TOKEN_PASS, "a", "g", "b",
+                               data={"to": "b"})
+        legacy = FloorEvent(3.0, EventKind.TOKEN_PASS, "a", "g", "b")
+        cleared = FloorEvent(3.0, EventKind.TOKEN_PASS, "a", "g", "",
+                             data={"to": None})
+        assert with_data.payload() == TokenPassPayload(to_member="b")
+        assert legacy.payload() == TokenPassPayload(to_member="b")
+        assert cleared.payload() == TokenPassPayload(to_member=None)
+
+    def test_mode_change_payload_from_to(self):
+        event = FloorEvent(
+            4.0, EventKind.MODE_CHANGE, "chair", "g", "equal_control",
+            data={"from": "free_access", "to": "equal_control"},
+        )
+        assert event.payload() == ModeChangePayload(
+            to_mode="equal_control", from_mode="free_access"
+        )
+
+    def test_mode_change_legacy_has_unknown_from(self):
+        event = FloorEvent(4.0, EventKind.MODE_CHANGE, "chair", "g",
+                           "equal_control")
+        assert event.payload() == ModeChangePayload(
+            to_mode="equal_control", from_mode=None
+        )
+
+    def test_invite_payloads(self):
+        invite = FloorEvent(5.0, EventKind.INVITE, "a", "g", "b",
+                            data={"invitee": "b"})
+        accept = FloorEvent(6.0, EventKind.INVITE_RESPONSE, "b", "g",
+                            "accept", data={"accepted": True})
+        decline = FloorEvent(6.0, EventKind.INVITE_RESPONSE, "b", "g",
+                             "decline")
+        assert invite.payload() == InvitePayload(invitee="b")
+        assert accept.payload() == InviteResponsePayload(accepted=True)
+        assert decline.payload() == InviteResponsePayload(accepted=False)
+
+    def test_kinds_without_payload_return_none(self):
+        for kind in (EventKind.JOIN, EventKind.LEAVE, EventKind.SUSPEND,
+                     EventKind.RESUME):
+            assert FloorEvent(1.0, kind, "a", "g").payload() is None
+
+
+class TestFloorEventRecord:
+    def test_data_is_immutable(self):
+        event = FloorEvent(1.0, EventKind.REQUEST, "a", "g",
+                           data={"mode": "free_access"})
+        with pytest.raises(TypeError):
+            event.data["mode"] = "hacked"
+
+    def test_events_stay_hashable(self):
+        plain = FloorEvent(1.0, EventKind.JOIN, "a", "g")
+        with_data = FloorEvent(1.0, EventKind.REQUEST, "a", "g",
+                               data={"mode": "free_access"})
+        assert len({plain, with_data}) == 2
+
+    def test_dict_round_trip(self):
+        original = FloorEvent(
+            2.5, EventKind.QUEUE, "bob", "session", "floor held",
+            data={"reason": "floor held", "mode": "equal_control",
+                  "position": 2},
+        )
+        assert FloorEvent.from_dict(original.to_dict()) == original
+
+    def test_dict_round_trip_without_data(self):
+        original = FloorEvent(1.0, EventKind.JOIN, "a", "g")
+        restored = FloorEvent.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.data is None
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(EventBusError, match="unknown event kind"):
+            FloorEvent.from_dict(
+                {"time": 1.0, "kind": "nope", "member": "a", "group": "g"}
+            )
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(EventBusError, match="missing fields"):
+            FloorEvent.from_dict({"time": 1.0, "kind": "join"})
+
+    def test_from_dict_rejects_bad_time_and_data(self):
+        with pytest.raises(EventBusError, match="numeric"):
+            FloorEvent.from_dict(
+                {"time": "soon", "kind": "join", "member": "a", "group": "g"}
+            )
+        with pytest.raises(EventBusError, match="data must be a mapping"):
+            FloorEvent.from_dict(
+                {"time": 1.0, "kind": "join", "member": "a", "group": "g",
+                 "data": [1, 2]}
+            )
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(EventBusError, match="must be a mapping"):
+            FloorEvent.from_dict([1.0, "join"])
