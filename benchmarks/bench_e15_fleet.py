@@ -1,0 +1,141 @@
+"""E15 — the fleet fabric: 10k concurrent sessions, one exact fold.
+
+The paper's floor-control claims are per-session; the fabric asks what
+survives at *population* scale — thousands of independent DMPS
+sessions sharded across workers, arbitration batched per lockstep
+tick, transcripts ring-bounded.  This experiment pins the subsystem's
+three promises:
+
+* **Scale** — a fleet of ≥ 10,000 concurrent sessions completes its
+  simulated span in one pytest-friendly run, recording sessions/sec
+  and events/sec in a schema-versioned ``BENCH_fleet`` document that
+  round-trips through the standard loader;
+* **Determinism** — the metrics fold is byte-identical between the
+  serial lockstep engine and sharded worker processes for the same
+  root seed (the canonical JSON bytes match, not just the floats);
+* **Bounded memory** — ring-mode transcripts keep per-session state
+  flat while simulated time grows: quadrupling the simulated span
+  must not grow live heap anywhere near proportionally.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+from repro.experiments import load_document
+from repro.fabric import (
+    FleetBuilder,
+    FleetMetrics,
+    run_fleet,
+    run_shard,
+    write_fleet_json,
+)
+
+#: The headline population: ten thousand concurrent sessions.
+SESSIONS = 10_000
+#: Live-heap growth bar for a 4x longer simulated span (ring mode).
+MEMORY_RATIO_BAR = 2.0
+
+
+def _fleet_config(sessions: int = SESSIONS, duration: float = 10.0,
+                  shards: int = 4):
+    return (
+        FleetBuilder()
+        .sessions(sessions)
+        .shards(shards)
+        .members(4)
+        .policy("equal_control")
+        .scenario("seminar")
+        .duration(duration)
+        .ring_capacity(128)
+        .seed(15)
+        .config()
+    )
+
+
+def test_e15_ten_thousand_sessions(table, tmp_path):
+    config = _fleet_config()
+    result = run_fleet(config)
+    m = result.metrics
+    assert m.sessions == SESSIONS
+    assert m.requests > 0 and m.granted > 0 and m.events > 0
+    assert result.wall_seconds > 0
+
+    path = write_fleet_json(result, tmp_path / "BENCH_fleet.json")
+    document = load_document(path)
+    assert document["schema"] == "repro-dmps/bench"
+    (cell,) = document["cells"]
+    assert cell["metrics"]["sessions"] == float(SESSIONS)
+    assert cell["metrics"]["sessions_per_sec"] > 0
+    assert cell["metrics"]["events_per_sec"] > 0
+    assert cell["params"]["sessions"] == SESSIONS
+
+    table(
+        "E15: one fleet, ten thousand concurrent sessions",
+        ["sessions", "events", "wall s", "sessions/s", "events/s"],
+        [(m.sessions, m.events, result.wall_seconds,
+          result.sessions_per_sec, result.events_per_sec)],
+    )
+
+
+def test_e15_serial_and_sharded_folds_are_byte_identical(table, tmp_path):
+    config = _fleet_config(sessions=600, duration=12.0, shards=4)
+    serial = run_fleet(config, workers=1)
+    sharded = run_fleet(config, workers=4)
+    assert serial.metrics == sharded.metrics
+    assert serial.to_metrics() == sharded.to_metrics()
+
+    # The guarantee that matters downstream: identical JSON *bytes*
+    # (timing excluded — it is the only machine-dependent part).
+    serial_path = write_fleet_json(
+        serial, tmp_path / "serial.json", include_timing=False)
+    sharded_path = write_fleet_json(
+        sharded, tmp_path / "sharded.json", include_timing=False)
+    assert serial_path.read_bytes() == sharded_path.read_bytes()
+
+    # And per shard: a worker replaying the tick schedule reproduces
+    # exactly the slice the serial fleet computed for that shard.
+    refold = FleetMetrics()
+    for index in range(config.shards):
+        refold.merge(run_shard(index, config))
+    assert refold == serial.metrics
+
+    table(
+        "E15: serial vs sharded determinism (600 sessions, 4 shards)",
+        ["engine", "granted", "served", "json bytes"],
+        [
+            ("serial", serial.metrics.granted, serial.metrics.served,
+             len(serial_path.read_bytes())),
+            ("4 workers", sharded.metrics.granted, sharded.metrics.served,
+             len(sharded_path.read_bytes())),
+        ],
+    )
+    assert json.loads(serial_path.read_text())  # well-formed canonical doc
+
+
+def test_e15_ring_mode_keeps_memory_sublinear(table):
+    """Live heap after 4x the simulated steps stays far below 4x."""
+
+    def live_heap(duration: float) -> tuple[int, int]:
+        config = _fleet_config(sessions=400, duration=duration, shards=1)
+        tracemalloc.start()
+        result = run_fleet(config)
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return current, result.metrics.events
+
+    short_heap, short_events = live_heap(8.0)
+    long_heap, long_events = live_heap(32.0)
+    assert long_events > short_events  # 4x span really did more work
+    ratio = long_heap / short_heap
+    table(
+        "E15: ring-bounded memory vs simulated span (400 sessions)",
+        ["span", "events", "live heap (bytes)", "ratio"],
+        [("8 s", short_events, short_heap, 1.0),
+         ("32 s", long_events, long_heap, ratio)],
+    )
+    assert ratio < MEMORY_RATIO_BAR, (
+        f"live heap grew {ratio:.2f}x for a 4x simulated span "
+        f"(bar: {MEMORY_RATIO_BAR}x) — ring mode is not bounding state"
+    )

@@ -192,6 +192,10 @@ class SessionConfig:
     server_host: str = "server"
     checks: tuple[str, ...] = ()
     check_sweep: float = 0.5
+    #: Ring-buffer capacity of the server transcript; ``None`` keeps
+    #: every event.  Fleet runs set a finite capacity so per-session
+    #: memory stays bounded however long the simulation runs.
+    transcript_capacity: int | None = None
 
     def validate(self) -> None:
         """Reject inconsistent topologies before any wiring happens."""
@@ -233,6 +237,11 @@ class SessionConfig:
             raise SessionError(
                 f"check_sweep must be positive, got {self.check_sweep!r}"
             )
+        if self.transcript_capacity is not None and self.transcript_capacity < 1:
+            raise SessionError(
+                f"transcript_capacity must be positive or None, "
+                f"got {self.transcript_capacity!r}"
+            )
 
 
 class SessionBuilder:
@@ -269,6 +278,7 @@ class SessionBuilder:
         self._server_host = "server"
         self._checks: tuple[str, ...] = ()
         self._check_sweep = 0.5
+        self._transcript_capacity: int | None = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -477,6 +487,12 @@ class SessionBuilder:
         self._server_host = name
         return self
 
+    def transcript_capacity(self, capacity: int | None) -> "SessionBuilder":
+        """Bound the server transcript to the newest ``capacity``
+        events (ring mode); ``None`` keeps the full history."""
+        self._transcript_capacity = capacity
+        return self
+
     # ------------------------------------------------------------------
     # Products
     # ------------------------------------------------------------------
@@ -501,6 +517,7 @@ class SessionBuilder:
             server_host=self._server_host,
             checks=self._checks,
             check_sweep=self._check_sweep,
+            transcript_capacity=self._transcript_capacity,
         )
         config.validate()
         return config

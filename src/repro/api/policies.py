@@ -86,7 +86,12 @@ class ArbitratedPolicy:
       chair's own requests need an explicit ``target_member``.
     """
 
-    def __init__(self, mode: FCMMode, chair: str = "teacher") -> None:
+    def __init__(
+        self,
+        mode: FCMMode,
+        chair: str = "teacher",
+        log_capacity: int | None = None,
+    ) -> None:
         self.mode = mode
         self._clock = VirtualClock()
         self.server = FloorControlServer(
@@ -95,6 +100,7 @@ class ArbitratedPolicy:
                 ResourceVector(network_kbps=1e6, cpu_share=64.0, memory_mb=1e5)
             ),
             chair=chair,
+            log_capacity=log_capacity,
         )
         self.server.set_mode(self.server.session_group, mode, by=chair)
         self._discussion: str | None = None
@@ -133,6 +139,26 @@ class ArbitratedPolicy:
         ):
             self._contact_pairs.append((member, target_member or ""))
         return grant.outcome is RequestOutcome.GRANTED
+
+    def request_batch(self, submissions: list[tuple[str, float]]) -> list[bool]:
+        """Arbitrate one tick's requests together (the fleet hot path).
+
+        ``submissions`` is ``(member, now)`` pairs in arrival order.
+        Decisions match calling :meth:`request` per pair; the session
+        modes (free access / equal control) route through
+        :meth:`FloorControlServer.request_floor_batch` and the
+        arbitrator's batch seam, while the subgroup modes — whose
+        per-request target resolution is inherently sequential — fall
+        back to the per-call path.
+        """
+        if self.mode in (FCMMode.GROUP_DISCUSSION, FCMMode.DIRECT_CONTACT):
+            return [self.request(member, now) for member, now in submissions]
+        for member, _ in submissions:
+            self._ensure_member(member)
+        grants = self.server.request_floor_batch(
+            [(member, self.mode, now) for member, now in submissions]
+        )
+        return [grant.outcome is RequestOutcome.GRANTED for grant in grants]
 
     def release(self, member: str, now: float = 0.0) -> str | None:
         """Pass the token (equal control) or close a contact pair."""
@@ -255,12 +281,18 @@ _REGISTRY: dict[str, Callable[..., FloorPolicy]] = {}
 def register_policy(name: str, factory: Callable[..., FloorPolicy]) -> None:
     """Register a policy factory under a unique name.
 
+    Re-registering the *same* factory under the same name is a no-op,
+    so the module-level registration below stays safe when worker
+    processes (spawn start method) re-import this module; only a
+    *conflicting* registration is an error.
+
     Raises
     ------
     ReproError
-        If the name is already taken.
+        If the name is already taken by a different factory.
     """
-    if name in _REGISTRY:
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
         raise ReproError(f"policy {name!r} is already registered")
     _REGISTRY[name] = factory
 

@@ -81,6 +81,7 @@ class Session:
             chair=config.chair,
             resources=config.resources.to_model(),
             presence_timeout=config.presence_timeout,
+            log_capacity=config.transcript_capacity,
         )
         if config.presence_sweep is not None:
             self.server.presence.sweep_interval = config.presence_sweep
@@ -162,9 +163,16 @@ class Session:
     def close(self) -> None:
         """Stop every periodic loop (heartbeats, clock sync, presence
         sweep, self-rescheduling dynamics profiles) so the event queue
-        can drain; idempotent."""
+        can drain.
+
+        Idempotent and reentrant: the closed flag is set *before* any
+        teardown runs, so repeated calls — including a shard tearing
+        down a fleet of sessions where one ``close`` indirectly
+        triggers another — never double-stop the loops.
+        """
         if self._closed:
             return
+        self._closed = True
         for client in self._clients.values():
             client.stop_heartbeats()
             client.stop_clock_sync()
@@ -172,7 +180,6 @@ class Session:
         self.dynamics.cancel_profiles()
         if self.monitor is not None:
             self.monitor.stop()
-        self._closed = True
 
     @property
     def closed(self) -> bool:

@@ -179,12 +179,17 @@ _INVARIANTS: dict[str, InvariantFn] = {}
 def register_invariant(name: str, fn: InvariantFn) -> None:
     """Register an invariant under a unique name.
 
+    Re-registering the *same* callable under the same name is a no-op
+    (safe under module re-import in spawned workers); a conflicting
+    registration raises.
+
     Raises
     ------
     CheckError
-        If the name is already taken.
+        If the name is already taken by a different invariant.
     """
-    if name in _INVARIANTS:
+    existing = _INVARIANTS.get(name)
+    if existing is not None and existing is not fn:
         raise CheckError(f"invariant {name!r} is already registered")
     _INVARIANTS[name] = fn
 

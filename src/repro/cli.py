@@ -81,6 +81,7 @@ from .experiments import (
     write_csv,
     write_json,
 )
+from .fabric import FleetConfig, run_fleet, write_fleet_json
 from .petri.docpn import DOCPNSystem
 from .petri.render import gantt, to_dot
 from .temporal.schedule import compute_schedule
@@ -358,6 +359,40 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if violated else 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    values = dict(
+        sessions=args.sessions,
+        shards=args.shards,
+        members=args.members,
+        policy=args.policy,
+        scenario=args.scenario,
+        duration=args.duration,
+        tick=args.tick,
+        ring_capacity=args.ring,
+        request_rate=args.request_rate,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    if args.smoke:
+        # The CI lane: a small contended fleet that finishes in seconds
+        # but still exercises sharding, batching, and ring eviction.
+        values.update(
+            sessions=500, shards=4, members=8, scenario="lecture",
+            duration=20.0, request_rate=6.0,
+        )
+    try:
+        config = FleetConfig(**values)
+        config.validate()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_fleet(config, workers=args.workers)
+    print(result.render())
+    out = args.out if args.out is not None else bench_filename("fleet")
+    print(f"\nwrote {write_fleet_json(result, out)}")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     # Every named transcript is checked even when an earlier one is
     # unreadable — one corrupt file must not mask a divergence in the
@@ -456,6 +491,43 @@ def build_parser() -> argparse.ArgumentParser:
              "(TRANSCRIPT_<cell>.jsonl) into this directory",
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="run a sharded multi-session fleet and persist "
+                      "BENCH_fleet json (repro.fabric)"
+    )
+    fleet.add_argument("--sessions", type=int, default=100,
+                       help="how many concurrent DMPS sessions")
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="shared-nothing shards the fleet splits into")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial lockstep)")
+    fleet.add_argument("--members", type=int, default=4,
+                       help="participants per session")
+    fleet.add_argument("--policy", default="equal_control",
+                       help="floor policy every session runs")
+    fleet.add_argument("--scenario", default="seminar",
+                       choices=("lecture", "seminar", "panel", "storm"),
+                       help="workload scenario (seeded per session)")
+    fleet.add_argument("--duration", type=float, default=30.0,
+                       help="simulated span (virtual seconds)")
+    fleet.add_argument("--tick", type=float, default=1.0,
+                       help="lockstep tick (arbitration batch interval)")
+    fleet.add_argument("--ring", type=int, default=256,
+                       help="per-session transcript ring capacity")
+    fleet.add_argument("--request-rate", type=float, default=0.5,
+                       help="requests per member per minute (lecture)")
+    fleet.add_argument("--engine", default="batch",
+                       choices=("batch", "facade"),
+                       help="per-session machinery")
+    fleet.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI smoke fleet (500 contended lecture sessions, "
+             "4 shards, 20 s simulated)",
+    )
+    fleet.add_argument("--out", help="BENCH json path "
+                                     "(default: BENCH_fleet.json)")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     replay = subparsers.add_parser(
         "replay", help="re-run saved transcripts and verify they "

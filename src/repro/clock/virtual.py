@@ -34,13 +34,16 @@ from ..errors import ClockError
 __all__ = ["EventHandle", "PeriodicHandle", "VirtualClock", "periodic"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     """Internal heap entry.
 
     Ordering is (time, sequence) so that events scheduled for the same
     instant run in FIFO order — a property several tests and the global
-    clock admission controller rely on.
+    clock admission controller rely on.  Slotted because a fleet run
+    keeps one heap entry alive per scheduled event across thousands of
+    concurrent sessions; the per-instance ``__dict__`` would dominate
+    the scheduler's footprint.
     """
 
     time: float

@@ -51,6 +51,10 @@ class FloorControlServer:
     chair:
         Name of the session chair (the teacher); registered
         automatically with :class:`~repro.core.groups.Role.CHAIR`.
+    log_capacity:
+        Ring-buffer capacity of the event log; ``None`` keeps the
+        full transcript.  Fleet runs bound per-session memory by
+        passing a finite capacity here.
     """
 
     def __init__(
@@ -59,12 +63,13 @@ class FloorControlServer:
         resources: ResourceModel,
         session_group: str = "session",
         chair: str = "teacher",
+        log_capacity: int | None = None,
     ) -> None:
         self.clock = clock
         self.registry = GroupRegistry()
         self.resources = resources
         self.arbitrator = Arbitrator(self.registry, resources)
-        self.log = EventLog()
+        self.log = EventLog(capacity=log_capacity)
         self.session_group = session_group
         self._requests = _RequestFactory()
         self._mode: dict[str, FCMMode] = {}
@@ -196,6 +201,52 @@ class FloorControlServer:
         for victim in grant.suspended:
             self.log.append(now, EventKind.SUSPEND, victim, group)
         return grant
+
+    def request_floor_batch(
+        self, submissions: list[tuple[str, FCMMode | None, float | None]]
+    ) -> list[FloorGrant]:
+        """Arbitrate one tick's worth of session-group requests together.
+
+        ``submissions`` is ``(member, mode, requested_at)`` triples in
+        arrival order (``None`` falls back to the group mode / current
+        time).  Decisions are identical to calling
+        :meth:`request_floor` once per triple — the arbitrator applies
+        the same state transitions in the same order — but the batch
+        shape is what the fleet's per-tick scheduler drives.  The
+        transcript differs in layout only: all ``REQUEST`` events are
+        logged before the outcomes, and queued requests are not
+        annotated with a queue position.
+        """
+        now = self.clock.now()
+        requests = []
+        for member, mode, requested_at in submissions:
+            mode = mode if mode is not None else self.mode_of(self.session_group)
+            requests.append(
+                self._requests.make(
+                    member=member,
+                    group=self.session_group,
+                    mode=mode,
+                    host=self._host_of(member),
+                    requested_at=requested_at if requested_at is not None else now,
+                )
+            )
+            self.log.append(
+                now, EventKind.REQUEST, member, self.session_group, mode.value,
+                data={"mode": mode.value},
+            )
+        grants = self.arbitrator.arbitrate_batch(requests, now=now)
+        for request, grant in zip(requests, grants):
+            self.log.append(
+                now,
+                _OUTCOME_EVENT[grant.outcome],
+                request.member,
+                request.group,
+                grant.reason or request.mode.value,
+                data={"reason": grant.reason or None, "mode": request.mode.value},
+            )
+            for victim in grant.suspended:
+                self.log.append(now, EventKind.SUSPEND, victim, request.group)
+        return grants
 
     def release_floor(
         self, group_id: str, member: str, successor: str | None = None

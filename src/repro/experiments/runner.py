@@ -387,12 +387,18 @@ def register_runner(name: str, runner: CellRunner) -> None:
     The callable must be defined at module level: worker processes
     receive it by pickled reference.
 
+    Re-registering the *same* callable under the same name is a no-op,
+    so module-level registration stays safe when worker processes
+    (spawn start method) or tools re-import this module; only a
+    *conflicting* registration is an error.
+
     Raises
     ------
     ReproError
-        If the name is already taken.
+        If the name is already taken by a different runner.
     """
-    if name in _RUNNERS:
+    existing = _RUNNERS.get(name)
+    if existing is not None and existing is not runner:
         raise ReproError(f"cell runner {name!r} is already registered")
     _RUNNERS[name] = runner
 
@@ -405,11 +411,18 @@ def unregister_runner(name: str) -> None:
 def resolve_runner(name: str) -> CellRunner:
     """Look up a registered cell runner by name.
 
+    Lazily-provided runners (:data:`_LAZY_RUNNERS`) are imported and
+    registered on first use — the fleet runner lives in
+    :mod:`repro.fabric`, which itself builds on the sweep machinery,
+    so an eager import here would be circular.
+
     Raises
     ------
     ReproError
         On an unknown runner name (the message lists what exists).
     """
+    if name not in _RUNNERS and name in _LAZY_RUNNERS:
+        _LAZY_RUNNERS[name]()
     if name not in _RUNNERS:
         raise ReproError(
             f"unknown cell runner {name!r}; registered: {runner_names()}"
@@ -418,8 +431,20 @@ def resolve_runner(name: str) -> CellRunner:
 
 
 def runner_names() -> list[str]:
-    """All registered runner names, sorted."""
-    return sorted(_RUNNERS)
+    """All registered (or lazily available) runner names, sorted."""
+    return sorted(set(_RUNNERS) | set(_LAZY_RUNNERS))
+
+
+def _register_fleet_runner() -> None:
+    from ..fabric.fleet import run_fleet_cell
+
+    register_runner("fleet", run_fleet_cell)
+
+
+#: Runners registered on first resolve to avoid import cycles.
+_LAZY_RUNNERS: dict[str, Callable[[], None]] = {
+    "fleet": _register_fleet_runner,
+}
 
 
 register_runner("session", run_session_cell)

@@ -24,7 +24,12 @@ paper's headline comparisons —
 * ``floor_safety`` — the verification workload (:mod:`repro.check`):
   every FCM mode's floor-control net at two model sizes, persisting
   the property-verdict census and explored-state counts — the grid
-  bench E13 and the CI ``check-smoke`` lane read.
+  bench E13 and the CI ``check-smoke`` lane read;
+* ``fleet_scale`` — whole fleets as cells (:mod:`repro.fabric`):
+  a fleet-size axis over a contended lecture workload on four
+  shared-nothing shards.  (Shard-count invariance is pinned at the
+  ``run_fleet`` level — a ``shards`` *axis* would reseed each cell,
+  since cell seeds derive from all cell parameters.)
 
 Specs are values: grab one, ``with_root_seed`` it, cross more axes in
 a copy.  Registering your own name makes it reachable from the CLI.
@@ -43,13 +48,18 @@ _SPECS: dict[str, SweepSpec] = {}
 def register_spec(spec: SweepSpec) -> SweepSpec:
     """Add a spec to the named registry under ``spec.name``.
 
+    Re-registering an *equal* spec is a no-op (specs are frozen
+    dataclasses, so equality is structural), keeping module re-imports
+    in spawned workers safe; only a conflicting registration raises.
+
     Raises
     ------
     ReproError
-        If the name is already taken.
+        If the name is already taken by a different spec.
     """
     spec.validate()
-    if spec.name in _SPECS:
+    existing = _SPECS.get(spec.name)
+    if existing is not None and existing != spec:
         raise ReproError(f"sweep spec {spec.name!r} is already registered")
     _SPECS[spec.name] = spec
     return spec
@@ -153,6 +163,17 @@ register_spec(
         axes=(Axis("policy", ("free_access", "equal_control")),),
         base={"participants": 6, "scenario": "seminar", "duration": 24.0,
               "partition_start": 8.0, "partition_duration": 4.0},
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="fleet_scale",
+        axes=(Axis("sessions", (50, 100, 200, 400)),),
+        base={"members": 8, "scenario": "lecture", "duration": 12.0,
+              "request_rate": 6.0, "policy": "equal_control",
+              "shards": 4},
+        runner="fleet",
     )
 )
 

@@ -1,0 +1,250 @@
+"""The fleet: N sessions, one logical clock, K shards, one fold.
+
+Serial execution (:class:`Fleet`) schedules every lockstep tick on one
+:class:`~repro.clock.virtual.VirtualClock` and advances all shards at
+each deadline.  Sharded execution (:func:`run_fleet` with
+``workers > 1``) sends whole shards to worker processes; each worker
+replays the *same* tick deadlines against its own clock replica — one
+logical clock, K physical ones — and returns a single
+:class:`~repro.fabric.metrics.FleetMetrics` fold.
+
+Because every fold component is an exact commutative integer merge,
+the aggregate is bit-identical whatever the worker count or completion
+order, which is what lets ``BENCH_fleet`` JSON reproduce byte-for-byte
+— the same guarantee the sweep engine gives per cell, extended to
+10k+ concurrent sessions.
+
+The ``"fleet"`` cell runner (:func:`run_fleet_cell`) exposes all of
+this to the sweep grid, so experiments can sweep fleet size or shard
+count like any other axis.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..clock.virtual import VirtualClock
+from ..errors import ReproError
+from ..experiments.spec import CAPTURE_PARAMS, Cell
+from .config import FleetConfig
+from .metrics import FleetMetrics
+from .shard import Shard, run_shard
+
+__all__ = ["Fleet", "FleetResult", "run_fleet", "run_fleet_cell"]
+
+#: Parameters the ``fleet`` cell runner understands, with defaults.
+_FLEET_DEFAULTS: dict[str, Any] = {
+    "sessions": 100,
+    "shards": 1,
+    "members": 4,
+    "policy": "equal_control",
+    "scenario": "seminar",
+    "duration": 30.0,
+    "tick": 1.0,
+    "ring_capacity": 256,
+    "mean_hold": 4.0,
+    "request_rate": 0.5,
+    "engine": "batch",
+}
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """A completed fleet run: the deterministic fold plus wall timing.
+
+    The *fold* (``metrics``) depends only on the config and root seed;
+    the *timing* fields depend on the machine and are deliberately kept
+    out of :meth:`to_metrics` so sweep cells and byte-identity tests
+    never see wall-clock noise.
+    """
+
+    config: FleetConfig
+    metrics: FleetMetrics
+    wall_seconds: float
+
+    @property
+    def sessions_per_sec(self) -> float:
+        """Concurrent sessions fully simulated per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.metrics.sessions / self.wall_seconds
+
+    @property
+    def events_per_sec(self) -> float:
+        """Workload events consumed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.metrics.events / self.wall_seconds
+
+    def to_metrics(self) -> dict[str, float]:
+        """The deterministic metrics dict (no timing; see class docs)."""
+        return self.metrics.to_metrics()
+
+    def render(self) -> str:
+        """Human-readable multi-line fleet report."""
+        m = self.metrics
+        lines = [
+            f"fleet report: {m.sessions} sessions × "
+            f"{self.config.scenario}/{self.config.policy}, "
+            f"{self.config.duration:.1f}s simulated on "
+            f"{self.config.shards} shard(s) in {self.wall_seconds:.2f}s wall",
+            f"  throughput: {self.sessions_per_sec:,.0f} sessions/s, "
+            f"{self.events_per_sec:,.0f} events/s",
+            f"  floor:      {m.requests} requests -> {m.granted} granted, "
+            f"{m.queued} queued, {m.denied} denied, {m.aborted} aborted; "
+            f"{m.served} served, {m.posts} posts",
+            f"  latency:    grant p50 {m.grant_p50 * 1000:.1f} ms, "
+            f"p95 {m.grant_p95 * 1000:.1f} ms, "
+            f"mean {m.grant_mean * 1000:.1f} ms",
+            f"  fairness:   Jain {m.jain_fairness():.3f} across sessions",
+            f"  transcript: {m.evicted} events evicted (ring mode)",
+        ]
+        return "\n".join(lines)
+
+
+class Fleet:
+    """Serial lockstep engine: every shard on one VirtualClock.
+
+    ``on_tick(deadline, events_so_far, fleet)`` fires after each
+    lockstep tick; callers wanting streaming metrics call
+    :meth:`snapshot` from there (it folds shard summaries on demand —
+    nothing is buffered between ticks).
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        on_tick: Callable[[float, int, "Fleet"], None] | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.clock = VirtualClock()
+        self.shards = [Shard(index, config) for index in range(config.shards)]
+        self._on_tick = on_tick
+        self._events = 0
+
+    def snapshot(self) -> FleetMetrics:
+        """Fold every shard's current state into one aggregate."""
+        total = FleetMetrics()
+        for shard in self.shards:
+            total.merge(shard.summary())
+        return total
+
+    def run(self) -> FleetResult:
+        """Drive the whole fleet to ``config.duration``; fold; close."""
+        started = time.perf_counter()
+        try:
+            for deadline in self.config.ticks():
+                self.clock.call_at(deadline, self._tick, deadline)
+            self.clock.run_until(self.config.duration)
+            metrics = self.snapshot()
+        finally:
+            self.close()
+        return FleetResult(
+            config=self.config,
+            metrics=metrics,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def close(self) -> None:
+        """Tear down every shard; idempotent."""
+        for shard in self.shards:
+            shard.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tick(self, deadline: float) -> None:
+        for shard in self.shards:
+            self._events += shard.advance(deadline)
+        if self._on_tick is not None:
+            self._on_tick(deadline, self._events, self)
+
+
+def run_fleet(
+    config: FleetConfig,
+    workers: int = 1,
+    on_tick: Callable[[float, int, Fleet], None] | None = None,
+) -> FleetResult:
+    """Run a fleet serially or across worker processes.
+
+    ``workers <= 1`` (or a single shard) runs the serial lockstep
+    engine.  Otherwise each shard runs in a worker process and the
+    per-shard folds merge incrementally as they complete — the merge
+    is exact and commutative, so the result is byte-identical to the
+    serial run.  ``on_tick`` only fires on the serial path (worker
+    shards are shared-nothing by design).
+    """
+    config.validate()
+    if workers <= 1 or config.shards == 1:
+        return Fleet(config, on_tick=on_tick).run()
+    started = time.perf_counter()
+    total = FleetMetrics()
+    with ProcessPoolExecutor(
+        max_workers=min(workers, config.shards), mp_context=_pool_context()
+    ) as pool:
+        futures = [
+            pool.submit(run_shard, index, config)
+            for index in range(config.shards)
+        ]
+        for future in as_completed(futures):
+            total.merge(future.result())
+    return FleetResult(
+        config=config,
+        metrics=total,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _pool_context():
+    """Fork-preferred multiprocessing context (matches the sweep pool)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Sweep integration: the "fleet" cell runner
+# ----------------------------------------------------------------------
+def run_fleet_cell(cell: Cell) -> Mapping[str, float]:
+    """Execute one sweep cell as a whole fleet.
+
+    Cell parameters mirror :class:`FleetConfig` fields (unknown
+    parameters are rejected); the cell's derived seed becomes the
+    fleet's root seed, so per-session seeds are anchored in the sweep's
+    root seed exactly like every other runner.  The cell runs serially
+    — the sweep engine owns cross-cell parallelism — and records only
+    the deterministic fold, never wall-clock rates.
+    """
+    unknown = sorted(set(cell.params) - set(_FLEET_DEFAULTS) - CAPTURE_PARAMS)
+    if unknown:
+        raise ReproError(
+            f"cell {cell.cell_id!r}: unknown fleet parameters {unknown!r}; "
+            f"known: {sorted(_FLEET_DEFAULTS)}"
+        )
+    values = {**_FLEET_DEFAULTS, **{
+        name: value for name, value in cell.params.items()
+        if name not in CAPTURE_PARAMS
+    }}
+    config = FleetConfig(
+        sessions=int(values["sessions"]),
+        shards=int(values["shards"]),
+        members=int(values["members"]),
+        policy=str(values["policy"]),
+        scenario=str(values["scenario"]),
+        duration=float(values["duration"]),
+        tick=float(values["tick"]),
+        ring_capacity=(
+            None if values["ring_capacity"] is None
+            else int(values["ring_capacity"])
+        ),
+        mean_hold=float(values["mean_hold"]),
+        request_rate=float(values["request_rate"]),
+        engine=str(values["engine"]),
+        seed=cell.seed,
+    )
+    return run_fleet(config).to_metrics()

@@ -1,0 +1,301 @@
+"""Per-session engines the fleet scheduler drives tick by tick.
+
+Both engines expose the same three-method surface —
+
+    ``advance(until)``  consume everything due at or before ``until``
+    ``summary()``       fold the session into a :class:`FleetMetrics`
+    ``close()``         tear the session down (idempotent)
+
+— so shards host either interchangeably:
+
+* :class:`FleetSession` (``engine="batch"``) drives a registered floor
+  policy directly.  Requests due in one tick go through the policy's
+  batch seam (:meth:`~repro.api.policies.ArbitratedPolicy.request_batch`
+  → :meth:`~repro.core.arbitrator.Arbitrator.arbitrate_batch`), the
+  workload arrives as a lazy stream, and the transcript is ring-bounded
+  — this is the 10k+ concurrent-session benchmark path.
+* :class:`FacadeFleetSession` (``engine="facade"``) stands up a full
+  :class:`~repro.api.session.Session` per fleet session — simulated
+  network, presence, optional partition dynamics and runtime checks —
+  reusing one scripted :class:`~repro.api.scenario.Scenario` per
+  session.  Slower, but exercises the whole stack (the soak path).
+
+Grant latencies fold straight into the streaming histogram as events
+happen; neither engine ever buffers its event history for metrics, so
+per-session memory stays O(members + ring capacity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..api.policies import make_policy
+from ..core.modes import FCMMode
+from ..workload.generator import RequestEvent, WorkloadConfig
+from .config import FleetConfig
+from .metrics import FleetMetrics, LatencyHistogram
+from .workload import stream_workload
+
+__all__ = ["FacadeFleetSession", "FleetSession", "make_session"]
+
+_MODE_POLICIES = frozenset(mode.value for mode in FCMMode)
+
+
+def make_session(index: int, config: FleetConfig):
+    """Build fleet session ``index`` with the engine the config names."""
+    if config.engine == "facade":
+        return FacadeFleetSession(index, config)
+    return FleetSession(index, config)
+
+
+class _LatencyFold:
+    """Streaming REQUEST→service pairing (no event buffering).
+
+    Tracks each member's outstanding request times in a deque; serving
+    a member folds ``service_time - request_time`` into the histogram
+    and counts one service.  O(members + outstanding requests) state.
+    """
+
+    __slots__ = ("pending", "histogram", "served")
+
+    def __init__(self) -> None:
+        self.pending: dict[str, deque[float]] = {}
+        self.histogram = LatencyHistogram()
+        self.served = 0
+
+    def requested(self, member: str, when: float) -> None:
+        queue = self.pending.get(member)
+        if queue is None:
+            queue = self.pending[member] = deque()
+        queue.append(when)
+
+    def serve(self, member: str, when: float) -> None:
+        queue = self.pending.get(member)
+        if queue:
+            self.histogram.add(when - queue.popleft())
+            self.served += 1
+
+
+class FleetSession:
+    """One batch-engine session: a floor policy fed a lazy workload."""
+
+    __slots__ = (
+        "index", "config", "policy", "_stream", "_next", "_fold",
+        "_events", "_requests", "_granted", "_queued", "_posts",
+        "_batch", "_closed",
+    )
+
+    def __init__(self, index: int, config: FleetConfig) -> None:
+        self.index = index
+        self.config = config
+        kwargs = {}
+        if config.policy in _MODE_POLICIES:
+            kwargs["log_capacity"] = config.ring_capacity
+        self.policy = make_policy(config.policy, **kwargs)
+        workload = WorkloadConfig(
+            members=config.members,
+            duration=config.duration,
+            seed=config.session_seed(index),
+            mean_hold=config.mean_hold,
+            request_rate=config.request_rate,
+        )
+        self._stream = stream_workload(config.scenario, workload)
+        self._next: RequestEvent | None = next(self._stream, None)
+        self._fold = _LatencyFold()
+        self._events = 0
+        self._requests = 0
+        self._granted = 0
+        self._queued = 0
+        self._posts = 0
+        self._batch: list[tuple[str, float]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lockstep interface
+    # ------------------------------------------------------------------
+    def advance(self, until: float) -> int:
+        """Consume every workload event due at or before ``until``.
+
+        Consecutive floor requests are batched through the policy's
+        batch seam; a release (or post) flushes the pending batch
+        first, so decision order matches per-call execution exactly.
+        Returns the number of events consumed.
+        """
+        consumed = 0
+        event = self._next
+        while event is not None and event.time <= until:
+            consumed += 1
+            if event.action == "request":
+                self._batch.append((event.member, event.time))
+            elif event.action == "release":
+                self._flush()
+                served = self.policy.release(event.member, event.time)
+                if served:
+                    self._fold.serve(served, event.time)
+            else:  # post
+                self._posts += 1
+            event = next(self._stream, None)
+        self._flush()
+        self._next = event
+        self._events += consumed
+        return consumed
+
+    def _flush(self) -> None:
+        batch = self._batch
+        if not batch:
+            return
+        self._batch = []
+        self._requests += len(batch)
+        for member, when in batch:
+            self._fold.requested(member, when)
+        request_batch = getattr(self.policy, "request_batch", None)
+        if request_batch is not None:
+            outcomes = request_batch(batch)
+        else:
+            outcomes = [self.policy.request(member, when) for member, when in batch]
+        for (member, when), granted in zip(batch, outcomes):
+            if granted:
+                self._granted += 1
+                self._fold.serve(member, when)
+            else:
+                self._queued += 1
+
+    def summary(self) -> FleetMetrics:
+        """This session as a mergeable :class:`FleetMetrics`."""
+        metrics = FleetMetrics(
+            sessions=1,
+            events=self._events,
+            requests=self._requests,
+            served=self._fold.served,
+            posts=self._posts,
+            histogram=self._fold.histogram,
+            fairness_n=1,
+            fairness_total=self._fold.served,
+            fairness_sumsq=self._fold.served * self._fold.served,
+        )
+        server = getattr(self.policy, "server", None)
+        if server is not None:
+            stats = server.arbitrator.stats
+            metrics.granted = stats.granted
+            metrics.queued = stats.queued
+            metrics.denied = stats.denied
+            metrics.aborted = stats.aborted
+            metrics.evicted = server.log.evicted
+        else:
+            metrics.granted = self._granted
+            metrics.queued = self._queued
+        return metrics
+
+    def close(self) -> None:
+        """Drop the workload stream; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stream = iter(())
+        self._next = None
+
+
+class FacadeFleetSession:
+    """One facade-engine session: the full DMPS stack behind a script."""
+
+    __slots__ = ("index", "config", "session", "_scenario_steps", "_fold")
+
+    def __init__(self, index: int, config: FleetConfig) -> None:
+        from ..api.config import SessionBuilder
+        from ..api.scenario import Scenario
+        from ..workload.generator import generate, member_names
+
+        if config.policy not in _MODE_POLICIES:
+            from ..errors import ReproError
+
+            raise ReproError(
+                f"the facade engine needs a session floor mode, "
+                f"got policy {config.policy!r}"
+            )
+        seed = config.session_seed(index)
+        builder = (
+            SessionBuilder(chair="teacher")
+            .link(latency=config.latency)
+            .policy(config.policy)
+            .seed(seed)
+            .heartbeats(None)
+            .clock_sync(None)
+            .transcript_capacity(config.ring_capacity)
+        )
+        for name in member_names(config.members):
+            builder.participant(name)
+        if config.partition_start is not None:
+            builder.partition_window(
+                config.partition_start, config.partition_duration
+            )
+        if config.checks:
+            builder.checks(*config.checks)
+        self.index = index
+        self.config = config
+        self.session = builder.build()
+        self._fold = _LatencyFold()
+        self._subscribe()
+        workload = WorkloadConfig(
+            members=config.members,
+            duration=config.duration,
+            seed=seed,
+            mean_hold=config.mean_hold,
+            request_rate=config.request_rate,
+        )
+        events = generate(config.scenario, workload)
+        self._scenario_steps = len(events)
+        Scenario.from_workload(events, name=config.scenario).schedule(self.session)
+
+    def _subscribe(self) -> None:
+        from ..events.types import EventKind
+
+        fold = self._fold
+
+        def on_floor(event) -> None:
+            if event.kind is EventKind.REQUEST:
+                fold.requested(event.member, event.time)
+            elif event.kind is EventKind.GRANT:
+                fold.serve(event.member, event.time)
+            else:  # TOKEN_PASS
+                payload = event.payload()
+                recipient = payload.to_member if payload is not None else None
+                if recipient:
+                    fold.serve(recipient, event.time)
+
+        self.session.bus.subscribe(
+            on_floor,
+            kinds=(EventKind.REQUEST, EventKind.GRANT, EventKind.TOKEN_PASS),
+        )
+
+    # ------------------------------------------------------------------
+    # Lockstep interface
+    # ------------------------------------------------------------------
+    def advance(self, until: float) -> int:
+        """Run the session's virtual time up to ``until``."""
+        return self.session.run_until(until)
+
+    def summary(self) -> FleetMetrics:
+        """This session as a mergeable :class:`FleetMetrics`."""
+        control = self.session.server.control
+        stats = control.arbitrator.stats
+        served = self._fold.served
+        return FleetMetrics(
+            sessions=1,
+            events=self._scenario_steps,
+            requests=stats.decisions,
+            granted=stats.granted,
+            queued=stats.queued,
+            denied=stats.denied,
+            aborted=stats.aborted,
+            served=served,
+            posts=sum(len(board) for board in self.session.server._boards.values()),
+            evicted=control.log.evicted,
+            histogram=self._fold.histogram,
+            fairness_n=1,
+            fairness_total=served,
+            fairness_sumsq=served * served,
+        )
+
+    def close(self) -> None:
+        """Close the underlying facade session; idempotent."""
+        self.session.close()

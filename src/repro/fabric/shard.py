@@ -1,0 +1,80 @@
+"""Shared-nothing shards: the unit of fleet parallelism.
+
+A shard owns every session whose index is congruent to the shard index
+modulo the shard count (``range(shard, sessions, shards)``), so the
+assignment is stable under fleet growth — adding sessions never moves
+an existing session between shards.  Shards share *nothing*: each
+session carries its own policy state, workload stream and ring-bounded
+transcript, which is why worker processes need no coordination beyond
+the lockstep tick schedule and one summary message at the end.
+
+:func:`run_shard` is the module-level worker entry point
+(:class:`~concurrent.futures.ProcessPoolExecutor` sends it by pickled
+reference); it replays the same tick deadlines the serial
+:class:`~repro.fabric.fleet.Fleet` drives, so both executions consume
+identical event windows — the root of the serial/sharded
+byte-identity guarantee.
+"""
+
+from __future__ import annotations
+
+from .config import FleetConfig
+from .metrics import FleetMetrics
+from .session import make_session
+
+__all__ = ["Shard", "run_shard"]
+
+
+class Shard:
+    """One shard of a fleet: the sessions it owns, advanced in lockstep."""
+
+    def __init__(self, shard_index: int, config: FleetConfig) -> None:
+        self.shard_index = shard_index
+        self.config = config
+        self.sessions = [
+            make_session(index, config)
+            for index in config.shard_sessions(shard_index)
+        ]
+        self._closed = False
+
+    def advance(self, until: float) -> int:
+        """Advance every owned session to ``until``; returns events run."""
+        return sum(session.advance(until) for session in self.sessions)
+
+    def summary(self) -> FleetMetrics:
+        """Fold the owned sessions into one mergeable aggregate.
+
+        Sessions fold in ascending session-index order; since every
+        :class:`FleetMetrics` component is an exact commutative fold,
+        the order is cosmetic — any fold order produces identical
+        merged state.
+        """
+        total = FleetMetrics()
+        for session in self.sessions:
+            total.merge(session.summary())
+        return total
+
+    def close(self) -> None:
+        """Tear down every owned session; idempotent (sessions are
+        closed at most once even when teardown re-enters)."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self.sessions:
+            session.close()
+
+
+def run_shard(shard_index: int, config: FleetConfig) -> FleetMetrics:
+    """Worker entry point: run one shard start-to-finish, return its fold.
+
+    Drives the exact tick deadlines of :meth:`FleetConfig.ticks` — the
+    same logical clock the serial fleet advances — so a shard's
+    sessions consume identical event windows in either execution.
+    """
+    shard = Shard(shard_index, config)
+    try:
+        for deadline in config.ticks():
+            shard.advance(deadline)
+        return shard.summary()
+    finally:
+        shard.close()

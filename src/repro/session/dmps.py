@@ -69,6 +69,7 @@ class DMPSServer:
         chair: str = "teacher",
         resources: ResourceModel | None = None,
         presence_timeout: float = 1.0,
+        log_capacity: int | None = None,
     ) -> None:
         self.clock = clock
         self.network = network
@@ -77,7 +78,9 @@ class DMPSServer:
             resources = ResourceModel(
                 ResourceVector(network_kbps=100_000.0, cpu_share=16.0, memory_mb=8192.0)
             )
-        self.control = FloorControlServer(clock, resources, chair=chair)
+        self.control = FloorControlServer(
+            clock, resources, chair=chair, log_capacity=log_capacity
+        )
         self.presence = PresenceMonitor(clock, timeout=presence_timeout)
         self._boards: dict[str, Whiteboard] = {
             self.control.session_group: Whiteboard(self.control.session_group)

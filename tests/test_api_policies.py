@@ -40,6 +40,18 @@ class TestRegistry:
         with pytest.raises(ReproError):
             register_policy("fifo", lambda: None)
 
+    def test_reregistering_same_factory_is_noop(self):
+        # Spawn-mode fleet workers re-import policy modules; the
+        # module-level registrations must survive a second execution.
+        factory = lambda: None  # noqa: E731
+        register_policy("reimported", factory)
+        try:
+            register_policy("reimported", factory)  # same object: fine
+            with pytest.raises(ReproError):
+                register_policy("reimported", lambda: None)  # conflict
+        finally:
+            unregister_policy("reimported")
+
     def test_register_and_unregister_custom_policy(self):
         class Silent:
             """Nobody ever speaks."""

@@ -113,6 +113,26 @@ class TestLifecycle:
         session.close()
         assert session.closed
 
+    def test_close_survives_reentry_during_teardown(self):
+        # Fleet shard teardown can re-enter close() (shard close plus a
+        # bus subscriber reacting to the teardown); the closed flag must
+        # flip *before* teardown so the re-entrant call is a no-op
+        # instead of infinite recursion.
+        session = Session.build("alice", "bob")
+        reentered = []
+
+        original = session.server.presence.stop
+
+        def reentrant_stop():
+            reentered.append(session.closed)
+            session.close()  # re-enter while teardown is running
+            original()
+
+        session.server.presence.stop = reentrant_stop
+        session.close()
+        assert session.closed
+        assert reentered == [True]  # flag was already set on re-entry
+
     def test_unknown_participant_raises(self):
         with Session.build("alice") as session:
             with pytest.raises(SessionError):

@@ -51,6 +51,17 @@ class TestRegistry:
             unregister_invariant("always_fine")
         assert "always_fine" not in invariant_names()
 
+    def test_reregistering_same_check_is_noop(self):
+        # Spawn-mode workers re-run module registrations; only a
+        # *different* function under a taken name should raise.
+        check = lambda session: None  # noqa: E731
+        register_invariant("reimported_check", check)
+        try:
+            register_invariant("reimported_check", check)
+            assert "reimported_check" in invariant_names()
+        finally:
+            unregister_invariant("reimported_check")
+
     def test_evaluate_unknown_name_raises(self):
         with monitored_session() as session:
             with pytest.raises(CheckError):

@@ -182,6 +182,67 @@ class TestSweep:
         assert "unknown sweep spec" in capsys.readouterr().err
 
 
+class TestFleet:
+    _FAST = ["fleet", "--sessions", "12", "--shards", "3", "--members",
+             "4", "--scenario", "lecture", "--request-rate", "6",
+             "--duration", "6"]
+
+    def test_fleet_runs_and_writes_bench_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fleet.json"
+        assert main(self._FAST + ["--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "fleet report: 12 sessions" in printed
+        assert "sessions/s" in printed
+        document = load_document(out)
+        assert document["schema_version"] == SCHEMA_VERSION
+        (cell,) = document["cells"]
+        assert cell["params"]["sessions"] == 12
+        assert cell["metrics"]["sessions_per_sec"] > 0
+
+    def test_fleet_default_output_name(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(self._FAST) == 0
+        assert (tmp_path / "BENCH_fleet.json").exists()
+
+    def test_workers_match_serial_bytes_minus_timing(self, tmp_path):
+        # Timing always differs; everything deterministic must not.
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main(self._FAST + ["--out", str(serial)]) == 0
+        assert main(self._FAST + ["--workers", "3",
+                                  "--out", str(sharded)]) == 0
+
+        def strip_timing(path):
+            document = load_document(path)
+            for cell in document["cells"]:
+                for key in ("sessions_per_sec", "events_per_sec",
+                            "wall_seconds"):
+                    cell["metrics"].pop(key)
+            return document
+
+        assert strip_timing(serial) == strip_timing(sharded)
+
+    def test_seed_flag_anchors_the_fleet(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        main(["--seed", "9", *self._FAST, "--out", str(first)])
+        main(["--seed", "8", *self._FAST, "--out", str(second)])
+        a, b = load_document(first), load_document(second)
+        assert a["cells"][0]["seed"] == 9
+        assert a["cells"][0]["metrics"]["granted"] != \
+            b["cells"][0]["metrics"]["granted"]
+
+    def test_bad_config_reported(self, capsys):
+        assert main(["fleet", "--sessions", "0"]) == 2
+        assert "session" in capsys.readouterr().err
+
+    def test_smoke_preset(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fleet", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet report: 500 sessions" in out
+        assert (tmp_path / "BENCH_fleet.json").exists()
+
+
 class TestCheck:
     def test_requires_some_suite(self, capsys):
         assert main(["check"]) == 2

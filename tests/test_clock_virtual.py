@@ -259,6 +259,18 @@ class TestPeriodic:
             periodic(VirtualClock(), 1.0, lambda: None, count=0)
 
 
+class TestFootprint:
+    def test_scheduled_events_carry_no_dict(self):
+        # A 10k-session fleet keeps one heap entry per pending timer;
+        # slotted entries are what keeps that footprint flat.
+        clock = VirtualClock()
+        clock.call_at(1.0, lambda: None)
+        (entry,) = clock._heap
+        assert not hasattr(entry, "__dict__")
+        with pytest.raises(AttributeError):
+            entry.stray = 1
+
+
 class TestPropertyBased:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
     def test_events_always_run_in_time_order(self, times):

@@ -1,0 +1,115 @@
+"""Ring-mode EventBus under sustained fleet-style load.
+
+A fleet session appends floor events for the whole simulated span but
+must never hold more than its ring capacity; these tests drive a bus
+far past its capacity — the regime fleet transcripts live in — and pin
+eviction accounting, query correctness across spine compactions, and
+the actual memory bound.
+"""
+
+import sys
+
+from repro.events import EventBus, EventKind
+from repro.events.bus import _COMPACT_THRESHOLD
+
+_KINDS = (EventKind.REQUEST, EventKind.GRANT, EventKind.QUEUE,
+          EventKind.TOKEN_PASS)
+
+
+def _pump(bus: EventBus, start: int, count: int) -> None:
+    for index in range(start, start + count):
+        bus.append(float(index), _KINDS[index % len(_KINDS)],
+                   f"m{index % 16}", "g0")
+
+
+class TestEvictionAccounting:
+    def test_counter_is_exact_at_every_stage(self):
+        bus = EventBus(capacity=64)
+        appended = 0
+        for burst in (10, 64, 100, 1000, 5000):
+            _pump(bus, appended, burst)
+            appended += burst
+            assert bus.evicted == max(0, appended - 64)
+            assert len(bus) == min(appended, 64)
+
+    def test_unbounded_bus_never_evicts(self):
+        bus = EventBus()
+        _pump(bus, 0, 10_000)
+        assert bus.evicted == 0
+        assert len(bus) == 10_000
+
+    def test_evicted_plus_live_equals_appended(self):
+        bus = EventBus(capacity=17)  # deliberately not a round number
+        _pump(bus, 0, 12_345)
+        assert bus.evicted + len(bus) == 12_345
+
+
+class TestQueriesAfterCompaction:
+    def test_between_stays_correct_across_many_compactions(self):
+        # Push far past the compaction threshold repeatedly and check
+        # between() against a brute-force filter of the live window.
+        bus = EventBus(capacity=32)
+        total = _COMPACT_THRESHOLD * 20
+        checkpoints = {total // 4, total // 2, total - 1}
+        for index in range(total):
+            bus.append(float(index), _KINDS[index % len(_KINDS)],
+                       f"m{index % 8}", "g0")
+            if index in checkpoints:
+                live = list(bus)
+                lo, hi = live[0].time, live[-1].time
+                assert bus.between(lo, hi) == live
+                mid = live[len(live) // 2].time
+                assert bus.between(lo, mid) == [
+                    e for e in live if e.time <= mid
+                ]
+                assert bus.between(0.0, lo - 1.0) == []  # all evicted
+
+    def test_indexes_agree_with_spine_after_sustained_load(self):
+        bus = EventBus(capacity=128)
+        _pump(bus, 0, _COMPACT_THRESHOLD * 8)
+        live = list(bus)
+        assert len(live) == 128
+        for kind in _KINDS:
+            assert bus.of_kind(kind) == [e for e in live if e.kind is kind]
+        for member in bus.members():
+            assert bus.for_member(member) == [
+                e for e in live if e.member == member
+            ]
+        assert sum(bus.count(kind) for kind in EventKind) == 128
+
+    def test_tail_after_compaction(self):
+        bus = EventBus(capacity=64)
+        total = _COMPACT_THRESHOLD * 4
+        _pump(bus, 0, total)
+        assert [e.time for e in bus.tail(5)] == [
+            float(t) for t in range(total - 5, total)
+        ]
+
+
+class TestMemoryBound:
+    def test_spine_never_exceeds_twice_capacity(self):
+        # The compaction rule deletes the dead prefix once it reaches
+        # half the spine, so the backing lists stay O(capacity) however
+        # long the session runs.
+        bus = EventBus(capacity=100)
+        _pump(bus, 0, 50_000)
+        assert len(bus._events) <= max(2 * 100, 2 * _COMPACT_THRESHOLD)
+        assert len(bus._times) == len(bus._events)
+
+    def test_live_footprint_is_flat_in_appended_events(self):
+        # Ten times the traffic must not grow the container footprint:
+        # the per-session memory bound the fleet relies on.
+        def footprint(appends: int) -> int:
+            bus = EventBus(capacity=256)
+            _pump(bus, 0, appends)
+            return (
+                sys.getsizeof(bus._events)
+                + sys.getsizeof(bus._times)
+                + sum(sys.getsizeof(d) for d in bus._by_kind.values())
+                + sum(sys.getsizeof(d) for d in bus._by_member.values())
+                + sum(sys.getsizeof(d) for d in bus._by_group.values())
+            )
+
+        small = footprint(2_000)
+        large = footprint(20_000)
+        assert large <= small * 2  # flat, not linear in appends

@@ -62,8 +62,13 @@ class TestRunnerRegistry:
         register_runner("echo", echo_runner)
         try:
             assert resolve_runner("echo") is echo_runner
+            # Re-registering the same callable is a no-op (spawn-mode
+            # workers re-import registration modules)...
+            register_runner("echo", echo_runner)
+            assert resolve_runner("echo") is echo_runner
+            # ...but a conflicting registration still raises.
             with pytest.raises(ReproError):
-                register_runner("echo", echo_runner)
+                register_runner("echo", lambda cell: {})
         finally:
             unregister_runner("echo")
         assert "echo" not in runner_names()
