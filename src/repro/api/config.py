@@ -196,6 +196,11 @@ class SessionConfig:
     #: every event.  Fleet runs set a finite capacity so per-session
     #: memory stays bounded however long the simulation runs.
     transcript_capacity: int | None = None
+    #: Arbitration engine: ``"reference"`` runs the paper-shaped object
+    #: graph; ``"compiled"`` swaps in the array-compiled batch
+    #: arbitration of :mod:`repro.engine` (identical decisions, stats
+    #: and transcripts — an execution knob, never part of the seed).
+    engine: str = "reference"
 
     def validate(self) -> None:
         """Reject inconsistent topologies before any wiring happens."""
@@ -242,6 +247,12 @@ class SessionConfig:
                 f"transcript_capacity must be positive or None, "
                 f"got {self.transcript_capacity!r}"
             )
+        from ..engine import ENGINES
+
+        if self.engine not in ENGINES:
+            raise SessionError(
+                f"unknown session engine {self.engine!r}; one of {list(ENGINES)}"
+            )
 
 
 class SessionBuilder:
@@ -279,6 +290,7 @@ class SessionBuilder:
         self._checks: tuple[str, ...] = ()
         self._check_sweep = 0.5
         self._transcript_capacity: int | None = None
+        self._engine = "reference"
 
     # ------------------------------------------------------------------
     # Topology
@@ -493,6 +505,13 @@ class SessionBuilder:
         self._transcript_capacity = capacity
         return self
 
+    def engine(self, name: str) -> "SessionBuilder":
+        """Arbitration engine: ``"reference"`` (default) or
+        ``"compiled"`` (:mod:`repro.engine`).  An execution knob —
+        transcripts, reports and seeds are identical either way."""
+        self._engine = name
+        return self
+
     # ------------------------------------------------------------------
     # Products
     # ------------------------------------------------------------------
@@ -518,6 +537,7 @@ class SessionBuilder:
             checks=self._checks,
             check_sweep=self._check_sweep,
             transcript_capacity=self._transcript_capacity,
+            engine=self._engine,
         )
         config.validate()
         return config

@@ -27,6 +27,7 @@ from typing import Callable, Protocol, runtime_checkable
 from ..baselines.fifo_floor import FIFOFloorControl
 from ..baselines.free_for_all import FreeForAll
 from ..clock.virtual import VirtualClock
+from ..core.events import EventKind, EventLog
 from ..core.floor import RequestOutcome
 from ..core.modes import FCMMode
 from ..core.resources import ResourceModel, ResourceVector
@@ -214,23 +215,54 @@ class ArbitratedPolicy:
 
 
 class FIFOPolicy:
-    """The A4 baseline (:class:`FIFOFloorControl`) behind the protocol."""
+    """The A4 baseline (:class:`FIFOFloorControl`) behind the protocol.
+
+    The wrapper also records a replayable transcript (:attr:`log`) in
+    the server's event vocabulary, so baseline runs are comparable —
+    and byte-identity-checkable against the compiled engine — with the
+    mode policies: ``JOIN`` on a member's first request, ``REQUEST``
+    plus ``GRANT``/``QUEUE`` per ask (queue events carry the holder
+    reason and the 1-based position), ``TOKEN_PASS`` on a successful
+    release.  Baselines have no virtual clock, so events carry the
+    workload timestamps the caller passes as ``now``.
+    """
 
     name = "fifo"
 
-    def __init__(self) -> None:
+    def __init__(self, log_capacity: int | None = None) -> None:
         self.impl = FIFOFloorControl()
+        self.log = EventLog(capacity=log_capacity)
+        self._seen: set[str] = set()
 
     def request(self, member: str, now: float = 0.0) -> bool:
         """Single global queue: first asker speaks, the rest wait."""
-        return self.impl.request(member, now)
+        if member not in self._seen:
+            self._seen.add(member)
+            self.log.append(now, EventKind.JOIN, member, "session")
+        self.log.append(now, EventKind.REQUEST, member, "session", self.name,
+                        data={"mode": self.name})
+        granted = self.impl.request(member, now)
+        if granted:
+            self.log.append(now, EventKind.GRANT, member, "session", self.name,
+                            data={"reason": None, "mode": self.name})
+        else:
+            reason = f"floor held by {self.impl.holder!r}"
+            self.log.append(
+                now, EventKind.QUEUE, member, "session", reason,
+                data={"reason": reason, "mode": self.name,
+                      "position": self.impl.queue.index(member) + 1},
+            )
+        return granted
 
     def release(self, member: str, now: float = 0.0) -> str | None:
         """Head of the queue takes over; stale releases are ignored."""
         try:
-            return self.impl.release(member, now)
+            successor = self.impl.release(member, now)
         except FloorControlError:
             return None
+        self.log.append(now, EventKind.TOKEN_PASS, member, "session",
+                        successor or "", data={"to": successor})
+        return successor
 
     def speakers(self) -> set[str]:
         """The single current holder (or nobody)."""
@@ -246,17 +278,31 @@ class FreeForAllPolicy:
 
     Every request is granted and counts as an uncontrolled post, so the
     wrapped :class:`FreeForAll` keeps scoring collisions; ``impl``
-    exposes the collision/overload counters.
+    exposes the collision/overload counters.  Like :class:`FIFOPolicy`
+    the wrapper records a replayable transcript (:attr:`log`): ``JOIN``
+    on first request, then ``REQUEST`` + ``GRANT`` per post, at the
+    caller's workload timestamps.
     """
 
     name = "free_for_all"
 
-    def __init__(self, collision_window: float = 0.25) -> None:
+    def __init__(
+        self, collision_window: float = 0.25, log_capacity: int | None = None
+    ) -> None:
         self.impl = FreeForAll(collision_window=collision_window)
+        self.log = EventLog(capacity=log_capacity)
+        self._seen: set[str] = set()
 
     def request(self, member: str, now: float = 0.0) -> bool:
         """Always granted — that is the point of this baseline."""
+        if member not in self._seen:
+            self._seen.add(member)
+            self.log.append(now, EventKind.JOIN, member, "session")
+        self.log.append(now, EventKind.REQUEST, member, "session", self.name,
+                        data={"mode": self.name})
         self.impl.post(member, now)
+        self.log.append(now, EventKind.GRANT, member, "session", self.name,
+                        data={"reason": None, "mode": self.name})
         return True
 
     def release(self, member: str, now: float = 0.0) -> str | None:

@@ -518,7 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--request-rate", type=float, default=0.5,
                        help="requests per member per minute (lecture)")
     fleet.add_argument("--engine", default="batch",
-                       choices=("batch", "facade"),
+                       choices=("batch", "compiled", "facade"),
                        help="per-session machinery")
     fleet.add_argument(
         "--smoke", action="store_true",

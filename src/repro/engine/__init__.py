@@ -1,0 +1,85 @@
+"""``repro.engine`` — the array-compiled simulation core.
+
+Every entry point in the codebase can run its floor-control simulation
+on one of two engines:
+
+* ``"reference"`` — the paper-shaped object graph (:mod:`repro.core`,
+  :mod:`repro.api.policies`): registries, resource vectors, token and
+  grant dataclasses, frozen events.  Maximally inspectable; the
+  semantic ground truth.
+* ``"compiled"`` — this package: the same decisions over interned
+  member ids, integer queues and columnar event storage
+  (:mod:`repro.engine.log`), materializing events only when a
+  transcript is read.  ≥5x the reference engine's steps/sec on the
+  arbitration-scaling workload (bench E16 pins the floor).
+
+The two are interchangeable by contract, not by convention: for any
+operation sequence the compiled policies return the same decisions,
+expose the same ``speakers()``/``waiting()`` views, fold the same
+arbitration counters, and materialize *byte-identical* transcripts
+(``repro replay`` verifies the canonical JSON, and bench E16 re-checks
+it for all four FCM modes plus both baselines on every run).
+
+The seam is threaded everywhere a simulation starts: ``engine=`` on
+:class:`~repro.api.config.SessionConfig` / ``SessionBuilder.engine()``
+(the facade swaps in :class:`CompiledArbitrator`), the ``engine``
+sweep parameter of the session/policy cell runners, the fleet's
+``FleetConfig.engine`` / ``repro fleet --engine compiled``, and
+:func:`make_engine_policy` for direct policy construction.  The knob
+is an *execution* parameter: it is excluded from seed derivation
+(:data:`repro.experiments.spec.EXECUTION_PARAMS`), so switching
+engines never changes the simulated workload.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .arbitrator import CompiledArbitrator
+from .compiled import (
+    CompiledEngine,
+    CompiledFIFO,
+    CompiledFreeForAll,
+    compile_policy,
+    compiled_policy_names,
+)
+from .log import ColumnarLog
+
+__all__ = [
+    "ENGINES",
+    "ColumnarLog",
+    "CompiledArbitrator",
+    "CompiledEngine",
+    "CompiledFIFO",
+    "CompiledFreeForAll",
+    "compile_policy",
+    "compiled_policy_names",
+    "make_engine_policy",
+]
+
+#: The two policy engines the seam selects between.
+ENGINES = ("reference", "compiled")
+
+
+def make_engine_policy(name: str, engine: str = "reference", **kwargs):
+    """Instantiate floor policy ``name`` on the selected engine.
+
+    ``engine="reference"`` defers to the open policy registry
+    (:func:`repro.api.policies.make_policy`); ``engine="compiled"``
+    builds the array-compiled counterpart (:func:`compile_policy`,
+    closed set: the four FCM modes plus the two baselines).  Keyword
+    arguments pass through to the policy factory either way.
+
+    Raises
+    ------
+    ReproError
+        For an unknown engine or policy name.
+    """
+    if engine == "reference":
+        from ..api.policies import make_policy
+
+        return make_policy(name, **kwargs)
+    if engine == "compiled":
+        return compile_policy(name, **kwargs)
+    raise ReproError(
+        f"unknown policy engine {engine!r}; one of {list(ENGINES)}"
+    )

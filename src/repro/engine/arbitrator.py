@@ -1,0 +1,70 @@
+"""Drop-in arbitrator for the facade's ``engine="compiled"`` knob.
+
+The full :class:`~repro.api.session.Session` stack cannot swap its
+object graph for arrays without changing observable state (clients,
+registry, presence all read it), so the compiled facade engine keeps
+the reference machinery and compiles the arbitration *batch* path
+instead: one resource classification per tick batch rather than one
+per request.
+
+This is decision-safe, not an approximation: within one batch of
+zero-demand requests nothing the per-mode admission does (token
+bookkeeping, queue appends) touches the resource model, so when the
+station is ``NORMAL`` with headroom at the start of a batch it stays
+so for the whole batch, and every per-request classification the
+reference engine performs returns the same answer.  Any batch that
+starts degraded — or carries explicit demands — falls back to the
+reference path, so transcripts and stats stay byte-identical under
+resource pressure too.
+"""
+
+from __future__ import annotations
+
+from ..core.arbitrator import _ZERO_DEMAND, Arbitrator
+from ..core.floor import FloorGrant, FloorRequest, RequestOutcome
+from ..core.resources import ResourceLevel, ResourceVector
+
+__all__ = ["CompiledArbitrator"]
+
+
+class CompiledArbitrator(Arbitrator):
+    """:class:`~repro.core.arbitrator.Arbitrator` with a compiled batch
+    fast path (identical decisions, stats and grant objects)."""
+
+    def arbitrate_batch(
+        self,
+        requests: list[FloorRequest],
+        demands: list[ResourceVector | None] | None = None,
+        now: float = 0.0,
+    ) -> list[FloorGrant]:
+        """Decide a tick's batch with one shared resource classification.
+
+        Falls back to the reference per-request path whenever the fast
+        preconditions do not hold (explicit demands, a degraded or
+        exhausted station, or a membership failure inside the batch).
+        """
+        if demands is not None or not requests:
+            return super().arbitrate_batch(requests, demands, now=now)
+        if self.resources.level() is not ResourceLevel.NORMAL:
+            return super().arbitrate_batch(requests, now=now)
+        if self.resources.headroom_above_minimal(_ZERO_DEMAND) < 0:
+            return super().arbitrate_batch(requests, now=now)
+        grants: list[FloorGrant] = []
+        stats = self.stats
+        by_id = {group.group_id: group for group in self.registry.groups()}
+        for request in requests:
+            group = by_id.get(request.group)
+            if group is None or request.member not in group:
+                # Rare: replay the reference guard for its exact reason
+                # string (and any stats/denial bookkeeping).
+                grants.append(self.arbitrate(request, now=now))
+                continue
+            grant = self._admit_by_mode(request, now, ())
+            if grant.outcome is RequestOutcome.GRANTED:
+                stats.granted += 1
+            elif grant.outcome is RequestOutcome.QUEUED:
+                stats.queued += 1
+            else:
+                stats.denied += 1
+            grants.append(grant)
+        return grants

@@ -33,12 +33,12 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from ..api.config import DynamicsSpec, PartitionSpec
-from ..api.policies import make_policy
 from ..api.scenario import Scenario, ScenarioStep
 from ..api.session import Session
 from ..check.induct import InductiveEngine
 from ..check.nets import floor_model
 from ..check.props import Verdict
+from ..engine import make_engine_policy
 from ..errors import ReproError
 from ..events.transcript import transcript_filename
 from ..net.dynamics import GilbertElliott, RampProfile
@@ -84,6 +84,7 @@ _SESSION_DEFAULTS: dict[str, Any] = {
     "partition_start": None,
     "partition_duration": 2.0,
     "transcript_dir": None,
+    "engine": "reference",
 }
 
 #: Policy names with no FCM mode behind them (driven without a server).
@@ -200,6 +201,7 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
             loss=_float_value(cell, "loss"),
         )
         .policy(policy)
+        .engine(str(_cell_value(cell, "engine")))
     )
     builder.participants(*members)
     builder.dynamics(*_cell_dynamics(cell, config.duration))
@@ -270,7 +272,10 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
     """
     _check_known_params(cell)
     events, members, config = _workload(cell)
-    policy = make_policy(str(_cell_value(cell, "policy")))
+    policy = make_engine_policy(
+        str(_cell_value(cell, "policy")),
+        engine=str(_cell_value(cell, "engine")),
+    )
     pending: dict[str, deque[float]] = {}
     latencies: list[float] = []
     counts: dict[str, int] = {member: 0 for member in members}

@@ -29,6 +29,7 @@ __all__ = [
     "Axis",
     "CAPTURE_PARAMS",
     "Cell",
+    "EXECUTION_PARAMS",
     "SweepSpec",
     "axes_from_mapping",
     "derive_seed",
@@ -42,6 +43,15 @@ _SCALARS = (bool, int, float, str, type(None))
 #: sweep run with transcript capture on reproduces the exact metrics
 #: of the same sweep run without it.
 CAPTURE_PARAMS = frozenset({"transcript_dir"})
+
+#: Execution parameters: they select *how* a cell is computed (which
+#: engine runs the same simulation), never what it simulates, so
+#: :func:`derive_seed` excludes them too — an ``engine`` axis compares
+#: the engines on byte-identical workloads instead of reseeding them.
+EXECUTION_PARAMS = frozenset({"engine"})
+
+#: Everything :func:`derive_seed` ignores.
+_NON_IDENTITY_PARAMS = CAPTURE_PARAMS | EXECUTION_PARAMS
 
 
 def _check_scalar(context: str, value: Any) -> None:
@@ -58,13 +68,14 @@ def derive_seed(root_seed: int, runner: str, params: Mapping[str, Any]) -> int:
     The digest covers the root seed, the runner name, and the cell's
     parameters *sorted by name* — reordering axes or re-enumerating the
     grid never changes a cell's seed, only its position.  Capture
-    parameters (:data:`CAPTURE_PARAMS`) are excluded: artifact
-    destinations must not reseed the simulation they record.
+    parameters (:data:`CAPTURE_PARAMS`) and execution parameters
+    (:data:`EXECUTION_PARAMS`) are excluded: artifact destinations and
+    engine selection must not reseed the simulation they record/run.
     """
     canonical = ",".join(
         f"{name}={params[name]!r}"
         for name in sorted(params)
-        if name not in CAPTURE_PARAMS
+        if name not in _NON_IDENTITY_PARAMS
     )
     digest = hashlib.sha256(
         f"{root_seed}|{runner}|{canonical}".encode()

@@ -19,7 +19,13 @@ independent DMPS sessions at once:
   ever buffers O(fleet × events);
 * per-session memory is bounded by EventBus ring mode
   (:mod:`repro.events.bus`), so a fleet can run for arbitrarily long
-  simulated spans at flat footprint.
+  simulated spans at flat footprint;
+* three per-session engines (:mod:`repro.fabric.session`): ``"batch"``
+  drives reference policies through the batch arbitration seam,
+  ``"compiled"`` drives the array-compiled policies of
+  :mod:`repro.engine` (fastest; byte-identical folds), and
+  ``"facade"`` runs the full :class:`~repro.api.session.Session`
+  stack per session (the soak path).
 
 Results are byte-identical between serial execution and sharded
 workers for the same root seed — the same bar the sweep engine holds.

@@ -29,7 +29,7 @@ from ..experiments.spec import derive_seed
 __all__ = ["FleetBuilder", "FleetConfig"]
 
 _SCENARIOS = ("lecture", "seminar", "panel", "storm")
-_ENGINES = ("batch", "facade")
+_ENGINES = ("batch", "compiled", "facade")
 
 
 @dataclass(frozen=True)
@@ -38,10 +38,15 @@ class FleetConfig:
 
     ``engine`` selects the per-session machinery: ``"batch"`` drives
     registered floor policies directly (allocation-light; the 10k+
-    session benchmark path), ``"facade"`` stands up a full
+    session benchmark path), ``"compiled"`` drives the array-compiled
+    policies of :mod:`repro.engine` through the same lockstep schedule
+    (fastest; byte-identical metrics and transcripts to ``"batch"``),
+    and ``"facade"`` stands up a full
     :class:`~repro.api.session.Session` per fleet session, including
     the simulated network and optional partition dynamics (the soak /
-    example path).  Both are deterministic for a given config.
+    example path).  All three are deterministic for a given config,
+    and because ``engine`` is an execution parameter it never enters
+    seed derivation — switching it cannot change the workload.
     """
 
     sessions: int = 100
@@ -108,6 +113,14 @@ class FleetConfig:
             raise ReproError(
                 f"unknown floor policy {self.policy!r}; registered: {policy_names()}"
             )
+        if self.engine == "compiled":
+            from ..engine import compiled_policy_names
+
+            if self.policy not in compiled_policy_names():
+                raise ReproError(
+                    f"policy {self.policy!r} has no compiled engine; "
+                    f"compiled: {compiled_policy_names()}"
+                )
 
     # ------------------------------------------------------------------
     # Seeds and sharding
@@ -229,7 +242,8 @@ class FleetBuilder:
         return self._set(**updates)
 
     def engine(self, name: str) -> "FleetBuilder":
-        """Per-session machinery: ``"batch"`` or ``"facade"``."""
+        """Per-session machinery: ``"batch"``, ``"compiled"`` or
+        ``"facade"`` (see :class:`FleetConfig`)."""
         return self._set(engine=name)
 
     def seed(self, value: int) -> "FleetBuilder":

@@ -14,6 +14,12 @@ Both engines expose the same three-method surface —
   → :meth:`~repro.core.arbitrator.Arbitrator.arbitrate_batch`), the
   workload arrives as a lazy stream, and the transcript is ring-bounded
   — this is the 10k+ concurrent-session benchmark path.
+* :class:`FleetSession` with ``engine="compiled"`` swaps the reference
+  policy for its array-compiled counterpart
+  (:func:`~repro.engine.compile_policy`): same scheduler, same batch
+  seam, but decisions and events run over flat index arrays.  Metrics
+  folds and ring-bounded transcripts are byte-identical to the batch
+  engine; only the wall-clock changes (bench E16 pins ≥5x).
 * :class:`FacadeFleetSession` (``engine="facade"``) stands up a full
   :class:`~repro.api.session.Session` per fleet session — simulated
   network, presence, optional partition dynamics and runtime checks —
@@ -39,6 +45,10 @@ from .workload import stream_workload
 __all__ = ["FacadeFleetSession", "FleetSession", "make_session"]
 
 _MODE_POLICIES = frozenset(mode.value for mode in FCMMode)
+#: Built-in policies that accept a ``log_capacity`` transcript bound
+#: (the four modes plus both baselines); custom registered policies
+#: are constructed without kwargs.
+_LOGGED_POLICIES = _MODE_POLICIES | {"fifo", "free_for_all"}
 
 
 def make_session(index: int, config: FleetConfig):
@@ -88,10 +98,17 @@ class FleetSession:
     def __init__(self, index: int, config: FleetConfig) -> None:
         self.index = index
         self.config = config
-        kwargs = {}
-        if config.policy in _MODE_POLICIES:
-            kwargs["log_capacity"] = config.ring_capacity
-        self.policy = make_policy(config.policy, **kwargs)
+        if config.engine == "compiled":
+            from ..engine import compile_policy
+
+            self.policy = compile_policy(
+                config.policy, log_capacity=config.ring_capacity
+            )
+        else:
+            kwargs = {}
+            if config.policy in _LOGGED_POLICIES:
+                kwargs["log_capacity"] = config.ring_capacity
+            self.policy = make_policy(config.policy, **kwargs)
         workload = WorkloadConfig(
             members=config.members,
             duration=config.duration,
@@ -173,14 +190,25 @@ class FleetSession:
             fairness_total=self._fold.served,
             fairness_sumsq=self._fold.served * self._fold.served,
         )
+        # Arbitration counters come from the policy's stats surface:
+        # the reference mode policies expose them via their private
+        # server, the compiled mode engine exposes the same
+        # ArbitrationStats directly — the folds are byte-identical
+        # across engines.  Baselines (either engine) have no
+        # arbitrator; their grant/queue split is the scheduler's own
+        # count and ring evictions are not part of the fold.
         server = getattr(self.policy, "server", None)
-        if server is not None:
-            stats = server.arbitrator.stats
+        stats = (
+            server.arbitrator.stats if server is not None
+            else getattr(self.policy, "stats", None)
+        )
+        if stats is not None:
             metrics.granted = stats.granted
             metrics.queued = stats.queued
             metrics.denied = stats.denied
             metrics.aborted = stats.aborted
-            metrics.evicted = server.log.evicted
+            log = server.log if server is not None else self.policy.log
+            metrics.evicted = log.evicted
         else:
             metrics.granted = self._granted
             metrics.queued = self._queued

@@ -1,0 +1,161 @@
+"""Docs stay true: fenced examples execute, names resolve, links hold.
+
+Three guards over ``README.md`` and ``docs/*.md``:
+
+* every fenced ``python`` block executes (blocks of one file share a
+  namespace, in a temporary working directory, so multi-block
+  narratives work and artifacts never land in the repo);
+* every ``repro <verb>`` in a fenced ``bash`` block names a real CLI
+  subcommand, and every ``--spec`` / ``--suite`` argument names a
+  registered sweep spec / check suite;
+* every relative markdown link resolves to a real file, and anchored
+  links resolve to a real heading of the target document.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+DOC_IDS = [str(path.relative_to(REPO)) for path in DOCS]
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def fenced_blocks(path: Path, language: str) -> list[tuple[int, str]]:
+    """``(first_line, code)`` for every fenced block of one language."""
+    blocks = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    tag = None
+    start = 0
+    body: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = _FENCE.match(line)
+        if match is None:
+            if tag is not None:
+                body.append(line)
+            continue
+        if tag is None:
+            tag = match.group(1)
+            start = number + 1
+            body = []
+        else:
+            if tag == language:
+                blocks.append((start, "\n".join(body)))
+            tag = None
+    assert tag is None, f"{path.name}: unterminated code fence"
+    return blocks
+
+
+def test_every_document_has_examples():
+    assert DOCS, "no documentation files found"
+    python_blocks = sum(len(fenced_blocks(path, "python")) for path in DOCS)
+    assert python_blocks >= 10, "documentation lost its runnable examples"
+
+
+@pytest.mark.parametrize("path", DOCS, ids=DOC_IDS)
+def test_python_examples_execute(path, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": "__docs__"}
+    for line, code in fenced_blocks(path, "python"):
+        compiled = compile(code, f"{path.name}:{line}", "exec")
+        exec(compiled, namespace)  # noqa: S102 - executing our own docs
+
+
+def cli_verbs() -> set[str]:
+    import argparse
+
+    from repro.cli import build_parser
+
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    raise AssertionError("repro CLI has no subcommands")
+
+
+def documented_commands():
+    """Every ``repro``/``python -m repro`` invocation in bash blocks."""
+    commands = []
+    for path in DOCS:
+        for line, code in fenced_blocks(path, "bash"):
+            for text in code.splitlines():
+                tokens = text.split("#", 1)[0].split()
+                if "repro" in tokens:
+                    tail = tokens[tokens.index("repro") + 1 :]
+                    commands.append((path.name, line, tail))
+    return commands
+
+
+def test_documented_cli_verbs_exist():
+    verbs = cli_verbs()
+    commands = documented_commands()
+    assert commands, "documentation lost its CLI examples"
+    for name, line, tail in commands:
+        while tail and tail[0].startswith("-"):
+            tail = tail[2:]  # drop "--option value" pairs before the verb
+        assert tail, f"{name}:{line}: bare repro invocation"
+        verb = tail[0]
+        assert verb in verbs, (
+            f"{name}:{line}: documented verb {verb!r} is not a CLI "
+            f"subcommand (have: {sorted(verbs)})"
+        )
+
+
+def test_documented_specs_and_suites_exist():
+    from repro.check.suites import suite_names
+    from repro.experiments.specs import spec_names
+
+    specs, suites = set(spec_names()), set(suite_names())
+    for name, line, tail in documented_commands():
+        for flag, registry, label in (
+            ("--spec", specs, "sweep spec"),
+            ("--suite", suites, "check suite"),
+        ):
+            if flag in tail:
+                value = tail[tail.index(flag) + 1]
+                assert value in registry, (
+                    f"{name}:{line}: {flag} {value!r} is not a registered "
+                    f"{label} (have: {sorted(registry)})"
+                )
+
+
+def github_slug(heading: str) -> str:
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+        elif not in_fence and line.startswith("#"):
+            slugs.add(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def test_relative_links_and_anchors_resolve():
+    checked = 0
+    for path in DOCS:
+        for target in _LINK.findall(path.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            target, _, anchor = target.partition("#")
+            resolved = (path.parent / target).resolve() if target else path
+            assert resolved.exists(), (
+                f"{path.name}: broken link target {target!r}"
+            )
+            if anchor:
+                assert resolved.suffix == ".md"
+                assert anchor in heading_slugs(resolved), (
+                    f"{path.name}: anchor #{anchor} not in {resolved.name}"
+                )
+            checked += 1
+    assert checked > 0, "documentation lost its cross-links"

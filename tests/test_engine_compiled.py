@@ -1,0 +1,225 @@
+"""Tests for repro.engine: compiled policies match the reference byte-for-byte."""
+
+import pytest
+
+from repro.core.modes import FCMMode
+from repro.api.policies import make_policy
+from repro.engine import (
+    ColumnarLog,
+    CompiledEngine,
+    CompiledFIFO,
+    CompiledFreeForAll,
+    compile_policy,
+    compiled_policy_names,
+    make_engine_policy,
+)
+from repro.errors import ReproError
+from repro.events.replay import build_meta
+from repro.events.transcript import dumps_transcript
+from repro.workload.generator import WorkloadConfig, generate, member_names
+
+MODES = tuple(mode.value for mode in FCMMode)
+ALL_POLICIES = MODES + ("fifo", "free_for_all")
+
+
+def workload_steps(members=10, duration=120.0, seed=3, request_rate=3.0):
+    config = WorkloadConfig(
+        members=members, duration=duration, seed=seed, request_rate=request_rate
+    )
+    return [
+        (event.action, event.member, event.time)
+        for event in generate("seminar", config)
+        if event.action in ("request", "release")
+    ]
+
+
+def reference_events(policy):
+    server = getattr(policy, "server", None)
+    log = server.log if server is not None else policy.log
+    return list(log.tail(1 << 30))
+
+
+def transcript(events):
+    return dumps_transcript(events, meta=build_meta(events))
+
+
+def drive_per_call(policy, steps):
+    for action, member, when in steps:
+        if action == "request":
+            policy.request(member, when)
+        else:
+            policy.release(member, when)
+
+
+def drive_batched(policy, steps):
+    """The fleet scheduler's shape: batch consecutive requests."""
+    batch = []
+
+    def flush():
+        if batch:
+            policy.request_batch(list(batch))
+            batch.clear()
+
+    for action, member, when in steps:
+        if action == "request":
+            batch.append((member, when))
+        else:
+            flush()
+            policy.release(member, when)
+    flush()
+
+
+# ----------------------------------------------------------------------
+# Byte identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_per_call_transcripts_byte_identical(name):
+    steps = workload_steps()
+    reference = make_policy(name)
+    compiled = compile_policy(name)
+    drive_per_call(reference, steps)
+    drive_per_call(compiled, steps)
+    assert transcript(reference_events(reference)) == transcript(
+        list(compiled.events())
+    )
+
+
+@pytest.mark.parametrize("name", MODES)
+def test_batched_transcripts_byte_identical(name):
+    steps = workload_steps(seed=9)
+    reference = make_policy(name)
+    compiled = compile_policy(name)
+    drive_batched(reference, steps)
+    drive_batched(compiled, steps)
+    assert transcript(reference_events(reference)) == transcript(
+        list(compiled.events())
+    )
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_decisions_and_views_match_step_by_step(name):
+    reference = make_policy(name)
+    compiled = compile_policy(name)
+    for action, member, when in workload_steps(seed=11):
+        if action == "request":
+            assert reference.request(member, when) == compiled.request(
+                member, when
+            ), f"{name}: request({member!r}) diverged"
+        else:
+            assert reference.release(member, when) == compiled.release(
+                member, when
+            ), f"{name}: release({member!r}) diverged"
+        assert reference.speakers() == compiled.speakers()
+        assert list(reference.waiting()) == list(compiled.waiting())
+
+
+@pytest.mark.parametrize("name", MODES)
+def test_arbitration_stats_match(name):
+    steps = workload_steps(seed=5)
+    reference = make_policy(name)
+    compiled = compile_policy(name)
+    drive_per_call(reference, steps)
+    drive_per_call(compiled, steps)
+    expected = reference.server.arbitrator.stats
+    actual = compiled.stats
+    assert (actual.granted, actual.queued, actual.denied, actual.aborted) == (
+        expected.granted,
+        expected.queued,
+        expected.denied,
+        expected.aborted,
+    )
+
+
+def test_ring_eviction_parity():
+    """With a tight ring both engines keep the same tail and count."""
+    steps = workload_steps(members=12, duration=240.0, seed=7, request_rate=5.0)
+    reference = make_policy("equal_control", log_capacity=32)
+    compiled = compile_policy("equal_control", log_capacity=32)
+    drive_per_call(reference, steps)
+    drive_per_call(compiled, steps)
+    ref_log = reference.server.log
+    assert compiled.evicted == ref_log.evicted
+    assert compiled.evicted > 0
+    assert transcript(reference_events(reference)) == transcript(
+        list(compiled.events())
+    )
+
+
+def test_fifo_counters_match_reference():
+    steps = workload_steps(seed=13)
+    reference = make_policy("fifo")
+    compiled = compile_policy("fifo")
+    drive_per_call(reference, steps)
+    drive_per_call(compiled, steps)
+    assert compiled.grants == reference.impl.grants
+    assert compiled.waits == reference.impl.waits
+
+
+def test_free_for_all_collisions_match_reference():
+    steps = workload_steps(seed=17, request_rate=8.0)
+    reference = make_policy("free_for_all")
+    compiled = compile_policy("free_for_all")
+    drive_per_call(reference, steps)
+    drive_per_call(compiled, steps)
+    assert compiled.posts() == len(reference.impl.posts)
+    assert compiled.collision_rate() == reference.impl.collision_rate()
+
+
+# ----------------------------------------------------------------------
+# Log backends
+# ----------------------------------------------------------------------
+def test_numpy_backend_byte_identical():
+    numpy = pytest.importorskip("numpy")
+    assert numpy is not None
+    steps = workload_steps(seed=19)
+    plain = compile_policy("equal_control", numpy=False)
+    vectored = compile_policy("equal_control", numpy=True)
+    drive_per_call(plain, steps)
+    drive_per_call(vectored, steps)
+    assert transcript(list(plain.events())) == transcript(
+        list(vectored.events())
+    )
+
+
+def test_numpy_env_flag_controls_default(monkeypatch):
+    pytest.importorskip("numpy")
+    monkeypatch.setenv("REPRO_ENGINE_NUMPY", "1")
+    log = ColumnarLog(["teacher"], ["session"], "equal_control")
+    assert log.numpy_backed
+    monkeypatch.setenv("REPRO_ENGINE_NUMPY", "0")
+    assert not ColumnarLog(["teacher"], ["session"], "equal_control").numpy_backed
+
+
+# ----------------------------------------------------------------------
+# Factory surface
+# ----------------------------------------------------------------------
+def test_compiled_policy_names_cover_modes_and_baselines():
+    assert set(compiled_policy_names()) == set(ALL_POLICIES)
+
+
+def test_compile_policy_rejects_unknown_name():
+    with pytest.raises(ReproError, match="free_for_all"):
+        compile_policy("nope")
+
+
+def test_make_engine_policy_dispatches():
+    assert isinstance(make_engine_policy("fifo", engine="compiled"), CompiledFIFO)
+    assert isinstance(
+        make_engine_policy("free_for_all", engine="compiled"), CompiledFreeForAll
+    )
+    assert isinstance(
+        make_engine_policy("equal_control", engine="compiled"), CompiledEngine
+    )
+    reference = make_engine_policy("equal_control", engine="reference")
+    assert hasattr(reference, "server")
+    with pytest.raises(ReproError, match="engine"):
+        make_engine_policy("fifo", engine="turbo")
+
+
+def test_direct_contact_chair_request_matches_reference():
+    reference = make_policy("direct_contact")
+    compiled = compile_policy("direct_contact")
+    assert reference.request("teacher") == compiled.request("teacher") is False
+    assert transcript(reference_events(reference)) == transcript(
+        list(compiled.events())
+    )
