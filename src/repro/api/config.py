@@ -201,6 +201,12 @@ class SessionConfig:
     #: arbitration of :mod:`repro.engine` (identical decisions, stats
     #: and transcripts — an execution knob, never part of the seed).
     engine: str = "reference"
+    #: Mode of the session's live metrics fold
+    #: (:class:`~repro.metrics.fold.MetricsFold`): ``"exact"`` retains
+    #: latency samples for nearest-rank percentiles; ``"fold"`` bins
+    #: them into the mergeable histogram so long-lived (ring-bounded)
+    #: sessions keep O(members) metric state.
+    metrics_mode: str = "exact"
 
     def validate(self) -> None:
         """Reject inconsistent topologies before any wiring happens."""
@@ -253,6 +259,11 @@ class SessionConfig:
             raise SessionError(
                 f"unknown session engine {self.engine!r}; one of {list(ENGINES)}"
             )
+        if self.metrics_mode not in ("exact", "fold"):
+            raise SessionError(
+                f"unknown metrics mode {self.metrics_mode!r}; "
+                f"one of ['exact', 'fold']"
+            )
 
 
 class SessionBuilder:
@@ -291,6 +302,7 @@ class SessionBuilder:
         self._check_sweep = 0.5
         self._transcript_capacity: int | None = None
         self._engine = "reference"
+        self._metrics_mode = "exact"
 
     # ------------------------------------------------------------------
     # Topology
@@ -505,6 +517,12 @@ class SessionBuilder:
         self._transcript_capacity = capacity
         return self
 
+    def metrics_mode(self, mode: str) -> "SessionBuilder":
+        """Live metrics fold mode: ``"exact"`` (default) or ``"fold"``
+        for O(members) binned state on long-lived sessions."""
+        self._metrics_mode = mode
+        return self
+
     def engine(self, name: str) -> "SessionBuilder":
         """Arbitration engine: ``"reference"`` (default) or
         ``"compiled"`` (:mod:`repro.engine`).  An execution knob —
@@ -538,6 +556,7 @@ class SessionBuilder:
             check_sweep=self._check_sweep,
             transcript_capacity=self._transcript_capacity,
             engine=self._engine,
+            metrics_mode=self._metrics_mode,
         )
         config.validate()
         return config

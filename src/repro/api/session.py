@@ -43,6 +43,7 @@ from ..clock.virtual import VirtualClock
 from ..core.events import EventLog
 from ..core.modes import FCMMode
 from ..errors import CheckError, SessionError
+from ..metrics.fold import SESSION_FOLD_KINDS, MetricsFold
 from ..net.dynamics import NetworkDynamics
 from ..net.simnet import Network
 from ..session.dmps import DMPSClient, DMPSServer
@@ -103,6 +104,13 @@ class Session:
         self._clients: dict[str, DMPSClient] = {}
         self._departed: dict[str, DMPSClient] = {}
         self._closed = False
+        #: The live metrics fold (:mod:`repro.metrics`): subscribed to
+        #: the bus before any member joins, so it sees every floor
+        #: event of the session's lifetime — ring-mode eviction can
+        #: drop transcript events, never metrics.  The session report
+        #: reads this state instead of re-counting the log.
+        self.metrics = MetricsFold(mode=config.metrics_mode)
+        self.bus.subscribe(self.metrics.add, kinds=SESSION_FOLD_KINDS)
         #: The runtime invariant monitor (``None`` unless the config
         #: names ``checks``).  Attached before any event fires so even
         #: the join handshakes are checked.
@@ -498,7 +506,10 @@ class Session:
         :class:`~repro.session.report.SessionReport` (including the
         monitor's invariant violations when checks are attached)."""
         return summarize(
-            self.server, list(self._clients.values()), monitor=self.monitor
+            self.server,
+            list(self._clients.values()),
+            monitor=self.monitor,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------

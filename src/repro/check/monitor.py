@@ -295,17 +295,32 @@ class SessionMonitor:
         return not self.violations
 
     def render(self) -> str:
-        """Multi-line summary of all recorded violations."""
+        """Multi-line summary of all recorded violations.
+
+        When the session carries a live metrics fold
+        (:mod:`repro.metrics`), one trailing line reports the floor
+        service the checks covered — all-time fold state, valid even
+        after ring-mode transcript eviction.
+        """
         if not self.violations:
-            return (
+            lines = [
                 f"checks: {len(self.names)} invariants, "
                 f"{self.checks_run} checks, no violations"
+            ]
+        else:
+            lines = [
+                f"checks: {len(self.violations)} violations "
+                f"over {self.checks_run} checks"
+            ]
+            lines += [f"  {violation.render()}" for violation in self.violations]
+        fold = getattr(self.session, "metrics", None)
+        if fold is not None and fold.events:
+            summary = fold.latency_summary()
+            lines.append(
+                f"  covered: {fold.count(EventKind.REQUEST)} requests, "
+                f"{fold.served} served, grant p95 "
+                f"{summary['grant_p95'] * 1000:.1f} ms"
             )
-        lines = [
-            f"checks: {len(self.violations)} violations "
-            f"over {self.checks_run} checks"
-        ]
-        lines += [f"  {violation.render()}" for violation in self.violations]
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

@@ -262,6 +262,13 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         spec = dataclasses.replace(
             spec, base={**dict(spec.base), "transcript_dir": args.transcripts}
         )
+    if args.ring is not None:
+        # Execution parameter (never part of the seed): session cells
+        # keep a bounded transcript ring while the streaming metrics
+        # fold consumes every event — same BENCH bytes, O(ring) memory.
+        spec = dataclasses.replace(
+            spec, base={**dict(spec.base), "transcript_capacity": args.ring}
+        )
     return spec.with_root_seed(args.seed)
 
 
@@ -489,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--transcripts", metavar="DIR",
         help="save each session cell's replayable transcript JSONL "
              "(TRANSCRIPT_<cell>.jsonl) into this directory",
+    )
+    sweep.add_argument(
+        "--ring", type=int, metavar="N",
+        help="bound each session cell's transcript to an N-event ring; "
+             "metrics stream through the shared fold, so the persisted "
+             "BENCH bytes are identical and peak memory drops to O(N)",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 

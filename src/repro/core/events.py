@@ -25,5 +25,9 @@ class EventLog(EventBus):
     ``for_member`` / ``for_group`` / ``between`` / ``tail`` — now
     served from indexes instead of full scans, with ``subscribe``
     grown optional kind/member/group filters and exception-isolated
-    dispatch (see :mod:`repro.events.bus`).
+    dispatch (see :mod:`repro.events.bus`).  ``metrics()`` folds the
+    retained events through the shared streaming kernel
+    (:mod:`repro.metrics`); for all-time numbers on a ring-bounded
+    log, subscribe a live :class:`~repro.metrics.fold.MetricsFold`
+    from birth instead.
     """

@@ -304,6 +304,23 @@ class EventBus:
         first = max(self._start, len(self._events) - count)
         return self._events[first:]
 
+    def metrics(self, members=None, mode: str = "exact"):
+        """Fold the *retained* events into a
+        :class:`~repro.metrics.fold.MetricsFold` and return it.
+
+        Convenience for post-hoc analysis of a bus you did not
+        subscribe a fold to from birth.  On a ring-bounded bus evicted
+        events are gone, so the fold only covers what survived — for
+        all-time numbers, subscribe a live fold instead (that is what
+        sessions do; see :mod:`repro.metrics`).
+        """
+        from ..metrics.fold import MetricsFold
+
+        fold = MetricsFold(mode=mode, members=members)
+        for event in self:
+            fold.add(event)
+        return fold
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

@@ -209,38 +209,20 @@ def check_transcript(
 def transcript_metrics(events: Sequence[FloorEvent]) -> dict[str, float]:
     """The deterministic metric block a transcript's metadata records.
 
-    Pure function of the event sequence — recomputing it from a loaded
-    transcript reproduces the recorded values bit-for-bit.  The roster
-    for the fairness index is derived from the stream's ``JOIN``
-    events, so the metrics need nothing beyond the transcript itself.
+    One pass of the shared streaming kernel
+    (:class:`repro.metrics.fold.MetricsFold`, exact mode) — the same
+    fold live sessions and sweep cells read, so record/replay
+    byte-identity is enforced through one implementation.  The roster
+    for the fairness index grows from the stream's ``JOIN`` events, so
+    the metrics need nothing beyond the transcript itself.
     """
-    from ..experiments.metrics import (
-        grant_latencies,
-        jain_fairness,
-        latency_summary,
-        served_counts,
-    )
+    # Lazy import: repro.events must stay importable on its own.
+    from ..metrics.fold import MetricsFold
 
-    roster = sorted(
-        {event.member for event in events if event.kind is EventKind.JOIN}
-    )
-    latencies = grant_latencies(events)
-    counts = served_counts(events, roster)
-    kinds: dict[EventKind, int] = {}
+    fold = MetricsFold(mode="exact")
     for event in events:
-        kinds[event.kind] = kinds.get(event.kind, 0) + 1
-    return {
-        "events": float(len(events)),
-        "members": float(len(roster)),
-        "requests": float(kinds.get(EventKind.REQUEST, 0)),
-        "granted": float(kinds.get(EventKind.GRANT, 0)),
-        "queued": float(kinds.get(EventKind.QUEUE, 0)),
-        "denied": float(kinds.get(EventKind.DENY, 0)),
-        "token_passes": float(kinds.get(EventKind.TOKEN_PASS, 0)),
-        "served": float(len(latencies)),
-        **latency_summary(latencies),
-        "fairness": jain_fairness(counts.values()),
-    }
+        fold.add(event)
+    return fold.to_metrics()
 
 
 def build_meta(

@@ -1,8 +1,13 @@
-"""Per-cell metrics: grant latency percentiles, loss, and fairness.
+"""Per-cell metrics — compatibility facade over :mod:`repro.metrics`.
 
 The paper's stated future work is "focus[ing] on the performance of
-the system"; this module turns one run's raw transcript into the
-numbers the comparison tables print:
+the system"; these helpers turn one run's raw transcript into the
+numbers the comparison tables print.  The implementations moved into
+the shared streaming kernel (:mod:`repro.metrics`): the scalar
+statistics re-export from :mod:`repro.metrics.stats`, and the two
+transcript scanners are now one-shot folds of a
+:class:`~repro.metrics.fold.MetricsFold` — same signatures, same
+bytes, one pairing algorithm for every surface.
 
 * :func:`grant_latencies` pairs ``REQUEST`` events with the ``GRANT``
   or ``TOKEN_PASS`` that served them, yielding one floor-grant latency
@@ -18,11 +23,11 @@ parallel and serial sweep runs agree byte-for-byte.
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from typing import Iterable, Mapping
+from typing import Iterable
 
-from ..core.events import EventKind, FloorEvent
+from ..core.events import FloorEvent
+from ..metrics.fold import MetricsFold
+from ..metrics.stats import jain_fairness, latency_summary, percentile
 
 __all__ = [
     "grant_latencies",
@@ -31,42 +36,6 @@ __all__ = [
     "percentile",
     "served_counts",
 ]
-
-
-def percentile(values: Iterable[float], pct: float) -> float:
-    """Nearest-rank percentile of ``values`` (0.0 when empty).
-
-    Nearest-rank always returns an observed sample, so the persisted
-    numbers are exact floats that reproduce bit-for-bit.
-    """
-    ordered = sorted(values)
-    if not ordered:
-        return 0.0
-    if not 0.0 <= pct <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {pct!r}")
-    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
-    return ordered[rank - 1]
-
-
-def jain_fairness(shares: Iterable[float]) -> float:
-    """Jain's fairness index over per-member shares.
-
-    1.0 means perfectly even service, ``1/n`` means one member took
-    everything.  Empty or all-zero shares score 1.0 (nobody was
-    treated unfairly when nobody was served).
-    """
-    values = list(shares)
-    total = sum(values)
-    if not values or total == 0:
-        return 1.0
-    square_sum = sum(value * value for value in values)
-    return (total * total) / (len(values) * square_sum)
-
-
-def _token_recipient(event: FloorEvent) -> str | None:
-    """Who a ``TOKEN_PASS`` handed the floor to (typed payload)."""
-    payload = event.payload()
-    return payload.to_member if payload is not None else None
 
 
 def grant_latencies(log: Iterable[FloorEvent]) -> list[float]:
@@ -78,24 +47,10 @@ def grant_latencies(log: Iterable[FloorEvent]) -> list[float]:
     queued, denied, lost on the wire) contribute nothing.  ``log`` is
     any event iterable — a live bus or a loaded transcript.
     """
-    pending: dict[str, deque[float]] = {}
-    latencies: list[float] = []
-
-    def serve(member: str, now: float) -> None:
-        queue = pending.get(member)
-        if queue:
-            latencies.append(now - queue.popleft())
-
+    fold = MetricsFold()
     for event in log:
-        if event.kind is EventKind.REQUEST:
-            pending.setdefault(event.member, deque()).append(event.time)
-        elif event.kind is EventKind.GRANT:
-            serve(event.member, event.time)
-        elif event.kind is EventKind.TOKEN_PASS:
-            recipient = _token_recipient(event)
-            if recipient:
-                serve(recipient, event.time)
-    return latencies
+        fold.add(event)
+    return fold.latencies
 
 
 def served_counts(
@@ -107,23 +62,7 @@ def served_counts(
     member; ``members`` pre-seeds the tally so silent participants
     count as zero in the fairness index.
     """
-    counts: dict[str, int] = {member: 0 for member in members}
+    fold = MetricsFold(members=members)
     for event in log:
-        if event.kind is EventKind.GRANT:
-            counts[event.member] = counts.get(event.member, 0) + 1
-        elif event.kind is EventKind.TOKEN_PASS:
-            recipient = _token_recipient(event)
-            if recipient:
-                counts[recipient] = counts.get(recipient, 0) + 1
-    return counts
-
-
-def latency_summary(latencies: Iterable[float]) -> Mapping[str, float]:
-    """The latency metrics recorded per cell: mean, p50, and p95."""
-    values = list(latencies)
-    mean = sum(values) / len(values) if values else 0.0
-    return {
-        "grant_mean": mean,
-        "grant_p50": percentile(values, 50.0),
-        "grant_p95": percentile(values, 95.0),
-    }
+        fold.add(event)
+    return dict(fold.counts)

@@ -26,7 +26,6 @@ so both paths produce identical :class:`SweepResult` values.
 from __future__ import annotations
 
 import multiprocessing
-from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,9 +40,10 @@ from ..check.props import Verdict
 from ..engine import make_engine_policy
 from ..errors import ReproError
 from ..events.transcript import transcript_filename
+from ..events.types import EventKind
+from ..metrics.fold import MetricsFold
 from ..net.dynamics import GilbertElliott, RampProfile
 from ..workload.generator import WorkloadConfig, generate, member_names
-from .metrics import grant_latencies, jain_fairness, latency_summary, served_counts
 from .spec import CAPTURE_PARAMS, Cell, SweepSpec
 
 __all__ = [
@@ -84,6 +84,7 @@ _SESSION_DEFAULTS: dict[str, Any] = {
     "partition_start": None,
     "partition_duration": 2.0,
     "transcript_dir": None,
+    "transcript_capacity": None,
     "engine": "reference",
 }
 
@@ -186,6 +187,15 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
     Requests are sent without an explicit mode so the server arbitrates
     under the cell's session policy — the only thing that varies along
     a policy axis is the policy itself.
+
+    Metrics stream: a :class:`~repro.metrics.fold.MetricsFold` seeded
+    with the cell's roster subscribes to the session bus before the
+    scenario runs, so latencies/served/fairness accumulate per event
+    instead of re-scanning the transcript afterwards.  With the
+    ``transcript_capacity`` execution parameter set, the bus keeps
+    only a bounded ring and peak memory per cell drops from O(events)
+    to O(members) — the fold saw every event, so the metrics (and the
+    cell's seed) are byte-identical either way.
     """
     _check_known_params(cell)
     policy = str(_cell_value(cell, "policy"))
@@ -203,6 +213,9 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
         .policy(policy)
         .engine(str(_cell_value(cell, "engine")))
     )
+    capacity = _cell_value(cell, "transcript_capacity")
+    if capacity is not None:
+        builder.transcript_capacity(int(capacity))
     builder.participants(*members)
     builder.dynamics(*_cell_dynamics(cell, config.duration))
     steps = []
@@ -221,13 +234,19 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
                 )
             )
     with builder.build() as session:
+        # The cell's own fold: seeded with the student roster (the
+        # chair is not part of the fairness population) and fed by a
+        # filtered subscription — no buffering, no post-hoc scan.
+        fold = MetricsFold(mode="exact", members=members)
+        unsubscribe = session.bus.subscribe(
+            fold.add,
+            kinds=(EventKind.REQUEST, EventKind.GRANT, EventKind.TOKEN_PASS),
+        )
         Scenario(steps, name=cell.cell_id).run(
             session, until=config.duration + 1.0
         )
+        unsubscribe()
         report = session.report()
-        log = session.log
-        latencies = grant_latencies(log)
-        counts = served_counts(log, members)
         blocked = float(session.network.stats.blocked)
         transcript_dir = _cell_value(cell, "transcript_dir")
         if transcript_dir is not None:
@@ -245,9 +264,9 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
         "granted": float(report.granted),
         "queued": float(report.queued),
         "denied": float(report.denied),
-        "served": float(len(latencies)),
-        **latency_summary(latencies),
-        "fairness": jain_fairness(counts.values()),
+        "served": float(fold.served),
+        **fold.latency_summary(),
+        "fairness": fold.fairness(),
         "loss_rate": report.loss_rate,
         "net_latency": report.mean_latency,
         "blocked": blocked,
@@ -276,30 +295,26 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
         str(_cell_value(cell, "policy")),
         engine=str(_cell_value(cell, "engine")),
     )
-    pending: dict[str, deque[float]] = {}
-    latencies: list[float] = []
-    counts: dict[str, int] = {member: 0 for member in members}
+    # No FloorEvent objects in this loop, so the kernel is fed through
+    # its low-level requested/serve primitives — same pairing, same
+    # fairness population, same bytes as the session runner's
+    # subscription-fed fold.
+    fold = MetricsFold(mode="exact", members=members)
     requests = granted = queued = posts = 0
-
-    def serve(member: str, now: float) -> None:
-        queue = pending.get(member)
-        if queue:
-            latencies.append(now - queue.popleft())
-        counts[member] = counts.get(member, 0) + 1
 
     for event in events:
         if event.action == "request":
             requests += 1
-            pending.setdefault(event.member, deque()).append(event.time)
+            fold.requested(event.member, event.time)
             if policy.request(event.member, now=event.time):
                 granted += 1
-                serve(event.member, event.time)
+                fold.serve(event.member, event.time)
             else:
                 queued += 1
         elif event.action == "release":
             successor = policy.release(event.member, now=event.time)
             if successor is not None:
-                serve(successor, event.time)
+                fold.serve(successor, event.time)
         else:
             posts += 1
     return {
@@ -307,9 +322,9 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
         "granted": float(granted),
         "queued": float(queued),
         "denied": 0.0,
-        "served": float(len(latencies)),
-        **latency_summary(latencies),
-        "fairness": jain_fairness(counts.values()),
+        "served": float(fold.served),
+        **fold.latency_summary(),
+        "fairness": fold.fairness(),
         "loss_rate": 0.0,
         "net_latency": 0.0,
         "blocked": 0.0,

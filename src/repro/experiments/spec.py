@@ -45,10 +45,12 @@ _SCALARS = (bool, int, float, str, type(None))
 CAPTURE_PARAMS = frozenset({"transcript_dir"})
 
 #: Execution parameters: they select *how* a cell is computed (which
-#: engine runs the same simulation), never what it simulates, so
-#: :func:`derive_seed` excludes them too — an ``engine`` axis compares
-#: the engines on byte-identical workloads instead of reseeding them.
-EXECUTION_PARAMS = frozenset({"engine"})
+#: engine runs the same simulation, how big a transcript ring the bus
+#: keeps while the streaming metrics fold consumes events), never what
+#: it simulates, so :func:`derive_seed` excludes them too — an
+#: ``engine`` axis compares the engines on byte-identical workloads
+#: instead of reseeding them.
+EXECUTION_PARAMS = frozenset({"engine", "transcript_capacity"})
 
 #: Everything :func:`derive_seed` ignores.
 _NON_IDENTITY_PARAMS = CAPTURE_PARAMS | EXECUTION_PARAMS

@@ -1,220 +1,30 @@
-"""Streaming, mergeable fleet metrics.
+"""Streaming, mergeable fleet metrics — facade over :mod:`repro.metrics`.
 
-A fleet must report grant latency percentiles and cross-session
-fairness without ever holding O(fleet × events) samples.  Two folds
-make that possible:
-
-* :class:`LatencyHistogram` — a fixed, log-spaced binning of grant
-  latencies.  Adding a sample is O(log bins); merging two histograms
-  is elementwise integer addition, which is *commutative and exact*,
-  so per-shard histograms can be folded in any completion order and
-  still produce bit-identical quantiles.
-* Jain fairness across sessions is folded as the integer triple
-  ``(n, Σx, Σx²)`` over per-session served totals — again exact and
-  order-free.
-
-Every derived number (p50, p95, mean, fairness) is computed once from
-the merged integer state through a fixed-order expression, which is
-what lets serial and sharded fleet runs persist byte-identical JSON.
+The fold state moved into the shared metrics kernel:
+:class:`~repro.metrics.histogram.LatencyHistogram` (the 72-bin
+geometric latency binning) and
+:class:`~repro.metrics.aggregate.FleetMetrics` (integer counters plus
+the Jain moment triple, with an exact commutative ``merge``).  This
+module keeps the original import surface — fleets, their tests, and
+pickled shard results all referred to ``repro.fabric.metrics`` — while
+the single implementation now also backs sweep cells, transcript
+replay, and live session reports (see :mod:`repro.metrics`).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from dataclasses import dataclass, field
+from ..metrics.aggregate import FleetMetrics
+from ..metrics.histogram import (
+    BINS as _BINS,
+    EDGES as _EDGES,
+    HIGH as _HIGH,
+    LOW as _LOW,
+    REPRESENTATIVE as _REPRESENTATIVE,
+    LatencyHistogram,
+)
 
 __all__ = ["FleetMetrics", "LatencyHistogram"]
 
-_BINS = 72
-_LOW = 1e-4     # seconds; anything smaller (incl. immediate grants) is bin 0
-_HIGH = 1e3     # seconds; anything larger lands in the overflow bin
-
-#: Bin edges: _LOW · (_HIGH/_LOW)^(i/_BINS) for i in 0.._BINS — a
-#: geometric ladder of 72 bins spanning 0.1 ms to 1000 s, ~25% wide
-#: each, which bounds quantile error to one bin width.
-_EDGES: tuple[float, ...] = tuple(
-    _LOW * (_HIGH / _LOW) ** (i / _BINS) for i in range(_BINS + 1)
-)
-
-#: Representative value reported for each bucket: 0 for the underflow
-#: bucket (immediate grants), the bucket's upper edge otherwise.
-_REPRESENTATIVE: tuple[float, ...] = (0.0,) + _EDGES[1:] + (_EDGES[-1],)
-
-
-class LatencyHistogram:
-    """Fixed log-spaced latency histogram (seconds).
-
-    Buckets: ``[0, 0.1ms)``, 72 geometric bins to 1000 s, overflow.
-    """
-
-    __slots__ = ("counts",)
-
-    def __init__(self, counts: list[int] | None = None) -> None:
-        if counts is None:
-            counts = [0] * (_BINS + 2)
-        elif len(counts) != _BINS + 2:
-            raise ValueError(
-                f"histogram needs {_BINS + 2} buckets, got {len(counts)}"
-            )
-        self.counts = counts
-
-    def add(self, value: float) -> None:
-        """Record one latency sample (negative values clamp to 0)."""
-        if value < _LOW:
-            self.counts[0] += 1
-        else:
-            self.counts[min(bisect_right(_EDGES, value), _BINS + 1)] += 1
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram in (exact, commutative)."""
-        counts = self.counts
-        for i, c in enumerate(other.counts):
-            counts[i] += c
-
-    @property
-    def count(self) -> int:
-        """Total samples recorded."""
-        return sum(self.counts)
-
-    def quantile(self, pct: float) -> float:
-        """Nearest-rank quantile over the binned distribution.
-
-        Returns the representative value of the bucket holding the
-        nearest-rank sample; 0.0 when empty.  Deterministic given the
-        (integer) bucket counts.
-        """
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError(f"quantile must be in [0, 100], got {pct!r}")
-        total = self.count
-        if total == 0:
-            return 0.0
-        rank = max(1, -(-int(pct * total) // 100))  # ceil(pct/100 · total)
-        seen = 0
-        for bucket, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank:
-                return _REPRESENTATIVE[bucket]
-        return _REPRESENTATIVE[-1]  # pragma: no cover - rank <= total
-
-    def mean(self) -> float:
-        """Histogram mean (bucket representatives weighted by count).
-
-        Computed over the fixed bucket order, so it is bit-identical
-        for equal merged counts whatever order shards folded in.
-        """
-        total = self.count
-        if total == 0:
-            return 0.0
-        acc = 0.0
-        for bucket, count in enumerate(self.counts):
-            if count:
-                acc += count * _REPRESENTATIVE[bucket]
-        return acc / total
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, LatencyHistogram):
-            return NotImplemented
-        return self.counts == other.counts
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"LatencyHistogram(count={self.count})"
-
-    # __slots__ classes need explicit pickle state (no __dict__).
-    def __getstate__(self) -> list[int]:
-        return self.counts
-
-    def __setstate__(self, state: list[int]) -> None:
-        self.counts = state
-
-    def __reduce__(self):
-        return (LatencyHistogram, (self.counts,))
-
-
-@dataclass
-class FleetMetrics:
-    """Mergeable aggregate over any set of fleet sessions.
-
-    One instance summarizes a session, a shard, or the whole fleet —
-    :meth:`merge` folds them upward.  All state is integer counters
-    plus one :class:`LatencyHistogram`, so folding is exact and
-    order-independent; the derived properties are computed from the
-    merged state in fixed order.
-    """
-
-    sessions: int = 0
-    #: Workload events consumed (requests + releases + posts).
-    events: int = 0
-    requests: int = 0
-    granted: int = 0
-    queued: int = 0
-    denied: int = 0
-    aborted: int = 0
-    #: Floor services: immediate grants plus token hand-offs.
-    served: int = 0
-    posts: int = 0
-    #: Transcript events dropped by ring-mode eviction.
-    evicted: int = 0
-    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
-    # Jain fairness fold over per-session served totals.
-    fairness_n: int = 0
-    fairness_total: int = 0
-    fairness_sumsq: int = 0
-
-    def merge(self, other: "FleetMetrics") -> None:
-        """Fold another aggregate in (exact, commutative)."""
-        self.sessions += other.sessions
-        self.events += other.events
-        self.requests += other.requests
-        self.granted += other.granted
-        self.queued += other.queued
-        self.denied += other.denied
-        self.aborted += other.aborted
-        self.served += other.served
-        self.posts += other.posts
-        self.evicted += other.evicted
-        self.histogram.merge(other.histogram)
-        self.fairness_n += other.fairness_n
-        self.fairness_total += other.fairness_total
-        self.fairness_sumsq += other.fairness_sumsq
-
-    # ------------------------------------------------------------------
-    # Derived numbers
-    # ------------------------------------------------------------------
-    def jain_fairness(self) -> float:
-        """Jain's index over per-session served totals (1.0 = even)."""
-        if self.fairness_n == 0 or self.fairness_sumsq == 0:
-            return 1.0
-        return (self.fairness_total * self.fairness_total) / (
-            self.fairness_n * self.fairness_sumsq
-        )
-
-    @property
-    def grant_p50(self) -> float:
-        return self.histogram.quantile(50.0)
-
-    @property
-    def grant_p95(self) -> float:
-        return self.histogram.quantile(95.0)
-
-    @property
-    def grant_mean(self) -> float:
-        return self.histogram.mean()
-
-    def to_metrics(self) -> dict[str, float]:
-        """The deterministic per-cell metrics dict (sweep/persist)."""
-        return {
-            "sessions": float(self.sessions),
-            "events": float(self.events),
-            "requests": float(self.requests),
-            "granted": float(self.granted),
-            "queued": float(self.queued),
-            "denied": float(self.denied),
-            "aborted": float(self.aborted),
-            "served": float(self.served),
-            "posts": float(self.posts),
-            "evicted": float(self.evicted),
-            "grant_mean": self.grant_mean,
-            "grant_p50": self.grant_p50,
-            "grant_p95": self.grant_p95,
-            "fairness": self.jain_fairness(),
-        }
+# Seed-era private names, kept importable for existing call sites.
+_ = (_BINS, _EDGES, _HIGH, _LOW, _REPRESENTATIVE)
+del _

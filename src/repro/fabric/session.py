@@ -33,13 +33,13 @@ per-session memory stays O(members + ring capacity).
 
 from __future__ import annotations
 
-from collections import deque
 
 from ..api.policies import make_policy
 from ..core.modes import FCMMode
+from ..metrics.fold import MetricsFold
 from ..workload.generator import RequestEvent, WorkloadConfig
 from .config import FleetConfig
-from .metrics import FleetMetrics, LatencyHistogram
+from .metrics import FleetMetrics
 from .workload import stream_workload
 
 __all__ = ["FacadeFleetSession", "FleetSession", "make_session"]
@@ -56,34 +56,6 @@ def make_session(index: int, config: FleetConfig):
     if config.engine == "facade":
         return FacadeFleetSession(index, config)
     return FleetSession(index, config)
-
-
-class _LatencyFold:
-    """Streaming REQUEST→service pairing (no event buffering).
-
-    Tracks each member's outstanding request times in a deque; serving
-    a member folds ``service_time - request_time`` into the histogram
-    and counts one service.  O(members + outstanding requests) state.
-    """
-
-    __slots__ = ("pending", "histogram", "served")
-
-    def __init__(self) -> None:
-        self.pending: dict[str, deque[float]] = {}
-        self.histogram = LatencyHistogram()
-        self.served = 0
-
-    def requested(self, member: str, when: float) -> None:
-        queue = self.pending.get(member)
-        if queue is None:
-            queue = self.pending[member] = deque()
-        queue.append(when)
-
-    def serve(self, member: str, when: float) -> None:
-        queue = self.pending.get(member)
-        if queue:
-            self.histogram.add(when - queue.popleft())
-            self.served += 1
 
 
 class FleetSession:
@@ -118,7 +90,9 @@ class FleetSession:
         )
         self._stream = stream_workload(config.scenario, workload)
         self._next: RequestEvent | None = next(self._stream, None)
-        self._fold = _LatencyFold()
+        # The shared kernel in fold mode: O(members + outstanding
+        # requests) state, exact commutative merge across the fleet.
+        self._fold = MetricsFold(mode="fold")
         self._events = 0
         self._requests = 0
         self._granted = 0
@@ -261,7 +235,9 @@ class FacadeFleetSession:
         self.index = index
         self.config = config
         self.session = builder.build()
-        self._fold = _LatencyFold()
+        # The shared kernel in fold mode: O(members + outstanding
+        # requests) state, exact commutative merge across the fleet.
+        self._fold = MetricsFold(mode="fold")
         self._subscribe()
         workload = WorkloadConfig(
             members=config.members,
@@ -277,21 +253,10 @@ class FacadeFleetSession:
     def _subscribe(self) -> None:
         from ..events.types import EventKind
 
-        fold = self._fold
-
-        def on_floor(event) -> None:
-            if event.kind is EventKind.REQUEST:
-                fold.requested(event.member, event.time)
-            elif event.kind is EventKind.GRANT:
-                fold.serve(event.member, event.time)
-            else:  # TOKEN_PASS
-                payload = event.payload()
-                recipient = payload.to_member if payload is not None else None
-                if recipient:
-                    fold.serve(recipient, event.time)
-
+        # The kernel's add() does the REQUEST→GRANT/TOKEN_PASS pairing
+        # itself, so the fold is the listener.
         self.session.bus.subscribe(
-            on_floor,
+            self._fold.add,
             kinds=(EventKind.REQUEST, EventKind.GRANT, EventKind.TOKEN_PASS),
         )
 

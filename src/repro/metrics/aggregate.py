@@ -1,0 +1,101 @@
+"""Mergeable cross-session aggregates (the fleet's fold state).
+
+:class:`FleetMetrics` summarizes a session, a shard, or a whole fleet
+— :meth:`~FleetMetrics.merge` folds instances upward.  All state is
+integer counters plus one
+:class:`~repro.metrics.histogram.LatencyHistogram` and the Jain moment
+triple ``(n, Σx, Σx²)`` over per-session served totals, so folding is
+exact and order-independent; every derived number is computed from the
+merged state through a fixed-order expression — which is what lets
+serial and sharded fleet runs persist byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .histogram import LatencyHistogram
+from .stats import jain_fairness_from_moments
+
+__all__ = ["FleetMetrics"]
+
+
+@dataclass
+class FleetMetrics:
+    """Mergeable aggregate over any set of fleet sessions."""
+
+    sessions: int = 0
+    #: Workload events consumed (requests + releases + posts).
+    events: int = 0
+    requests: int = 0
+    granted: int = 0
+    queued: int = 0
+    denied: int = 0
+    aborted: int = 0
+    #: Floor services: immediate grants plus token hand-offs.
+    served: int = 0
+    posts: int = 0
+    #: Transcript events dropped by ring-mode eviction.
+    evicted: int = 0
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    # Jain fairness fold over per-session served totals.
+    fairness_n: int = 0
+    fairness_total: int = 0
+    fairness_sumsq: int = 0
+
+    def merge(self, other: "FleetMetrics") -> None:
+        """Fold another aggregate in (exact, commutative)."""
+        self.sessions += other.sessions
+        self.events += other.events
+        self.requests += other.requests
+        self.granted += other.granted
+        self.queued += other.queued
+        self.denied += other.denied
+        self.aborted += other.aborted
+        self.served += other.served
+        self.posts += other.posts
+        self.evicted += other.evicted
+        self.histogram.merge(other.histogram)
+        self.fairness_n += other.fairness_n
+        self.fairness_total += other.fairness_total
+        self.fairness_sumsq += other.fairness_sumsq
+
+    # ------------------------------------------------------------------
+    # Derived numbers
+    # ------------------------------------------------------------------
+    def jain_fairness(self) -> float:
+        """Jain's index over per-session served totals (1.0 = even)."""
+        return jain_fairness_from_moments(
+            self.fairness_n, self.fairness_total, self.fairness_sumsq
+        )
+
+    @property
+    def grant_p50(self) -> float:
+        return self.histogram.quantile(50.0)
+
+    @property
+    def grant_p95(self) -> float:
+        return self.histogram.quantile(95.0)
+
+    @property
+    def grant_mean(self) -> float:
+        return self.histogram.mean()
+
+    def to_metrics(self) -> dict[str, float]:
+        """The deterministic per-cell metrics dict (sweep/persist)."""
+        return {
+            "sessions": float(self.sessions),
+            "events": float(self.events),
+            "requests": float(self.requests),
+            "granted": float(self.granted),
+            "queued": float(self.queued),
+            "denied": float(self.denied),
+            "aborted": float(self.aborted),
+            "served": float(self.served),
+            "posts": float(self.posts),
+            "evicted": float(self.evicted),
+            "grant_mean": self.grant_mean,
+            "grant_p50": self.grant_p50,
+            "grant_p95": self.grant_p95,
+            "fairness": self.jain_fairness(),
+        }

@@ -1,0 +1,222 @@
+"""`MetricsFold` — one streaming metrics kernel for every surface.
+
+The fold consumes :class:`~repro.events.types.FloorEvent`\\ s one at a
+time — pairing each member's oldest outstanding ``REQUEST`` with the
+``GRANT`` or ``TOKEN_PASS`` that served it via per-member pending
+deques, tallying per-kind and per-member counts incrementally — so a
+metrics consumer never needs to buffer or re-scan a transcript.  State
+is O(members + outstanding requests), not O(events).
+
+Two modes share one :meth:`~MetricsFold.to_metrics` schema:
+
+* ``"exact"`` retains the individual latency samples and reports
+  nearest-rank percentiles — byte-identical to the batch helpers the
+  sweep engine always persisted in ``BENCH_*.json``.
+* ``"fold"`` bins samples into the 72-bucket geometric
+  :class:`~repro.metrics.histogram.LatencyHistogram`; all state is
+  then integer counters, so :meth:`~MetricsFold.merge` is exact and
+  commutative and sharded runs fold to bit-identical results in any
+  completion order.
+
+Feed a fold either whole events (:meth:`~MetricsFold.add`, usually via
+a filtered ``EventBus.subscribe``) or the low-level
+:meth:`~MetricsFold.requested` / :meth:`~MetricsFold.serve` primitives
+when there is no event object in the loop (bare-policy sweep cells,
+the fleet batch engine).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from ..errors import ReproError
+from ..events.types import EventKind, FloorEvent
+from .histogram import LatencyHistogram
+from .stats import jain_fairness, latency_summary
+
+__all__ = ["MetricsFold", "SESSION_FOLD_KINDS"]
+
+#: The event kinds the shared ``to_metrics`` schema is computed from —
+#: what a live session subscribes its fold to.
+SESSION_FOLD_KINDS: tuple[EventKind, ...] = (
+    EventKind.JOIN,
+    EventKind.REQUEST,
+    EventKind.GRANT,
+    EventKind.QUEUE,
+    EventKind.DENY,
+    EventKind.TOKEN_PASS,
+)
+
+_MODES = ("exact", "fold")
+
+
+class MetricsFold:
+    """Streaming metrics over a floor-control event stream.
+
+    ``members`` pre-seeds the fairness population (silent members then
+    count as zero shares, and later ``JOIN`` events do *not* extend the
+    population — sweep-cell semantics).  Without it the population
+    grows from the stream itself: every ``JOIN``\\ ed or served member
+    counts (transcript semantics, what ``repro replay`` audits).
+    """
+
+    __slots__ = (
+        "mode", "events", "kinds", "joined", "counts", "served",
+        "histogram", "_pending", "_samples", "_seeded",
+    )
+
+    def __init__(
+        self, mode: str = "exact", members: Iterable[str] | None = None
+    ) -> None:
+        if mode not in _MODES:
+            raise ReproError(
+                f"unknown metrics fold mode {mode!r}; one of {list(_MODES)}"
+            )
+        self.mode = mode
+        #: Events folded via :meth:`add` (primitives do not count here).
+        self.events = 0
+        #: Per-kind event tally, again fed by :meth:`add`.
+        self.kinds: dict[EventKind, int] = {}
+        #: Members seen JOINing the stream.
+        self.joined: set[str] = set()
+        #: Per-member service tally — the Jain fairness population.
+        self.counts: dict[str, int] = {}
+        #: Paired services (a latency sample exists for each).
+        self.served = 0
+        self.histogram = LatencyHistogram() if mode == "fold" else None
+        self._pending: dict[str, deque[float]] = {}
+        self._samples: list[float] = []
+        self._seeded = members is not None
+        if members is not None:
+            for member in members:
+                self.counts[member] = 0
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    def add(self, event: FloorEvent) -> None:
+        """Fold one event in (a valid ``EventBus.subscribe`` listener)."""
+        self.events += 1
+        kind = event.kind
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+        if kind is EventKind.REQUEST:
+            self.requested(event.member, event.time)
+        elif kind is EventKind.GRANT:
+            self.serve(event.member, event.time)
+        elif kind is EventKind.TOKEN_PASS:
+            payload = event.payload()
+            recipient = payload.to_member if payload is not None else None
+            if recipient:
+                self.serve(recipient, event.time)
+        elif kind is EventKind.JOIN:
+            self.joined.add(event.member)
+            if not self._seeded and event.member not in self.counts:
+                self.counts[event.member] = 0
+
+    def requested(self, member: str, when: float) -> None:
+        """Record an outstanding floor request (O(1))."""
+        queue = self._pending.get(member)
+        if queue is None:
+            queue = self._pending[member] = deque()
+        queue.append(when)
+
+    def serve(self, member: str, when: float) -> None:
+        """Record a floor service: a grant or a token hand-off.
+
+        The member's oldest outstanding request (if any) pairs into one
+        latency sample; the service always counts toward the member's
+        fairness share, paired or not.
+        """
+        queue = self._pending.get(member)
+        if queue:
+            latency = when - queue.popleft()
+            self.served += 1
+            if self.histogram is not None:
+                self.histogram.add(latency)
+            else:
+                self._samples.append(latency)
+        self.counts[member] = self.counts.get(member, 0) + 1
+
+    def merge(self, other: "MetricsFold") -> None:
+        """Fold another stream's state in (``"fold"`` mode only).
+
+        Exact and commutative — integer counter addition plus a
+        histogram merge — so shard folds are bit-identical in any
+        order.  Exact mode refuses: retained samples have no
+        order-free merge.
+        """
+        if self.mode != "fold" or other.mode != "fold":
+            raise ReproError(
+                "merge needs two fold-mode MetricsFolds; exact mode retains "
+                "ordered samples and cannot merge commutatively"
+            )
+        if other._pending and any(other._pending.values()):
+            # Outstanding requests cannot pair across stream boundaries.
+            raise ReproError(
+                "cannot merge a fold with outstanding unpaired requests"
+            )
+        self.events += other.events
+        for kind, count in other.kinds.items():
+            self.kinds[kind] = self.kinds.get(kind, 0) + count
+        self.joined |= other.joined
+        for member, count in other.counts.items():
+            self.counts[member] = self.counts.get(member, 0) + count
+        self.served += other.served
+        self.histogram.merge(other.histogram)
+
+    # ------------------------------------------------------------------
+    # Derived numbers
+    # ------------------------------------------------------------------
+    def count(self, kind: EventKind) -> int:
+        """How many events of ``kind`` were folded via :meth:`add`."""
+        return self.kinds.get(kind, 0)
+
+    @property
+    def latencies(self) -> list[float]:
+        """The retained latency samples, in service order (exact mode)."""
+        if self.mode != "exact":
+            raise ReproError(
+                "fold mode bins samples into the histogram; "
+                "individual latencies are only retained in exact mode"
+            )
+        return list(self._samples)
+
+    def latency_summary(self) -> Mapping[str, float]:
+        """``grant_mean`` / ``grant_p50`` / ``grant_p95`` for this mode."""
+        if self.histogram is not None:
+            return {
+                "grant_mean": self.histogram.mean(),
+                "grant_p50": self.histogram.quantile(50.0),
+                "grant_p95": self.histogram.quantile(95.0),
+            }
+        return latency_summary(self._samples)
+
+    def fairness(self) -> float:
+        """Jain's index over the per-member service shares."""
+        return jain_fairness(self.counts.values())
+
+    def to_metrics(self) -> dict[str, float]:
+        """The shared metric schema — same keys in both modes.
+
+        Exact mode reproduces :func:`repro.events.replay.
+        transcript_metrics` bit-for-bit when fed the same events.
+        """
+        return {
+            "events": float(self.events),
+            "members": float(len(self.joined)),
+            "requests": float(self.count(EventKind.REQUEST)),
+            "granted": float(self.count(EventKind.GRANT)),
+            "queued": float(self.count(EventKind.QUEUE)),
+            "denied": float(self.count(EventKind.DENY)),
+            "token_passes": float(self.count(EventKind.TOKEN_PASS)),
+            "served": float(self.served),
+            **self.latency_summary(),
+            "fairness": self.fairness(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsFold(mode={self.mode!r}, events={self.events}, "
+            f"served={self.served})"
+        )

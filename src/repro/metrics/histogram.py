@@ -1,0 +1,120 @@
+"""Fixed log-spaced latency histogram — the fold-mode sample store.
+
+A fleet (or a long-lived live session) must report grant-latency
+percentiles without ever holding O(events) samples.
+:class:`LatencyHistogram` bins latencies on a fixed geometric ladder:
+adding a sample is O(log bins); merging two histograms is elementwise
+integer addition, which is *commutative and exact*, so per-shard
+histograms can be folded in any completion order and still produce
+bit-identical quantiles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = ["BINS", "EDGES", "HIGH", "LOW", "LatencyHistogram"]
+
+BINS = 72
+LOW = 1e-4     # seconds; anything smaller (incl. immediate grants) is bin 0
+HIGH = 1e3     # seconds; anything larger lands in the overflow bin
+
+#: Bin edges: LOW · (HIGH/LOW)^(i/BINS) for i in 0..BINS — a geometric
+#: ladder of 72 bins spanning 0.1 ms to 1000 s, ~25% wide each, which
+#: bounds quantile error to one bin width.
+EDGES: tuple[float, ...] = tuple(
+    LOW * (HIGH / LOW) ** (i / BINS) for i in range(BINS + 1)
+)
+
+#: Representative value reported for each bucket: 0 for the underflow
+#: bucket (immediate grants), the bucket's upper edge otherwise.
+REPRESENTATIVE: tuple[float, ...] = (0.0,) + EDGES[1:] + (EDGES[-1],)
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram (seconds).
+
+    Buckets: ``[0, 0.1ms)``, 72 geometric bins to 1000 s, overflow.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: list[int] | None = None) -> None:
+        if counts is None:
+            counts = [0] * (BINS + 2)
+        elif len(counts) != BINS + 2:
+            raise ValueError(
+                f"histogram needs {BINS + 2} buckets, got {len(counts)}"
+            )
+        self.counts = counts
+
+    def add(self, value: float) -> None:
+        """Record one latency sample (negative values clamp to 0)."""
+        if value < LOW:
+            self.counts[0] += 1
+        else:
+            self.counts[min(bisect_right(EDGES, value), BINS + 1)] += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in (exact, commutative)."""
+        counts = self.counts
+        for i, c in enumerate(other.counts):
+            counts[i] += c
+
+    @property
+    def count(self) -> int:
+        """Total samples recorded."""
+        return sum(self.counts)
+
+    def quantile(self, pct: float) -> float:
+        """Nearest-rank quantile over the binned distribution.
+
+        Returns the representative value of the bucket holding the
+        nearest-rank sample; 0.0 when empty.  Deterministic given the
+        (integer) bucket counts.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {pct!r}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = max(1, -(-int(pct * total) // 100))  # ceil(pct/100 · total)
+        seen = 0
+        for bucket, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return REPRESENTATIVE[bucket]
+        return REPRESENTATIVE[-1]  # pragma: no cover - rank <= total
+
+    def mean(self) -> float:
+        """Histogram mean (bucket representatives weighted by count).
+
+        Computed over the fixed bucket order, so it is bit-identical
+        for equal merged counts whatever order shards folded in.
+        """
+        total = self.count
+        if total == 0:
+            return 0.0
+        acc = 0.0
+        for bucket, count in enumerate(self.counts):
+            if count:
+                acc += count * REPRESENTATIVE[bucket]
+        return acc / total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyHistogram(count={self.count})"
+
+    # __slots__ classes need explicit pickle state (no __dict__).
+    def __getstate__(self) -> list[int]:
+        return self.counts
+
+    def __setstate__(self, state: list[int]) -> None:
+        self.counts = state
+
+    def __reduce__(self):
+        return (LatencyHistogram, (self.counts,))

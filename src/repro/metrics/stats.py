@@ -1,0 +1,83 @@
+"""Scalar metric statistics: percentiles and Jain fairness.
+
+These are the pure functions every metric surface shares.  Two
+fairness entry points cover the repo's two historical call sites —
+and, now that both live here, their conventions are pinned together:
+
+* :func:`jain_fairness` folds a *list of shares* (per-member served
+  counts).  Empty or all-zero shares score 1.0: nobody was treated
+  unfairly when nobody was served.
+* :func:`jain_fairness_from_moments` folds the integer moment triple
+  ``(n, Σx, Σx²)`` that sharded fleet runs merge commutatively.  The
+  same conventions hold: ``n == 0`` or ``Σx² == 0`` scores 1.0.
+
+For non-negative shares (the only kind a served-count tally can
+produce) the two agree exactly: ``Σx == 0`` implies ``Σx² == 0``, and
+both compute the identical fixed-order expression ``(Σx)²/(n·Σx²)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+__all__ = [
+    "jain_fairness",
+    "jain_fairness_from_moments",
+    "latency_summary",
+    "percentile",
+]
+
+
+def percentile(values: Iterable[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 when empty).
+
+    Nearest-rank always returns an observed sample, so the persisted
+    numbers are exact floats that reproduce bit-for-bit.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct!r}")
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def jain_fairness(shares: Iterable[float]) -> float:
+    """Jain's fairness index over per-member shares.
+
+    1.0 means perfectly even service, ``1/n`` means one member took
+    everything.  Empty or all-zero shares score 1.0 (nobody was
+    treated unfairly when nobody was served).
+    """
+    values = list(shares)
+    total = sum(values)
+    if not values or total == 0:
+        return 1.0
+    square_sum = sum(value * value for value in values)
+    return jain_fairness_from_moments(len(values), total, square_sum)
+
+
+def jain_fairness_from_moments(n: int, total: float, sumsq: float) -> float:
+    """Jain's index from the mergeable moment triple ``(n, Σx, Σx²)``.
+
+    This is the fold the fleet layer merges across shards: all three
+    moments are plain sums, so folding is exact and commutative, and
+    the index is computed once from the merged state through this one
+    fixed-order expression.
+    """
+    if n == 0 or sumsq == 0:
+        return 1.0
+    return (total * total) / (n * sumsq)
+
+
+def latency_summary(latencies: Iterable[float]) -> Mapping[str, float]:
+    """The latency metrics recorded per cell: mean, p50, and p95."""
+    values = list(latencies)
+    mean = sum(values) / len(values) if values else 0.0
+    return {
+        "grant_mean": mean,
+        "grant_p50": percentile(values, 50.0),
+        "grant_p95": percentile(values, 95.0),
+    }

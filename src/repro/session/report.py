@@ -53,6 +53,14 @@ class SessionReport:
     # Event-bus dispatch health: listeners that raised (exceptions are
     # isolated, so failures must surface here rather than crash a run).
     listener_errors: int = 0
+    # Floor service quality, read from the session's live metrics fold
+    # (:mod:`repro.metrics`) when one is attached: paired services,
+    # grant-latency summary, and Jain fairness over member shares.
+    served: int = 0
+    grant_mean: float = 0.0
+    grant_p50: float = 0.0
+    grant_p95: float = 0.0
+    fairness: float = 1.0
 
     @property
     def acceptance_rate(self) -> float:
@@ -82,6 +90,14 @@ class SessionReport:
             f"  clocks:   {self.synced_clients} synced, "
             f"max residual skew {self.max_residual_skew * 1000:.1f} ms",
         ]
+        if self.served:
+            lines.insert(
+                2,
+                f"  latency:  {self.served} served, grant p50 "
+                f"{self.grant_p50 * 1000:.1f} ms / p95 "
+                f"{self.grant_p95 * 1000:.1f} ms, "
+                f"fairness {self.fairness:.3f}",
+            )
         if self.checked_invariants:
             lines.append(
                 f"  checks:   {self.checked_invariants} invariants monitored, "
@@ -99,15 +115,37 @@ def summarize(
     server: DMPSServer,
     clients: list[DMPSClient] | None = None,
     monitor=None,
+    metrics=None,
 ) -> SessionReport:
     """Build a :class:`SessionReport` from a server (and its clients).
 
     ``monitor`` is an optional attached
     :class:`~repro.check.monitor.SessionMonitor`; its invariant count
     and recorded violations become the report's ``checks`` line.
+    ``metrics`` is the session's live
+    :class:`~repro.metrics.fold.MetricsFold`: when given, event counts
+    come from the fold's all-time state (correct even when a bounded
+    transcript ring has evicted events) and the report gains the
+    latency/fairness block; without it, counts fall back to scanning
+    the retained log.
     """
     clients = clients or []
     log = server.control.log
+    if metrics is not None:
+        requests = metrics.count(EventKind.REQUEST)
+        token_passes = metrics.count(EventKind.TOKEN_PASS)
+        latency = metrics.latency_summary()
+        quality = {
+            "served": metrics.served,
+            "grant_mean": latency["grant_mean"],
+            "grant_p50": latency["grant_p50"],
+            "grant_p95": latency["grant_p95"],
+            "fairness": metrics.fairness(),
+        }
+    else:
+        requests = log.count(EventKind.REQUEST)
+        token_passes = log.count(EventKind.TOKEN_PASS)
+        quality = {}
     stats = server.control.arbitrator.stats
     boards = server._boards
     accepted = sum(len(board) for board in boards.values())
@@ -122,12 +160,12 @@ def summarize(
     return SessionReport(
         duration=server.clock.now(),
         members=len(server.members()),
-        requests=log.count(EventKind.REQUEST),
+        requests=requests,
         granted=stats.granted,
         queued=stats.queued,
         denied=stats.denied,
         aborted=stats.aborted,
-        token_passes=log.count(EventKind.TOKEN_PASS),
+        token_passes=token_passes,
         suspensions=server.control.arbitrator.suspension.suspensions,
         resumptions=server.control.arbitrator.suspension.resumptions,
         posts_accepted=accepted,
@@ -144,4 +182,5 @@ def summarize(
         checked_invariants=len(monitor.names) if monitor is not None else 0,
         check_violations=len(monitor.violations) if monitor is not None else 0,
         listener_errors=log.listener_error_count,
+        **quality,
     )

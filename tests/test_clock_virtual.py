@@ -270,6 +270,27 @@ class TestFootprint:
         with pytest.raises(AttributeError):
             entry.stray = 1
 
+    def test_pending_timer_footprint_is_pinned(self):
+        # The slotted entry plus its share of heap-list and args-tuple
+        # overhead stays under 200 bytes; an instance dict alone would
+        # roughly double that.  bench_e17 measures the same number.
+        import tracemalloc
+
+        clock = VirtualClock()
+        entries = 10_000
+
+        def noop():
+            pass
+
+        tracemalloc.start()
+        before, __ = tracemalloc.get_traced_memory()
+        for i in range(entries):
+            clock.call_at(float(i), noop)
+        after, __ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        per_entry = (after - before) / entries
+        assert per_entry < 200, f"{per_entry:.0f} bytes per pending timer"
+
 
 class TestPropertyBased:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
