@@ -19,7 +19,7 @@ live monitors.  This experiment pins the redesign's two promises:
 
 from __future__ import annotations
 
-import time
+from timing import measure_seconds
 
 from repro.api import Scenario, Session, at
 from repro.core.modes import FCMMode
@@ -105,12 +105,8 @@ def test_e14_indexed_queries_beat_list_scans(table):
         assert bus.of_kind(kind) == scan_of_kind(events, kind)
     assert bus.between(12.0, 34.0) == scan_between(events, 12.0, 34.0)
 
-    start = time.perf_counter()
-    run_scans()
-    scan_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    run_indexed()
-    indexed_seconds = time.perf_counter() - start
+    __, scan_seconds = measure_seconds(run_scans)
+    __, indexed_seconds = measure_seconds(run_indexed)
     speedup = scan_seconds / indexed_seconds
     table(
         "E14: query workload on a 100k-event transcript",

@@ -21,7 +21,8 @@ three promises:
 from __future__ import annotations
 
 import json
-import tracemalloc
+
+from timing import live_heap
 
 from repro.experiments import load_document
 from repro.fabric import (
@@ -117,16 +118,13 @@ def test_e15_serial_and_sharded_folds_are_byte_identical(table, tmp_path):
 def test_e15_ring_mode_keeps_memory_sublinear(table):
     """Live heap after 4x the simulated steps stays far below 4x."""
 
-    def live_heap(duration: float) -> tuple[int, int]:
+    def span_heap(duration: float) -> tuple[int, int]:
         config = _fleet_config(sessions=400, duration=duration, shards=1)
-        tracemalloc.start()
-        result = run_fleet(config)
-        current, _peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        result, current = live_heap(run_fleet, config)
         return current, result.metrics.events
 
-    short_heap, short_events = live_heap(8.0)
-    long_heap, long_events = live_heap(32.0)
+    short_heap, short_events = span_heap(8.0)
+    long_heap, long_events = span_heap(32.0)
     assert long_events > short_events  # 4x span really did more work
     ratio = long_heap / short_heap
     table(

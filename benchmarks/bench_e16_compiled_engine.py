@@ -28,8 +28,9 @@ pytest and writes ``BENCH_compiled_engine.json`` (schema
 from __future__ import annotations
 
 import sys
-import time
 from pathlib import Path
+
+from timing import best_of_rate, measure_seconds
 
 from repro.api.policies import make_policy
 from repro.engine import compile_policy, compiled_policy_names
@@ -97,14 +98,17 @@ def make_engine(policy_name: str, engine: str):
 def drive(policy, steps) -> float:
     """Run ``steps`` through one policy per-call; returns wall seconds."""
     request, release = policy.request, policy.release
-    start = time.perf_counter()
-    for action, member, *rest in steps:
-        now = rest[0] if rest else 0.0
-        if action == "request":
-            request(member, now)
-        else:
-            release(member, now)
-    return time.perf_counter() - start
+
+    def run() -> None:
+        for action, member, *rest in steps:
+            now = rest[0] if rest else 0.0
+            if action == "request":
+                request(member, now)
+            else:
+                release(member, now)
+
+    __, seconds = measure_seconds(run)
+    return seconds
 
 
 def policy_events(policy):
@@ -130,11 +134,14 @@ def transcript_text(policy) -> str:
 def measure_speedup(best_of: int = 3):
     """Best-of-N steps/sec for both engines on the storm workload."""
     steps = storm_steps()
-    rates = {"reference": 0.0, "compiled": 0.0}
-    for engine in rates:
-        for _ in range(best_of):
-            seconds = drive(make_engine("equal_control", engine), steps)
-            rates[engine] = max(rates[engine], len(steps) / seconds)
+    rates = {
+        engine: best_of_rate(
+            len(steps),
+            lambda engine=engine: drive(make_engine("equal_control", engine), steps),
+            repeats=best_of,
+        )
+        for engine in ("reference", "compiled")
+    }
     return rates["reference"], rates["compiled"], len(steps)
 
 

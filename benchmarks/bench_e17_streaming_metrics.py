@@ -31,8 +31,9 @@ from __future__ import annotations
 import json
 import random
 import sys
-import tracemalloc
 from pathlib import Path
+
+from timing import heap_delta, peak_memory
 
 from repro.clock.virtual import VirtualClock
 from repro.events.bus import EventBus
@@ -139,10 +140,7 @@ def measure_stream_memory() -> dict[str, dict[str, float]]:
             axes=(Axis("path", (path,)),),
             base=dict(_STREAM_SPEC.base),
         ).with_root_seed(ROOT_SEED)
-        tracemalloc.start()
-        result = run_sweep(spec)
-        __, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        result, peak = peak_memory(run_sweep, spec)
         metrics = dict(result.results[0].metrics)
         metrics["peak_kb"] = peak / 1024.0
         out[path] = metrics
@@ -156,13 +154,12 @@ def measure_clock_heap(entries: int = 10_000) -> float:
     def noop() -> None:
         pass
 
-    tracemalloc.start()
-    before, __ = tracemalloc.get_traced_memory()
-    for i in range(entries):
-        clock.call_at(float(i), noop)
-    after, __ = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
-    return (after - before) / entries
+    def schedule() -> None:
+        for i in range(entries):
+            clock.call_at(float(i), noop)
+
+    __, delta = heap_delta(schedule)
+    return delta / entries
 
 
 # ----------------------------------------------------------------------

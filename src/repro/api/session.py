@@ -469,6 +469,41 @@ class Session:
         )
         return save_transcript(path, events, meta=meta)
 
+    def tracer(self):
+        """The causal plane of this session, on demand.
+
+        Builds a :class:`~repro.trace.causal.CausalTracer` over the
+        retained transcript (plus the monitor's recorded violations as
+        instant spans) — a pure read: nothing subscribes, nothing is
+        buffered while the session runs, and two calls yield identical
+        spans.  The tracer is seeded with the session seed, so span
+        ids are stable across reruns of the same configuration.
+        """
+        from ..trace import CausalTracer
+
+        tracer = CausalTracer.from_events(
+            list(self.bus), seed=self.config.seed
+        )
+        if self.monitor is not None:
+            tracer.add_violations(self.monitor.violations)
+        return tracer
+
+    def save_trace(self, path) -> Path:
+        """Persist the causal plane as a ``TRACE_*.json`` document.
+
+        The metadata carries only the session seed — everything else
+        in the document is a deterministic function of the transcript,
+        which keeps the bytes reproducible from a saved transcript
+        alone (``repro trace record``).  Returns the path written.
+        """
+        from ..trace import save_trace
+
+        return save_trace(
+            path,
+            self.tracer().spans(),
+            meta={"seed": self.config.seed},
+        )
+
     @property
     def presence(self) -> PresenceMonitor:
         """The server's presence monitor (connection lights)."""
@@ -501,15 +536,18 @@ class Session:
                 f"invariant {name!r} violated at t={self.now():.3f}: {detail}"
             )
 
-    def report(self) -> SessionReport:
+    def report(self, trace: bool = False) -> SessionReport:
         """Aggregate every layer's counters into a
         :class:`~repro.session.report.SessionReport` (including the
-        monitor's invariant violations when checks are attached)."""
+        monitor's invariant violations when checks are attached).
+        ``trace=True`` also folds the causal plane in, adding the
+        report's trace line (span count per kind)."""
         return summarize(
             self.server,
             list(self._clients.values()),
             monitor=self.monitor,
             metrics=self.metrics,
+            tracer=self.tracer() if trace else None,
         )
 
     # ------------------------------------------------------------------

@@ -48,6 +48,13 @@ Commands
     reproduce the recorded run.  Save transcripts with
     ``Session.save_transcript``, the sweep ``--transcripts DIR``
     option, or ``EventBus.save``.
+``trace``
+    Work with causal trace documents (:mod:`repro.trace`):
+    ``record`` derives the deterministic ``TRACE_*.json`` from a saved
+    transcript, ``top`` prints the self-time (or causal) summary of a
+    trace, ``export`` converts one to Chrome trace-event JSON for
+    Perfetto/about:tracing, and ``diff`` compares two causal traces
+    span by span (exit 1 on divergence).
 ``report``
     Run the seeded classroom and print only the session report.
 
@@ -262,6 +269,13 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         spec = dataclasses.replace(
             spec, base={**dict(spec.base), "transcript_dir": args.transcripts}
         )
+    if args.traces is not None:
+        # Capture parameter (never part of the seed): each session
+        # cell's causal TRACE document rides along, byte-identical to
+        # `repro trace record` on the captured transcript.
+        spec = dataclasses.replace(
+            spec, base={**dict(spec.base), "trace_dir": args.traces}
+        )
     if args.ring is not None:
         # Execution parameter (never part of the seed): session cells
         # keep a bounded transcript ring while the streaming metrics
@@ -393,10 +407,43 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = run_fleet(config, workers=args.workers)
+    result = run_fleet(
+        config,
+        workers=args.workers,
+        trace=args.trace is not None,
+        profile=args.profile,
+        progress=args.progress,
+    )
     print(result.render())
     out = args.out if args.out is not None else bench_filename("fleet")
     print(f"\nwrote {write_fleet_json(result, out)}")
+    if args.trace is not None:
+        from .trace import save_trace
+
+        # The metadata is config-derived only, so serial and sharded
+        # runs write byte-identical causal documents; the wall-clock
+        # profile joins the artifact only under the explicit opt-in
+        # (the include_timing convention).
+        meta = {
+            "seed": config.seed,
+            "sessions": config.sessions,
+            "shards": config.shards,
+            "policy": config.policy,
+            "scenario": config.scenario,
+            "engine": config.engine,
+        }
+        path = save_trace(
+            args.trace,
+            result.spans,
+            meta=meta,
+            profile=result.profile if args.profile else None,
+        )
+        print(f"wrote {path}")
+    if args.profile:
+        from .trace import top_report
+
+        print()
+        print(top_report(result.profile))
     return 0
 
 
@@ -421,6 +468,95 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             exit_code = max(exit_code, 1)
     return exit_code
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    from types import SimpleNamespace
+
+    from .events.transcript import load_transcript
+    from .trace import CausalTracer, save_trace, trace_filename
+
+    try:
+        document = load_transcript(args.transcript)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session_meta = document.meta.get("session") or {}
+    # The seed binds span ids to the recorded run: transcripts saved by
+    # Session.save_transcript carry it; hand-built ones fall back to
+    # the CLI --seed.
+    seed = int(session_meta.get("seed", args.seed))
+    tracer = CausalTracer.from_events(document.events, seed=seed)
+    monitor = document.meta.get("monitor") or {}
+    rows = monitor.get("violations") or []
+    if rows:
+        tracer.add_violations(
+            SimpleNamespace(time=row[0], invariant=row[1], detail=row[2])
+            for row in rows
+        )
+    if args.out is not None:
+        out = args.out
+    else:
+        stem = Path(args.transcript).stem
+        stem = stem[len("TRANSCRIPT_"):] if stem.startswith("TRANSCRIPT_") else stem
+        out = trace_filename(stem)
+    path = save_trace(out, tracer.spans(), meta={"seed": seed})
+    print(f"wrote {path} ({len(tracer.spans())} causal spans, seed {seed})")
+    return 0
+
+
+def _cmd_trace_top(args: argparse.Namespace) -> int:
+    from .trace import causal_summary, load_trace, top_report
+
+    try:
+        document = load_trace(args.trace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if document.profile:
+        print(top_report(document.profile, limit=args.limit))
+    else:
+        print(causal_summary(document.spans))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .trace import chrome_trace, load_trace
+
+    try:
+        document = load_trace(args.trace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    exported = chrome_trace(document.spans)
+    out = Path(args.out)
+    out.write_text(json.dumps(exported) + "\n", "utf-8")
+    print(f"wrote {out} ({len(exported['traceEvents'])} trace events; "
+          f"load in Perfetto or about:tracing)")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .trace import diff_traces, load_trace
+
+    try:
+        left = load_trace(args.a)
+        right = load_trace(args.b)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    lines = diff_traces(left.spans, right.spans)
+    if not lines:
+        print(f"traces agree: {len(left.spans)} spans in both")
+        return 0
+    print(f"traces diverge ({len(lines)} differences shown):")
+    for line in lines:
+        print(line)
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -498,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(TRANSCRIPT_<cell>.jsonl) into this directory",
     )
     sweep.add_argument(
+        "--traces", metavar="DIR",
+        help="save each session cell's deterministic causal trace "
+             "(TRACE_<cell>.json) into this directory",
+    )
+    sweep.add_argument(
         "--ring", type=int, metavar="N",
         help="bound each session cell's transcript to an N-event ring; "
              "metrics stream through the shared fold, so the persisted "
@@ -540,6 +681,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--out", help="BENCH json path "
                                      "(default: BENCH_fleet.json)")
+    fleet.add_argument(
+        "--trace", metavar="PATH",
+        help="also write the fleet's deterministic causal trace "
+             "(byte-identical serial vs. sharded) to this TRACE json",
+    )
+    fleet.add_argument(
+        "--profile", action="store_true",
+        help="run the wall-clock timing plane (per-layer self time; "
+             "printed as a top report, and embedded in --trace output)",
+    )
+    fleet.add_argument(
+        "--progress", action="store_true",
+        help="stream a heartbeat to stderr (per tick serially, per "
+             "shard completion when sharded)",
+    )
     fleet.set_defaults(handler=_cmd_fleet)
 
     replay = subparsers.add_parser(
@@ -574,6 +730,43 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--out", help="verdict json path "
                                      "(default: CHECK_<suite>.json)")
     check.set_defaults(handler=_cmd_check)
+
+    trace = subparsers.add_parser(
+        "trace", help="record, inspect, export and diff trace documents "
+                      "(repro.trace)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser(
+        "record", help="derive the deterministic causal TRACE json "
+                       "from a saved transcript"
+    )
+    record.add_argument("transcript", help="a TRANSCRIPT_*.jsonl file")
+    record.add_argument("-o", "--out",
+                        help="TRACE json path (default: TRACE_<name>.json)")
+    record.set_defaults(handler=_cmd_trace_record)
+    top = trace_sub.add_parser(
+        "top", help="self-time table of a profiled trace (or the "
+                    "causal summary of a causal-only one)"
+    )
+    top.add_argument("trace", help="a TRACE_*.json file")
+    top.add_argument("--limit", type=int, default=20,
+                     help="rows in the self-time table")
+    top.set_defaults(handler=_cmd_trace_top)
+    export = trace_sub.add_parser(
+        "export", help="convert a trace to Chrome trace-event JSON "
+                       "(loadable in Perfetto / about:tracing)"
+    )
+    export.add_argument("trace", help="a TRACE_*.json file")
+    export.add_argument("-o", "--out", required=True,
+                        help="Chrome trace-event json path")
+    export.set_defaults(handler=_cmd_trace_export)
+    diff = trace_sub.add_parser(
+        "diff", help="compare two causal traces span by span "
+                     "(exit 1 on divergence)"
+    )
+    diff.add_argument("a", help="first TRACE_*.json")
+    diff.add_argument("b", help="second TRACE_*.json")
+    diff.set_defaults(handler=_cmd_trace_diff)
 
     report = subparsers.add_parser("report", help="session report only")
     report.set_defaults(handler=_cmd_report)

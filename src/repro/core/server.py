@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from ..clock.virtual import VirtualClock
 from ..errors import FloorControlError
+from ..trace import timing as _timing
 from .arbitrator import Arbitrator
 from .events import EventKind, EventLog
 from .floor import FloorGrant, RequestOutcome, _RequestFactory
@@ -217,6 +218,12 @@ class FloorControlServer:
         logged before the outcomes, and queued requests are not
         annotated with a queue position.
         """
+        with _timing.maybe_span("server.request_batch"):
+            return self._request_floor_batch(submissions)
+
+    def _request_floor_batch(
+        self, submissions: list[tuple[str, FCMMode | None, float | None]]
+    ) -> list[FloorGrant]:
         now = self.clock.now()
         requests = []
         for member, mode, requested_at in submissions:
@@ -234,7 +241,8 @@ class FloorControlServer:
                 now, EventKind.REQUEST, member, self.session_group, mode.value,
                 data={"mode": mode.value},
             )
-        grants = self.arbitrator.arbitrate_batch(requests, now=now)
+        with _timing.maybe_span("arbitrate.batch"):
+            grants = self.arbitrator.arbitrate_batch(requests, now=now)
         for request, grant in zip(requests, grants):
             self.log.append(
                 now,

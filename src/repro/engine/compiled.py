@@ -42,6 +42,7 @@ from array import array
 from ..core.arbitrator import ArbitrationStats
 from ..core.modes import FCMMode
 from ..errors import ReproError
+from ..trace import timing as _timing
 from .log import (
     K_GRANT,
     K_INVITE,
@@ -178,6 +179,10 @@ class CompiledEngine:
         the subgroup modes fall back to the per-call path, mirroring
         the reference policy.
         """
+        with _timing.maybe_span("engine.request_batch"):
+            return self._request_batch(submissions)
+
+    def _request_batch(self, submissions: list[tuple[str, float]]) -> list[bool]:
         if self.mode in (FCMMode.GROUP_DISCUSSION, FCMMode.DIRECT_CONTACT):
             return [self.request(member, now) for member, now in submissions]
         append = self.log.append

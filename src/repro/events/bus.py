@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..errors import EventBusError
+from ..trace import timing as _timing
 from .types import EventKind, FloorEvent
 
 __all__ = ["EventBus", "ListenerError", "Subscription"]
@@ -387,6 +388,16 @@ class EventBus:
             self._start = 0
 
     def _dispatch(self, event: FloorEvent) -> None:
+        # Timing-plane hook: one global read when profiling is off —
+        # this is the hottest per-event seam in the repo.
+        profiler = _timing.active()
+        if profiler is None:
+            self._fan_out(event)
+        else:
+            with profiler.span("bus.dispatch"):
+                self._fan_out(event)
+
+    def _fan_out(self, event: FloorEvent) -> None:
         for subscription in tuple(self._subscriptions):
             if not subscription.active or not subscription.matches(event):
                 continue

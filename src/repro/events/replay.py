@@ -282,6 +282,15 @@ class ReplayReport:
     replayed_violations: tuple[TranscriptViolation, ...]
     monitor: Mapping[str, Any]
     missing: tuple[str, ...]
+    #: The recorded ``meta.session`` block (chair, members, seed,
+    #: listener_errors, ...) — empty for hand-built transcripts.
+    session: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def listener_errors(self) -> int:
+        """Listener exceptions the recorded run isolated during
+        dispatch (0 for transcripts without a session block)."""
+        return int(self.session.get("listener_errors", 0) or 0)
 
     @property
     def metrics_match(self) -> bool:
@@ -331,6 +340,11 @@ class ReplayReport:
                 f"invariants, {len(self.monitor.get('violations', []))} "
                 f"violations (recorded)"
             )
+        if self.listener_errors:
+            lines.append(
+                f"  listener errors: {self.listener_errors} recorded "
+                f"(dispatch isolated; see bus.listener_errors)"
+            )
         for block in self.missing:
             lines.append(f"  note: transcript recorded no {block!r} block")
         lines.append(
@@ -376,4 +390,5 @@ def replay_transcript(path: str | Path) -> ReplayReport:
         replayed_violations=tuple(check_transcript(events)),
         monitor=document.meta.get("monitor") or {},
         missing=tuple(missing),
+        session=document.meta.get("session") or {},
     )

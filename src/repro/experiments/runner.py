@@ -84,6 +84,7 @@ _SESSION_DEFAULTS: dict[str, Any] = {
     "partition_start": None,
     "partition_duration": 2.0,
     "transcript_dir": None,
+    "trace_dir": None,
     "transcript_capacity": None,
     "engine": "reference",
 }
@@ -259,6 +260,22 @@ def run_session_cell(cell: Cell) -> Mapping[str, float]:
             session.save_transcript(
                 directory / transcript_filename(cell.cell_id)
             )
+        trace_dir = _cell_value(cell, "trace_dir")
+        if trace_dir is not None:
+            # Trace capture mirrors transcript capture: the causal
+            # plane is a pure read of the retained events, so the
+            # TRACE document rides along without perturbing metrics —
+            # and ``repro trace record`` on the captured transcript
+            # reproduces its bytes exactly.
+            from ..trace import save_trace, trace_filename
+
+            directory = Path(str(trace_dir))
+            directory.mkdir(parents=True, exist_ok=True)
+            save_trace(
+                directory / trace_filename(cell.cell_id),
+                session.tracer().spans(),
+                meta={"seed": cell.seed},
+            )
     return {
         "requests": float(report.requests),
         "granted": float(report.granted),
@@ -286,8 +303,9 @@ def run_policy_cell(cell: Cell) -> Mapping[str, float]:
     request-to-service times.  Network parameters (latency/jitter/loss)
     do not apply here; cells record ``network_modeled = 0`` so a grid
     crossing baselines with network axes stays honest in the persisted
-    BENCH document.  ``transcript_dir`` likewise does not apply: a bare
-    policy keeps no event bus, so baseline cells save no transcript.
+    BENCH document.  ``transcript_dir``/``trace_dir`` likewise do not
+    apply: a bare policy keeps no event bus, so baseline cells save no
+    transcript and no trace.
     """
     _check_known_params(cell)
     events, members, config = _workload(cell)
@@ -356,10 +374,10 @@ def run_check_cell(cell: Cell) -> Mapping[str, float]:
     deterministic, so check sweeps persist byte-identically like any
     other BENCH document.
     """
-    # Capture params (transcript_dir) may ride any sweep's base — e.g.
-    # ``repro sweep --transcripts`` over a check spec.  A check cell
-    # keeps no event bus, so like the baseline runner it skips capture
-    # rather than rejecting the whole sweep.
+    # Capture params (transcript_dir/trace_dir) may ride any sweep's
+    # base — e.g. ``repro sweep --transcripts`` over a check spec.  A
+    # check cell keeps no event bus, so like the baseline runner it
+    # skips capture rather than rejecting the whole sweep.
     unknown = sorted(set(cell.params) - set(_CHECK_DEFAULTS) - CAPTURE_PARAMS)
     if unknown:
         raise ReproError(

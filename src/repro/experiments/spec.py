@@ -42,7 +42,7 @@ _SCALARS = (bool, int, float, str, type(None))
 #: what a cell simulates, so :func:`derive_seed` excludes them — a
 #: sweep run with transcript capture on reproduces the exact metrics
 #: of the same sweep run without it.
-CAPTURE_PARAMS = frozenset({"transcript_dir"})
+CAPTURE_PARAMS = frozenset({"transcript_dir", "trace_dir"})
 
 #: Execution parameters: they select *how* a cell is computed (which
 #: engine runs the same simulation, how big a transcript ring the bus

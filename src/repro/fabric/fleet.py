@@ -22,17 +22,19 @@ count like any other axis.
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from ..clock.virtual import VirtualClock
 from ..errors import ReproError
 from ..experiments.spec import CAPTURE_PARAMS, Cell
+from ..trace import timing as _timing
 from .config import FleetConfig
 from .metrics import FleetMetrics
-from .shard import Shard, run_shard
+from .shard import Shard, run_shard, run_shard_traced
 
 __all__ = ["Fleet", "FleetResult", "run_fleet", "run_fleet_cell"]
 
@@ -60,11 +62,19 @@ class FleetResult:
     the *timing* fields depend on the machine and are deliberately kept
     out of :meth:`to_metrics` so sweep cells and byte-identity tests
     never see wall-clock noise.
+
+    ``spans`` (causal-plane span dicts, ``run_fleet(..., trace=True)``)
+    sits on the deterministic side of that wall — byte-identical serial
+    vs. sharded once canonically serialized; ``profile`` (timing-plane
+    aggregates, ``profile=True``) sits with ``wall_seconds`` on the
+    machine-dependent side.
     """
 
     config: FleetConfig
     metrics: FleetMetrics
     wall_seconds: float
+    spans: tuple = ()
+    profile: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
 
     @property
     def sessions_per_sec(self) -> float:
@@ -103,6 +113,20 @@ class FleetResult:
             f"  fairness:   Jain {m.jain_fairness():.3f} across sessions",
             f"  transcript: {m.evicted} events evicted (ring mode)",
         ]
+        if m.listener_errors:
+            lines.append(
+                f"  events:     {m.listener_errors} listener errors "
+                f"(dispatch isolated)"
+            )
+        if self.spans:
+            lines.append(
+                f"  trace:      {len(self.spans)} causal spans collected"
+            )
+        if self.profile:
+            lines.append(
+                f"  profile:    {len(self.profile)} layers timed "
+                f"(wall clock, see `repro trace top`)"
+            )
         return "\n".join(lines)
 
 
@@ -119,35 +143,46 @@ class Fleet:
         self,
         config: FleetConfig,
         on_tick: Callable[[float, int, "Fleet"], None] | None = None,
+        trace: bool = False,
     ) -> None:
         config.validate()
         self.config = config
         self.clock = VirtualClock()
         self.shards = [Shard(index, config) for index in range(config.shards)]
         self._on_tick = on_tick
+        self._trace = trace
         self._events = 0
 
     def snapshot(self) -> FleetMetrics:
         """Fold every shard's current state into one aggregate."""
         total = FleetMetrics()
-        for shard in self.shards:
-            total.merge(shard.summary())
+        with _timing.maybe_span("fleet.merge"):
+            for shard in self.shards:
+                total.merge(shard.summary())
         return total
 
     def run(self) -> FleetResult:
         """Drive the whole fleet to ``config.duration``; fold; close."""
         started = time.perf_counter()
+        spans: list[dict[str, Any]] = []
         try:
             for deadline in self.config.ticks():
                 self.clock.call_at(deadline, self._tick, deadline)
             self.clock.run_until(self.config.duration)
             metrics = self.snapshot()
+            if self._trace:
+                # Collected before teardown: span ids derive from each
+                # session's seed, so this is the same payload a traced
+                # worker shard returns.
+                for shard in self.shards:
+                    spans.extend(shard.span_dicts())
         finally:
             self.close()
         return FleetResult(
             config=self.config,
             metrics=metrics,
             wall_seconds=time.perf_counter() - started,
+            spans=tuple(spans),
         )
 
     def close(self) -> None:
@@ -169,6 +204,10 @@ def run_fleet(
     config: FleetConfig,
     workers: int = 1,
     on_tick: Callable[[float, int, Fleet], None] | None = None,
+    *,
+    trace: bool = False,
+    profile: bool = False,
+    progress: bool = False,
 ) -> FleetResult:
     """Run a fleet serially or across worker processes.
 
@@ -178,26 +217,102 @@ def run_fleet(
     is exact and commutative, so the result is byte-identical to the
     serial run.  ``on_tick`` only fires on the serial path (worker
     shards are shared-nothing by design).
+
+    The three observability knobs are execution parameters — they
+    never reseed or change the fold:
+
+    * ``trace`` collects the causal-plane spans of every session into
+      :attr:`FleetResult.spans` (byte-identical serial vs. sharded
+      once canonically serialized);
+    * ``profile`` runs the timing plane (wall-clock aggregates per
+      layer, merged across shards) into :attr:`FleetResult.profile`;
+    * ``progress`` streams a heartbeat to stderr — per tick on the
+      serial path, per shard completion on the sharded path.
     """
     config.validate()
     if workers <= 1 or config.shards == 1:
-        return Fleet(config, on_tick=on_tick).run()
+        tick_cb = _progress_tick(config, on_tick) if progress else on_tick
+        fleet = Fleet(config, on_tick=tick_cb, trace=trace)
+        if not profile:
+            return fleet.run()
+        profiler = _timing.Profiler()
+        with _timing.activate(profiler):
+            result = fleet.run()
+        return FleetResult(
+            config=result.config,
+            metrics=result.metrics,
+            wall_seconds=result.wall_seconds,
+            spans=result.spans,
+            profile=profiler.aggregates(),
+        )
     started = time.perf_counter()
     total = FleetMetrics()
+    spans: list[dict[str, Any]] = []
+    merged_profile = _timing.Profiler()
+    observed = trace or profile
     with ProcessPoolExecutor(
         max_workers=min(workers, config.shards), mp_context=_pool_context()
     ) as pool:
-        futures = [
-            pool.submit(run_shard, index, config)
-            for index in range(config.shards)
-        ]
+        if observed:
+            futures = [
+                pool.submit(run_shard_traced, index, config, trace, profile)
+                for index in range(config.shards)
+            ]
+        else:
+            futures = [
+                pool.submit(run_shard, index, config)
+                for index in range(config.shards)
+            ]
+        done = 0
         for future in as_completed(futures):
-            total.merge(future.result())
+            if observed:
+                fold, shard_spans, shard_profile = future.result()
+                spans.extend(shard_spans)
+                merged_profile.merge(shard_profile)
+            else:
+                fold = future.result()
+            total.merge(fold)
+            done += 1
+            if progress:
+                elapsed = time.perf_counter() - started
+                rate = total.events / elapsed if elapsed > 0 else 0.0
+                print(
+                    f"fleet: shard {done}/{config.shards} done, "
+                    f"{total.sessions} sessions folded, "
+                    f"{total.events} events, {rate:,.0f} events/s",
+                    file=sys.stderr,
+                )
     return FleetResult(
         config=config,
         metrics=total,
         wall_seconds=time.perf_counter() - started,
+        spans=tuple(spans),
+        profile=merged_profile.aggregates() if profile else {},
     )
+
+
+def _progress_tick(
+    config: FleetConfig,
+    inner: Callable[[float, int, Fleet], None] | None,
+) -> Callable[[float, int, Fleet], None]:
+    """Wrap ``on_tick`` with a stderr heartbeat (serial path only)."""
+    started = time.perf_counter()
+    ticks_done = [0]
+
+    def heartbeat(deadline: float, events: int, fleet: Fleet) -> None:
+        ticks_done[0] += 1
+        elapsed = time.perf_counter() - started
+        rate = events / elapsed if elapsed > 0 else 0.0
+        print(
+            f"fleet: tick {ticks_done[0]} t={deadline:.1f}/"
+            f"{config.duration:.1f}s, {config.sessions} sessions live, "
+            f"{events} events, {rate:,.0f} events/s",
+            file=sys.stderr,
+        )
+        if inner is not None:
+            inner(deadline, events, fleet)
+
+    return heartbeat
 
 
 def _pool_context():

@@ -183,10 +183,26 @@ class FleetSession:
             metrics.aborted = stats.aborted
             log = server.log if server is not None else self.policy.log
             metrics.evicted = log.evicted
+            metrics.listener_errors = getattr(log, "listener_error_count", 0)
         else:
             metrics.granted = self._granted
             metrics.queued = self._queued
         return metrics
+
+    def events(self):
+        """The session's retained transcript (ring tail), engine-agnostic.
+
+        Mirrors the bench E16 accessor chain: reference policies log on
+        their private server's bus, the compiled engine materializes
+        its columnar log, the baselines log directly.
+        """
+        server = getattr(self.policy, "server", None)
+        if server is not None:
+            return server.log.tail(1 << 30)
+        materialize = getattr(self.policy, "events", None)
+        if callable(materialize):
+            return materialize()
+        return self.policy.log.tail(1 << 30)
 
     def close(self) -> None:
         """Drop the workload stream; idempotent."""
@@ -283,11 +299,16 @@ class FacadeFleetSession:
             served=served,
             posts=sum(len(board) for board in self.session.server._boards.values()),
             evicted=control.log.evicted,
+            listener_errors=self.session.bus.listener_error_count,
             histogram=self._fold.histogram,
             fairness_n=1,
             fairness_total=served,
             fairness_sumsq=served * served,
         )
+
+    def events(self):
+        """The session's retained transcript (ring tail)."""
+        return list(self.session.bus)
 
     def close(self) -> None:
         """Close the underlying facade session; idempotent."""

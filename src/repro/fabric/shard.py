@@ -18,11 +18,15 @@ byte-identity guarantee.
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..trace import timing as _timing
+from ..trace.causal import CausalTracer
 from .config import FleetConfig
 from .metrics import FleetMetrics
 from .session import make_session
 
-__all__ = ["Shard", "run_shard"]
+__all__ = ["Shard", "run_shard", "run_shard_traced"]
 
 
 class Shard:
@@ -50,9 +54,30 @@ class Shard:
         merged state.
         """
         total = FleetMetrics()
-        for session in self.sessions:
-            total.merge(session.summary())
+        with _timing.maybe_span("metrics.fold"):
+            for session in self.sessions:
+                total.merge(session.summary())
         return total
+
+    def span_dicts(self) -> list[dict[str, Any]]:
+        """Causal spans of every owned session, as plain dicts.
+
+        Each session's tracer is seeded with that session's derived
+        seed — the same :func:`~repro.fabric.config.FleetConfig.session_seed`
+        every execution mode uses — so span ids are identical whether
+        this shard ran serially or in a worker process.  Dicts (not
+        :class:`~repro.trace.spans.Span` objects) keep the worker
+        return value cheap to pickle.
+        """
+        out: list[dict[str, Any]] = []
+        for session in self.sessions:
+            tracer = CausalTracer.from_events(
+                session.events(),
+                seed=self.config.session_seed(session.index),
+                base_attrs={"session": session.index},
+            )
+            out.extend(span.to_dict() for span in tracer.spans())
+        return out
 
     def close(self) -> None:
         """Tear down every owned session; idempotent (sessions are
@@ -78,3 +103,34 @@ def run_shard(shard_index: int, config: FleetConfig) -> FleetMetrics:
         return shard.summary()
     finally:
         shard.close()
+
+
+def run_shard_traced(
+    shard_index: int,
+    config: FleetConfig,
+    trace: bool = True,
+    profile: bool = False,
+) -> tuple[FleetMetrics, list[dict[str, Any]], dict[str, dict[str, float]]]:
+    """:func:`run_shard` plus observability payloads.
+
+    Returns ``(fold, span_dicts, profile_aggregates)``; the fold is
+    byte-identical to :func:`run_shard`'s (tracing reads state, never
+    writes it), spans are collected before teardown, and the timing
+    aggregates are empty unless ``profile`` asked for them.
+    """
+    profiler = _timing.Profiler() if profile else None
+    shard = Shard(shard_index, config)
+    try:
+        if profiler is not None:
+            with _timing.activate(profiler):
+                for deadline in config.ticks():
+                    shard.advance(deadline)
+                metrics = shard.summary()
+        else:
+            for deadline in config.ticks():
+                shard.advance(deadline)
+            metrics = shard.summary()
+        spans = shard.span_dicts() if trace else []
+    finally:
+        shard.close()
+    return metrics, spans, profiler.aggregates() if profiler else {}

@@ -37,6 +37,9 @@ class FleetMetrics:
     posts: int = 0
     #: Transcript events dropped by ring-mode eviction.
     evicted: int = 0
+    #: Listener exceptions isolated during bus dispatch (a failing
+    #: subscriber is a health signal the fold must surface).
+    listener_errors: int = 0
     histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
     # Jain fairness fold over per-session served totals.
     fairness_n: int = 0
@@ -55,6 +58,7 @@ class FleetMetrics:
         self.served += other.served
         self.posts += other.posts
         self.evicted += other.evicted
+        self.listener_errors += other.listener_errors
         self.histogram.merge(other.histogram)
         self.fairness_n += other.fairness_n
         self.fairness_total += other.fairness_total
@@ -82,7 +86,19 @@ class FleetMetrics:
         return self.histogram.mean()
 
     def to_metrics(self) -> dict[str, float]:
-        """The deterministic per-cell metrics dict (sweep/persist)."""
+        """The deterministic per-cell metrics dict (sweep/persist).
+
+        ``listener_errors`` joins the dict only when nonzero: a healthy
+        fleet's bytes are unchanged from the pre-trace golden files,
+        while an unhealthy one surfaces the count in every persisted
+        artifact.
+        """
+        metrics = self._base_metrics()
+        if self.listener_errors:
+            metrics["listener_errors"] = float(self.listener_errors)
+        return metrics
+
+    def _base_metrics(self) -> dict[str, float]:
         return {
             "sessions": float(self.sessions),
             "events": float(self.events),

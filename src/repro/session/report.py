@@ -61,6 +61,9 @@ class SessionReport:
     grant_p50: float = 0.0
     grant_p95: float = 0.0
     fairness: float = 1.0
+    # Causal-plane span count (populated when summarize() is handed a
+    # tracer; see repro.trace).
+    trace_spans: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -108,6 +111,11 @@ class SessionReport:
                 f"  events:   {self.listener_errors} listener errors "
                 f"(dispatch isolated; see bus.listener_errors)"
             )
+        if self.trace_spans:
+            lines.append(
+                f"  trace:    {self.trace_spans} causal spans "
+                f"(deterministic plane; see repro.trace)"
+            )
         return "\n".join(lines)
 
 
@@ -116,6 +124,7 @@ def summarize(
     clients: list[DMPSClient] | None = None,
     monitor=None,
     metrics=None,
+    tracer=None,
 ) -> SessionReport:
     """Build a :class:`SessionReport` from a server (and its clients).
 
@@ -128,6 +137,9 @@ def summarize(
     transcript ring has evicted events) and the report gains the
     latency/fairness block; without it, counts fall back to scanning
     the retained log.
+    ``tracer`` is an optional :class:`~repro.trace.causal.CausalTracer`
+    (see :meth:`~repro.api.session.Session.report` with
+    ``trace=True``); its span count becomes the report's trace line.
     """
     clients = clients or []
     log = server.control.log
@@ -182,5 +194,6 @@ def summarize(
         checked_invariants=len(monitor.names) if monitor is not None else 0,
         check_violations=len(monitor.violations) if monitor is not None else 0,
         listener_errors=log.listener_error_count,
+        trace_spans=len(tracer.spans()) if tracer is not None else 0,
         **quality,
     )

@@ -1,0 +1,49 @@
+"""repro.trace — deterministic span tracing + opt-in wall profiling.
+
+Two strictly separated planes (see :doc:`docs/OBSERVABILITY.md`):
+
+* the **causal plane** (:mod:`~repro.trace.causal`) derives spans from
+  virtual-clock event causality — deterministic, seed-stable,
+  persisted as schema-versioned ``TRACE_*.json`` byte-identically
+  across serial and sharded execution;
+* the **timing plane** (:mod:`~repro.trace.timing`) measures
+  wall-clock self-time per layer — opt-in, excluded from seeding,
+  exported to Chrome trace-event JSON for Perfetto.
+"""
+
+from .artifact import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    TraceDocument,
+    dumps_trace,
+    load_trace,
+    save_trace,
+    to_document,
+    trace_filename,
+)
+from .causal import CausalTracer
+from .export import chrome_trace
+from .report import causal_summary, diff_traces, top_report
+from .spans import Span, span_id
+from .timing import Profiler, activate, active
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "CausalTracer",
+    "Profiler",
+    "Span",
+    "TraceDocument",
+    "activate",
+    "active",
+    "causal_summary",
+    "chrome_trace",
+    "diff_traces",
+    "dumps_trace",
+    "load_trace",
+    "save_trace",
+    "span_id",
+    "to_document",
+    "top_report",
+    "trace_filename",
+]

@@ -1,0 +1,162 @@
+"""Persisted traces: schema-versioned ``TRACE_*.json`` documents.
+
+One trace serializes to one JSON document —
+
+.. code-block:: json
+
+    {
+      "schema": "repro-dmps/trace",
+      "schema_version": 1,
+      "meta": {"seed": 0},
+      "spans": [
+        {"span_id": "...", "name": "floor.wait", "member": "alice",
+         "group": "session", "start": 0.1, "end": 0.4, "seq": 0,
+         "attrs": {"outcome": "granted"}}
+      ]
+    }
+
+— with sorted keys and spans in a canonical total order (``start``
+time, then the span's canonical JSON bytes), so the file depends only
+on the spans and metadata, never on production order.  That is the
+byte-identity guarantee the serial-vs-sharded fleet test pins: shards
+emit spans in whatever completion order, the document sorts them into
+one order.
+
+A ``profile`` block (timing-plane aggregates) is **opt-in** — causal
+documents omit the key entirely, mirroring the fleet persistence
+``include_timing`` convention, so deterministic bytes never carry
+wall-clock numbers by accident.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import ReproError
+from ..events.transcript import canonical_json
+from .spans import Span
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "TraceDocument",
+    "dumps_trace",
+    "load_trace",
+    "save_trace",
+    "to_document",
+    "trace_filename",
+]
+
+#: Document family tag every trace file carries.
+SCHEMA = "repro-dmps/trace"
+#: Bump on any incompatible change to the document layout.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceDocument:
+    """A loaded trace: metadata, spans, optional timing profile."""
+
+    meta: Mapping[str, Any]
+    spans: tuple[Span, ...]
+    profile: Mapping[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def _span_dicts(spans: Iterable[Span | Mapping[str, Any]]) -> list[dict]:
+    out = []
+    for span in spans:
+        out.append(span.to_dict() if isinstance(span, Span) else dict(span))
+    return out
+
+
+def to_document(
+    spans: Iterable[Span | Mapping[str, Any]],
+    meta: Mapping[str, Any] | None = None,
+    profile: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The trace as a plain JSON-ready document (see module docs).
+
+    Spans sort by ``(start, canonical bytes)`` — a total order over
+    well-formed spans, independent of how they were produced.
+    """
+    records = sorted(
+        _span_dicts(spans),
+        key=lambda d: (float(d.get("start", 0.0)), canonical_json(d)),
+    )
+    document: dict[str, Any] = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+        "spans": records,
+    }
+    if profile:
+        document["profile"] = dict(profile)
+    return document
+
+
+def dumps_trace(
+    spans: Iterable[Span | Mapping[str, Any]],
+    meta: Mapping[str, Any] | None = None,
+    profile: Mapping[str, Any] | None = None,
+) -> str:
+    """Serialize to the canonical document bytes (sorted keys,
+    2-space indent, trailing newline — the BENCH house style)."""
+    document = to_document(spans, meta=meta, profile=profile)
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def save_trace(
+    path: str | Path,
+    spans: Iterable[Span | Mapping[str, Any]],
+    meta: Mapping[str, Any] | None = None,
+    profile: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write one ``TRACE_*.json``; returns the resolved path."""
+    path = Path(path)
+    path.write_text(dumps_trace(spans, meta=meta, profile=profile), "utf-8")
+    return path
+
+
+def load_trace(path: str | Path) -> TraceDocument:
+    """Load and validate a ``TRACE_*.json`` document."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load trace {path}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ReproError(f"trace {path}: document is not a JSON object")
+    if raw.get("schema") != SCHEMA:
+        raise ReproError(
+            f"trace {path}: schema {raw.get('schema')!r} is not {SCHEMA!r}"
+        )
+    if raw.get("schema_version") != SCHEMA_VERSION:
+        raise ReproError(
+            f"trace {path}: schema_version {raw.get('schema_version')!r} "
+            f"is not {SCHEMA_VERSION}"
+        )
+    records = raw.get("spans")
+    if not isinstance(records, list):
+        raise ReproError(f"trace {path}: missing spans list")
+    try:
+        spans = tuple(Span.from_dict(record) for record in records)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"trace {path}: malformed span: {exc}") from exc
+    return TraceDocument(
+        meta=dict(raw.get("meta") or {}),
+        spans=spans,
+        profile=dict(raw.get("profile") or {}),
+    )
+
+
+def trace_filename(name: str) -> str:
+    """Canonical ``TRACE_<name>.json`` filename for a run name."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_") or "trace"
+    return f"TRACE_{safe}.json"

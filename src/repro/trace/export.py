@@ -1,0 +1,108 @@
+"""Chrome trace-event export: open a trace in Perfetto/about:tracing.
+
+:func:`chrome_trace` converts a trace document (causal spans plus an
+optional timing-plane profile) into the Chrome trace-event JSON object
+format — the ``{"traceEvents": [...]}`` shape ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* closed causal spans become complete events (``"ph": "X"``) with
+  microsecond ``ts``/``dur`` on the virtual-clock timeline;
+* open spans and instant spans (violations) become instant events
+  (``"ph": "i"``);
+* each member (and each group-scoped lane like mode windows) gets a
+  stable ``tid``, named via ``thread_name`` metadata events, so the
+  viewer shows one swimlane per member;
+* retained timing-plane entries, when present, land on a separate
+  ``pid`` so wall-clock profiling never visually mixes with
+  virtual-clock causality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .spans import Span
+
+__all__ = ["chrome_trace"]
+
+#: ``pid`` of the causal (virtual-clock) plane in the export.
+CAUSAL_PID = 1
+#: ``pid`` of the timing (wall-clock) plane in the export.
+TIMING_PID = 2
+
+
+def _lane(record: Mapping[str, Any]) -> str:
+    member = record.get("member") or ""
+    group = record.get("group") or ""
+    return f"{member}@{group}" if member else f"[{group or 'session'}]"
+
+
+def chrome_trace(
+    spans: Iterable[Span | Mapping[str, Any]],
+    profile_entries: Iterable[tuple[str, float, float, int]] = (),
+) -> dict[str, Any]:
+    """Build the Chrome trace-event JSON object (see module docs)."""
+    records = [
+        span.to_dict() if isinstance(span, Span) else dict(span)
+        for span in spans
+    ]
+    lanes = sorted({_lane(record) for record in records})
+    tids = {lane: index + 1 for index, lane in enumerate(lanes)}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": CAUSAL_PID,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in tids.items()
+    ]
+    for record in records:
+        tid = tids[_lane(record)]
+        start_us = float(record.get("start", 0.0)) * 1e6
+        end = record.get("end")
+        args = {
+            "span_id": record.get("span_id", ""),
+            **dict(record.get("attrs") or {}),
+        }
+        if end is None or float(end) == float(record.get("start", 0.0)):
+            events.append({
+                "name": record.get("name", "span"),
+                "ph": "i",
+                "ts": start_us,
+                "pid": CAUSAL_PID,
+                "tid": tid,
+                "s": "t",
+                "args": args,
+            })
+        else:
+            events.append({
+                "name": record.get("name", "span"),
+                "ph": "X",
+                "ts": start_us,
+                "dur": (float(end) - float(record.get("start", 0.0))) * 1e6,
+                "pid": CAUSAL_PID,
+                "tid": tid,
+                "args": args,
+            })
+    profile_entries = list(profile_entries)
+    if profile_entries:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": TIMING_PID,
+            "tid": 0,
+            "args": {"name": "timing plane (wall clock)"},
+        })
+        for name, start, dur, depth in profile_entries:
+            events.append({
+                "name": name,
+                "ph": "X",
+                "ts": float(start) * 1e6,
+                "dur": float(dur) * 1e6,
+                "pid": TIMING_PID,
+                "tid": int(depth) + 1,
+                "args": {},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,105 @@
+"""Text reports over traces: ``repro trace top`` and trace diffing.
+
+:func:`top_report` renders a timing-plane profile as a self-time
+table (the layer where the wall clock actually went, not just who was
+on the stack); :func:`causal_summary` does the deterministic
+equivalent over causal spans (per-kind counts and virtual-time
+totals); :func:`diff_traces` compares two causal documents span by
+stable id and returns human-readable difference lines — an empty list
+is the byte-identity verdict ``repro trace diff`` exits 0 on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .spans import Span
+
+__all__ = ["causal_summary", "diff_traces", "top_report"]
+
+
+def top_report(
+    profile: Mapping[str, Mapping[str, float]], limit: int = 20
+) -> str:
+    """Self-time table over timing-plane aggregates, hottest first."""
+    if not profile:
+        return "no timing-plane data (profiling was not enabled)"
+    rows = sorted(
+        profile.items(), key=lambda item: -float(item[1].get("self", 0.0))
+    )[:limit]
+    width = max(len(name) for name, __ in rows)
+    lines = [
+        f"{'layer':<{width}}  {'calls':>8}  {'self_ms':>10}  {'total_ms':>10}"
+    ]
+    for name, counters in rows:
+        lines.append(
+            f"{name:<{width}}  {int(counters.get('calls', 0)):>8}  "
+            f"{float(counters.get('self', 0.0)) * 1e3:>10.3f}  "
+            f"{float(counters.get('total', 0.0)) * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def causal_summary(spans: Iterable[Span | Mapping[str, Any]]) -> str:
+    """Per-kind counts + virtual-time totals over causal spans."""
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        record = span.to_dict() if isinstance(span, Span) else dict(span)
+        slot = totals.setdefault(record["name"], [0.0, 0.0, 0.0])
+        slot[0] += 1.0
+        end = record.get("end")
+        if end is None:
+            slot[2] += 1.0
+        else:
+            slot[1] += float(end) - float(record.get("start", 0.0))
+    if not totals:
+        return "empty trace (no causal spans)"
+    width = max(len(name) for name in totals)
+    lines = [
+        f"{'span':<{width}}  {'count':>8}  {'virtual_s':>10}  {'open':>5}"
+    ]
+    for name in sorted(totals):
+        count, seconds, open_count = totals[name]
+        lines.append(
+            f"{name:<{width}}  {int(count):>8}  {seconds:>10.3f}  "
+            f"{int(open_count):>5}"
+        )
+    return "\n".join(lines)
+
+
+def _by_id(spans: Iterable[Span | Mapping[str, Any]]) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for span in spans:
+        record = span.to_dict() if isinstance(span, Span) else dict(span)
+        out[record["span_id"]] = record
+    return out
+
+
+def diff_traces(
+    a: Iterable[Span | Mapping[str, Any]],
+    b: Iterable[Span | Mapping[str, Any]],
+    limit: int = 50,
+) -> list[str]:
+    """Span-by-span comparison; ``[]`` means the traces agree."""
+    left, right = _by_id(a), _by_id(b)
+    lines: list[str] = []
+    for span_id in sorted(left.keys() - right.keys()):
+        record = left[span_id]
+        lines.append(f"- only in A: {record['name']} {span_id} "
+                     f"({record['member']}@{record['group']})")
+    for span_id in sorted(right.keys() - left.keys()):
+        record = right[span_id]
+        lines.append(f"- only in B: {record['name']} {span_id} "
+                     f"({record['member']}@{record['group']})")
+    for span_id in sorted(left.keys() & right.keys()):
+        one, two = left[span_id], right[span_id]
+        if one != two:
+            fields = sorted(
+                key for key in set(one) | set(two)
+                if one.get(key) != two.get(key)
+            )
+            lines.append(
+                f"- span {span_id} ({one['name']}) differs in: "
+                + ", ".join(fields)
+            )
+    return lines[:limit]

@@ -1,0 +1,83 @@
+"""Causal-plane spans: deterministic, seed-stable trace records.
+
+A :class:`Span` is one causally delimited window on the session's
+virtual clock — a member's wait for the floor, a floor hold, a mode
+window, an offline interval, or an instantaneous check violation.
+Spans carry **stable ids**: :func:`span_id` hashes ``(seed, kind,
+group, member, sequence)``, so the same seeded run always produces the
+same ids, in serial or sharded execution, and two traces can be
+diffed id-by-id.  Nothing in this module reads a wall clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Span", "span_id"]
+
+
+def span_id(seed: int, key: str, seq: int) -> str:
+    """Stable 16-hex-digit id for the ``seq``-th span of ``key``.
+
+    ``key`` is the span's identity path (``name|group|member``); the
+    seed binds ids to the seeded run so traces of different seeds
+    never collide silently.
+    """
+    digest = hashlib.sha256(f"{seed}|{key}|{seq}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One causal window (see module docs).
+
+    ``end is None`` marks a span still open when tracing stopped —
+    kept open deliberately (closing at "now" would make the bytes
+    depend on when the tracer was read).  Instant spans (violations)
+    have ``end == start``.
+    """
+
+    span_id: str
+    name: str
+    member: str
+    group: str
+    start: float
+    end: float | None
+    seq: int
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds of virtual time, or ``None`` while open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, canonical-JSON ready (sorted at dump)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "member": self.member,
+            "group": self.group,
+            "start": self.start,
+            "end": self.end,
+            "seq": self.seq,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict` (loader side)."""
+        return cls(
+            span_id=str(data["span_id"]),
+            name=str(data["name"]),
+            member=str(data["member"]),
+            group=str(data["group"]),
+            start=float(data["start"]),
+            end=None if data.get("end") is None else float(data["end"]),
+            seq=int(data["seq"]),
+            attrs=dict(data.get("attrs") or {}),
+        )

@@ -1,0 +1,166 @@
+"""The timing plane: opt-in wall-clock profiling of the hot seams.
+
+Everything in this module is **non-deterministic by design** — it
+measures ``time.perf_counter`` durations around the layers the fleet
+spends its wall-clock in (arbitration batches, engine steps, bus
+dispatch, metrics folds, shard merges).  It therefore lives on the
+opposite side of a hard wall from :mod:`repro.trace.causal`: timing
+data never feeds seeding (the ``trace``/``profile`` execution knobs
+follow the ``EXECUTION_PARAMS`` convention), never lands in a causal
+``TRACE_*.json`` unless explicitly requested, and never perturbs
+seeded state — hook sites check :func:`active` for ``None`` before
+doing any work, so the cost when profiling is off is one global read.
+
+Usage::
+
+    from repro.trace import timing
+
+    profiler = timing.Profiler()
+    with timing.activate(profiler):
+        run_fleet(config)
+    print(profiler.aggregates()["arbitrate.batch"]["total"])
+
+:class:`Profiler` keeps two views of the same spans:
+
+* **aggregates** — per-name call counts, total seconds, and self
+  seconds (total minus time spent in nested profiled spans), the
+  input to ``repro trace top``;
+* **entries** — a bounded list of raw ``(name, start, dur, depth)``
+  records for Chrome trace-event export, capped at
+  :data:`MAX_ENTRIES` so long fleet runs cannot grow without bound
+  (aggregates keep counting after the cap).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "MAX_ENTRIES",
+    "Profiler",
+    "activate",
+    "active",
+]
+
+#: Raw span records retained per profiler for Chrome export; aggregate
+#: counters are unaffected by this cap.
+MAX_ENTRIES = 50_000
+
+#: The process-wide active profiler (or None).  Hook sites in the hot
+#: paths read this once per call; a plain module global keeps the
+#: off-path cost to a single load + identity check.
+_ACTIVE: "Profiler | None" = None
+
+
+class Profiler:
+    """Aggregating wall-clock span collector (see module docs)."""
+
+    __slots__ = ("_agg", "_entries", "_stack", "_origin")
+
+    def __init__(self) -> None:
+        self._agg: dict[str, dict[str, float]] = {}
+        self._entries: list[tuple[str, float, float, int]] = []
+        self._stack: list[list[float]] = []
+        self._origin = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time one region; nested spans subtract from self-time."""
+        frame = [0.0]  # seconds consumed by nested spans
+        self._stack.append(frame)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            depth = len(self._stack)
+            if self._stack:
+                self._stack[-1][0] += elapsed
+            self._record(name, elapsed, elapsed - frame[0])
+            if len(self._entries) < MAX_ENTRIES:
+                self._entries.append(
+                    (name, start - self._origin, elapsed, depth)
+                )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured flat duration into a name."""
+        self._record(name, seconds, seconds)
+
+    def _record(self, name: str, total: float, self_seconds: float) -> None:
+        slot = self._agg.get(name)
+        if slot is None:
+            slot = {"calls": 0.0, "total": 0.0, "self": 0.0}
+            self._agg[name] = slot
+        slot["calls"] += 1.0
+        slot["total"] += total
+        slot["self"] += self_seconds
+
+    def merge(self, other: "Profiler | dict[str, dict[str, float]]") -> None:
+        """Fold another profiler's aggregates in (shard → fleet)."""
+        agg = other.aggregates() if isinstance(other, Profiler) else other
+        for name, counters in agg.items():
+            slot = self._agg.setdefault(
+                name, {"calls": 0.0, "total": 0.0, "self": 0.0}
+            )
+            for key in ("calls", "total", "self"):
+                slot[key] += float(counters.get(key, 0.0))
+
+    def aggregates(self) -> dict[str, dict[str, float]]:
+        """``{name: {calls, total, self}}`` — a plain-dict copy,
+        pickle- and JSON-friendly (shard workers return this)."""
+        return {name: dict(slot) for name, slot in self._agg.items()}
+
+    def entries(self) -> list[tuple[str, float, float, int]]:
+        """Raw retained ``(name, start, dur, depth)`` span records."""
+        return list(self._entries)
+
+    def __bool__(self) -> bool:  # truthiness == "has data"
+        return bool(self._agg)
+
+
+@contextmanager
+def activate(profiler: Profiler) -> Iterator[Profiler]:
+    """Install ``profiler`` as the process-wide active profiler for
+    the duration of the ``with`` block (restores the prior one)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous
+
+
+def active() -> Profiler | None:
+    """The currently installed profiler, or ``None`` (the hot-path
+    check: ``if timing.active() is not None``)."""
+    return _ACTIVE
+
+
+def maybe_span(name: str) -> Any:
+    """A span on the active profiler, or a no-op context manager.
+
+    Hook sites that cannot afford even a context-manager allocation
+    when idle should branch on :func:`active` themselves; this helper
+    is for the warm-but-not-hot seams (fold, merge, shard summary).
+    """
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NOOP
+    return profiler.span(name)
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()

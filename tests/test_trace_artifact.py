@@ -1,0 +1,141 @@
+"""Tests for repro.trace.artifact: TRACE_*.json documents."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.trace import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    Span,
+    dumps_trace,
+    load_trace,
+    save_trace,
+    span_id,
+    to_document,
+    trace_filename,
+)
+
+
+def _span(seq, member="alice", start=1.0, end=2.0):
+    return Span(
+        span_id=span_id(0, f"floor.wait|g1|{member}", seq),
+        name="floor.wait",
+        member=member,
+        group="g1",
+        start=start,
+        end=end,
+        seq=seq,
+        attrs={"outcome": "granted"},
+    )
+
+
+class TestDocument:
+    def test_schema_header(self):
+        document = to_document([_span(0)])
+        assert document["schema"] == SCHEMA == "repro-dmps/trace"
+        assert document["schema_version"] == SCHEMA_VERSION
+
+    def test_bytes_independent_of_production_order(self):
+        # The byte-identity guarantee: shards emit spans in completion
+        # order, the document sorts them into one canonical order.
+        spans = [_span(0, start=1.0), _span(1, start=0.5), _span(2, start=0.5)]
+        forward = dumps_trace(spans, meta={"seed": 0})
+        backward = dumps_trace(list(reversed(spans)), meta={"seed": 0})
+        assert forward == backward
+
+    def test_profile_key_only_when_given(self):
+        without = to_document([_span(0)])
+        assert "profile" not in without
+        with_profile = to_document(
+            [_span(0)],
+            profile={"bus.dispatch": {"calls": 2.0, "total": 0.1, "self": 0.1}},
+        )
+        assert "bus.dispatch" in with_profile["profile"]
+
+    def test_empty_profile_is_omitted(self):
+        assert "profile" not in to_document([_span(0)], profile={})
+
+    def test_dumps_is_canonical_json(self):
+        text = dumps_trace([_span(0)], meta={"seed": 0})
+        assert text.endswith("\n")
+        assert json.loads(text)["spans"][0]["member"] == "alice"
+
+
+class TestRoundTrip:
+    def test_save_load_save_is_byte_identical(self, tmp_path):
+        spans = [_span(0), _span(1, member="bob", start=3.0, end=None)]
+        path = save_trace(tmp_path / "TRACE_t.json", spans, meta={"seed": 0})
+        document = load_trace(path)
+        assert dumps_trace(document.spans, meta=document.meta) == path.read_text(
+            "utf-8"
+        )
+
+    def test_load_restores_spans_and_profile(self, tmp_path):
+        profile = {"metrics.fold": {"calls": 1.0, "total": 0.2, "self": 0.2}}
+        path = save_trace(
+            tmp_path / "TRACE_p.json", [_span(0)],
+            meta={"seed": 5}, profile=profile,
+        )
+        document = load_trace(path)
+        assert document.meta == {"seed": 5}
+        assert document.profile == profile
+        assert len(document) == 1
+        assert document.spans[0] == _span(0)
+
+
+class TestLoadValidation:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "TRACE_bad.json"
+        path.write_text(payload, "utf-8")
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot load trace"):
+            load_trace(tmp_path / "TRACE_missing.json")
+
+    def test_invalid_json(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot load trace"):
+            load_trace(self._write(tmp_path, "{not json"))
+
+    def test_non_object_document(self, tmp_path):
+        with pytest.raises(ReproError, match="not a JSON object"):
+            load_trace(self._write(tmp_path, "[1, 2]"))
+
+    def test_wrong_schema(self, tmp_path):
+        payload = json.dumps({"schema": "other", "schema_version": 1, "spans": []})
+        with pytest.raises(ReproError, match="schema"):
+            load_trace(self._write(tmp_path, payload))
+
+    def test_wrong_version(self, tmp_path):
+        payload = json.dumps(
+            {"schema": SCHEMA, "schema_version": SCHEMA_VERSION + 1, "spans": []}
+        )
+        with pytest.raises(ReproError, match="schema_version"):
+            load_trace(self._write(tmp_path, payload))
+
+    def test_missing_spans(self, tmp_path):
+        payload = json.dumps({"schema": SCHEMA, "schema_version": SCHEMA_VERSION})
+        with pytest.raises(ReproError, match="missing spans"):
+            load_trace(self._write(tmp_path, payload))
+
+    def test_malformed_span(self, tmp_path):
+        payload = json.dumps({
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "spans": [{"name": "floor.wait"}],
+        })
+        with pytest.raises(ReproError, match="malformed span"):
+            load_trace(self._write(tmp_path, payload))
+
+
+class TestTraceFilename:
+    def test_plain_name(self):
+        assert trace_filename("smoke") == "TRACE_smoke.json"
+
+    def test_sanitizes_cell_ids(self):
+        assert trace_filename("members=8,mode=a/b") == "TRACE_members_8_mode_a_b.json"
+
+    def test_empty_name_falls_back(self):
+        assert trace_filename("///") == "TRACE_trace.json"

@@ -1,0 +1,237 @@
+"""Tests for repro.trace.causal: event streams folded into spans."""
+
+from types import SimpleNamespace
+
+from repro.api import Scenario, Session, at
+from repro.events.bus import EventBus
+from repro.events.types import EventKind, FloorEvent
+from repro.trace import CausalTracer
+
+
+def _event(time, kind, member="alice", group="g1", detail="", data=None):
+    return FloorEvent(
+        time=time, kind=kind, member=member, group=group,
+        detail=detail, data=data,
+    )
+
+
+def _spans(events, seed=0, **kwargs):
+    return CausalTracer.from_events(events, seed=seed, **kwargs).spans()
+
+
+def _by_name(spans, name):
+    return [span for span in spans if span.name == name]
+
+
+class TestFloorWait:
+    def test_grant_closes_wait(self):
+        spans = _spans([
+            _event(1.0, EventKind.REQUEST),
+            _event(1.5, EventKind.GRANT),
+        ])
+        (wait,) = _by_name(spans, "floor.wait")
+        assert (wait.start, wait.end) == (1.0, 1.5)
+        assert wait.attrs["outcome"] == "granted"
+
+    def test_deny_and_abort_close_with_outcome(self):
+        spans = _spans([
+            _event(1.0, EventKind.REQUEST, member="bob"),
+            _event(1.2, EventKind.DENY, member="bob"),
+            _event(2.0, EventKind.REQUEST, member="carol"),
+            _event(2.5, EventKind.ABORT, member="carol"),
+        ])
+        outcomes = {
+            span.member: span.attrs["outcome"]
+            for span in _by_name(spans, "floor.wait")
+        }
+        assert outcomes == {"bob": "denied", "carol": "aborted"}
+
+    def test_queue_marks_wait_and_leaves_it_open_until_grant(self):
+        spans = _spans([
+            _event(1.0, EventKind.REQUEST),
+            _event(1.0, EventKind.QUEUE),
+            _event(4.0, EventKind.GRANT),
+        ])
+        (wait,) = _by_name(spans, "floor.wait")
+        assert wait.attrs == {"queued": True, "outcome": "granted"}
+        assert wait.end == 4.0
+
+    def test_unserved_request_stays_open(self):
+        spans = _spans([_event(1.0, EventKind.REQUEST)])
+        (wait,) = _by_name(spans, "floor.wait")
+        assert wait.end is None
+
+    def test_token_pass_serves_the_recipient(self):
+        spans = _spans([
+            _event(1.0, EventKind.REQUEST, member="bob"),
+            _event(2.0, EventKind.TOKEN_PASS, member="alice",
+                   data={"to": "bob"}),
+        ])
+        (wait,) = _by_name(spans, "floor.wait")
+        assert wait.member == "bob"
+        assert wait.attrs["outcome"] == "granted"
+
+
+class TestFloorHold:
+    def test_grant_opens_hold_and_handoff_closes_it(self):
+        spans = _spans([
+            _event(1.0, EventKind.GRANT, member="alice"),
+            _event(3.0, EventKind.GRANT, member="bob"),
+        ])
+        closed = [s for s in _by_name(spans, "floor.hold") if s.end is not None]
+        (hold,) = closed
+        assert (hold.member, hold.start, hold.end) == ("alice", 1.0, 3.0)
+        assert hold.attrs == {"via": "grant", "closed_by": "handoff"}
+
+    def test_token_pass_chains_holds(self):
+        spans = _spans([
+            _event(1.0, EventKind.GRANT, member="alice"),
+            _event(2.0, EventKind.TOKEN_PASS, member="alice",
+                   data={"to": "bob"}),
+        ])
+        holds = _by_name(spans, "floor.hold")
+        closed = [s for s in holds if s.end is not None]
+        open_ = [s for s in holds if s.end is None]
+        assert [(s.member, s.attrs["closed_by"]) for s in closed] == [
+            ("alice", "token_pass")
+        ]
+        assert [(s.member, s.attrs["via"]) for s in open_] == [("bob", "token")]
+
+    def test_holder_leaving_closes_the_hold(self):
+        spans = _spans([
+            _event(1.0, EventKind.GRANT, member="alice"),
+            _event(4.0, EventKind.LEAVE, member="alice"),
+        ])
+        (hold,) = _by_name(spans, "floor.hold")
+        assert hold.end == 4.0
+        assert hold.attrs["closed_by"] == "leave"
+
+    def test_non_holder_leaving_keeps_the_hold_open(self):
+        spans = _spans([
+            _event(1.0, EventKind.GRANT, member="alice"),
+            _event(4.0, EventKind.LEAVE, member="bob"),
+        ])
+        (hold,) = _by_name(spans, "floor.hold")
+        assert hold.end is None
+
+
+class TestOtherKinds:
+    def test_mode_windows_chain(self):
+        spans = _spans([
+            _event(0.0, EventKind.MODE_CHANGE, member="", detail="lecture"),
+            _event(5.0, EventKind.MODE_CHANGE, member="",
+                   detail="equal_control"),
+        ])
+        windows = _by_name(spans, "mode.window")
+        closed = [s for s in windows if s.end is not None]
+        open_ = [s for s in windows if s.end is None]
+        assert [(s.start, s.end, s.attrs["mode"]) for s in closed] == [
+            (0.0, 5.0, "lecture")
+        ]
+        assert [s.attrs["mode"] for s in open_] == ["equal_control"]
+
+    def test_offline_window(self):
+        spans = _spans([
+            _event(2.0, EventKind.DISCONNECT),
+            _event(6.0, EventKind.RECONNECT),
+        ])
+        (offline,) = _by_name(spans, "member.offline")
+        assert (offline.start, offline.end) == (2.0, 6.0)
+
+    def test_violations_become_instant_spans(self):
+        tracer = CausalTracer(seed=3)
+        tracer.add_violations([
+            SimpleNamespace(time=1.5, invariant="mutual_exclusion",
+                            detail="two holders"),
+        ])
+        (span,) = tracer.spans()
+        assert span.name == "check.violation"
+        assert span.start == span.end == 1.5
+        assert span.member == "mutual_exclusion"
+        assert span.attrs["detail"] == "two holders"
+
+
+class TestTracerContract:
+    def test_reading_spans_twice_is_identical(self):
+        # Open spans get ids from a snapshot of the sequence counters,
+        # so reading must never consume or reseed anything.
+        tracer = CausalTracer.from_events([
+            _event(1.0, EventKind.REQUEST),
+            _event(1.5, EventKind.GRANT),
+            _event(2.0, EventKind.REQUEST, member="bob"),
+        ])
+        assert tracer.spans() == tracer.spans()
+
+    def test_ids_are_stable_across_tracers(self):
+        events = [
+            _event(1.0, EventKind.REQUEST),
+            _event(1.5, EventKind.GRANT),
+        ]
+        assert _spans(events, seed=9) == _spans(events, seed=9)
+
+    def test_seed_changes_every_id(self):
+        events = [_event(1.0, EventKind.REQUEST), _event(1.5, EventKind.GRANT)]
+        ids = {span.span_id for span in _spans(events, seed=1)}
+        other = {span.span_id for span in _spans(events, seed=2)}
+        assert ids.isdisjoint(other)
+
+    def test_base_attrs_stamped_on_every_span(self):
+        spans = _spans(
+            [_event(1.0, EventKind.REQUEST), _event(1.5, EventKind.GRANT)],
+            base_attrs={"session": 4},
+        )
+        assert spans
+        assert all(span.attrs["session"] == 4 for span in spans)
+
+    def test_attach_traces_a_live_bus(self):
+        bus = EventBus()
+        tracer = CausalTracer()
+        unsubscribe = tracer.attach(bus)
+        bus.append(1.0, EventKind.REQUEST, "alice", "g1")
+        bus.append(1.5, EventKind.GRANT, "alice", "g1")
+        unsubscribe()
+        bus.append(2.0, EventKind.REQUEST, "bob", "g1")
+        names = sorted(span.name for span in tracer.spans())
+        assert names == ["floor.hold", "floor.wait"]
+
+
+class TestSessionIntegration:
+    def _session(self):
+        session = (
+            Session.builder(chair="teacher")
+            .seed(23)
+            .participants("teacher", "alice", "bob")
+            .checks("queue_consistent")
+            .build()
+        )
+        with session:
+            script = Scenario(name="trace").add(
+                at(1.0, "request_floor", "alice"),
+                at(2.0, "release_floor", "alice"),
+                at(2.5, "request_floor", "bob"),
+                at(3.5, "release_floor", "bob"),
+            )
+            script.run(session, until=6.0)
+            return session
+
+    def test_session_tracer_sees_floor_traffic(self):
+        session = self._session()
+        spans = session.tracer().spans()
+        assert any(span.name == "floor.wait" for span in spans)
+        assert any(span.name == "floor.hold" for span in spans)
+
+    def test_report_trace_line_is_opt_in(self):
+        session = self._session()
+        assert "trace:" not in session.report().render()
+        traced = session.report(trace=True).render()
+        assert "causal spans" in traced
+
+    def test_save_trace_writes_loadable_document(self, tmp_path):
+        from repro.trace import load_trace
+
+        session = self._session()
+        path = session.save_trace(tmp_path / "TRACE_session.json")
+        document = load_trace(path)
+        assert document.meta["seed"] == 23
+        assert len(document.spans) == len(session.tracer().spans())
+        assert document.profile == {}

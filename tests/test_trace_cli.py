@@ -1,0 +1,222 @@
+"""End-to-end CLI tests for `repro trace` and the trace/observability
+flags on `repro sweep`, `repro fleet`, and `repro replay`."""
+
+import json
+
+import pytest
+
+from repro.api import Scenario, Session, at
+from repro.cli import main
+from repro.core.modes import FCMMode
+from repro.trace import load_trace
+
+
+@pytest.fixture()
+def transcript(tmp_path):
+    """One scripted, checked session saved as a replayable transcript."""
+    session = (
+        Session.builder(chair="teacher")
+        .seed(31)
+        .participants("teacher", "alice", "bob")
+        .checks("queue_consistent", "holder_is_member")
+        .build()
+    )
+    with session:
+        script = Scenario(name="cli-trace").add(
+            at(0.5, "set_mode", mode=FCMMode.EQUAL_CONTROL),
+            at(1.0, "request_floor", "alice"),
+            at(2.0, "release_floor", "alice"),
+            at(2.5, "request_floor", "bob"),
+            at(3.5, "release_floor", "bob"),
+        )
+        script.run(session, until=6.0)
+        return session.save_transcript(tmp_path / "TRANSCRIPT_cli.jsonl")
+
+
+class TestTraceRecord:
+    def test_record_is_deterministic(self, transcript, tmp_path, capsys):
+        first = tmp_path / "TRACE_a.json"
+        second = tmp_path / "TRACE_b.json"
+        assert main(["trace", "record", str(transcript), "-o", str(first)]) == 0
+        assert main(["trace", "record", str(transcript), "-o", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert "causal spans" in capsys.readouterr().out
+
+    def test_record_takes_seed_from_the_transcript(self, transcript, tmp_path):
+        out = tmp_path / "TRACE_seed.json"
+        main(["trace", "record", str(transcript), "-o", str(out)])
+        assert load_trace(out).meta["seed"] == 31
+
+    def test_default_output_name_strips_transcript_prefix(
+        self, transcript, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "record", str(transcript)]) == 0
+        assert (tmp_path / "TRACE_cli.json").exists()
+
+    def test_missing_transcript_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "TRANSCRIPT_gone.jsonl"
+        assert main(["trace", "record", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceTopExportDiff:
+    @pytest.fixture()
+    def trace_path(self, transcript, tmp_path):
+        path = tmp_path / "TRACE_cli.json"
+        main(["trace", "record", str(transcript), "-o", str(path)])
+        return path
+
+    def test_top_renders_the_causal_summary(self, trace_path, capsys):
+        assert main(["trace", "top", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "floor.wait" in out
+        assert "virtual_s" in out
+
+    def test_top_renders_self_time_for_profiled_traces(self, tmp_path, capsys):
+        from repro.trace import save_trace
+
+        path = save_trace(
+            tmp_path / "TRACE_prof.json", [],
+            profile={"bus.dispatch": {"calls": 4.0, "total": 0.5, "self": 0.5}},
+        )
+        assert main(["trace", "top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "self_ms" in out
+        assert "bus.dispatch" in out
+
+    def test_export_writes_valid_chrome_trace_json(self, trace_path, tmp_path):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(trace_path), "-o", str(out)]) == 0
+        exported = json.loads(out.read_text("utf-8"))
+        events = exported["traceEvents"]
+        assert isinstance(events, list) and events
+        assert exported["displayTimeUnit"] == "ms"
+        for event in events:
+            assert set(event) >= {"name", "ph", "pid", "tid"}
+            assert event["ph"] in {"X", "i", "M"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        # Complete spans, swimlane names, and per-lane metadata all land.
+        assert any(event["ph"] == "X" for event in events)
+        assert any(event["name"] == "thread_name" for event in events)
+
+    def test_diff_agreeing_traces_exits_0(self, trace_path, tmp_path, capsys):
+        copy = tmp_path / "TRACE_copy.json"
+        copy.write_bytes(trace_path.read_bytes())
+        assert main(["trace", "diff", str(trace_path), str(copy)]) == 0
+        assert "traces agree" in capsys.readouterr().out
+
+    def test_diff_diverging_traces_exits_1(self, transcript, trace_path,
+                                           tmp_path, capsys):
+        from repro.events.transcript import load_transcript
+        from repro.trace import CausalTracer, save_trace
+
+        document = load_transcript(transcript)
+        other_seed = CausalTracer.from_events(document.events, seed=999)
+        other = save_trace(
+            tmp_path / "TRACE_other.json", other_seed.spans(),
+            meta={"seed": 999},
+        )
+        assert main(["trace", "diff", str(trace_path), str(other)]) == 1
+        assert "traces diverge" in capsys.readouterr().out
+
+    def test_diff_unreadable_trace_exits_2(self, trace_path, tmp_path):
+        missing = tmp_path / "TRACE_missing.json"
+        assert main(["trace", "diff", str(trace_path), str(missing)]) == 2
+
+
+class TestSweepTraces:
+    def test_sweep_traces_match_trace_record(self, tmp_path, monkeypatch):
+        # The capture param writes the same bytes `repro trace record`
+        # later derives from the captured transcript — one causal
+        # plane, two entry points.
+        monkeypatch.chdir(tmp_path)
+        captures = tmp_path / "captures"
+        assert main([
+            "sweep", "--smoke",
+            "--transcripts", str(captures),
+            "--traces", str(captures),
+            "--out", str(tmp_path / "BENCH_smoke.json"),
+        ]) == 0
+        transcripts = sorted(captures.glob("TRANSCRIPT_*.jsonl"))
+        traces = sorted(captures.glob("TRACE_*.json"))
+        assert transcripts and len(transcripts) == len(traces)
+        for transcript, trace in zip(transcripts, traces):
+            rederived = tmp_path / f"rederived_{trace.name}"
+            assert main([
+                "trace", "record", str(transcript), "-o", str(rederived)
+            ]) == 0
+            assert rederived.read_bytes() == trace.read_bytes()
+
+
+class TestFleetTraceFlags:
+    _FLEET = ["fleet", "--sessions", "20", "--shards", "4", "--members", "4",
+              "--duration", "5", "--request-rate", "2"]
+
+    def test_fleet_trace_serial_vs_sharded_byte_identical(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        serial = tmp_path / "TRACE_serial.json"
+        sharded = tmp_path / "TRACE_sharded.json"
+        assert main(self._FLEET + ["--trace", str(serial)]) == 0
+        assert main(self._FLEET + ["--workers", "2", "--trace", str(sharded)]) == 0
+        assert serial.read_bytes() == sharded.read_bytes()
+        assert main(["trace", "diff", str(serial), str(sharded)]) == 0
+
+    def test_fleet_profile_embeds_timing_only_on_request(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        causal = tmp_path / "TRACE_causal.json"
+        profiled = tmp_path / "TRACE_profiled.json"
+        assert main(self._FLEET + ["--trace", str(causal)]) == 0
+        assert main(self._FLEET + ["--trace", str(profiled), "--profile"]) == 0
+        assert load_trace(causal).profile == {}
+        assert load_trace(profiled).profile
+        # The causal spans themselves are untouched by profiling.
+        assert load_trace(causal).spans == load_trace(profiled).spans
+        assert "self_ms" in capsys.readouterr().out
+
+    def test_fleet_progress_heartbeat_reaches_stderr(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(self._FLEET + ["--progress"]) == 0
+        assert "fleet: tick" in capsys.readouterr().err
+
+
+class TestReplayListenerErrors:
+    def _failing_session(self, tmp_path):
+        session = (
+            Session.builder(chair="teacher")
+            .seed(47)
+            .participants("teacher", "alice", "bob")
+            .build()
+        )
+        with session:
+            def explode(event):
+                raise RuntimeError("listener bug")
+
+            session.bus.subscribe(explode)
+            script = Scenario(name="noisy").add(
+                at(1.0, "request_floor", "alice"),
+                at(2.0, "release_floor", "alice"),
+            )
+            script.run(session, until=4.0)
+            assert session.bus.listener_error_count > 0
+            return session.save_transcript(tmp_path / "TRANSCRIPT_noisy.jsonl")
+
+    def test_replay_surfaces_recorded_listener_errors(self, tmp_path, capsys):
+        # Regression: dispatch isolates listener exceptions, so the
+        # only way an operator learns of them is the replay report.
+        path = self._failing_session(tmp_path)
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "listener errors:" in out
+        assert "dispatch isolated" in out
+
+    def test_quiet_transcripts_stay_quiet(self, transcript, capsys):
+        assert main(["replay", str(transcript)]) == 0
+        assert "listener errors" not in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for fleet tracing: serial vs sharded byte identity, progress,
+and the listener-error surfacing in fold summaries."""
+
+from repro.events.transcript import canonical_json
+from repro.fabric import FleetConfig, run_fleet
+from repro.fabric.shard import run_shard, run_shard_traced
+from repro.metrics.aggregate import FleetMetrics
+from repro.trace import dumps_trace
+
+
+def _config(**overrides):
+    values = dict(
+        sessions=20, shards=4, members=4, duration=5.0, request_rate=2.0
+    )
+    values.update(overrides)
+    return FleetConfig(**values)
+
+
+def _trace_bytes(result, config):
+    return dumps_trace(result.spans, meta={"seed": config.seed})
+
+
+class TestFleetTraceDeterminism:
+    def test_serial_vs_sharded_trace_is_byte_identical(self):
+        # The tentpole pin: the causal plane is a pure function of the
+        # seeded run, so worker processes must not change one byte.
+        config = _config()
+        serial = run_fleet(config, workers=1, trace=True)
+        sharded = run_fleet(_config(), workers=2, trace=True)
+        assert serial.spans  # non-vacuous: the fleet really spanned
+        assert _trace_bytes(serial, config) == _trace_bytes(sharded, config)
+
+    def test_tracing_changes_no_fold_bytes(self):
+        plain = run_fleet(_config())
+        traced = run_fleet(_config(), trace=True)
+        assert canonical_json(plain.metrics.to_metrics()) == canonical_json(
+            traced.metrics.to_metrics()
+        )
+
+    def test_trace_off_collects_nothing(self):
+        assert run_fleet(_config()).spans == ()
+
+    def test_profiling_does_not_perturb_the_causal_plane(self):
+        config = _config()
+        causal = run_fleet(config, trace=True)
+        both = run_fleet(_config(), workers=2, trace=True, profile=True)
+        assert _trace_bytes(causal, config) == _trace_bytes(both, config)
+
+    def test_render_mentions_trace_and_profile(self):
+        result = run_fleet(_config(), trace=True, profile=True)
+        text = result.render()
+        assert "causal spans collected" in text
+        assert "repro trace top" in text
+
+
+class TestRunShardTraced:
+    def test_metrics_match_the_untraced_worker(self):
+        config = _config()
+        metrics, spans, profile = run_shard_traced(0, config)
+        assert metrics == run_shard(0, _config())
+        assert spans
+        assert profile == {}
+
+    def test_profile_aggregates_are_plain_dicts(self):
+        metrics, _, profile = run_shard_traced(
+            0, _config(), trace=False, profile=True
+        )
+        assert profile
+        for counters in profile.values():
+            assert set(counters) == {"calls", "total", "self"}
+
+    def test_span_session_tags_partition_by_shard(self):
+        config = _config()
+        tagged = set()
+        for shard_index in range(config.shards):
+            _, spans, __ = run_shard_traced(shard_index, config)
+            tagged.update(span["attrs"]["session"] for span in spans)
+        assert tagged <= set(range(config.sessions))
+
+
+class TestProgressHeartbeat:
+    def test_serial_progress_streams_ticks_to_stderr(self, capsys):
+        run_fleet(_config(shards=1), progress=True)
+        captured = capsys.readouterr()
+        assert "fleet: tick" in captured.err
+        assert "sessions live" in captured.err
+        assert "fleet:" not in captured.out  # stdout stays machine-clean
+
+    def test_sharded_progress_streams_shard_completions(self, capsys):
+        run_fleet(_config(), workers=2, progress=True)
+        captured = capsys.readouterr()
+        assert "fleet: shard" in captured.err
+        assert f"{_config().shards}/{_config().shards} done" in captured.err
+
+    def test_progress_off_is_silent(self, capsys):
+        run_fleet(_config())
+        assert capsys.readouterr().err == ""
+
+
+class TestListenerErrorFold:
+    def test_to_metrics_omits_the_key_when_healthy(self):
+        # Golden-file protection: a healthy fleet's persisted bytes are
+        # unchanged from the pre-trace era.
+        metrics = FleetMetrics(sessions=1, events=10)
+        assert "listener_errors" not in metrics.to_metrics()
+
+    def test_to_metrics_surfaces_nonzero_counts(self):
+        metrics = FleetMetrics(sessions=1, listener_errors=3)
+        assert metrics.to_metrics()["listener_errors"] == 3.0
+
+    def test_merge_sums_listener_errors(self):
+        left = FleetMetrics(listener_errors=2)
+        left.merge(FleetMetrics(listener_errors=5))
+        assert left.listener_errors == 7
+
+    def test_fleet_render_is_quiet_when_healthy(self):
+        result = run_fleet(_config())
+        assert "listener errors" not in result.render()

@@ -1,0 +1,58 @@
+"""Tests for repro.trace.spans: stable ids and the Span record."""
+
+from repro.trace import Span, span_id
+
+
+class TestSpanId:
+    def test_deterministic(self):
+        assert span_id(7, "floor.wait|g|alice", 0) == span_id(7, "floor.wait|g|alice", 0)
+
+    def test_sixteen_hex_digits(self):
+        value = span_id(0, "floor.hold|g|bob", 3)
+        assert len(value) == 16
+        int(value, 16)  # raises on non-hex
+
+    def test_seed_binds_ids(self):
+        assert span_id(1, "k", 0) != span_id(2, "k", 0)
+
+    def test_key_and_seq_distinguish(self):
+        assert span_id(0, "a", 0) != span_id(0, "b", 0)
+        assert span_id(0, "a", 0) != span_id(0, "a", 1)
+
+
+class TestSpan:
+    def _span(self, end=0.4):
+        return Span(
+            span_id=span_id(0, "floor.wait|g1|alice", 0),
+            name="floor.wait",
+            member="alice",
+            group="g1",
+            start=0.1,
+            end=end,
+            seq=0,
+            attrs={"outcome": "granted"},
+        )
+
+    def test_duration_closed(self):
+        assert self._span().duration == 0.4 - 0.1
+
+    def test_duration_open_is_none(self):
+        assert self._span(end=None).duration is None
+
+    def test_instant_span_zero_duration(self):
+        assert self._span(end=0.1).duration == 0.0
+
+    def test_dict_roundtrip(self):
+        span = self._span()
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_open_span_roundtrip_keeps_none_end(self):
+        span = self._span(end=None)
+        restored = Span.from_dict(span.to_dict())
+        assert restored.end is None
+        assert restored == span
+
+    def test_from_dict_defaults_missing_attrs(self):
+        record = self._span().to_dict()
+        del record["attrs"]
+        assert Span.from_dict(record).attrs == {}
