@@ -1,0 +1,134 @@
+"""E18 — the serving layer: hundreds of live connections, one process.
+
+The rest of the suite simulates DMPS sessions; :mod:`repro.serve`
+*hosts* one over TCP.  This experiment pins the serving subsystem's
+promises at soak scale:
+
+* **Concurrency** — one server process sustains ≥ 500 concurrent
+  client connections through a full lockstep soak (scripted requests,
+  releases, and mid-hold hard disconnects), with grant-latency
+  percentiles and Jain fairness folded by the standard streaming
+  kernel into a schema-versioned ``BENCH_serve`` document;
+* **Determinism** — two soaks with the same seed write byte-identical
+  artifacts and transcripts: lockstep rounds make the served session
+  a pure function of what each client sent, whatever the TCP
+  interleaving;
+* **Bounded memory** — ring transcripts and watermark send queues keep
+  live heap flat as the soak runs longer: quadrupling the rounds at a
+  fixed population must not grow retained bytes anywhere near
+  proportionally.
+"""
+
+from __future__ import annotations
+
+import resource
+
+from timing import live_heap
+
+from repro.experiments import load_document
+from repro.serve import SoakSpec, run_soak_sync, write_soak_json
+from repro.serve.persist import soak_result_to_sweep
+from repro.experiments.persist import dumps
+
+#: The headline concurrency: five hundred live TCP connections.
+CONNECTIONS = 500
+#: Live-heap growth bar for a 4x longer soak (ring + watermarks).
+MEMORY_RATIO_BAR = 2.0
+
+
+def _raise_fd_ceiling(need: int = 4 * CONNECTIONS) -> None:
+    """Best-effort bump of the open-files soft limit (2 fds per conn)."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < need:
+        try:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE, (min(need, hard), hard)
+            )
+        except (ValueError, OSError):  # pragma: no cover - env dependent
+            pass
+
+
+def test_e18_five_hundred_concurrent_connections(table, tmp_path):
+    _raise_fd_ceiling()
+    spec = SoakSpec(clients=CONNECTIONS, rounds=40, disconnects=8, seed=18)
+    result = run_soak_sync(spec)
+    metrics = result.to_metrics()
+
+    assert metrics["connections"] == float(CONNECTIONS)
+    assert metrics["peak_connections"] == float(CONNECTIONS)
+    assert metrics["evicted_disconnect"] == 8.0
+    assert metrics["rounds"] == 40.0
+    assert metrics["grant_p95"] >= metrics["grant_p50"] > 0.0
+    assert 0.0 < metrics["fairness"] <= 1.0
+
+    path = write_soak_json(result, tmp_path / "BENCH_serve.json")
+    document = load_document(path)
+    assert document["schema"] == "repro-dmps/bench"
+    (cell,) = document["cells"]
+    assert cell["metrics"]["connections"] == float(CONNECTIONS)
+    assert cell["metrics"]["grant_p95"] > 0.0
+    assert "fairness" in cell["metrics"]
+    assert cell["params"]["clients"] == CONNECTIONS
+
+    table(
+        "E18: one server process, five hundred live connections",
+        ["conns", "rounds", "grant p50", "grant p95", "fairness",
+         "evicted", "wall s"],
+        [(CONNECTIONS, 40, metrics["grant_p50"], metrics["grant_p95"],
+          round(metrics["fairness"], 4), int(metrics["evicted_disconnect"]),
+          round(result.wall_seconds, 2))],
+    )
+
+
+def test_e18_identical_seeds_identical_bytes(table, tmp_path):
+    spec = SoakSpec(clients=120, rounds=16, disconnects=5, seed=18)
+    one = run_soak_sync(spec)
+    two = run_soak_sync(spec)
+
+    assert one.to_metrics() == two.to_metrics()
+    assert [e.to_dict() for e in one.serve.events] == [
+        e.to_dict() for e in two.serve.events
+    ]
+    bytes_one = dumps(soak_result_to_sweep(one)).encode()
+    bytes_two = dumps(soak_result_to_sweep(two)).encode()
+    assert bytes_one == bytes_two
+
+    table(
+        "E18: seeded soak determinism (120 connections, 16 rounds)",
+        ["run", "granted", "token passes", "json bytes"],
+        [
+            ("first", one.to_metrics()["granted"],
+             one.to_metrics()["token_passes"], len(bytes_one)),
+            ("second", two.to_metrics()["granted"],
+             two.to_metrics()["token_passes"], len(bytes_two)),
+        ],
+    )
+
+
+def test_e18_ring_and_watermarks_keep_memory_flat(table):
+    """Live heap after 4x the rounds stays far below 4x (fixed 200
+    connections, ring capacity pinned)."""
+
+    def span_heap(rounds: int) -> tuple[int, float]:
+        spec = SoakSpec(
+            clients=200, rounds=rounds, disconnects=4, seed=18,
+            ring_capacity=512,
+        )
+        result, current = live_heap(run_soak_sync, spec)
+        return current, result.to_metrics()["frames_in"]
+
+    short_heap, short_frames = span_heap(10)
+    long_heap, long_frames = span_heap(40)
+    assert long_frames > short_frames  # 4x rounds really did more work
+    ratio = long_heap / short_heap
+    table(
+        "E18: live heap vs soak length (200 connections, ring 512)",
+        ["rounds", "frames in", "live heap (bytes)", "ratio"],
+        [(10, int(short_frames), short_heap, 1.0),
+         (40, int(long_frames), long_heap, round(ratio, 3))],
+    )
+    assert ratio < MEMORY_RATIO_BAR, (
+        f"live heap grew {ratio:.2f}x for a 4x longer soak "
+        f"(bar: {MEMORY_RATIO_BAR}x) — transcripts or send queues "
+        f"are not bounded"
+    )

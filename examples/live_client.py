@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A served DMPS session: one server process, three TCP clients.
+
+Starts a :class:`~repro.serve.SessionServer` on a free port, connects
+three members over real sockets, and plays a short floor-control
+exchange — request, queue, mid-hold disconnect (watch the token hand
+itself to the next waiter), release, leave.  Everything the clients
+see arrives as wire frames carrying the transcript's own
+``FloorEvent`` records.
+
+Run it::
+
+    python examples/live_client.py
+
+Point it at an already-running ``repro serve`` instead::
+
+    repro serve --port 7000 &          # terminal one
+    python examples/live_client.py 7000  # terminal two
+"""
+
+import asyncio
+import sys
+
+from repro.serve import ServeClient, ServeConfig, SessionServer
+
+
+async def member(host: str, port: int, name: str, script) -> None:
+    client = await ServeClient.connect(host, port, name)
+    print(f"[{name}] joined (resumed={client.welcome['resumed']})")
+    try:
+        await script(client)
+    finally:
+        await client.close()
+
+
+async def play(host: str, port: int) -> None:
+    async def alice(client: ServeClient) -> None:
+        await client.request()
+        event = await client.wait_granted(timeout=10.0)
+        print(f"[alice] floor granted at t={event.time:.2f}")
+        await asyncio.sleep(0.4)  # hold long enough for bob to queue
+        # Vanish mid-hold: no release, no leave.  The server evicts
+        # and hands the token to whoever is queued.
+        print("[alice] disconnecting mid-hold")
+
+    async def bob(client: ServeClient) -> None:
+        await asyncio.sleep(0.2)  # let alice grab the floor first
+        await client.request()
+        event = await client.wait_granted(timeout=10.0)
+        print(f"[bob] inherited the floor via {event.kind.value} "
+              f"at t={event.time:.2f}")
+        await client.release()
+        await client.leave()
+        print("[bob] released and left")
+
+    async def carol(client: ServeClient) -> None:
+        await asyncio.sleep(0.4)
+        await client.ping()
+        await client.leave()
+        print("[carol] pinged and left")
+
+    await asyncio.gather(
+        member(host, port, "alice", alice),
+        member(host, port, "bob", bob),
+        member(host, port, "carol", carol),
+    )
+
+
+async def main() -> None:
+    if len(sys.argv) > 1:
+        # An external `repro serve` is already listening.
+        await play("127.0.0.1", int(sys.argv[1]))
+        return
+    server = SessionServer(ServeConfig(mode="live", speed=100.0))
+    await server.start()
+    print(f"serving on 127.0.0.1:{server.port}")
+    try:
+        await play("127.0.0.1", server.port)
+    finally:
+        await server.stop()
+    result = server.result()
+    print(f"\n{len(result.events)} transcript events; "
+          f"evictions={int(result.stats_deterministic['evicted_disconnect'])} "
+          f"leaves={int(result.stats_deterministic['leaves'])}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -92,9 +92,13 @@ class ArbitratedPolicy:
         mode: FCMMode,
         chair: str = "teacher",
         log_capacity: int | None = None,
+        clock: VirtualClock | None = None,
     ) -> None:
         self.mode = mode
-        self._clock = VirtualClock()
+        #: Private by default; callers that *drive* time (the live
+        #: serving layer paces it against the wall clock, lockstep
+        #: soaks advance it per round) pass their own clock in.
+        self._clock = clock if clock is not None else VirtualClock()
         self.server = FloorControlServer(
             self._clock,
             ResourceModel(

@@ -55,6 +55,15 @@ Commands
     trace, ``export`` converts one to Chrome trace-event JSON for
     Perfetto/about:tracing, and ``diff`` compares two causal traces
     span by span (exit 1 on divergence).
+``serve``
+    Host a live DMPS session over TCP (:mod:`repro.serve`): external
+    clients handshake with newline-delimited JSON frames and their
+    request/release/leave verbs run through the real arbitration
+    stack, with watermark backpressure and ring transcripts.
+    ``--smoke`` instead runs the deterministic lockstep soak (many
+    in-process clients against one server) and persists the
+    schema-versioned ``BENCH_serve.json`` — two runs with the same
+    seed write byte-identical documents, which is what CI pins.
 ``report``
     Run the seeded classroom and print only the session report.
 
@@ -564,6 +573,115 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, SessionServer, SoakSpec, run_soak_sync
+    from .serve.persist import write_soak_json
+
+    if args.smoke or args.clients is not None:
+        # The soak path: a deterministic lockstep run, persisted as a
+        # BENCH artifact.  --smoke is the CI preset; --clients scales.
+        spec = SoakSpec(
+            clients=args.clients if args.clients is not None else 64,
+            rounds=args.rounds if args.rounds is not None else 12,
+            disconnects=args.disconnects,
+            policy=args.policy,
+            tick=args.tick,
+            ring_capacity=args.ring,
+            seed=args.seed,
+        )
+        try:
+            spec.validate()
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        profile = args.profile or args.trace is not None
+        result = run_soak_sync(spec, profile=profile)
+        print(result.render())
+        out = args.out if args.out is not None else bench_filename("serve")
+        path = write_soak_json(result, out, include_timing=args.timing)
+        print(f"\nwrote {path}")
+        if args.trace is not None:
+            from .trace import CausalTracer, save_trace
+
+            tracer = CausalTracer.from_events(
+                result.serve.events, seed=spec.seed
+            )
+            meta = {
+                "seed": spec.seed,
+                "clients": spec.clients,
+                "rounds": spec.rounds,
+                "policy": spec.policy,
+            }
+            trace_path = save_trace(
+                args.trace,
+                tracer.spans(),
+                meta=meta,
+                profile=result.profile if args.profile else None,
+            )
+            print(f"wrote {trace_path}")
+        if args.profile:
+            from .trace import top_report
+
+            print()
+            print(top_report(result.profile))
+        return 0
+
+    # The live path: bind, serve until --duration (or Ctrl-C), report.
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            policy=args.policy,
+            mode="live",
+            speed=args.speed,
+            ring_capacity=args.ring,
+            idle_timeout=args.idle_timeout,
+        )
+        config.validate()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    async def _serve_live() -> "object":
+        server = SessionServer(config)
+        await server.start()
+        print(
+            f"serving {config.policy} on {config.host}:{server.port} "
+            f"(speed x{config.speed:g}"
+            + (
+                f", stopping after {args.duration:g}s"
+                if args.duration is not None
+                else ", Ctrl-C to stop"
+            )
+            + ")",
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+        return server.result()
+
+    try:
+        result = asyncio.run(_serve_live())
+    except KeyboardInterrupt:
+        return 0
+    metrics = result.to_metrics()
+    print(
+        f"served {int(metrics['connections'])} connection(s); "
+        f"{int(metrics['events'])} floor events "
+        f"({result.evicted_events} evicted from the ring)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -767,6 +885,53 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("a", help="first TRACE_*.json")
     diff.add_argument("b", help="second TRACE_*.json")
     diff.set_defaults(handler=_cmd_trace_diff)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host a live session over TCP, or run the lockstep soak",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="live mode: bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="live mode: TCP port (0 picks a free one)")
+    serve.add_argument("--policy", default="equal_control",
+                       help="FCM mode policy the session runs")
+    serve.add_argument("--speed", type=float, default=1.0,
+                       help="live mode: virtual seconds per wall second")
+    serve.add_argument("--ring", type=int, default=4096,
+                       help="transcript ring capacity")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       help="live mode: evict members silent this long")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="live mode: stop after this many wall seconds")
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="run the deterministic lockstep soak preset "
+             "(64 clients x 12 rounds) and write BENCH_serve.json",
+    )
+    serve.add_argument("--clients", type=int, default=None,
+                       help="soak: concurrent client connections")
+    serve.add_argument("--rounds", type=int, default=None,
+                       help="soak: lockstep rounds to run")
+    serve.add_argument("--disconnects", type=int, default=4,
+                       help="soak: scripted mid-hold hard disconnects")
+    serve.add_argument("--tick", type=float, default=1.0,
+                       help="soak: virtual seconds per lockstep round")
+    serve.add_argument("--out", help="soak: BENCH json path "
+                       "(default BENCH_serve.json)")
+    serve.add_argument(
+        "--timing", action="store_true",
+        help="soak: include wall-clock metrics in the artifact "
+             "(off by default so identical seeds write identical bytes)",
+    )
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="soak: also write a TRACE_*.json here")
+    serve.add_argument(
+        "--profile", action="store_true",
+        help="soak: profile the serve hot path (serve.dispatch / "
+             "serve.flush / serve.evict) and print the top table",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     report = subparsers.add_parser("report", help="session report only")
     report.set_defaults(handler=_cmd_report)

@@ -75,6 +75,14 @@ class CheckError(ReproError):
     """Error in the property-checking subsystem (:mod:`repro.check`)."""
 
 
+class ServeError(ReproError):
+    """Error in the live serving layer (:mod:`repro.serve`)."""
+
+
+class WireError(ServeError):
+    """A wire frame could not be encoded, decoded, or validated."""
+
+
 class FloorControlError(ReproError):
     """Error in the floor control mechanism."""
 

@@ -1,0 +1,71 @@
+"""Live serving: real DMPS sessions over asyncio TCP.
+
+Where the rest of the stack *simulates* distributed multimedia
+presentation sessions, this package *hosts* one for external clients:
+
+- :mod:`repro.serve.protocol` — the wire format: newline-delimited
+  JSON frames carrying the transcript's own ``FloorEvent.to_dict``
+  records, plus a versioned handshake;
+- :mod:`repro.serve.server` — :class:`SessionServer`, routing client
+  verbs through the existing :class:`~repro.api.policies.
+  ArbitratedPolicy` arbitration, with watermark backpressure, ring
+  transcripts, and eviction hand-off on disconnect;
+- :mod:`repro.serve.queue` — the per-connection bounded
+  :class:`SendQueue` with snapshot coalescing;
+- :mod:`repro.serve.clockdrive` — :class:`WallClockDriver`, pacing the
+  virtual session clock against the wall clock in live mode;
+- :mod:`repro.serve.client` — :class:`ServeClient`, the pure-Python
+  client the examples, tests, and soak all use;
+- :mod:`repro.serve.soak` — the deterministic many-client lockstep
+  soak behind ``repro serve --smoke`` and ``BENCH_serve.json``;
+- :mod:`repro.serve.persist` — that artifact's writer (shared
+  ``repro-dmps/bench`` schema).
+"""
+
+from .client import ServeClient
+from .clockdrive import WallClockDriver
+from .persist import soak_result_to_sweep, write_soak_json
+from .protocol import (
+    CLIENT_VERBS,
+    MAX_FRAME_BYTES,
+    PROTOCOL,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    event_frame,
+    event_from_frame,
+    hello_frame,
+    validate_hello,
+    welcome_frame,
+)
+from .queue import DrainBatch, SendQueue
+from .server import ServeConfig, ServeResult, ServeStats, SessionServer
+from .soak import SoakResult, SoakSpec, run_soak, run_soak_sync
+
+__all__ = [
+    "CLIENT_VERBS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL",
+    "PROTOCOL_VERSION",
+    "DrainBatch",
+    "SendQueue",
+    "ServeClient",
+    "ServeConfig",
+    "ServeResult",
+    "ServeStats",
+    "SessionServer",
+    "SoakResult",
+    "SoakSpec",
+    "WallClockDriver",
+    "decode_frame",
+    "encode_frame",
+    "event_frame",
+    "event_from_frame",
+    "hello_frame",
+    "run_soak",
+    "run_soak_sync",
+    "soak_result_to_sweep",
+    "validate_hello",
+    "welcome_frame",
+    "write_soak_json",
+]

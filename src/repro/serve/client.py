@@ -1,0 +1,237 @@
+"""Pure-Python asyncio client for a served DMPS session.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.protocol` wire
+format: it handshakes, sends command verbs, and exposes the inbound
+frame stream (transcript events, lockstep ticks, snapshots) through
+:meth:`recv` plus small conveniences (:meth:`wait_granted`,
+:meth:`wait_for_kind`).  The soak benchmark drives hundreds of these
+against one server process; the examples and docs drive one.
+
+The client never interprets arbitration — it forwards verbs and parses
+what comes back.  Event frames decode to real
+:class:`~repro.events.types.FloorEvent` objects via
+:func:`~repro.serve.protocol.event_from_frame`, so client-side code
+works with the same transcript types the rest of the stack uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..errors import ServeError, WireError
+from ..events.types import EventKind, FloorEvent
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    event_from_frame,
+    hello_frame,
+)
+
+__all__ = ["ServeClient"]
+
+#: Sentinel queued when the server closes the connection.
+_CLOSED = {"type": "_closed"}
+
+
+class ServeClient:
+    """One connected member (or watcher) of a served session."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        member: str,
+        welcome: dict[str, Any],
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.member = member
+        #: The server's handshake acceptance (policy, group, resumed…).
+        self.welcome = welcome
+        self._frames: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        self._pump: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connecting
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        member: str,
+        watch: bool = False,
+        timeout: float = 10.0,
+    ) -> "ServeClient":
+        """Open a connection and complete the handshake.
+
+        Raises :class:`ServeError` when the server rejects the hello
+        (protocol mismatch, duplicate member, reserved name…).
+        """
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES
+        )
+        try:
+            writer.write(encode_frame(hello_frame(member, watch=watch)))
+            await writer.drain()
+            early: list[dict[str, Any]] = []
+            welcome: dict[str, Any] | None = None
+            while welcome is None:
+                line = await asyncio.wait_for(reader.readline(), timeout)
+                if not line:
+                    raise ServeError("server closed during the handshake")
+                frame = decode_frame(line)
+                if frame["type"] == "welcome":
+                    welcome = frame
+                elif frame["type"] == "error":
+                    raise ServeError(
+                        f"handshake rejected: {frame.get('detail')}"
+                    )
+                else:
+                    # The member's own JOIN event can race the welcome;
+                    # keep anything early for the frame stream.
+                    early.append(frame)
+        except BaseException:
+            writer.close()
+            raise
+        client = cls(reader, writer, member, welcome)
+        for frame in early:
+            client._frames.put_nowait(frame)
+        client._pump = asyncio.get_running_loop().create_task(
+            client._run_pump(), name=f"serve-client-{member}"
+        )
+        return client
+
+    async def _run_pump(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except WireError:
+                    break
+                self._frames.put_nowait(frame)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        finally:
+            self._frames.put_nowait(_CLOSED)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    async def recv(self, timeout: float | None = None) -> dict[str, Any]:
+        """The next inbound frame; raises :class:`ServeError` on close."""
+        if timeout is None:
+            frame = await self._frames.get()
+        else:
+            frame = await asyncio.wait_for(self._frames.get(), timeout)
+        if frame is _CLOSED:
+            self._frames.put_nowait(_CLOSED)  # keep raising for callers
+            raise ServeError("connection closed by the server")
+        return frame
+
+    async def wait_for_kind(
+        self, *kinds: EventKind, timeout: float = 10.0
+    ) -> FloorEvent:
+        """Read frames until an event of one of ``kinds`` arrives."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise ServeError(
+                    f"timed out waiting for {[k.value for k in kinds]}"
+                )
+            frame = await self.recv(timeout=remaining)
+            if frame["type"] == "event":
+                event = event_from_frame(frame)
+                if event.kind in kinds:
+                    return event
+
+    async def wait_granted(self, timeout: float = 10.0) -> FloorEvent:
+        """Block until this member holds the floor.
+
+        Matches a ``GRANT`` for this member or a ``TOKEN_PASS`` naming
+        it as the recipient.
+        """
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise ServeError(f"{self.member!r} was not granted in time")
+            frame = await self.recv(timeout=remaining)
+            if frame["type"] != "event":
+                continue
+            event = event_from_frame(frame)
+            if event.kind is EventKind.GRANT and event.member == self.member:
+                return event
+            if event.kind is EventKind.TOKEN_PASS:
+                payload = event.payload()
+                if payload is not None and payload.to_member == self.member:
+                    return event
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    async def _send(self, frame: dict[str, Any]) -> None:
+        if self._closed:
+            raise ServeError("client is closed")
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+
+    async def request(
+        self,
+        target_member: str | None = None,
+        target_group: str | None = None,
+    ) -> None:
+        """Ask for the floor (targets matter in the subgroup modes)."""
+        frame: dict[str, Any] = {"type": "request"}
+        if target_member is not None:
+            frame["target_member"] = target_member
+        if target_group is not None:
+            frame["target_group"] = target_group
+        await self._send(frame)
+
+    async def release(self) -> None:
+        await self._send({"type": "release"})
+
+    async def leave(self) -> None:
+        """Leave the session politely (the server hands off and logs)."""
+        await self._send({"type": "leave"})
+
+    async def tick(self) -> None:
+        """The lockstep no-op: 'I have nothing to do this round'."""
+        await self._send({"type": "tick"})
+
+    async def ping(self) -> None:
+        await self._send({"type": "ping"})
+
+    # ------------------------------------------------------------------
+    # Closing
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Drop the connection (no ``leave`` — the server evicts)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

@@ -1,0 +1,102 @@
+"""Pace a :class:`~repro.clock.virtual.VirtualClock` with wall time.
+
+The simulation stack stamps every decision with virtual time; a live
+server must make that virtual time *track the wall clock* so playout,
+timeouts, and grant timestamps mean what a human connected to the
+session expects.  :class:`WallClockDriver` is the adapter:
+
+* :meth:`sync` advances the virtual clock to ``(loop wall elapsed) *
+  speed``, running every due scheduled event — the dispatch path calls
+  it before handling a frame so the decision carries a current
+  timestamp;
+* a background pump syncs every ``resolution`` seconds so scheduled
+  virtual events (presence sweeps, timers) fire even while no traffic
+  arrives.
+
+``speed`` is virtual seconds per wall second — ``1.0`` for real time,
+large values for accelerated demos and tests (the same convention as
+:class:`~repro.session.runner.RealtimeBridge`, which paces scripted
+*simulations*; this driver paces a *served* session).
+
+The lockstep serving mode does not use this driver at all: there the
+server advances the clock one tick per round, which is what makes soak
+metrics byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..clock.virtual import VirtualClock
+from ..errors import ServeError
+
+__all__ = ["WallClockDriver"]
+
+
+class WallClockDriver:
+    """Drives a virtual clock from the running asyncio loop's time."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        speed: float = 1.0,
+        resolution: float = 0.05,
+    ) -> None:
+        if speed <= 0:
+            raise ServeError(f"speed must be positive, got {speed!r}")
+        if resolution <= 0:
+            raise ServeError(f"resolution must be positive, got {resolution!r}")
+        self.clock = clock
+        self.speed = speed
+        self.resolution = resolution
+        self._origin: float | None = None
+        self._base = clock.now()
+        self._pump: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Anchor wall time zero at *now* and start the pump task."""
+        if self._pump is not None:
+            raise ServeError("clock driver is already running")
+        loop = asyncio.get_running_loop()
+        self._origin = loop.time()
+        self._base = self.clock.now()
+        self._pump = loop.create_task(self._run_pump(), name="serve-clock-pump")
+
+    async def stop(self) -> None:
+        """Cancel the pump (the clock keeps its current virtual time)."""
+        pump, self._pump = self._pump, None
+        self._origin = None
+        if pump is not None:
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+
+    @property
+    def running(self) -> bool:
+        return self._pump is not None
+
+    # ------------------------------------------------------------------
+    # Advancing
+    # ------------------------------------------------------------------
+    def target(self) -> float:
+        """The virtual time the wall clock says it should be."""
+        if self._origin is None:
+            return self.clock.now()
+        elapsed = asyncio.get_running_loop().time() - self._origin
+        return self._base + elapsed * self.speed
+
+    def sync(self) -> None:
+        """Run the virtual clock forward to the wall-clock target."""
+        target = self.target()
+        if target > self.clock.now():
+            self.clock.run_until(target)
+
+    async def _run_pump(self) -> None:
+        while True:
+            await asyncio.sleep(self.resolution)
+            self.sync()

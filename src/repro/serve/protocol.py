@@ -1,0 +1,190 @@
+"""The serve wire format: newline-delimited JSON frames + handshake.
+
+One frame is one JSON object on one line.  Events cross the wire as
+the *exact* ``FloorEvent.to_dict`` mapping that transcripts persist
+(:mod:`repro.events.transcript`), so the serving surface can never
+drift from the replay/record format — a client that tails a live
+session and a tool that reads a saved transcript parse the same
+records.  Everything else on the wire is a small closed set of control
+frames (``hello``/``welcome``, ``request``/``release``/``leave``,
+``tick``, ``snapshot``, ``ping``/``pong``, ``error``, ``bye``).
+
+The handshake is versioned: the first frame a client sends must be a
+``hello`` naming :data:`PROTOCOL` and :data:`PROTOCOL_VERSION`; the
+server answers ``welcome`` (echoing both) or ``error`` + close.  A
+version bump is therefore always an explicit, observable rejection —
+never silent misparsing.
+
+Frame bytes are canonical (sorted keys, compact separators), so the
+same frame always encodes to the same bytes — the soak benchmark's
+byte-stability pin rests on this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..errors import WireError
+from ..events.types import FloorEvent
+
+__all__ = [
+    "CLIENT_VERBS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL",
+    "PROTOCOL_VERSION",
+    "decode_frame",
+    "encode_frame",
+    "event_frame",
+    "event_from_frame",
+    "hello_frame",
+    "validate_hello",
+    "welcome_frame",
+]
+
+#: Wire-protocol family tag; a different family never handshakes.
+PROTOCOL = "repro-dmps/serve"
+#: Bump on any incompatible frame-layout change.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame size cap (readline limit): a peer that streams an
+#: unterminated line cannot grow the reader's buffer without bound.
+MAX_FRAME_BYTES = 64 * 1024
+
+#: The command verbs a connected client may send after the handshake.
+CLIENT_VERBS = frozenset(
+    {"request", "release", "leave", "tick", "ping"}
+)
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """Serialize one frame to its canonical wire line (with ``\\n``).
+
+    Raises
+    ------
+    WireError
+        When the frame is not JSON-serializable or too large.
+    """
+    try:
+        text = json.dumps(
+            frame, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as error:
+        raise WireError(f"frame is not JSON-serializable: {error}") from None
+    data = text.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return data
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line back into a frame dict.
+
+    Raises
+    ------
+    WireError
+        On malformed JSON, a non-object frame, or a missing/non-string
+        ``type`` field.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(f"frame is not valid UTF-8: {error}") from None
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise WireError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(frame, dict):
+        raise WireError(f"frame must be a JSON object, got {type(frame).__name__}")
+    kind = frame.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise WireError(f"frame has no string 'type' field: {frame!r}")
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Frame builders
+# ----------------------------------------------------------------------
+def hello_frame(member: str, watch: bool = False) -> dict[str, Any]:
+    """The client's opening handshake frame."""
+    return {
+        "type": "hello",
+        "proto": PROTOCOL,
+        "v": PROTOCOL_VERSION,
+        "member": member,
+        "watch": bool(watch),
+    }
+
+
+def welcome_frame(
+    member: str,
+    policy: str,
+    group: str,
+    resumed: bool,
+    round_index: int | None,
+) -> dict[str, Any]:
+    """The server's handshake acceptance (``round`` is lockstep-only)."""
+    return {
+        "type": "welcome",
+        "proto": PROTOCOL,
+        "v": PROTOCOL_VERSION,
+        "member": member,
+        "policy": policy,
+        "group": group,
+        "resumed": bool(resumed),
+        "round": round_index,
+    }
+
+
+def event_frame(event: FloorEvent) -> dict[str, Any]:
+    """Wrap a transcript event for the wire (the ``to_dict`` mapping)."""
+    return {"type": "event", "event": event.to_dict()}
+
+
+def event_from_frame(frame: Mapping[str, Any]) -> FloorEvent:
+    """Restore the :class:`FloorEvent` an ``event`` frame carries.
+
+    Raises
+    ------
+    WireError
+        When the frame is not an event frame or its record is invalid.
+    """
+    if frame.get("type") != "event":
+        raise WireError(f"not an event frame: {frame.get('type')!r}")
+    record = frame.get("event")
+    try:
+        return FloorEvent.from_dict(record)
+    except Exception as error:
+        raise WireError(f"bad event record on the wire: {error}") from None
+
+
+def validate_hello(frame: Mapping[str, Any]) -> str:
+    """Check a decoded handshake frame; returns the member name.
+
+    Raises
+    ------
+    WireError
+        With a message naming what was wrong (sent back to the peer in
+        an ``error`` frame before the connection closes).
+    """
+    if frame.get("type") != "hello":
+        raise WireError(
+            f"handshake must open with a hello frame, got {frame.get('type')!r}"
+        )
+    if frame.get("proto") != PROTOCOL:
+        raise WireError(
+            f"protocol mismatch: peer speaks {frame.get('proto')!r}, "
+            f"server speaks {PROTOCOL!r}"
+        )
+    if frame.get("v") != PROTOCOL_VERSION:
+        raise WireError(
+            f"version mismatch: peer speaks v{frame.get('v')!r}, "
+            f"server speaks v{PROTOCOL_VERSION}"
+        )
+    member = frame.get("member")
+    if not isinstance(member, str) or not member:
+        raise WireError(f"hello needs a non-empty member name, got {member!r}")
+    return member

@@ -1,0 +1,173 @@
+"""Per-connection outbound queue with watermark backpressure.
+
+A slow (or stalled) consumer must never block the arbitration loop and
+must never grow server memory without bound.  :class:`SendQueue` gives
+each connection a bounded frame buffer with classic high/low-watermark
+semantics:
+
+* event frames (``coalescible=True``) enqueue normally until the queue
+  reaches ``high``; from then on the queue *coalesces* — buffered event
+  frames are dropped and replaced by a single pending **snapshot**
+  marker, and further event frames fold into that marker (each counted
+  in :attr:`dropped`) — until a drain takes the depth back to ``low``;
+* control frames (welcome/pong/error/bye) are few and never coalesce;
+* lockstep ``tick`` frames supersede each other: only the latest round
+  is ever buffered (:meth:`push_tick`), so a stalled lockstep client
+  holds at most one tick.
+
+The queue itself is synchronous (the event-routing path never awaits);
+a per-connection flusher task awaits :meth:`wait` and writes what
+:meth:`drain` returns.  The snapshot content is *not* stored here —
+the server renders current state at flush time, which is exactly what
+makes coalescing safe: a consumer that falls behind receives fresh
+state, not a stale backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServeError
+
+__all__ = ["DrainBatch", "SendQueue"]
+
+
+@dataclass
+class DrainBatch:
+    """Everything one drain pass hands to the flusher."""
+
+    frames: list[dict[str, Any]] = field(default_factory=list)
+    #: Render and append a state snapshot (coalesced events pending).
+    snapshot: bool = False
+    #: Events folded away since the previous drain (snapshot payload).
+    dropped: int = 0
+    #: Latest undelivered lockstep round, if any.
+    tick: int | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.frames) or self.snapshot or self.tick is not None
+
+
+class SendQueue:
+    """Bounded outbound frame buffer (see module docs)."""
+
+    __slots__ = (
+        "high", "low", "_frames", "_coalescing", "_snapshot_due",
+        "_dropped_pending", "dropped", "_tick", "_waker", "closed",
+    )
+
+    def __init__(self, high: int = 256, low: int = 64) -> None:
+        if high < 2 or not 0 <= low < high:
+            raise ServeError(
+                f"watermarks need 0 <= low < high (and high >= 2), "
+                f"got low={low!r} high={high!r}"
+            )
+        self.high = high
+        self.low = low
+        self._frames: deque[dict[str, Any]] = deque()
+        self._coalescing = False
+        self._snapshot_due = False
+        self._dropped_pending = 0
+        #: Total event frames coalesced away over this queue's lifetime.
+        self.dropped = 0
+        self._tick: int | None = None
+        self._waker = asyncio.Event()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side (synchronous, called from the dispatch path)
+    # ------------------------------------------------------------------
+    def push(self, frame: dict[str, Any], coalescible: bool = False) -> bool:
+        """Enqueue a frame; returns ``False`` when it was coalesced.
+
+        ``coalescible`` marks frames that a state snapshot can stand in
+        for (event frames); everything else is control traffic and is
+        buffered unconditionally.
+        """
+        if self.closed:
+            return False
+        if coalescible and self._coalescing:
+            self._snapshot_due = True
+            self._dropped_pending += 1
+            self.dropped += 1
+            self._waker.set()
+            return False
+        self._frames.append(frame)
+        if coalescible and len(self._frames) >= self.high:
+            self._start_coalescing()
+        self._waker.set()
+        return True
+
+    def push_tick(self, round_index: int) -> None:
+        """Buffer a lockstep tick, superseding any undelivered one."""
+        if self.closed:
+            return
+        self._tick = round_index
+        self._waker.set()
+
+    def _start_coalescing(self) -> None:
+        kept: deque[dict[str, Any]] = deque()
+        removed = 0
+        for frame in self._frames:
+            if frame.get("type") == "event":
+                removed += 1
+            else:
+                kept.append(frame)
+        self._frames = kept
+        self._coalescing = True
+        self._snapshot_due = True
+        self._dropped_pending += removed
+        self.dropped += removed
+
+    # ------------------------------------------------------------------
+    # Consumer side (the flusher task)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Buffered frames right now (excludes the tick slot)."""
+        return len(self._frames)
+
+    @property
+    def coalescing(self) -> bool:
+        """Whether the queue is currently above its watermark regime."""
+        return self._coalescing
+
+    async def wait(self) -> None:
+        """Block until the queue holds something (or is closed)."""
+        while not self and not self.closed:
+            self._waker.clear()
+            await self._waker.wait()
+
+    def drain(self) -> DrainBatch:
+        """Take everything buffered; resumes normal buffering once the
+        depth is back under the low watermark (it is zero after a
+        drain, so one full flush always ends a coalescing episode)."""
+        batch = DrainBatch(
+            frames=list(self._frames),
+            snapshot=self._snapshot_due,
+            dropped=self._dropped_pending,
+            tick=self._tick,
+        )
+        self._frames.clear()
+        self._snapshot_due = False
+        self._dropped_pending = 0
+        self._tick = None
+        if self._coalescing and len(self._frames) <= self.low:
+            self._coalescing = False
+        return batch
+
+    def close(self) -> None:
+        """Mark the queue dead and wake any waiting flusher."""
+        self.closed = True
+        self._waker.set()
+
+    def __bool__(self) -> bool:
+        return bool(self._frames) or self._snapshot_due or self._tick is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SendQueue(depth={len(self._frames)}, high={self.high}, "
+            f"coalescing={self._coalescing}, dropped={self.dropped})"
+        )

@@ -1,0 +1,259 @@
+"""Deterministic many-client soak over one :class:`SessionServer`.
+
+The soak is the serving layer's load harness *and* its reproducibility
+proof: it spins up a lockstep server plus ``clients`` concurrent TCP
+connections in one process, drives a seeded request/release/disconnect
+workload for ``rounds`` barrier rounds, and folds the session's grant
+latency and fairness through :class:`~repro.metrics.MetricsFold` —
+the same streaming kernel every other artifact uses.  Because lockstep
+rounds are a deterministic function of what each client sent, two runs
+with the same :class:`SoakSpec` produce **byte-identical** metrics and
+transcripts; CI pins exactly that.
+
+Workload shape (all derived from the spec seed, per member, via
+:func:`~repro.experiments.spec.derive_seed`):
+
+* the first ``disconnects`` members are *disconnectors*: they request
+  every round, never release, and hard-close their socket at staggered
+  rounds — the first granted one always vanishes **mid-hold**, forcing
+  the server's eviction hand-off (``TOKEN_PASS``) again and again;
+* every other member releases after ``hold_rounds`` rounds of holding
+  and otherwise requests with probability ``request_prob`` per round;
+* at the final round everyone still connected sends a polite ``leave``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from random import Random
+
+from ..errors import ServeError
+from ..events.types import EventKind
+from ..experiments.spec import derive_seed
+from ..trace import timing as _timing
+from .client import ServeClient
+from .protocol import event_from_frame
+from .server import ServeConfig, ServeResult, SessionServer
+
+__all__ = ["SoakSpec", "SoakResult", "run_soak", "run_soak_sync"]
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """One soak scenario — everything that determines its transcript."""
+
+    clients: int = 64
+    rounds: int = 12
+    #: Per-round request probability for non-holding normal members.
+    request_prob: float = 0.3
+    #: Rounds a normal member keeps the floor before releasing.
+    hold_rounds: int = 2
+    #: Scripted hard-disconnect members (eviction/hand-off pressure).
+    disconnects: int = 4
+    #: Round the first disconnector vanishes at; +3 per later one.
+    disconnect_round: int = 3
+    policy: str = "equal_control"
+    tick: float = 1.0
+    ring_capacity: int | None = 4096
+    seed: int = 0
+    queue_high: int = 256
+    queue_low: int = 64
+    #: Wall-clock guard per client await (never shapes the transcript).
+    client_timeout: float = 60.0
+
+    def validate(self) -> None:
+        if self.clients < 1:
+            raise ServeError(f"clients must be >= 1, got {self.clients!r}")
+        if self.rounds < 2:
+            raise ServeError(f"rounds must be >= 2, got {self.rounds!r}")
+        if not 0.0 <= self.request_prob <= 1.0:
+            raise ServeError(
+                f"request_prob must be in [0, 1], got {self.request_prob!r}"
+            )
+        if self.hold_rounds < 1:
+            raise ServeError(
+                f"hold_rounds must be >= 1, got {self.hold_rounds!r}"
+            )
+        if not 0 <= self.disconnects <= self.clients:
+            raise ServeError(
+                f"disconnects must be in [0, clients], got {self.disconnects!r}"
+            )
+        if self.disconnect_round < 1:
+            raise ServeError(
+                f"disconnect_round must be >= 1, got {self.disconnect_round!r}"
+            )
+        self.to_config().validate()
+
+    def member_names(self) -> list[str]:
+        """Zero-padded names, so sorted order == member index order."""
+        return [f"m{i:04d}" for i in range(self.clients)]
+
+    def disconnect_rounds(self) -> dict[str, int]:
+        """Member → the round it hard-closes at (disconnectors only).
+
+        Staggered three rounds apart and clamped below the final round
+        so every scripted disconnect happens while the soak runs.
+        """
+        names = self.member_names()
+        return {
+            names[i]: min(self.disconnect_round + 3 * i, self.rounds - 1)
+            for i in range(self.disconnects)
+        }
+
+    def to_config(self) -> ServeConfig:
+        return ServeConfig(
+            mode="lockstep",
+            policy=self.policy,
+            tick=self.tick,
+            ring_capacity=self.ring_capacity,
+            await_members=self.clients,
+            queue_high=self.queue_high,
+            queue_low=self.queue_low,
+            round_timeout=self.client_timeout,
+        )
+
+
+@dataclass
+class SoakResult:
+    """A finished soak: the spec, the server's result, wall timing."""
+
+    spec: SoakSpec
+    serve: ServeResult
+    wall_seconds: float
+    profile: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def to_metrics(self, include_timing: bool = False) -> dict[str, float]:
+        metrics = self.serve.to_metrics(include_timing=include_timing)
+        if include_timing:
+            metrics["wall_seconds"] = self.wall_seconds
+        return metrics
+
+    def render(self) -> str:
+        """Human summary (wall timing included — never persisted)."""
+        m = self.to_metrics()
+        spec = self.spec
+        rate = (
+            m["frames_in"] / self.wall_seconds if self.wall_seconds else 0.0
+        )
+        return "\n".join([
+            f"serve soak: {spec.clients} clients x {spec.rounds} rounds "
+            f"({spec.policy}, seed {spec.seed})",
+            f"  grants: p50 {m['grant_p50']:.1f}  p95 {m['grant_p95']:.1f}  "
+            f"mean {m['grant_mean']:.2f} (virtual s in queue)",
+            f"  fairness (Jain): {m['fairness']:.4f}  "
+            f"served {int(m['served'])} / requests {int(m['requests'])}",
+            f"  evictions: {int(m['evicted_disconnect'])} disconnect, "
+            f"{int(m['evicted_timeout'])} timeout; "
+            f"{int(m['leaves'])} polite leaves",
+            f"  transcript: {len(self.serve.events)} events kept, "
+            f"{self.serve.evicted_events} evicted (ring mode)",
+            f"  wall: {self.wall_seconds:.2f}s "
+            f"({int(m['frames_in'])} frames in, {rate:,.0f}/s)",
+        ])
+
+
+async def _run_client(
+    spec: SoakSpec,
+    port: int,
+    name: str,
+    disconnect_at: int | None,
+) -> None:
+    """One soak member's scripted life (see module docs)."""
+    rng = Random(derive_seed(spec.seed, "serve", {"member": name}))
+    client = await ServeClient.connect(
+        "127.0.0.1", port, name, timeout=spec.client_timeout
+    )
+    holding = False
+    held = 0
+    try:
+        while True:
+            frame = await client.recv(timeout=spec.client_timeout)
+            kind = frame["type"]
+            if kind == "event":
+                event = event_from_frame(frame)
+                if event.kind is EventKind.GRANT and event.member == name:
+                    holding, held = True, 0
+                elif event.kind is EventKind.TOKEN_PASS:
+                    payload = event.payload()
+                    if payload is not None and payload.to_member == name:
+                        holding, held = True, 0
+                    elif event.member == name:
+                        holding = False
+            elif kind == "tick":
+                round_index = frame["round"]
+                if disconnect_at is not None and round_index >= disconnect_at:
+                    return  # hard close — the eviction path
+                if round_index >= spec.rounds:
+                    await client.leave()
+                    continue  # wait for the bye
+                if holding:
+                    held += 1
+                    if held >= spec.hold_rounds and disconnect_at is None:
+                        holding = False
+                        await client.release()
+                    else:
+                        await client.tick()
+                elif disconnect_at is not None:
+                    await client.request()
+                elif rng.random() < spec.request_prob:
+                    await client.request()
+                else:
+                    await client.tick()
+            elif kind == "bye":
+                return
+    finally:
+        await client.close()
+
+
+async def run_soak(
+    spec: SoakSpec, profile: bool = False
+) -> SoakResult:
+    """Run one soak scenario to completion in the current loop."""
+    spec.validate()
+    profiler = _timing.Profiler() if profile else None
+    context = (
+        _timing.activate(profiler) if profiler is not None else nullcontext()
+    )
+    started = time.perf_counter()
+    server = SessionServer(spec.to_config())
+    disconnect_rounds = spec.disconnect_rounds()
+    with context:
+        try:
+            await server.start()
+            port = server.port
+            tasks = [
+                asyncio.ensure_future(
+                    _run_client(spec, port, name, disconnect_rounds.get(name))
+                )
+                for name in spec.member_names()
+            ]
+            done, pending = await asyncio.wait(
+                tasks, timeout=spec.client_timeout * 4
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+                raise ServeError(
+                    f"soak stalled: {len(pending)} client(s) never finished"
+                )
+            for task in done:
+                error = task.exception()
+                if error is not None:
+                    raise error
+        finally:
+            await server.stop()
+    result = server.result()
+    wall = time.perf_counter() - started
+    aggregates = profiler.aggregates() if profiler is not None else {}
+    return SoakResult(
+        spec=spec, serve=result, wall_seconds=wall, profile=aggregates
+    )
+
+
+def run_soak_sync(spec: SoakSpec, profile: bool = False) -> SoakResult:
+    """:func:`run_soak` from synchronous code (its own event loop)."""
+    return asyncio.run(run_soak(spec, profile=profile))

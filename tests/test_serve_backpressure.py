@@ -1,0 +1,159 @@
+"""Slow-consumer semantics: a stalled client never blocks the session.
+
+The acceptance criteria this file pins:
+
+* while one consumer is stalled, other members keep getting grants;
+* the stalled connection's send queue never grows past its high
+  watermark (events coalesce, counted in ``dropped``);
+* when the consumer drains again it receives a fresh state snapshot,
+  not the stale backlog;
+* a lockstep straggler is evicted after ``round_timeout`` and the
+  barrier moves on without it.
+"""
+
+import asyncio
+
+from repro.serve import ServeClient, ServeConfig, SessionServer
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+class TestStalledConsumer:
+    def test_stall_coalesces_and_never_blocks_others(self):
+        async def scenario():
+            server = SessionServer(
+                ServeConfig(mode="live", speed=1000.0, queue_high=8, queue_low=2)
+            )
+            await server.start()
+            try:
+                watcher = await ServeClient.connect(
+                    "127.0.0.1", server.port, "watcher", watch=True
+                )
+                alice = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                # Stall the watcher's flusher: its drain parks on a
+                # gate, simulating a consumer that stopped reading.
+                conn = server.connection("watcher")
+                gate = asyncio.Event()
+                original_drain = conn.writer.drain
+
+                async def slow_drain():
+                    await gate.wait()
+                    await original_drain()
+
+                conn.writer.drain = slow_drain
+
+                # Alice churns: every cycle emits request/grant/pass
+                # events, all fanned out to the watcher.
+                for _ in range(40):
+                    await alice.request()
+                    await alice.wait_granted(timeout=10.0)
+                    await alice.release()
+
+                # Others were never blocked (the loop above completed)
+                # and the stalled queue stayed bounded + coalescing.
+                assert conn.queue.depth() <= server.config.queue_high
+                assert conn.queue.dropped > 0
+                assert conn.queue.coalescing
+
+                # The watcher comes back: it gets a fresh snapshot
+                # (with the fold count), not the stale event backlog.
+                gate.set()
+                frame = await watcher.recv(timeout=10.0)
+                while frame["type"] != "snapshot":
+                    frame = await watcher.recv(timeout=10.0)
+                assert frame["policy"] == "equal_control"
+                assert frame["dropped"] > 0
+                assert "alice" in frame["members"]
+
+                await alice.leave()
+                await alice.close()
+                await watcher.close()
+            finally:
+                await server.stop()
+            assert server.stats.snapshots >= 1
+            assert server.stats.coalesced > 0
+
+        run(scenario())
+
+    def test_stalled_member_still_reaches_watermark_not_beyond(self):
+        async def scenario():
+            server = SessionServer(
+                ServeConfig(mode="live", speed=1000.0, queue_high=4, queue_low=1)
+            )
+            await server.start()
+            try:
+                watcher = await ServeClient.connect(
+                    "127.0.0.1", server.port, "watcher", watch=True
+                )
+                conn = server.connection("watcher")
+                never = asyncio.Event()
+
+                async def stuck_drain():
+                    await never.wait()
+
+                conn.writer.drain = stuck_drain
+                alice = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                for _ in range(100):
+                    await alice.request()
+                    await alice.wait_granted(timeout=10.0)
+                    await alice.release()
+                assert conn.queue.depth() <= 4
+                await alice.close()
+                await watcher.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestLockstepStraggler:
+    def test_straggler_evicted_after_round_timeout(self):
+        async def scenario():
+            server = SessionServer(
+                ServeConfig(
+                    mode="lockstep", await_members=2, round_timeout=0.3
+                )
+            )
+            await server.start()
+            try:
+                # Both handshakes must be in flight together: welcomes
+                # are withheld until the member gate fills.
+                alice, bob = await asyncio.gather(
+                    ServeClient.connect("127.0.0.1", server.port, "alice"),
+                    ServeClient.connect("127.0.0.1", server.port, "bob"),
+                )
+
+                async def play(client, stall_after, last_round):
+                    while True:
+                        frame = await client.recv(timeout=10.0)
+                        if frame["type"] == "bye":
+                            return
+                        if frame["type"] != "tick":
+                            continue
+                        round_index = frame["round"]
+                        if stall_after is not None and round_index > stall_after:
+                            return  # go silent, connection stays open
+                        if round_index >= last_round:
+                            await client.leave()
+                            continue
+                        await client.tick()
+
+                # Bob goes silent after round 3; alice plays through 8.
+                await asyncio.gather(
+                    play(alice, None, 8), play(bob, 3, 8)
+                )
+                await alice.close()
+                await bob.close()
+            finally:
+                await server.stop()
+            assert server.stats.evicted_timeout == 1
+            assert server.stats.leaves == 1
+            assert server.round_index >= 8
+
+        run(scenario())

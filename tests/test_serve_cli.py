@@ -1,0 +1,103 @@
+"""CLI tests for ``repro serve`` (soak path + artifact stability)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import SCHEMA_VERSION, load_document
+
+
+class TestServeSmoke:
+    def test_smoke_writes_schema_versioned_bench_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        assert main([
+            "serve", "--smoke", "--clients", "12", "--rounds", "6",
+            "--disconnects", "2", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "serve soak: 12 clients x 6 rounds" in text
+        assert "fairness (Jain):" in text
+        document = load_document(out)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["spec"]["runner"] == "serve"
+        metrics = document["cells"][0]["metrics"]
+        assert metrics["connections"] == 12.0
+        assert metrics["evicted_disconnect"] == 2.0
+        assert metrics["grant_p95"] >= metrics["grant_p50"]
+        assert "fairness" in metrics
+        # The deterministic document never carries wall timing.
+        assert "wall_seconds" not in metrics
+
+    def test_smoke_bytes_stable_across_identical_runs(self, tmp_path):
+        one = tmp_path / "one.json"
+        two = tmp_path / "two.json"
+        args = ["serve", "--smoke", "--clients", "10", "--rounds", "5"]
+        assert main(args + ["--out", str(one)]) == 0
+        assert main(args + ["--out", str(two)]) == 0
+        assert one.read_bytes() == two.read_bytes()
+
+    def test_seed_flag_changes_the_soak(self, tmp_path):
+        one = tmp_path / "one.json"
+        two = tmp_path / "two.json"
+        args = ["serve", "--smoke", "--clients", "10", "--rounds", "6",
+                "--disconnects", "0"]
+        assert main(["--seed", "1"] + args + ["--out", str(one)]) == 0
+        assert main(["--seed", "2"] + args + ["--out", str(two)]) == 0
+        assert one.read_bytes() != two.read_bytes()
+
+    def test_timing_opt_in_adds_wall_metrics(self, tmp_path):
+        out = tmp_path / "timed.json"
+        assert main([
+            "serve", "--smoke", "--clients", "6", "--rounds", "4",
+            "--disconnects", "1", "--timing", "--out", str(out),
+        ]) == 0
+        metrics = load_document(out)["cells"][0]["metrics"]
+        assert "wall_seconds" in metrics
+        assert "frames_out" in metrics
+
+    def test_profile_prints_serve_hooks(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        assert main([
+            "serve", "--smoke", "--clients", "6", "--rounds", "4",
+            "--profile", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "serve.dispatch" in text
+        assert "serve.flush" in text
+
+    def test_trace_artifact_feeds_trace_top(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        trace = tmp_path / "TRACE_serve.json"
+        assert main([
+            "serve", "--smoke", "--clients", "6", "--rounds", "4",
+            "--profile", "--trace", str(trace), "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "top", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "serve.dispatch" in text
+        document = json.loads(trace.read_text())
+        assert document["meta"]["clients"] == 6
+
+    def test_invalid_spec_reported(self, capsys):
+        assert main(["serve", "--smoke", "--clients", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_baseline_policy_rejected(self, capsys):
+        assert main(["serve", "--smoke", "--policy", "fifo"]) == 2
+        assert "FCM mode" in capsys.readouterr().err
+
+
+class TestServeLive:
+    def test_live_duration_run_reports(self, capsys):
+        assert main([
+            "serve", "--duration", "0.2", "--speed", "50", "--port", "0",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "serving equal_control on 127.0.0.1:" in text
+        assert "served 0 connection(s)" in text
+
+    def test_live_rejects_bad_policy(self, capsys):
+        assert main(["serve", "--policy", "fifo", "--duration", "0.1"]) == 2
+        assert "FCM mode" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Eviction semantics: disconnect-mid-hold hand-off, rejoin, consistency.
+
+These are the serving layer's churn guarantees (PR-3 semantics over a
+TCP boundary): a member whose connection vanishes while they hold the
+floor is removed through ``FloorControlServer.leave``, so the token is
+handed to the next queued member (``TOKEN_PASS`` in the transcript),
+the queue stays consistent, and the member may rejoin later with their
+registration preserved.
+"""
+
+import asyncio
+
+from repro.events import EventKind
+from repro.metrics import MetricsFold, SESSION_FOLD_KINDS
+from repro.serve import ServeClient, ServeConfig, SessionServer, SoakSpec, run_soak_sync
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+class TestDisconnectMidHold:
+    def test_holder_disconnect_hands_token_off(self):
+        async def scenario():
+            server = SessionServer(ServeConfig(mode="live", speed=100.0))
+            await server.start()
+            try:
+                alice = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                bob = await ServeClient.connect(
+                    "127.0.0.1", server.port, "bob"
+                )
+                await alice.request()
+                await alice.wait_granted(timeout=10.0)
+                await bob.request()
+                await bob.wait_for_kind(EventKind.QUEUE, timeout=10.0)
+                # Alice vanishes mid-hold: no release, no leave.
+                await alice.close()
+                granted = await bob.wait_granted(timeout=10.0)
+                assert granted.kind is EventKind.TOKEN_PASS
+                payload = granted.payload()
+                assert payload is not None and payload.to_member == "bob"
+                await bob.close()
+            finally:
+                await server.stop()
+            result = server.result()
+            assert result.stats_deterministic["evicted_disconnect"] == 1.0
+            kinds = [event.kind for event in result.events]
+            # The eviction is a LEAVE in the transcript, after hand-off.
+            assert EventKind.TOKEN_PASS in kinds
+            assert EventKind.LEAVE in kinds
+
+        run(scenario())
+
+    def test_queue_stays_consistent_through_eviction(self):
+        """Replaying the served transcript through a fresh fold gives
+        the same counters the live fold streamed — nothing double
+        granted, nothing stranded."""
+        spec = SoakSpec(clients=12, rounds=10, disconnects=3, seed=21)
+        result = run_soak_sync(spec)
+        assert result.serve.evicted_events == 0  # ring never filled
+        replay = MetricsFold(mode="exact")
+        for event in result.serve.events:
+            if event.kind in SESSION_FOLD_KINDS:
+                replay.add(event)
+        assert replay.to_metrics() == result.serve.metrics
+
+    def test_every_scripted_disconnect_is_counted(self):
+        spec = SoakSpec(clients=10, rounds=12, disconnects=4, seed=8)
+        result = run_soak_sync(spec)
+        metrics = result.to_metrics()
+        assert metrics["evicted_disconnect"] == 4.0
+        assert metrics["leaves"] == 6.0
+        # Every disconnector's departure handed the floor somewhere:
+        # the equal-control chain shows one TOKEN_PASS per hand-off.
+        passes = [
+            event for event in result.serve.events
+            if event.kind is EventKind.TOKEN_PASS
+        ]
+        assert len(passes) >= 4
+
+
+class TestRejoin:
+    def test_rejoin_after_eviction_is_resumed(self):
+        async def scenario():
+            server = SessionServer(ServeConfig(mode="live", speed=100.0))
+            await server.start()
+            try:
+                alice = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                assert alice.welcome["resumed"] is False
+                await alice.close()
+                # Wait for the server to notice the disconnect.
+                for _ in range(100):
+                    if not server.members():
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.members() == []
+                again = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                # PR-1 semantics: the registration survived the leave.
+                assert again.welcome["resumed"] is True
+                await again.request()
+                await again.wait_granted(timeout=10.0)
+                await again.close()
+            finally:
+                await server.stop()
+            result = server.result()
+            joins = [
+                event for event in result.events
+                if event.kind is EventKind.JOIN and event.member == "alice"
+            ]
+            assert len(joins) == 2
+
+        run(scenario())
+
+    def test_rejoin_after_polite_leave(self):
+        async def scenario():
+            server = SessionServer(ServeConfig(mode="live", speed=100.0))
+            await server.start()
+            try:
+                alice = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                await alice.leave()
+                frame = await alice.recv(timeout=5.0)
+                while frame["type"] != "bye":
+                    frame = await alice.recv(timeout=5.0)
+                assert frame["reason"] == "leave"
+                await alice.close()
+                again = await ServeClient.connect(
+                    "127.0.0.1", server.port, "alice"
+                )
+                assert again.welcome["resumed"] is True
+                await again.close()
+            finally:
+                await server.stop()
+
+        run(scenario())

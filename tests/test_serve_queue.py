@@ -1,0 +1,114 @@
+"""SendQueue watermark/coalescing semantics (the backpressure core)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import SendQueue
+
+
+def _event(i: int) -> dict:
+    return {"type": "event", "event": {"i": i}}
+
+
+class TestWatermarks:
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ServeError):
+            SendQueue(high=1, low=0)
+        with pytest.raises(ServeError):
+            SendQueue(high=8, low=8)
+        with pytest.raises(ServeError):
+            SendQueue(high=8, low=-1)
+
+    def test_buffers_below_high(self):
+        queue = SendQueue(high=4, low=1)
+        for i in range(3):
+            assert queue.push(_event(i), coalescible=True)
+        assert queue.depth() == 3
+        assert not queue.coalescing
+
+    def test_high_watermark_starts_coalescing(self):
+        queue = SendQueue(high=4, low=1)
+        for i in range(4):
+            queue.push(_event(i), coalescible=True)
+        # Depth hit high: buffered events collapsed into the snapshot.
+        assert queue.coalescing
+        assert queue.depth() == 0
+        assert queue.dropped == 4
+
+    def test_depth_never_exceeds_high(self):
+        queue = SendQueue(high=8, low=2)
+        for i in range(10_000):
+            queue.push(_event(i), coalescible=True)
+        assert queue.depth() < 8
+        assert queue.dropped == 10_000
+
+    def test_control_frames_never_coalesce(self):
+        queue = SendQueue(high=4, low=1)
+        for i in range(6):
+            queue.push(_event(i), coalescible=True)
+        queue.push({"type": "bye", "reason": "leave"})
+        assert queue.coalescing
+        batch = queue.drain()
+        assert {"type": "bye", "reason": "leave"} in batch.frames
+        assert batch.snapshot
+        assert batch.dropped == 6
+
+    def test_drain_ends_coalescing_episode(self):
+        queue = SendQueue(high=4, low=1)
+        for i in range(5):
+            queue.push(_event(i), coalescible=True)
+        assert queue.coalescing
+        queue.drain()
+        assert not queue.coalescing
+        assert queue.push(_event(99), coalescible=True)
+        batch = queue.drain()
+        assert batch.frames == [_event(99)]
+        assert not batch.snapshot
+
+
+class TestTicks:
+    def test_ticks_supersede(self):
+        queue = SendQueue(high=4, low=1)
+        for round_index in (1, 2, 3):
+            queue.push_tick(round_index)
+        batch = queue.drain()
+        assert batch.tick == 3
+        assert queue.drain().tick is None
+
+    def test_tick_alone_makes_queue_truthy(self):
+        queue = SendQueue(high=4, low=1)
+        assert not queue
+        queue.push_tick(1)
+        assert queue
+
+
+class TestWaitAndClose:
+    def test_wait_wakes_on_push(self):
+        async def scenario():
+            queue = SendQueue(high=4, low=1)
+            waiter = asyncio.ensure_future(queue.wait())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            queue.push({"type": "pong"})
+            await asyncio.wait_for(waiter, 1.0)
+
+        asyncio.run(scenario())
+
+    def test_wait_wakes_on_close(self):
+        async def scenario():
+            queue = SendQueue(high=4, low=1)
+            waiter = asyncio.ensure_future(queue.wait())
+            await asyncio.sleep(0)
+            queue.close()
+            await asyncio.wait_for(waiter, 1.0)
+
+        asyncio.run(scenario())
+
+    def test_closed_queue_drops_pushes(self):
+        queue = SendQueue(high=4, low=1)
+        queue.close()
+        assert not queue.push({"type": "pong"})
+        queue.push_tick(7)
+        assert not queue
